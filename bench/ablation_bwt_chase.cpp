@@ -1,0 +1,44 @@
+// Ablation (extension, DESIGN.md): the BWT decode tail. The serial
+// cycle chase is O(n) but sequential; the pointer-doubling parallel
+// chase pays O(n log k) extra work to cut the chain into k independent
+// segments. At 1 thread the serial chase must win; the crossover moves
+// left as cores grow.
+#include <cstdio>
+
+#include "bench_util/harness.h"
+#include "common.h"
+#include "text/bwt.h"
+#include "text/corpus.h"
+
+using namespace rpb;
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  const std::size_t n = std::size_t{1} << (20 + opt.scale);
+  auto text = text::make_corpus(n, 55, 4096);
+  auto encoded = text::bwt_encode(std::span<const u8>(text));
+
+  std::printf("\nAblation: BWT decode tail, serial chase vs pointer-doubling "
+              "parallel chase (n=%zu)\n\n", n);
+  bench::Table table({"decode", "time", "vs serial"});
+  auto serial = bench::measure(
+      [&] { text::bwt_decode(std::span<const u8>(encoded)); }, opt.repeats);
+  table.add_row({"serial chase", bench::fmt_seconds(serial.mean_seconds),
+                 "1.00x"});
+  for (std::size_t segments : {4ul, 16ul, 64ul, 0ul /*auto*/}) {
+    auto m = bench::measure(
+        [&] {
+          text::bwt_decode_parallel_chase(std::span<const u8>(encoded),
+                                          AccessMode::kUnchecked, segments);
+        },
+        opt.repeats);
+    std::string label = segments == 0
+                            ? "parallel chase (auto segments)"
+                            : "parallel chase (k=" + std::to_string(segments) +
+                                  ")";
+    table.add_row({label, bench::fmt_seconds(m.mean_seconds),
+                   bench::fmt_ratio(m.mean_seconds / serial.mean_seconds)});
+  }
+  table.print();
+  return 0;
+}

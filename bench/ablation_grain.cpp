@@ -1,0 +1,42 @@
+// Ablation (DESIGN.md Sec. 6): fork-join grain size for parallel_for.
+// Too-small grains drown in task overhead; too-large grains starve the
+// thieves. The default heuristic targets ~8 leaves per worker.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common.h"
+#include "sched/parallel.h"
+#include "support/hash.h"
+
+using namespace rpb;
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  const std::size_t n = std::size_t{1} << (24 + opt.scale);
+  std::vector<u64> data(n);
+  sched::parallel_for(0, n, [&](std::size_t i) { data[i] = i; });
+
+  std::printf("\nAblation: parallel_for grain size (n=%zu)\n\n", n);
+  const std::size_t grains[] = {1, 64, 1024, 16384, 262144, 0 /*default*/};
+  std::vector<double> means;
+  for (std::size_t grain : grains) {
+    auto m = bench::measure(
+        [&] {
+          sched::parallel_for(
+              0, n, [&](std::size_t i) { data[i] = hash64(data[i]); }, grain);
+        },
+        opt.repeats);
+    means.push_back(m.mean_seconds);
+  }
+  double default_time = means.back();
+
+  bench::Table table({"grain", "time", "vs default"});
+  for (std::size_t g = 0; g < std::size(grains); ++g) {
+    table.add_row({grains[g] == 0 ? "default" : std::to_string(grains[g]),
+                   bench::fmt_seconds(means[g]),
+                   bench::fmt_ratio(means[g] / default_time)});
+  }
+  table.print();
+  return 0;
+}

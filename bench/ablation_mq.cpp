@@ -1,0 +1,33 @@
+// Ablation (DESIGN.md Sec. 6): the MultiQueue's queue multiplier c
+// (#sub-queues = c x threads). Small c contends on locks; large c
+// degrades priority quality, costing extra relaxations in sssp.
+#include <cstdio>
+
+#include "bench_util/harness.h"
+#include "common.h"
+#include "graph/generators.h"
+#include "graph/sssp.h"
+
+using namespace rpb;
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  graph::Graph road = graph::make_named("road", 17 + opt.scale, 105);
+  graph::Graph link = graph::make_named("link", 15 + opt.scale, 104);
+
+  std::printf("\nAblation: MultiQueue queue multiplier (sssp)\n\n");
+  bench::Table table({"graph", "c", "time"});
+  for (const auto& [name, g] :
+       {std::pair<const char*, const graph::Graph*>{"road", &road},
+        {"link", &link}}) {
+    for (std::size_t c : {1, 2, 4, 8, 16}) {
+      auto m = bench::measure(
+          [&] { graph::sssp_multiqueue(*g, 0, opt.threads, c); }, opt.repeats);
+      table.add_row({name, std::to_string(c),
+                     bench::fmt_seconds(m.mean_seconds)});
+      std::fflush(stdout);
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation (extension, DESIGN.md): dynamic (MultiQueue) vs static-ish
+// (level-synchronous / delta-stepping) task dispatch for bfs and sssp
+// on the two graph regimes. The paper's Sec. 6 argues dispatch does not
+// change *fear*; this bench shows it does change *performance*:
+// frontier methods suffer on long-diameter road graphs (many tiny
+// rounds), the MultiQueue doesn't care about diameter.
+#include <cstdio>
+
+#include "bench_util/harness.h"
+#include "common.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "graph/sssp.h"
+
+using namespace rpb;
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  graph::Graph road = graph::make_named("road", 17 + opt.scale, 105);
+  graph::Graph link = graph::make_named("link", 15 + opt.scale, 104);
+
+  std::printf("\nAblation: task dispatch strategy for bfs / sssp\n\n");
+  bench::Table table({"bench", "graph", "multiqueue", "frontier-based",
+                      "frontier/mq"});
+  for (const auto& [name, g] :
+       {std::pair<const char*, const graph::Graph*>{"road", &road},
+        {"link", &link}}) {
+    auto mq_bfs = bench::measure(
+        [&] { graph::bfs_multiqueue(*g, 0, opt.threads); }, opt.repeats);
+    auto ls_bfs = bench::measure([&] { graph::bfs_level_sync(*g, 0); },
+                                 opt.repeats);
+    table.add_row({"bfs", name, bench::fmt_seconds(mq_bfs.mean_seconds),
+                   bench::fmt_seconds(ls_bfs.mean_seconds),
+                   bench::fmt_ratio(ls_bfs.mean_seconds /
+                                    mq_bfs.mean_seconds)});
+    auto mq_sssp = bench::measure(
+        [&] { graph::sssp_multiqueue(*g, 0, opt.threads); }, opt.repeats);
+    auto ds_sssp = bench::measure(
+        [&] { graph::sssp_delta_stepping(*g, 0); }, opt.repeats);
+    table.add_row({"sssp", name, bench::fmt_seconds(mq_sssp.mean_seconds),
+                   bench::fmt_seconds(ds_sssp.mean_seconds),
+                   bench::fmt_ratio(ds_sssp.mean_seconds /
+                                    mq_sssp.mean_seconds)});
+    std::fflush(stdout);
+  }
+  table.print();
+  return 0;
+}

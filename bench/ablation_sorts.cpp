@@ -1,0 +1,40 @@
+// Ablation (extension, DESIGN.md): the comparison-sort design space —
+// PBBS-style sample sort (the paper's `sort` benchmark), the paper's
+// Listing 9 merge sort, and serial std::sort as the floor.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util/harness.h"
+#include "common.h"
+#include "seq/generators.h"
+#include "seq/merge_sort.h"
+#include "seq/sample_sort.h"
+
+using namespace rpb;
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  const std::size_t n = std::size_t{1} << (20 + opt.scale);
+  auto input = seq::exponential_doubles(n, 1.0, 77);
+  std::vector<double> v;
+  auto setup = [&] { v = input; };
+
+  std::printf("\nAblation: comparison sorts (n=%zu doubles)\n\n", n);
+  bench::Table table({"sort", "time", "vs std::sort"});
+  auto std_sort = bench::measure_with_setup(
+      setup, [&] { std::sort(v.begin(), v.end()); }, opt.repeats);
+  table.add_row({"std::sort (serial)", bench::fmt_seconds(std_sort.mean_seconds),
+                 "1.00x"});
+  auto sample = bench::measure_with_setup(
+      setup, [&] { seq::sample_sort(v, std::less<double>(),
+                                    AccessMode::kChecked); },
+      opt.repeats);
+  table.add_row({"sample_sort (checked)", bench::fmt_seconds(sample.mean_seconds),
+                 bench::fmt_ratio(sample.mean_seconds / std_sort.mean_seconds)});
+  auto merge = bench::measure_with_setup(
+      setup, [&] { seq::merge_sort(v); }, opt.repeats);
+  table.add_row({"merge_sort (Listing 9)", bench::fmt_seconds(merge.mean_seconds),
+                 bench::fmt_ratio(merge.mean_seconds / std_sort.mean_seconds)});
+  table.print();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared CLI handling for the table/figure harnesses: --threads,
+// --repeats, --scale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sched/thread_pool.h"
+#include "support/cli.h"
+#include "support/env.h"
+
+namespace rpb::bench {
+
+struct Options {
+  std::size_t threads = 0;
+  std::size_t repeats = 3;
+  int scale = 0;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Options opt;
+  opt.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  if (opt.threads == 0) opt.threads = default_threads();
+  opt.repeats = static_cast<std::size_t>(cli.get_int("repeats", 3));
+  opt.scale = static_cast<int>(cli.get_int("scale", 0));
+  // Propagate to everything that reads the default (MQ executors spawn
+  // their own workers and consult RPB_THREADS at run time).
+  setenv("RPB_THREADS", std::to_string(opt.threads).c_str(), 1);
+  sched::ThreadPool::reset_global(opt.threads);
+  std::printf("# threads=%zu repeats=%zu scale=%d\n", opt.threads, opt.repeats,
+              opt.scale);
+  return opt;
+}
+
+}  // namespace rpb::bench

@@ -1,0 +1,38 @@
+// Regenerates the paper's Fig. 5(a): the overhead of replacing unsafe
+// SngInd writes with the interior-unsafe par_ind_iter_mut and its
+// run-time uniqueness check, on the three benchmarks that integrate it
+// (bw, lrs, sa). Paper reference: bw ~1.0x, lrs up to ~2.8x, sa ~2.5x.
+#include <cstdio>
+
+#include "bench_util/harness.h"
+#include "common.h"
+#include "suite.h"
+
+using namespace rpb;
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  bench::Suite suite(opt.scale);
+
+  std::printf("\nFig. 5(a): overhead of dynamic offset checking (SngInd), "
+              "checked / unchecked\n\n");
+  bench::Table table({"bench", "unchecked", "checked", "overhead"});
+  for (auto& c : suite.cases()) {
+    if (!c.check_is_distinct) continue;
+    if (c.benchmark != "bw" && c.benchmark != "lrs" && c.benchmark != "sa") {
+      continue;
+    }
+    auto fast = bench::measure_with_setup(
+        c.setup, [&] { c.run(bench::Variant::kPerf); }, opt.repeats);
+    auto checked = bench::measure_with_setup(
+        c.setup, [&] { c.run(bench::Variant::kChecked); }, opt.repeats);
+    table.add_row({c.name, bench::fmt_seconds(fast.mean_seconds),
+                   bench::fmt_seconds(checked.mean_seconds),
+                   bench::fmt_ratio(checked.mean_seconds / fast.mean_seconds)});
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf("\n(paper: bw ~1x [SngInd is a small phase], lrs/sa large "
+              "overhead and worse scaling)\n");
+  return 0;
+}

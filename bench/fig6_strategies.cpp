@@ -1,0 +1,144 @@
+// Regenerates the paper's appendix Fig. 6: run times and lines-of-code
+// of five parallelization strategies for element-wise hashing of a
+// large vector — serial, thread-per-task (Listing 13, which the paper
+// reports as panicking at scale), thread-per-core chunks (Listing 14),
+// a mutex-guarded job queue (Listing 15), and the work-stealing pool
+// standing in for Rayon (Listing 12).
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common.h"
+#include "sched/parallel.h"
+#include "support/hash.h"
+
+using namespace rpb;
+
+namespace {
+
+// The paper's task (Listing 10): replace each element with its hash.
+void task(u64& e) { e = hash64(e); }
+
+void serial_hash(std::vector<u64>& v) {
+  for (u64& e : v) task(e);
+}
+
+// Listing 13: one thread per element. Only viable for tiny inputs; the
+// harness runs it on a prefix and reports the extrapolated cost.
+void thread_per_task(std::vector<u64>& v) {
+  std::vector<std::thread> threads;
+  threads.reserve(v.size());
+  for (u64& e : v) threads.emplace_back([&e] { task(e); });
+  for (auto& t : threads) t.join();
+}
+
+// Listing 14: one thread per core over equal chunks.
+void thread_per_core(std::vector<u64>& v, std::size_t num_threads) {
+  std::size_t per = (v.size() + num_threads - 1) / num_threads;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    std::size_t lo = std::min(v.size(), t * per);
+    std::size_t hi = std::min(v.size(), lo + per);
+    threads.emplace_back([&v, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) task(v[i]);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// Listing 15: worker threads pulling fixed-size jobs off a mutexed
+// queue.
+void job_queue(std::vector<u64>& v, std::size_t num_threads) {
+  constexpr std::size_t kJob = 10000;
+  std::atomic<std::size_t> next{0};
+  std::mutex queue_mutex;  // the paper's Mutex<Chunks>: serialize takes
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        std::size_t lo;
+        {
+          std::lock_guard<std::mutex> take_guard(queue_mutex);
+          lo = next.fetch_add(kJob, std::memory_order_relaxed);
+        }
+        if (lo >= v.size()) return;
+        std::size_t hi = std::min(v.size(), lo + kJob);
+        for (std::size_t i = lo; i < hi; ++i) task(v[i]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// Listing 12: the data-parallel library (Rayon there, our pool here).
+void pool_hash(std::vector<u64>& v) {
+  sched::parallel_for(0, v.size(), [&](std::size_t i) { task(v[i]); });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  std::size_t n = std::size_t{1} << (26 + opt.scale);
+  std::size_t n_tiny = 10000;  // thread-per-task prefix
+
+  std::vector<u64> input(n);
+  sched::parallel_for(0, n, [&](std::size_t i) { input[i] = i; });
+  std::vector<u64> v;
+
+  std::printf("\nFig. 6: strategies for element-wise hashing of %zu elements\n\n",
+              n);
+  bench::Table table({"strategy", "time", "vs serial", "LoC (paper)"});
+
+  auto setup = [&] { v = input; };
+  auto serial = bench::measure_with_setup(setup, [&] { serial_hash(v); },
+                                          opt.repeats);
+  table.add_row({"serial (L11)", bench::fmt_seconds(serial.mean_seconds),
+                 "1.00x", "4"});
+
+  // Thread-per-task measured on a prefix, extrapolated; at the full
+  // size it exhausts thread resources like the paper's panic.
+  {
+    std::vector<u64> tiny(input.begin(),
+                          input.begin() + static_cast<std::ptrdiff_t>(n_tiny));
+    std::vector<u64> scratch;
+    auto m = bench::measure_with_setup([&] { scratch = tiny; },
+                                       [&] { thread_per_task(scratch); },
+                                       std::max<std::size_t>(1, opt.repeats / 3));
+    double extrapolated =
+        m.mean_seconds * static_cast<double>(n) / static_cast<double>(n_tiny);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0fx (panics at full size)",
+                  extrapolated / serial.mean_seconds);
+    table.add_row({"thread per task (L13)",
+                   bench::fmt_seconds(extrapolated) + " (extrap.)", buf, "8"});
+  }
+
+  auto per_core = bench::measure_with_setup(
+      setup, [&] { thread_per_core(v, opt.threads); }, opt.repeats);
+  table.add_row({"thread per core (L14)",
+                 bench::fmt_seconds(per_core.mean_seconds),
+                 bench::fmt_ratio(per_core.mean_seconds / serial.mean_seconds),
+                 "14"});
+
+  auto jobs = bench::measure_with_setup(
+      setup, [&] { job_queue(v, opt.threads); }, opt.repeats);
+  table.add_row({"job queue (L15)", bench::fmt_seconds(jobs.mean_seconds),
+                 bench::fmt_ratio(jobs.mean_seconds / serial.mean_seconds),
+                 "24"});
+
+  auto pool = bench::measure_with_setup(setup, [&] { pool_hash(v); },
+                                        opt.repeats);
+  table.add_row({"work-stealing pool (L12)",
+                 bench::fmt_seconds(pool.mean_seconds),
+                 bench::fmt_ratio(pool.mean_seconds / serial.mean_seconds),
+                 "5"});
+
+  table.print();
+  std::printf("\n(paper, 16 cores: Rayon fastest with the fewest LoC; thread-"
+              "per-task panics; job queue ~mid)\n");
+  return 0;
+}

@@ -1,0 +1,213 @@
+// google-benchmark microbenchmarks of the runtime substrate: fork-join
+// overhead, scan/pack/reduce primitives, sorting kernels, MultiQueue
+// operations, and concurrent hash-set inserts.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/primitives.h"
+#include "seq/stencil.h"
+#include "seq/hash_map.h"
+#include "core/spec_for.h"
+#include "core/reservation.h"
+#include "core/atomics.h"
+#include "sched/multiqueue.h"
+#include "sched/parallel.h"
+#include "sched/thread_pool.h"
+#include "seq/generators.h"
+#include "seq/hash_table.h"
+#include "seq/integer_sort.h"
+#include "seq/sample_sort.h"
+#include "support/hash.h"
+
+using namespace rpb;
+
+namespace {
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<u64> data(n, 1);
+  for (auto _ : state) {
+    sched::parallel_for(0, n, [&](std::size_t i) { data[i] += 1; });
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 22);
+
+void BM_Join(benchmark::State& state) {
+  auto& pool = sched::ThreadPool::global();
+  for (auto _ : state) {
+    int a = 0, b = 0;
+    pool.run([&] {
+      pool.join([&] { a = 1; }, [&] { b = 2; });
+    });
+    benchmark::DoNotOptimize(a + b);
+  }
+}
+BENCHMARK(BM_Join);
+
+void BM_Reduce(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    u64 total = sched::parallel_reduce(
+        0, n, u64{0}, [](std::size_t i) { return hash64(i); },
+        [](u64 a, u64 b) { return a + b; });
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_Reduce)->Arg(1 << 16)->Arg(1 << 22);
+
+void BM_ScanExclusive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<u64> data(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par::scan_exclusive_sum(std::span<u64>(data)));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_ScanExclusive)->Arg(1 << 16)->Arg(1 << 22);
+
+void BM_PackIndex(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<u8> flags(n);
+  for (std::size_t i = 0; i < n; ++i) flags[i] = hash64(i) & 1;
+  for (auto _ : state) {
+    auto idx = par::pack_index(std::span<const u8>(flags));
+    benchmark::DoNotOptimize(idx.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_PackIndex)->Arg(1 << 20);
+
+void BM_IntegerSort(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto input = seq::exponential_keys(n, u64{1} << 32, 7);
+  std::vector<u64> keys;
+  for (auto _ : state) {
+    state.PauseTiming();
+    keys = input;
+    state.ResumeTiming();
+    seq::integer_sort(keys, 32, AccessMode::kUnchecked);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_IntegerSort)->Arg(1 << 20);
+
+void BM_SampleSort(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto input = seq::exponential_doubles(n, 1.0, 9);
+  std::vector<double> values;
+  for (auto _ : state) {
+    state.PauseTiming();
+    values = input;
+    state.ResumeTiming();
+    seq::sample_sort(values, std::less<double>(), AccessMode::kChecked);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_SampleSort)->Arg(1 << 20);
+
+struct IdentityKey {
+  u64 operator()(u64 v) const { return v; }
+};
+
+void BM_MultiQueuePushPop(benchmark::State& state) {
+  sched::MultiQueue<u64, IdentityKey> mq(4);
+  u64 rng = 1;
+  for (auto _ : state) {
+    mq.push(hash64(rng), rng);
+    benchmark::DoNotOptimize(mq.try_pop(rng));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_MultiQueuePushPop);
+
+void BM_HashMapInsertOrAdd(benchmark::State& state) {
+  const std::size_t keys = 1 << 10;
+  seq::ConcurrentHashMap map(keys);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    map.insert_or_add(hash64(i) % keys, 1);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_HashMapInsertOrAdd);
+
+void BM_WriteMinUncontended(benchmark::State& state) {
+  std::vector<u64> cells(1 << 16, ~u64{0});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    write_min(&cells[i & 0xffff], hash64(i));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_WriteMinUncontended);
+
+void BM_JacobiStep(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n * n, 1.0), b(n * n);
+  for (auto _ : state) {
+    seq::jacobi_step(std::span<const double>(a), std::span<double>(b), n, n);
+    std::swap(a, b);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n * n));
+}
+BENCHMARK(BM_JacobiStep)->Arg(512);
+
+void BM_SpeculativeForSlotClaim(benchmark::State& state) {
+  // Contended deterministic reservations: 64k tasks over 1k slots.
+  for (auto _ : state) {
+    constexpr std::size_t kSlots = 1024, kTasks = 1 << 16;
+    std::vector<par::Reservation> r(kSlots);
+    std::vector<i64> owner(kSlots, -1);
+    struct Step {
+      std::vector<par::Reservation>& r;
+      std::vector<i64>& owner;
+      bool reserve(std::size_t i) {
+        std::size_t slot = i % owner.size();
+        if (relaxed_load(&owner[slot]) >= 0) return false;
+        r[slot].reserve(static_cast<i64>(i));
+        return true;
+      }
+      bool commit(std::size_t i) {
+        std::size_t slot = i % owner.size();
+        if (!r[slot].check(static_cast<i64>(i))) return false;
+        relaxed_store(&owner[slot], static_cast<i64>(i));
+        r[slot].reset();
+        return true;
+      }
+    } step{r, owner};
+    par::speculative_for(step, 0, kTasks, 8192);
+    benchmark::DoNotOptimize(owner.data());
+  }
+}
+BENCHMARK(BM_SpeculativeForSlotClaim);
+
+void BM_HashSetInsert(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  auto keys = seq::uniform_keys(n, ~u64{0} - 1, 13);
+  std::size_t i = 0;
+  seq::ConcurrentHashSet set(n * 2, AccessMode::kAtomic);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.insert(keys[i]));
+    i = (i + 1) % n;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_HashSetInsert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

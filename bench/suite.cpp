@@ -1,0 +1,276 @@
+#include "suite.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geom/points.h"
+#include "geom/refine.h"
+#include "graph/bfs.h"
+#include "graph/forest.h"
+#include "graph/generators.h"
+#include "graph/matching.h"
+#include "graph/mis.h"
+#include "graph/sssp.h"
+#include "seq/dedup.h"
+#include "seq/generators.h"
+#include "seq/histogram.h"
+#include "seq/integer_sort.h"
+#include "seq/sample_sort.h"
+#include "support/env.h"
+#include "text/bwt.h"
+#include "text/corpus.h"
+#include "text/lcp.h"
+#include "text/suffix_array.h"
+
+namespace rpb::bench {
+
+const char* name_of(Variant v) {
+  switch (v) {
+    case Variant::kPerf:
+      return "perf";
+    case Variant::kRecommended:
+      return "recommended";
+    case Variant::kChecked:
+      return "checked";
+    case Variant::kSync:
+      return "sync";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t scaled(std::size_t base, int scale) {
+  if (scale >= 0) return base << scale;
+  std::size_t s = base >> (-scale);
+  return std::max<std::size_t>(1024, s);
+}
+
+int scaled_graph(int base_log, int scale) {
+  return std::max(10, base_log + scale);
+}
+
+// The paper's RPB uses unsafe SngInd/AW and the cheap RngInd check; map
+// the variant axis onto AccessMode for benchmarks whose knob is the
+// SngInd expression.
+AccessMode sngind_mode(Variant v) {
+  switch (v) {
+    case Variant::kPerf:
+    case Variant::kRecommended:
+      return AccessMode::kUnchecked;
+    case Variant::kChecked:
+      return AccessMode::kChecked;
+    case Variant::kSync:
+      return AccessMode::kAtomic;
+  }
+  return AccessMode::kUnchecked;
+}
+
+}  // namespace
+
+struct Suite::Inputs {
+  // text
+  std::vector<u8> corpus_sa, corpus_bw_encoded;
+  // geometry
+  std::vector<geom::Point> kuzmin;
+  // graphs
+  graph::Graph link, road, rmat;
+  std::vector<graph::Edge> link_edges, road_edges, rmat_edges;
+  // sequences
+  std::vector<double> sort_input, sort_scratch;
+  std::vector<u64> dedup_keys, hist_keys, isort_keys, isort_scratch;
+};
+
+Suite::Suite(int scale) : inputs_(std::make_unique<Inputs>()) {
+  Inputs& in = *inputs_;
+
+  // ---- inputs (all generation untimed, deterministic seeds) ----------
+  // Planted repeat scales with the corpus so lrs's self-check holds at
+  // any --scale.
+  const std::size_t sa_len = scaled(1u << 17, scale);
+  const std::size_t plant = std::max<std::size_t>(16, sa_len / 64);
+  in.corpus_sa = text::make_corpus(sa_len, 101, plant);
+  {
+    auto bw_text = text::make_corpus(scaled(1u << 19, scale), 102, 4096);
+    in.corpus_bw_encoded = text::bwt_encode(std::span<const u8>(bw_text));
+  }
+  in.kuzmin = geom::kuzmin_points(scaled(10000, scale), 103);
+
+  in.link = graph::make_named("link", scaled_graph(15, scale), 104);
+  in.road = graph::make_named("road", scaled_graph(17, scale), 105);
+  in.rmat = graph::make_named("rmat", scaled_graph(15, scale), 106);
+  in.link_edges = in.link.undirected_edges();
+  in.road_edges = in.road.undirected_edges();
+  in.rmat_edges = in.rmat.undirected_edges();
+
+  in.sort_input = seq::exponential_doubles(scaled(1u << 20, scale), 1.0, 107);
+  in.dedup_keys = seq::exponential_keys(scaled(1u << 21, scale), 1u << 17, 108);
+  in.hist_keys = seq::exponential_keys(scaled(1u << 21, scale), 1u << 16, 109);
+  in.isort_keys = seq::exponential_keys(scaled(1u << 21, scale),
+                                        u64{1} << 32, 110);
+
+  // ---- text benchmarks ------------------------------------------------
+  cases_.push_back(BenchCase{
+      "bw", "bw", &text::bw_census(), [] {},
+      [&in](Variant v) {
+        auto out = text::bwt_decode(std::span<const u8>(in.corpus_bw_encoded),
+                                    sngind_mode(v));
+        if (out.empty()) throw std::logic_error("bw produced nothing");
+      },
+      /*sync_is_distinct=*/true, /*check_is_distinct=*/true});
+
+  cases_.push_back(BenchCase{
+      "lrs", "lrs", &text::lrs_census(), [] {},
+      [&in, plant](Variant v) {
+        auto r = text::longest_repeated_substring(
+            std::span<const u8>(in.corpus_sa), sngind_mode(v));
+        if (r.length < plant) throw std::logic_error("lrs missed the plant");
+      },
+      true, true});
+
+  cases_.push_back(BenchCase{
+      "sa", "sa", &text::sa_census(), [] {},
+      [&in](Variant v) {
+        auto sa = text::suffix_array(std::span<const u8>(in.corpus_sa),
+                                     sngind_mode(v));
+        if (sa.size() != in.corpus_sa.size()) {
+          throw std::logic_error("sa wrong size");
+        }
+      },
+      true, true});
+
+  // ---- geometry -------------------------------------------------------
+  cases_.push_back(BenchCase{
+      "dr", "dr", &geom::dr_census(), [] {},
+      [&in](Variant) {
+        geom::Mesh mesh(in.kuzmin, in.kuzmin.size() * 4);
+        mesh.build();
+        geom::RefineConfig config;
+        config.max_insertions = in.kuzmin.size() * 3;
+        geom::refine(mesh, config);
+      },
+      false, false});
+
+  // ---- graph benchmarks ----------------------------------------------
+  auto add_mis = [&](const std::string& which, const graph::Graph& g) {
+    cases_.push_back(BenchCase{
+        "mis-" + which, "mis", &graph::mis_census(), [] {},
+        [&g](Variant v) {
+          auto mode = v == Variant::kSync ? AccessMode::kAtomic
+                                          : AccessMode::kUnchecked;
+          graph::maximal_independent_set(g, mode);
+        },
+        true, false});
+  };
+  add_mis("link", in.link);
+  add_mis("road", in.road);
+
+  auto add_mm = [&](const std::string& which, const graph::Graph& g,
+                    const std::vector<graph::Edge>& edges) {
+    cases_.push_back(BenchCase{
+        "mm-" + which, "mm", &graph::mm_census(), [] {},
+        [&g, &edges](Variant) {
+          graph::maximal_matching(g.num_vertices(), edges);
+        },
+        false, false});
+  };
+  add_mm("road", in.road, in.road_edges);
+  add_mm("rmat", in.rmat, in.rmat_edges);
+
+  auto add_sf = [&](const std::string& which, const graph::Graph& g,
+                    const std::vector<graph::Edge>& edges) {
+    cases_.push_back(BenchCase{
+        "sf-" + which, "sf", &graph::sf_census(), [] {},
+        [&g, &edges](Variant) { graph::spanning_forest(g.num_vertices(), edges); },
+        false, false});
+  };
+  add_sf("link", in.link, in.link_edges);
+  add_sf("road", in.road, in.road_edges);
+
+  auto add_msf = [&](const std::string& which, const graph::Graph& g,
+                     const std::vector<graph::Edge>& edges) {
+    cases_.push_back(BenchCase{
+        "msf-" + which, "msf", &graph::msf_census(), [] {},
+        [&g, &edges](Variant) {
+          graph::minimum_spanning_forest(g.num_vertices(), edges);
+        },
+        false, false});
+  };
+  add_msf("rmat", in.rmat, in.rmat_edges);
+  add_msf("road", in.road, in.road_edges);
+
+  // ---- sequence benchmarks -------------------------------------------
+  cases_.push_back(BenchCase{
+      "sort", "sort", &seq::sort_census(),
+      [&in] { in.sort_scratch = in.sort_input; },
+      [&in](Variant v) {
+        // kPerf skips even the cheap RngInd monotonicity check; the
+        // recommended expression keeps it on (paper Sec. 7.3).
+        auto mode = v == Variant::kPerf ? AccessMode::kUnchecked
+                                        : AccessMode::kChecked;
+        seq::sample_sort(in.sort_scratch, std::less<double>(), mode);
+      },
+      false, false});
+
+  cases_.push_back(BenchCase{
+      "dedup", "dedup", &seq::dedup_census(), [] {},
+      [&in](Variant v) {
+        auto mode = v == Variant::kSync ? AccessMode::kLocked
+                                        : AccessMode::kAtomic;
+        seq::dedup(std::span<const u64>(in.dedup_keys), mode);
+      },
+      true, false});
+
+  cases_.push_back(BenchCase{
+      "hist", "hist", &seq::hist_census(), [] {},
+      [&in](Variant v) {
+        // The struct-accumulator histogram: private copies normally,
+        // bucket mutexes under kSync (the paper's 4x hist bar).
+        auto mode = v == Variant::kSync ? AccessMode::kLocked
+                                        : AccessMode::kUnchecked;
+        seq::histogram_stats(std::span<const u64>(in.hist_keys), 1u << 16,
+                             mode);
+      },
+      true, false});
+
+  cases_.push_back(BenchCase{
+      "isort", "isort", &seq::isort_census(),
+      [&in] { in.isort_scratch = in.isort_keys; },
+      [&in](Variant v) {
+        seq::integer_sort(in.isort_scratch, 32, sngind_mode(v));
+      },
+      true, true});
+
+  // ---- MultiQueue benchmarks (dynamic dispatch) ------------------------
+  auto add_bfs = [&](const std::string& which, const graph::Graph& g) {
+    cases_.push_back(BenchCase{
+        "bfs-" + which, "bfs", &graph::bfs_census(), [] {},
+        [&g](Variant) { graph::bfs_multiqueue(g, 0); },
+        false, false});
+  };
+  add_bfs("road", in.road);
+  add_bfs("link", in.link);
+
+  auto add_sssp = [&](const std::string& which, const graph::Graph& g) {
+    cases_.push_back(BenchCase{
+        "sssp-" + which, "sssp", &graph::sssp_census(), [] {},
+        [&g](Variant) { graph::sssp_multiqueue(g, 0); },
+        false, false});
+  };
+  add_sssp("link", in.link);
+  add_sssp("road", in.road);
+}
+
+Suite::~Suite() = default;
+
+std::vector<const census::BenchmarkCensus*> Suite::all_censuses() {
+  return {
+      &text::bw_census(),    &text::lrs_census(),  &text::sa_census(),
+      &geom::dr_census(),    &graph::mis_census(), &graph::mm_census(),
+      &graph::sf_census(),   &graph::msf_census(), &seq::sort_census(),
+      &seq::dedup_census(),  &seq::hist_census(),  &seq::isort_census(),
+      &graph::bfs_census(),  &graph::sssp_census(),
+  };
+}
+
+}  // namespace rpb::bench

@@ -1,0 +1,61 @@
+// The 20 benchmark-input pairs of the paper's evaluation (Fig. 4's
+// x-axis), each runnable under the expression variants the paper
+// compares. Shared by the fig4/fig5 harnesses.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/census.h"
+
+namespace rpb::bench {
+
+// The expression-choice axis, mapped per benchmark (see suite.cpp):
+enum class Variant {
+  kPerf,         // the paper's performance expression: unsafe/unchecked
+                 // SngInd+AW, cheap-checked RngInd off
+  kRecommended,  // the paper's RPB default: unsafe SngInd/AW, checked RngInd
+  kChecked,      // SngInd uniqueness checks ON (Fig. 5a)
+  kSync,         // unnecessary synchronization: relaxed atomics, or
+                 // mutexes where atomics cannot apply (Fig. 5b)
+};
+
+const char* name_of(Variant v);
+
+struct BenchCase {
+  std::string name;       // e.g. "mis-link"
+  std::string benchmark;  // e.g. "mis"
+  const census::BenchmarkCensus* census = nullptr;
+  // Untimed per-repetition setup (e.g. refresh a to-be-sorted copy).
+  std::function<void()> setup;
+  // The timed region.
+  std::function<void(Variant)> run;
+  // Whether kSync differs from kPerf for this benchmark (false for the
+  // benchmarks whose only implementation already synchronizes).
+  bool sync_is_distinct = false;
+  // Whether kChecked differs from kPerf (i.e. the benchmark has a
+  // SngInd uniqueness-check expression).
+  bool check_is_distinct = false;
+};
+
+// Scale shifts all default input sizes: size >> (-scale) for negative,
+// size << scale for positive.
+class Suite {
+ public:
+  explicit Suite(int scale = 0);
+  ~Suite();
+
+  std::vector<BenchCase>& cases() { return cases_; }
+
+  // All 14 benchmark censuses (Table 1 / Table 3 / Fig. 3).
+  static std::vector<const census::BenchmarkCensus*> all_censuses();
+
+ private:
+  struct Inputs;
+  std::unique_ptr<Inputs> inputs_;
+  std::vector<BenchCase> cases_;
+};
+
+}  // namespace rpb::bench

@@ -1,0 +1,35 @@
+// Regenerates the paper's Table 1 (benchmark x access-pattern matrix
+// with task-dispatch column) and Table 3 (pattern -> expression ->
+// fearlessness) from the per-benchmark censuses declared next to each
+// implementation.
+#include <cstdio>
+
+#include "bench_util/harness.h"
+#include "core/census.h"
+#include "suite.h"
+
+using namespace rpb;
+
+int main() {
+  std::printf("Table 1: ported benchmarks and their parallel access patterns\n\n");
+  bench::Table table({"bench", "RO", "Stride", "Block", "D&C", "SngInd",
+                      "RngInd", "AW", "dispatch"});
+  for (const census::BenchmarkCensus* c : bench::Suite::all_censuses()) {
+    std::vector<std::string> row{c->name};
+    for (census::Pattern p : census::kAllPatterns) {
+      row.push_back(c->uses(p) ? "x" : "");
+    }
+    row.push_back(name_of(c->dispatch));
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::printf("\nTable 3: studied patterns and their safety levels\n\n");
+  bench::Table t3({"pattern", "parallel expression", "fearlessness"});
+  for (census::Pattern p : census::kAllPatterns) {
+    t3.add_row({census::name_of(p), census::expression_of(p),
+                census::name_of(census::fear_of(p))});
+  }
+  t3.print();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Delaunay refinement end-to-end (the paper's dr workload): triangulate
+// a kuzmin-distributed point set, report mesh quality, refine until the
+// radius/edge bound holds, and report again.
+//
+//   $ ./examples/mesh_refinement [--points 20000] [--ratio 1.4]
+#include <cmath>
+#include <cstdio>
+
+#include "geom/delaunay.h"
+#include "geom/points.h"
+#include "geom/refine.h"
+#include "support/cli.h"
+#include "support/timer.h"
+
+using namespace rpb;
+using namespace rpb::geom;
+
+namespace {
+
+void report_quality(const Mesh& mesh, const char* label) {
+  double worst = 0;
+  std::size_t live = 0;
+  for (std::size_t t = 0; t < mesh.num_triangle_slots(); ++t) {
+    if (!mesh.alive(static_cast<i64>(t)) ||
+        mesh.has_super_vertex(static_cast<i64>(t))) {
+      continue;
+    }
+    const Triangle& tri = mesh.triangle(static_cast<i64>(t));
+    worst = std::max(worst,
+                     radius_edge_ratio(mesh.point(tri.v[0]),
+                                       mesh.point(tri.v[1]),
+                                       mesh.point(tri.v[2])));
+    ++live;
+  }
+  // min angle = arcsin(1 / (2 * ratio))
+  double min_angle = std::asin(1.0 / (2.0 * worst)) * 180.0 / 3.14159265358979;
+  std::printf("%s: %zu real triangles, worst radius/edge %.2f (min angle %.1f deg)\n",
+              label, live, worst, min_angle);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("points", 20000));
+  const double ratio = cli.get_double("ratio", 1.4);
+
+  std::printf("triangulating %zu kuzmin points...\n", n);
+  auto pts = kuzmin_points(n, 7);
+  Mesh mesh(pts, /*extra_points=*/n * 4);
+
+  Timer t_build;
+  mesh.build();
+  std::printf("built in %.3fs, consistent: %s\n", t_build.elapsed(),
+              mesh.check_consistency() ? "yes" : "NO");
+  report_quality(mesh, "before refinement");
+
+  RefineConfig config;
+  config.max_ratio = ratio;
+  config.max_insertions = n * 3;
+  Timer t_refine;
+  RefineStats stats = refine(mesh, config);
+  std::printf(
+      "refined in %.3fs: %zu inserted, %zu rounds, %zu skipped, %zu bad left\n",
+      t_refine.elapsed(), stats.inserted, stats.rounds, stats.skipped,
+      stats.bad_remaining);
+  report_quality(mesh, "after refinement");
+  std::printf("consistent after refinement: %s\n",
+              mesh.check_consistency() ? "yes" : "NO");
+  return 0;
+}

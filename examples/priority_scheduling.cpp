@@ -1,0 +1,90 @@
+// Dynamic priority scheduling with the MultiQueue (paper Sec. 6):
+// a discrete-event style workload where tasks spawn follow-up tasks at
+// later "timestamps", processed by long-running workers in relaxed
+// priority order. The example also measures the MultiQueue's rank
+// quality: how far from global priority order its pops actually are.
+//
+//   $ ./examples/priority_scheduling [--tasks 200000] [--threads 4]
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "sched/mq_executor.h"
+#include "sched/multiqueue.h"
+#include "support/cli.h"
+#include "support/hash.h"
+#include "support/timer.h"
+
+using namespace rpb;
+
+namespace {
+
+struct Event {
+  u64 timestamp;
+  u32 generation;
+};
+
+struct EventKey {
+  u64 operator()(const Event& e) const { return e.timestamp; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("tasks", 200000));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 4));
+
+  // Part 1: event simulation. Each seed event spawns up to 3
+  // generations of follow-ups at later timestamps.
+  std::atomic<u64> processed{0};
+  std::atomic<u64> max_seen_ts{0};
+  Timer t_sim;
+  sched::MqExecutor<Event, EventKey> executor(threads);
+  executor.run(
+      [&](auto& handle) {
+        for (std::size_t i = 0; i < n; ++i) {
+          handle.push(Event{hash64(i) % 1000000, 0});
+        }
+      },
+      [&](const Event& e, auto& handle) {
+        processed.fetch_add(1, std::memory_order_relaxed);
+        u64 seen = max_seen_ts.load(std::memory_order_relaxed);
+        while (e.timestamp > seen &&
+               !max_seen_ts.compare_exchange_weak(seen, e.timestamp)) {
+        }
+        if (e.generation < 3 && (hash64(e.timestamp) & 3) == 0) {
+          handle.push(Event{e.timestamp + 1000, e.generation + 1});
+        }
+      });
+  std::printf("simulated %llu events on %zu workers in %.3fs\n",
+              static_cast<unsigned long long>(processed.load()), threads,
+              t_sim.elapsed());
+
+  // Part 2: rank quality. Push n items, pop them all single-threaded,
+  // and count inversions against perfect priority order (the
+  // MultiQueue trades exactness for scalability; see Rihani et al.).
+  sched::MultiQueue<u64, EventKey> mq(threads);
+  struct U64Key {
+    u64 operator()(u64 v) const { return v; }
+  };
+  sched::MultiQueue<u64, U64Key> q(threads);
+  u64 rng = 7;
+  for (std::size_t i = 0; i < n; ++i) q.push(hash64(i), rng);
+  u64 inversions = 0, last = 0, count = 0;
+  while (auto v = q.try_pop(rng)) {
+    inversions += *v < last;
+    last = *v;
+    ++count;
+  }
+  std::printf("rank quality: %llu/%llu pops were inversions (%.2f%%)\n",
+              static_cast<unsigned long long>(inversions),
+              static_cast<unsigned long long>(count),
+              100.0 * static_cast<double>(inversions) /
+                  static_cast<double>(count));
+  std::printf("(a strict priority queue would report 0%%; the MultiQueue's\n"
+              " relaxation is what lets it scale, and consumers like sssp\n"
+              " tolerate it via CAS-min relaxation)\n");
+  return 0;
+}

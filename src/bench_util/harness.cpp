@@ -1,0 +1,103 @@
+#include "bench_util/harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "support/timer.h"
+
+namespace rpb::bench {
+
+Measurement measure(const std::function<void()>& fn, std::size_t repeats) {
+  return measure_with_setup([] {}, fn, repeats);
+}
+
+Measurement measure_with_setup(const std::function<void()>& setup,
+                               const std::function<void()>& run,
+                               std::size_t repeats) {
+  if (repeats == 0) repeats = 1;
+  setup();
+  run();  // warmup, untimed
+  Measurement m;
+  m.repeats = repeats;
+  std::vector<double> times(repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    setup();
+    Timer timer;
+    run();
+    times[r] = timer.elapsed();
+  }
+  double sum = 0;
+  m.min_seconds = std::numeric_limits<double>::infinity();
+  for (double t : times) {
+    sum += t;
+    if (t < m.min_seconds) m.min_seconds = t;
+  }
+  m.mean_seconds = sum / static_cast<double>(repeats);
+  double var = 0;
+  for (double t : times) {
+    var += (t - m.mean_seconds) * (t - m.mean_seconds);
+  }
+  m.stddev_seconds = std::sqrt(var / static_cast<double>(repeats));
+  return m;
+}
+
+Table::Table(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+void Table::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void Table::print() const {
+  if (rows_.empty()) return;
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::string line;
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      std::string cell = rows_[r][c];
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < rows_[r].size()) line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string rule;
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule += std::string(widths[c], '-');
+        if (c + 1 < widths.size()) rule += "  ";
+      }
+      std::printf("%s\n", rule.c_str());
+    }
+  }
+}
+
+std::string fmt_seconds(double s) {
+  char buf[64];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  }
+  return buf;
+}
+
+std::string fmt_ratio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", r);
+  return buf;
+}
+
+double gmean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double log_sum = 0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace rpb::bench

@@ -1,0 +1,46 @@
+// Shared measurement/reporting machinery for the table/figure harnesses
+// in bench/. The paper reports mean wall-clock over 10 runs at full
+// threads and 3 runs at 1 thread (Sec. 7.1); measure() mirrors that.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rpb::bench {
+
+struct Measurement {
+  double mean_seconds = 0;
+  double min_seconds = 0;
+  double stddev_seconds = 0;
+  std::size_t repeats = 0;
+};
+
+// Run fn repeatedly (after one untimed warmup) and aggregate.
+Measurement measure(const std::function<void()>& fn, std::size_t repeats);
+
+// Like measure(), but runs `setup` untimed before every timed `run`
+// (for benchmarks that consume their input, e.g. in-place sorts).
+Measurement measure_with_setup(const std::function<void()>& setup,
+                               const std::function<void()>& run,
+                               std::size_t repeats);
+
+// Fixed-width table printing: header then rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_seconds(double s);
+std::string fmt_ratio(double r);
+
+// Geometric mean of positive values (the paper's gmean summary).
+double gmean(const std::vector<double>& values);
+
+}  // namespace rpb::bench

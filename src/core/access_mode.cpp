@@ -1,0 +1,29 @@
+#include "core/access_mode.h"
+
+#include <stdexcept>
+
+namespace rpb {
+
+std::string to_string(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kUnchecked:
+      return "unchecked";
+    case AccessMode::kChecked:
+      return "checked";
+    case AccessMode::kAtomic:
+      return "atomic";
+    case AccessMode::kLocked:
+      return "locked";
+  }
+  return "?";
+}
+
+AccessMode parse_access_mode(const std::string& name) {
+  if (name == "unchecked") return AccessMode::kUnchecked;
+  if (name == "checked") return AccessMode::kChecked;
+  if (name == "atomic") return AccessMode::kAtomic;
+  if (name == "locked") return AccessMode::kLocked;
+  throw std::invalid_argument("unknown access mode: " + name);
+}
+
+}  // namespace rpb

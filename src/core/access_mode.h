@@ -1,0 +1,32 @@
+// The expression-choice axis of the paper's evaluation: every irregular
+// call-site (SngInd / RngInd / AW) can be expressed four ways, and the
+// benchmarks thread this choice through so the harness can measure each
+// (paper Fig. 4 uses Unchecked, Fig. 5(a) Checked, Fig. 5(b)
+// Atomic/Locked).
+#pragma once
+
+#include <string>
+
+namespace rpb {
+
+enum class AccessMode {
+  // Raw indexed writes, no validation — the paper's unsafe-Rust / C++
+  // expression ("scared", fast).
+  kUnchecked,
+  // Run-time validation of the independence contract before the
+  // parallel phase — the paper's par_ind_iter_mut ("comfortable").
+  kChecked,
+  // Relaxed atomic loads/stores placating the type system without
+  // guaranteeing uniqueness ("scared", near zero-cost).
+  kAtomic,
+  // Mutex-per-element/bucket synchronization for types too big for
+  // atomics ("scared", expensive — the paper's hist 4x).
+  kLocked,
+};
+
+std::string to_string(AccessMode mode);
+
+// Parses "unchecked" / "checked" / "atomic" / "locked" (CLI flag).
+AccessMode parse_access_mode(const std::string& name);
+
+}  // namespace rpb

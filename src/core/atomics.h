@@ -1,0 +1,83 @@
+// Small lock-free building blocks used across the irregular benchmarks:
+// priority updates (write-min / write-max) and relaxed access helpers
+// built on C++20 std::atomic_ref, the analogue of the paper's
+// "tag loads and stores with Relaxed ordering" expression.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace rpb {
+
+// Atomically ensure *target <= value; returns true iff this call
+// lowered the stored value (priority update of Shun et al.).
+template <class T>
+bool write_min(T* target, T value,
+               std::memory_order order = std::memory_order_relaxed) {
+  std::atomic_ref<T> ref(*target);
+  T current = ref.load(order);
+  while (value < current) {
+    if (ref.compare_exchange_weak(current, value, order, order)) return true;
+  }
+  return false;
+}
+
+// Atomically ensure *target >= value; returns true iff this call raised
+// the stored value.
+template <class T>
+bool write_max(T* target, T value,
+               std::memory_order order = std::memory_order_relaxed) {
+  std::atomic_ref<T> ref(*target);
+  T current = ref.load(order);
+  while (value > current) {
+    if (ref.compare_exchange_weak(current, value, order, order)) return true;
+  }
+  return false;
+}
+
+template <class T>
+T relaxed_load(const T* target) {
+  return std::atomic_ref<const T>(*target).load(std::memory_order_relaxed);
+}
+
+template <class T>
+void relaxed_store(T* target, T value) {
+  std::atomic_ref<T>(*target).store(value, std::memory_order_relaxed);
+}
+
+// Relaxed word-wise store of a trivially copyable object — the paper's
+// "placate the type system with Relaxed atomics" expression for values
+// wider than a machine word (the SngInd scatter's atomic variant). The
+// object itself is NOT stored atomically; each 32-bit word is. That is
+// exactly as strong as what relaxed per-field stores give safe Rust,
+// and is race-free in the data-race sense when (as the algorithm
+// guarantees) destinations are unique.
+template <class T>
+inline constexpr bool kWordWiseStorable =
+    std::is_trivially_copyable_v<T> &&
+    sizeof(T) % sizeof(std::uint32_t) == 0 &&
+    alignof(T) >= alignof(std::uint32_t);
+
+template <class T>
+void relaxed_store_object(T* dst, const T& src) {
+  static_assert(kWordWiseStorable<T>);
+  std::uint32_t words[sizeof(T) / sizeof(std::uint32_t)];
+  __builtin_memcpy(words, &src, sizeof(T));
+  auto* out = reinterpret_cast<std::uint32_t*>(dst);
+  for (std::size_t w = 0; w < sizeof(T) / sizeof(std::uint32_t); ++w) {
+    std::atomic_ref<std::uint32_t>(out[w]).store(words[w],
+                                                 std::memory_order_relaxed);
+  }
+}
+
+template <class T>
+bool cas(T* target, T expected, T desired,
+         std::memory_order order = std::memory_order_acq_rel) {
+  std::atomic_ref<T> ref(*target);
+  return ref.compare_exchange_strong(expected, desired, order,
+                                     std::memory_order_relaxed);
+}
+
+}  // namespace rpb

@@ -1,0 +1,98 @@
+#include "core/census.h"
+
+namespace rpb::census {
+
+bool BenchmarkCensus::uses(Pattern p) const {
+  for (const Site& s : sites) {
+    if (s.pattern == p) return true;
+  }
+  return false;
+}
+
+int BenchmarkCensus::accesses(Pattern p) const {
+  int total = 0;
+  for (const Site& s : sites) {
+    if (s.pattern == p) total += s.shared_accesses;
+  }
+  return total;
+}
+
+int BenchmarkCensus::total_accesses() const {
+  int total = 0;
+  for (const Site& s : sites) total += s.shared_accesses;
+  return total;
+}
+
+Fear fear_of(Pattern p) {
+  switch (p) {
+    case Pattern::kRO:
+    case Pattern::kStride:
+    case Pattern::kBlock:
+    case Pattern::kDC:
+      return Fear::kFearless;
+    case Pattern::kSngInd:
+    case Pattern::kRngInd:
+      return Fear::kComfortable;
+    case Pattern::kAW:
+      return Fear::kScared;
+  }
+  return Fear::kScared;
+}
+
+const char* name_of(Pattern p) {
+  switch (p) {
+    case Pattern::kRO:
+      return "RO";
+    case Pattern::kStride:
+      return "Stride";
+    case Pattern::kBlock:
+      return "Block";
+    case Pattern::kDC:
+      return "D&C";
+    case Pattern::kSngInd:
+      return "SngInd";
+    case Pattern::kRngInd:
+      return "RngInd";
+    case Pattern::kAW:
+      return "AW";
+  }
+  return "?";
+}
+
+const char* name_of(Fear f) {
+  switch (f) {
+    case Fear::kFearless:
+      return "Fearless";
+    case Fear::kComfortable:
+      return "Comfortable";
+    case Fear::kScared:
+      return "Scared";
+  }
+  return "?";
+}
+
+const char* name_of(Dispatch d) {
+  return d == Dispatch::kStatic ? "static" : "dynamic";
+}
+
+const char* expression_of(Pattern p) {
+  switch (p) {
+    case Pattern::kRO:
+      return "par_iter";
+    case Pattern::kStride:
+      return "par_iter_mut";
+    case Pattern::kBlock:
+      return "par_chunks_mut";
+    case Pattern::kDC:
+      return "join";
+    case Pattern::kSngInd:
+      return "par_ind_iter_mut";
+    case Pattern::kRngInd:
+      return "par_ind_chunks_mut";
+    case Pattern::kAW:
+      return "atomics / mutexes";
+  }
+  return "?";
+}
+
+}  // namespace rpb::census

@@ -1,0 +1,54 @@
+// Static pattern census: the machinery behind the paper's Table 1,
+// Table 3 and Fig. 3. Every benchmark module declares, next to its
+// implementation, the parallel call-sites it contains — which pattern,
+// how many distinct shared-data accesses appear at that site, and which
+// phase it belongs to. The harness aggregates these declarations into
+// the benchmark x pattern matrix and the access-share distribution.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rpb::census {
+
+enum class Pattern { kRO, kStride, kBlock, kDC, kSngInd, kRngInd, kAW };
+enum class Dispatch { kStatic, kDynamic };
+enum class Fear { kFearless, kComfortable, kScared };
+
+inline constexpr Pattern kAllPatterns[] = {
+    Pattern::kRO,     Pattern::kStride, Pattern::kBlock, Pattern::kDC,
+    Pattern::kSngInd, Pattern::kRngInd, Pattern::kAW};
+
+// One parallel call-site in a benchmark.
+struct Site {
+  Pattern pattern;
+  // Number of statically distinct accesses to shared data structures at
+  // this site (the unit of Fig. 3's percentages).
+  int shared_accesses;
+  const char* phase;
+};
+
+// The census of one benchmark.
+struct BenchmarkCensus {
+  std::string name;
+  Dispatch dispatch;
+  std::vector<Site> sites;
+
+  bool uses(Pattern p) const;
+  int accesses(Pattern p) const;
+  int total_accesses() const;
+};
+
+// Fear tier each pattern's recommended expression achieves (Table 3).
+Fear fear_of(Pattern p);
+
+const char* name_of(Pattern p);
+const char* name_of(Fear f);
+const char* name_of(Dispatch d);
+
+// The recommended parallel expression per pattern (Table 3's middle
+// column, translated to this library).
+const char* expression_of(Pattern p);
+
+}  // namespace rpb::census

@@ -1,0 +1,73 @@
+// Run-time independence checks backing the "comfortable" tier: the
+// parallel offset-uniqueness check of par_ind_iter_mut (paper Sec. 5.1,
+// deliberately expensive — Fig. 5(a) measures it) and the cheap
+// monotonicity check of par_ind_chunks_mut.
+#pragma once
+
+#include <atomic>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sched/parallel.h"
+#include "support/defs.h"
+#include "support/error.h"
+
+namespace rpb::par {
+
+// Verifies every offsets[i] is in [0, bound) and no two are equal.
+// Parallel byte-bitmap marking; throws CheckFailure on violation. The
+// O(bound) bitmap allocation + reset is part of the check's real cost.
+template <class Index>
+void check_unique_offsets(std::span<const Index> offsets, std::size_t bound) {
+  std::vector<u8> marks(bound, 0);
+  std::atomic<i64> bad_at{-1};
+  sched::parallel_for(0, offsets.size(), [&](std::size_t i) {
+    auto off = static_cast<std::size_t>(offsets[i]);
+    if (off >= bound) {
+      i64 expected = -1;
+      bad_at.compare_exchange_strong(expected, static_cast<i64>(i));
+      return;
+    }
+    std::atomic_ref<u8> mark(marks[off]);
+    if (mark.exchange(1, std::memory_order_relaxed) != 0) {
+      i64 expected = -1;
+      bad_at.compare_exchange_strong(expected, static_cast<i64>(i));
+    }
+  });
+  i64 bad = bad_at.load();
+  if (bad >= 0) {
+    auto off = static_cast<std::size_t>(offsets[bad]);
+    throw CheckFailure(
+        off >= bound
+            ? "par_ind_iter_mut: offset out of bounds at index " +
+                  std::to_string(bad)
+            : "par_ind_iter_mut: duplicate offset " + std::to_string(off) +
+                  " at index " + std::to_string(bad));
+  }
+}
+
+// Verifies offsets is monotonically non-decreasing with offsets.back()
+// <= bound (chunk boundaries). O(m) scan — cheap, as the paper notes.
+template <class Index>
+void check_monotonic_offsets(std::span<const Index> offsets,
+                             std::size_t bound) {
+  if (offsets.empty()) return;
+  std::atomic<i64> bad_at{-1};
+  sched::parallel_for(0, offsets.size() - 1, [&](std::size_t i) {
+    if (offsets[i] > offsets[i + 1]) {
+      i64 expected = -1;
+      bad_at.compare_exchange_strong(expected, static_cast<i64>(i));
+    }
+  });
+  i64 bad = bad_at.load();
+  if (bad >= 0) {
+    throw CheckFailure("par_ind_chunks_mut: offsets not monotonic at index " +
+                       std::to_string(bad));
+  }
+  if (static_cast<std::size_t>(offsets.back()) > bound) {
+    throw CheckFailure("par_ind_chunks_mut: final offset exceeds data size");
+  }
+}
+
+}  // namespace rpb::par

@@ -1,0 +1,115 @@
+// The paper's parallel access-pattern vocabulary (Table 3) as a C++
+// library. Fearless patterns (RO / Stride / Block / D&C) hand each task
+// a disjoint element or chunk, so correct use cannot race; irregular
+// patterns (SngInd / RngInd) take an AccessMode selecting between the
+// unchecked ("scary") and checked ("comfortable") expressions the paper
+// compares. AW has no generic expression — benchmarks synchronize
+// explicitly with core/atomics.h or mutexes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/access_mode.h"
+#include "core/checks.h"
+#include "sched/parallel.h"
+
+namespace rpb::par {
+
+// --- Fearless tier -------------------------------------------------------
+
+// RO: read-only traversal; body(i, elem) sees a const reference.
+template <class T, class F>
+void par_iter(std::span<const T> data, F body, std::size_t grain = 0) {
+  sched::parallel_for(
+      0, data.size(), [&](std::size_t i) { body(i, data[i]); }, grain);
+}
+
+// Stride: task i mutates exactly element i (paper Listing 4(e)).
+template <class T, class F>
+void par_iter_mut(std::span<T> data, F body, std::size_t grain = 0) {
+  sched::parallel_for(
+      0, data.size(), [&](std::size_t i) { body(i, data[i]); }, grain);
+}
+
+// Block: task i mutates the i-th fixed-size chunk (paper Listing 5).
+// body(chunk_index, chunk_span); the final chunk may be short.
+template <class T, class F>
+void par_chunks_mut(std::span<T> data, std::size_t chunk_size, F body) {
+  const std::size_t n = data.size();
+  if (chunk_size == 0) chunk_size = 1;
+  const std::size_t chunks = (n + chunk_size - 1) / chunk_size;
+  sched::parallel_for(
+      0, chunks,
+      [&](std::size_t c) {
+        std::size_t lo = c * chunk_size;
+        std::size_t hi = std::min(n, lo + chunk_size);
+        body(c, data.subspan(lo, hi - lo));
+      },
+      1);
+}
+
+// --- Comfortable tier (run-time-checked irregular) -----------------------
+
+// SngInd: task i mutates data[offsets[i]] (paper Listing 6(f)). The
+// algorithm must guarantee unique offsets; kChecked validates that
+// claim in parallel before the writes and throws CheckFailure if the
+// translation of algorithm to code got it wrong.
+template <class T, class Index, class F>
+void par_ind_iter_mut(std::span<T> data, std::span<const Index> offsets,
+                      F body, AccessMode mode = AccessMode::kChecked,
+                      std::size_t grain = 0) {
+  if (mode == AccessMode::kChecked) {
+    check_unique_offsets(offsets, data.size());
+  }
+  sched::parallel_for(
+      0, offsets.size(),
+      [&](std::size_t i) { body(i, data[static_cast<std::size_t>(offsets[i])]); },
+      grain);
+}
+
+// SngInd generalized beyond offset arrays (paper Sec. 5.1): indices
+// come from a pure function of the task id. kChecked materializes the
+// indices and runs the same uniqueness validation.
+template <class T, class IndexFn, class F>
+void par_ind_iter_mut_fn(std::span<T> data, std::size_t count,
+                         IndexFn index_of, F body,
+                         AccessMode mode = AccessMode::kChecked,
+                         std::size_t grain = 0) {
+  if (mode == AccessMode::kChecked) {
+    std::vector<std::size_t> indices(count);
+    sched::parallel_for(
+        0, count,
+        [&](std::size_t i) { indices[i] = static_cast<std::size_t>(index_of(i)); },
+        grain);
+    check_unique_offsets(std::span<const std::size_t>(indices), data.size());
+  }
+  sched::parallel_for(
+      0, count,
+      [&](std::size_t i) {
+        body(i, data[static_cast<std::size_t>(index_of(i))]);
+      },
+      grain);
+}
+
+// RngInd: task i mutates data[offsets[i] .. offsets[i+1]) (paper
+// Listing 7(c)). offsets has k+1 entries for k tasks; kChecked verifies
+// monotonicity — cheap, so "comfort is an easier trade-off to accept".
+template <class T, class Index, class F>
+void par_ind_chunks_mut(std::span<T> data, std::span<const Index> offsets,
+                        F body, AccessMode mode = AccessMode::kChecked) {
+  if (offsets.size() < 2) return;
+  if (mode == AccessMode::kChecked) {
+    check_monotonic_offsets(offsets, data.size());
+  }
+  sched::parallel_for(
+      0, offsets.size() - 1,
+      [&](std::size_t i) {
+        auto lo = static_cast<std::size_t>(offsets[i]);
+        auto hi = static_cast<std::size_t>(offsets[i + 1]);
+        body(i, data.subspan(lo, hi - lo));
+      },
+      1);
+}
+
+}  // namespace rpb::par

@@ -1,0 +1,137 @@
+// Foundational data-parallel primitives (scan, pack, counting) that the
+// pattern library and every benchmark build on. These correspond to the
+// "scan" and "pack" algorithmic patterns the paper inventories from
+// Structured Parallel Programming (Sec. 7.1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sched/parallel.h"
+#include "support/defs.h"
+
+namespace rpb::par {
+
+// Exclusive in-place prefix scan under op (associative, identity id).
+// Returns the total reduction of the original contents.
+//
+// Two-pass blocked algorithm: per-block reduce, serial scan of the
+// (few) block sums, then per-block local scan with offset — the
+// classic work-efficient formulation.
+template <class T, class Op>
+T scan_exclusive(std::span<T> data, T identity, Op op) {
+  const std::size_t n = data.size();
+  if (n == 0) return identity;
+  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t block = std::max<std::size_t>(2048, n / (8 * threads) + 1);
+  const std::size_t num_blocks = (n + block - 1) / block;
+
+  if (num_blocks == 1) {
+    T acc = identity;
+    for (std::size_t i = 0; i < n; ++i) {
+      T next = op(acc, data[i]);
+      data[i] = acc;
+      acc = next;
+    }
+    return acc;
+  }
+
+  std::vector<T> sums(num_blocks, identity);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = identity;
+        for (std::size_t i = lo; i < hi; ++i) acc = op(acc, data[i]);
+        sums[b] = acc;
+      },
+      1);
+
+  T total = identity;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    T next = op(total, sums[b]);
+    sums[b] = total;
+    total = next;
+  }
+
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = sums[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          T next = op(acc, data[i]);
+          data[i] = acc;
+          acc = next;
+        }
+      },
+      1);
+  return total;
+}
+
+// Exclusive prefix-sum specialization (the pervasive case).
+template <class T>
+T scan_exclusive_sum(std::span<T> data) {
+  return scan_exclusive(data, T{}, [](T a, T b) { return a + b; });
+}
+
+// Indices i in [0, flags.size()) with flags[i] != 0, in order.
+template <class Index = std::size_t>
+std::vector<Index> pack_index(std::span<const u8> flags) {
+  const std::size_t n = flags.size();
+  std::vector<std::size_t> counts;
+  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t block = std::max<std::size_t>(2048, n / (8 * threads) + 1);
+  const std::size_t num_blocks = (n + block - 1) / block;
+  counts.assign(num_blocks, 0);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        std::size_t c = 0;
+        for (std::size_t i = lo; i < hi; ++i) c += flags[i] != 0;
+        counts[b] = c;
+      },
+      1);
+  std::size_t total = scan_exclusive_sum(std::span<std::size_t>(counts));
+  std::vector<Index> out(total);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        std::size_t pos = counts[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (flags[i] != 0) out[pos++] = static_cast<Index>(i);
+        }
+      },
+      1);
+  return out;
+}
+
+// Stable parallel filter: elements of `in` whose predicate holds.
+template <class T, class Pred>
+std::vector<T> pack(std::span<const T> in, Pred pred) {
+  const std::size_t n = in.size();
+  std::vector<u8> flags(n);
+  sched::parallel_for(0, n, [&](std::size_t i) { flags[i] = pred(in[i]) ? 1 : 0; });
+  std::vector<std::size_t> idx = pack_index(std::span<const u8>(flags));
+  std::vector<T> out(idx.size());
+  sched::parallel_for(0, idx.size(), [&](std::size_t i) { out[i] = in[idx[i]]; });
+  return out;
+}
+
+// Parallel count of positions satisfying pred.
+template <class Pred>
+std::size_t count_if(std::size_t begin, std::size_t end, Pred pred) {
+  return sched::parallel_reduce_range(
+      begin, end, std::size_t{0},
+      [&](std::size_t lo, std::size_t hi) {
+        std::size_t c = 0;
+        for (std::size_t i = lo; i < hi; ++i) c += pred(i) ? 1 : 0;
+        return c;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
+}
+
+}  // namespace rpb::par

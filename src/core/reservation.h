@@ -1,0 +1,26 @@
+// Priority reservation cell for deterministic reservations (PBBS's
+// `reservation` type): tasks bid for a shared resource with write_min;
+// the lowest index wins, and losers observe the loss in their commit.
+#pragma once
+
+#include <limits>
+
+#include "core/atomics.h"
+#include "support/defs.h"
+
+namespace rpb::par {
+
+class Reservation {
+ public:
+  static constexpr i64 kNone = std::numeric_limits<i64>::max();
+
+  void reserve(i64 priority) { write_min(&cell_, priority); }
+  bool check(i64 priority) const { return relaxed_load(&cell_) == priority; }
+  bool reserved() const { return relaxed_load(&cell_) != kNone; }
+  void reset() { relaxed_store(&cell_, kNone); }
+
+ private:
+  i64 cell_ = kNone;
+};
+
+}  // namespace rpb::par

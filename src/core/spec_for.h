@@ -1,0 +1,88 @@
+// Deterministic reservations (Blelloch et al., PPoPP'12): the generic
+// speculative-for framework PBBS uses for its irregular benchmarks. We
+// use it for maximal matching and Delaunay refinement.
+//
+// A Step exposes:
+//   bool reserve(size_t i)  — try to reserve the shared cells task i
+//                             needs, using write_min with priority i;
+//                             return false to drop the task entirely.
+//   bool commit(size_t i)   — re-check that i still holds all its
+//                             reservations; if so apply the update and
+//                             return true, else return false (retry in
+//                             a later round).
+//
+// Rounds take a prefix of the remaining iterations plus earlier
+// failures; priorities are the original indices, so the result is
+// deterministic regardless of thread schedule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/primitives.h"
+#include "sched/parallel.h"
+#include "support/defs.h"
+
+namespace rpb::par {
+
+struct SpecForStats {
+  std::size_t rounds = 0;
+  std::size_t retries = 0;  // total commit failures across rounds
+};
+
+// RoundEnd is called (serially) after each round's commits — e.g. to
+// grow per-resource reservation state that commits allocated.
+template <class Step, class RoundEnd>
+SpecForStats speculative_for(Step& step, std::size_t begin, std::size_t end,
+                             std::size_t round_size, RoundEnd round_end) {
+  SpecForStats stats;
+  if (round_size == 0) round_size = 1;
+  std::vector<std::size_t> active;
+  active.reserve(round_size);
+  std::vector<u8> retry_flags;
+  std::size_t next = begin;
+
+  while (next < end || !active.empty()) {
+    // Top up the round with fresh iterations after the carried-over
+    // failures (which keep their original, higher priorities).
+    while (active.size() < round_size && next < end) {
+      active.push_back(next++);
+    }
+    const std::size_t m = active.size();
+    retry_flags.assign(m, 0);
+
+    // Phase 1: all reservations, in parallel. write_min makes the
+    // lowest index win every contested cell.
+    std::vector<u8> reserved(m, 0);
+    sched::parallel_for(0, m, [&](std::size_t i) {
+      reserved[i] = step.reserve(active[i]) ? 1 : 0;
+    });
+
+    // Phase 2: commits. A task that reserved but no longer holds all
+    // its cells failed to a higher-priority task and retries.
+    sched::parallel_for(0, m, [&](std::size_t i) {
+      if (reserved[i] != 0 && !step.commit(active[i])) retry_flags[i] = 1;
+    });
+
+    // Pack the failures, preserving order (= priority).
+    std::vector<std::size_t> failed_positions =
+        pack_index(std::span<const u8>(retry_flags));
+    std::vector<std::size_t> carried(failed_positions.size());
+    sched::parallel_for(0, failed_positions.size(), [&](std::size_t i) {
+      carried[i] = active[failed_positions[i]];
+    });
+    stats.retries += carried.size();
+    active = std::move(carried);
+    ++stats.rounds;
+    round_end();
+  }
+  return stats;
+}
+
+template <class Step>
+SpecForStats speculative_for(Step& step, std::size_t begin, std::size_t end,
+                             std::size_t round_size) {
+  return speculative_for(step, begin, end, round_size, [] {});
+}
+
+}  // namespace rpb::par

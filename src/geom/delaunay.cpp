@@ -1,0 +1,308 @@
+#include "geom/delaunay.h"
+
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/hash.h"
+
+namespace rpb::geom {
+namespace {
+
+// Super-triangle scale: far outside the unit-disk inputs, small enough
+// that mixed real/super in_circle determinants keep trustworthy signs.
+constexpr double kSuperScale = 1e4;
+
+// Arena head-room per inserted point: a cavity of c triangles retires c
+// slots and allocates c+2; average cavities are ~4-6 triangles.
+constexpr std::size_t kTriSlotsPerPoint = 10;
+
+}  // namespace
+
+Mesh::Mesh(std::span<const Point> points, std::size_t extra_points) {
+  const std::size_t capacity = kSuperVertices + points.size() + extra_points;
+  points_.resize(capacity);
+  points_[0] = Point{0.0, 3.0 * kSuperScale};
+  points_[1] = Point{-3.0 * kSuperScale, -2.0 * kSuperScale};
+  points_[2] = Point{3.0 * kSuperScale, -2.0 * kSuperScale};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points_[kSuperVertices + i] = points[i];
+  }
+  num_points_.store(kSuperVertices + points.size(),
+                    std::memory_order_relaxed);
+
+  tris_.resize(kTriSlotsPerPoint * capacity + 64);
+  Triangle& root = tris_[0];
+  root.v[0] = 0;
+  root.v[1] = 1;
+  root.v[2] = 2;
+  root.alive = true;
+  num_tris_.store(1, std::memory_order_relaxed);
+}
+
+std::size_t Mesh::num_live_triangles() const {
+  std::size_t live = 0;
+  std::size_t total = num_tris_.load(std::memory_order_acquire);
+  for (std::size_t t = 0; t < total; ++t) live += tris_[t].alive;
+  return live;
+}
+
+i64 Mesh::locate(const Point& p, i64 hint) const {
+  i64 t = hint;
+  const std::size_t step_limit = 4 * num_tris_.load(std::memory_order_acquire) + 64;
+  for (std::size_t steps = 0; steps < step_limit && t >= 0 && tris_[t].alive;
+       ++steps) {
+    const Triangle& tri = tris_[t];
+    i64 cross = -2;
+    for (int k = 0; k < 3; ++k) {
+      const Point& a = points_[tri.v[(k + 1) % 3]];
+      const Point& b = points_[tri.v[(k + 2) % 3]];
+      if (orient2d(a, b, p) < 0) {
+        cross = tri.nbr[k];
+        break;
+      }
+    }
+    if (cross == -2) return t;  // inside (or on boundary of) this triangle
+    t = cross;
+  }
+  // Walk failed (dead hint or a rare orientation cycle): linear rescue.
+  const std::size_t total = num_tris_.load(std::memory_order_acquire);
+  for (std::size_t s = 0; s < total; ++s) {
+    if (!tris_[s].alive) continue;
+    const Triangle& tri = tris_[s];
+    bool inside = true;
+    for (int k = 0; k < 3 && inside; ++k) {
+      const Point& a = points_[tri.v[(k + 1) % 3]];
+      const Point& b = points_[tri.v[(k + 2) % 3]];
+      inside = orient2d(a, b, p) >= 0;
+    }
+    if (inside) return static_cast<i64>(s);
+  }
+  return -1;
+}
+
+bool Mesh::in_conflict(i64 t, const Point& p) const {
+  const Triangle& tri = tris_[t];
+  return in_circle(points_[tri.v[0]], points_[tri.v[1]], points_[tri.v[2]],
+                   p) > 0;
+}
+
+bool Mesh::coincides_with_vertex(i64 t, const Point& p) const {
+  constexpr double kTolSquared = 1e-24;
+  const Triangle& tri = tris_[t];
+  for (int k = 0; k < 3; ++k) {
+    if (squared_distance(points_[tri.v[k]], p) < kTolSquared) return true;
+  }
+  return false;
+}
+
+bool Mesh::collect_cavity(const Point& p, i64 start, Cavity& out,
+                          std::size_t max_cavity) const {
+  out.tris.clear();
+  out.boundary.clear();
+  if (start < 0 || !tris_[start].alive) return false;
+  std::unordered_set<i64> in_cavity;
+  std::vector<i64> stack{start};
+  in_cavity.insert(start);
+  while (!stack.empty()) {
+    i64 t = stack.back();
+    stack.pop_back();
+    out.tris.push_back(t);
+    if (out.tris.size() > max_cavity) return false;
+    const Triangle& tri = tris_[t];
+    for (int k = 0; k < 3; ++k) {
+      i64 n = tri.nbr[k];
+      bool conflict = n >= 0 && tris_[n].alive && in_conflict(n, p);
+      if (conflict) {
+        if (in_cavity.insert(n).second) stack.push_back(n);
+      } else if (n < 0 || !in_cavity.count(n)) {
+        // Boundary edge (v[k+1] -> v[k+2]) keeps the cavity on its left
+        // because t is CCW.
+        out.boundary.push_back(
+            BoundaryEdge{tri.v[(k + 1) % 3], tri.v[(k + 2) % 3], n});
+      }
+    }
+  }
+  // A just-discovered neighbor may later have been added to the cavity
+  // after we recorded it as boundary (DFS ordering): filter those.
+  std::erase_if(out.boundary, [&](const BoundaryEdge& e) {
+    return e.outside >= 0 && in_cavity.count(e.outside) > 0;
+  });
+  return !out.boundary.empty();
+}
+
+u32 Mesh::push_point(const Point& p) {
+  std::size_t id = num_points_.fetch_add(1, std::memory_order_acq_rel);
+  if (id >= points_.size()) {
+    num_points_.fetch_sub(1, std::memory_order_acq_rel);
+    throw std::length_error("Mesh point arena exhausted");
+  }
+  points_[id] = p;
+  return static_cast<u32>(id);
+}
+
+u32 Mesh::reserve_point_slots(std::size_t count) {
+  std::size_t base = num_points_.fetch_add(count, std::memory_order_acq_rel);
+  if (base + count > points_.size()) {
+    num_points_.fetch_sub(count, std::memory_order_acq_rel);
+    throw std::length_error("Mesh point arena exhausted");
+  }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 0; i < count; ++i) {
+    points_[base + i] = Point{nan, nan};
+  }
+  return static_cast<u32>(base);
+}
+
+u64 Mesh::structure_hash() const {
+  const std::size_t total = num_tris_.load(std::memory_order_acquire);
+  u64 acc = 0;
+  for (std::size_t t = 0; t < total; ++t) {
+    if (!tris_[t].alive) continue;
+    u32 a = tris_[t].v[0], b = tris_[t].v[1], c = tris_[t].v[2];
+    if (a > b) std::swap(a, b);
+    if (b > c) std::swap(b, c);
+    if (a > b) std::swap(a, b);
+    // Commutative combine (sum of per-triple hashes): slot order does
+    // not matter.
+    acc += hash64((static_cast<u64>(a) << 42) ^ (static_cast<u64>(b) << 21) ^
+                  c);
+  }
+  return acc;
+}
+
+i64 Mesh::allocate_triangles(std::size_t count) {
+  std::size_t base = num_tris_.fetch_add(count, std::memory_order_acq_rel);
+  if (base + count > tris_.size()) {
+    num_tris_.fetch_sub(count, std::memory_order_acq_rel);
+    throw std::length_error("Mesh triangle arena exhausted");
+  }
+  return static_cast<i64>(base);
+}
+
+void Mesh::apply_insert(u32 vid, const Cavity& cavity) {
+  const std::size_t k = cavity.boundary.size();
+  i64 base = allocate_triangles(k);
+
+  // One new triangle per boundary edge; ring adjacency via the edge
+  // cycle (edge (a, b) is followed by the edge starting at b).
+  std::unordered_map<u32, i64> tri_starting_at;
+  tri_starting_at.reserve(k * 2);
+  for (std::size_t e = 0; e < k; ++e) {
+    tri_starting_at[cavity.boundary[e].a] = base + static_cast<i64>(e);
+  }
+  for (std::size_t e = 0; e < k; ++e) {
+    const BoundaryEdge& edge = cavity.boundary[e];
+    Triangle& tri = tris_[base + static_cast<i64>(e)];
+    tri.v[0] = edge.a;
+    tri.v[1] = edge.b;
+    tri.v[2] = vid;
+    tri.nbr[2] = edge.outside;                  // across (a, b)
+    tri.nbr[0] = tri_starting_at.at(edge.b);    // across (b, vid)
+    // across (vid, a): the edge ending at a, i.e. the one whose b == a.
+    tri.nbr[1] = -1;  // fixed in the second pass below
+    tri.alive = true;
+    // Re-point the outside triangle's stale neighbor slot at us.
+    if (edge.outside >= 0) {
+      Triangle& out_tri = tris_[edge.outside];
+      for (int j = 0; j < 3; ++j) {
+        if (out_tri.v[(j + 1) % 3] == edge.b && out_tri.v[(j + 2) % 3] == edge.a) {
+          out_tri.nbr[j] = base + static_cast<i64>(e);
+        }
+      }
+    }
+  }
+  // Second pass: predecessor links (triangle before us in the ring).
+  for (std::size_t e = 0; e < k; ++e) {
+    const BoundaryEdge& edge = cavity.boundary[e];
+    i64 succ = tri_starting_at.at(edge.b);
+    tris_[succ].nbr[1] = base + static_cast<i64>(e);
+  }
+  for (i64 t : cavity.tris) tris_[t].alive = false;
+}
+
+void Mesh::build() {
+  const std::size_t n = num_points_.load(std::memory_order_relaxed);
+  // Pseudo-random insertion order (deterministic).
+  std::vector<u32> order(n - kSuperVertices);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<u32>(kSuperVertices + i);
+  }
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[hash64(i) % i]);
+  }
+
+  Cavity cavity;
+  i64 hint = 0;
+  for (u32 vid : order) {
+    const Point& p = points_[vid];
+    i64 t = locate(p, hint);
+    if (t < 0) throw std::logic_error("locate failed during build");
+    if (coincides_with_vertex(t, p)) continue;  // duplicate input point
+    if (!collect_cavity(p, t, cavity, tris_.size())) {
+      throw std::logic_error("degenerate cavity during build");
+    }
+    apply_insert(vid, cavity);
+    hint = num_tris_.load(std::memory_order_relaxed) - 1;
+  }
+}
+
+bool Mesh::check_consistency() const {
+  const std::size_t total = num_tris_.load(std::memory_order_acquire);
+  for (std::size_t t = 0; t < total; ++t) {
+    const Triangle& tri = tris_[t];
+    if (!tri.alive) continue;
+    if (orient2d(points_[tri.v[0]], points_[tri.v[1]], points_[tri.v[2]]) <=
+        0) {
+      return false;  // not CCW
+    }
+    for (int k = 0; k < 3; ++k) {
+      i64 n = tri.nbr[k];
+      if (n < 0) continue;
+      if (!tris_[n].alive) return false;  // live triangle points at dead
+      // The neighbor must share edge (v[k+1], v[k+2]) and point back.
+      const Triangle& other = tris_[n];
+      bool back = false;
+      for (int j = 0; j < 3; ++j) {
+        if (other.v[(j + 1) % 3] == tri.v[(k + 2) % 3] &&
+            other.v[(j + 2) % 3] == tri.v[(k + 1) % 3]) {
+          back = other.nbr[j] == static_cast<i64>(t);
+        }
+      }
+      if (!back) return false;
+    }
+  }
+  return true;
+}
+
+double Mesh::delaunay_fraction(std::size_t sample_triangles) const {
+  const std::size_t total = num_tris_.load(std::memory_order_acquire);
+  const std::size_t n = num_points_.load(std::memory_order_acquire);
+  std::vector<i64> real_tris;
+  for (std::size_t t = 0; t < total; ++t) {
+    if (tris_[t].alive && !has_super_vertex(static_cast<i64>(t))) {
+      real_tris.push_back(static_cast<i64>(t));
+    }
+  }
+  if (real_tris.empty()) return 1.0;
+  std::size_t checked = 0, good = 0;
+  for (std::size_t s = 0; s < sample_triangles; ++s) {
+    i64 t = real_tris[hash64(s) % real_tris.size()];
+    const Triangle& tri = tris_[t];
+    bool empty_circle = true;
+    for (std::size_t q = kSuperVertices; q < n && empty_circle; ++q) {
+      u32 qi = static_cast<u32>(q);
+      if (qi == tri.v[0] || qi == tri.v[1] || qi == tri.v[2]) continue;
+      if (in_circle(points_[tri.v[0]], points_[tri.v[1]], points_[tri.v[2]],
+                    points_[q]) > 1e-12) {
+        empty_circle = false;
+      }
+    }
+    ++checked;
+    good += empty_circle;
+  }
+  return checked == 0 ? 1.0 : static_cast<double>(good) / static_cast<double>(checked);
+}
+
+}  // namespace rpb::geom

@@ -1,0 +1,129 @@
+// Incremental Delaunay triangulation (Bowyer–Watson) over a fixed-size
+// arena, built to serve two masters:
+//   * a serial incremental build (construction of the initial mesh),
+//   * parallel refinement (src/geom/refine.h) via deterministic
+//     reservations, which needs read-only cavity collection, atomic
+//     point/triangle allocation, and exclusive-commit mutation.
+//
+// The mesh uses a large concrete super-triangle (ids 0..2) instead of
+// symbolic infinite vertices; see DESIGN.md "Known deviations".
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/predicates.h"
+#include "support/defs.h"
+
+namespace rpb::geom {
+
+struct Triangle {
+  u32 v[3] = {0, 0, 0};       // CCW vertices
+  i64 nbr[3] = {-1, -1, -1};  // nbr[k] faces v[k] across edge (v[k+1], v[k+2])
+  bool alive = false;
+};
+
+class Mesh {
+ public:
+  static constexpr u32 kSuperVertices = 3;
+
+  // Reserves arena space for points.size() + extra_points insertions.
+  Mesh(std::span<const Point> points, std::size_t extra_points = 0);
+
+  // Serial Bowyer-Watson over all input points (pseudo-random order).
+  void build();
+
+  // --- queries (safe while no commit is mutating) ---------------------
+  const Point& point(u32 id) const { return points_[id]; }
+  static bool is_super(u32 id) { return id < kSuperVertices; }
+  bool has_super_vertex(i64 t) const {
+    return is_super(tris_[t].v[0]) || is_super(tris_[t].v[1]) ||
+           is_super(tris_[t].v[2]);
+  }
+  std::size_t num_points() const { return num_points_.load(std::memory_order_acquire); }
+  std::size_t num_triangle_slots() const {
+    return num_tris_.load(std::memory_order_acquire);
+  }
+  const Triangle& triangle(i64 t) const { return tris_[t]; }
+  bool alive(i64 t) const { return t >= 0 && tris_[t].alive; }
+  std::size_t num_live_triangles() const;
+
+  // Walk to the live triangle containing p, starting at a live hint.
+  i64 locate(const Point& p, i64 hint) const;
+
+  // Circumcircle conflict (plain in_circle; the containing triangle is
+  // always in conflict with any interior point).
+  bool in_conflict(i64 t, const Point& p) const;
+
+  // True if p (numerically) coincides with a vertex of triangle t —
+  // inserting such a p would create zero-area triangles, so callers
+  // skip it (duplicate input points, coincident circumcenters).
+  bool coincides_with_vertex(i64 t, const Point& p) const;
+
+  struct BoundaryEdge {
+    u32 a = 0;
+    u32 b = 0;       // directed: cavity interior on the left
+    i64 outside = -1;  // triangle across (a,b), -1 at the arena border
+  };
+  struct Cavity {
+    std::vector<i64> tris;
+    std::vector<BoundaryEdge> boundary;
+  };
+
+  // Collect the conflict cavity of p (read-only). `start` must be a
+  // live triangle whose conflict region includes it (e.g. the
+  // containing triangle). Returns false if the cavity exceeds
+  // max_cavity (degenerate input guard).
+  bool collect_cavity(const Point& p, i64 start, Cavity& out,
+                      std::size_t max_cavity = 4096) const;
+
+  // Atomically append a point to the arena; returns its id.
+  // Throws std::length_error when the arena is exhausted.
+  u32 push_point(const Point& p);
+
+  // Deterministic batch allocation: reserve `count` consecutive point
+  // slots (filled with NaN sentinels) and return the base id. Callers
+  // assign slot base+i to batch member i, so ids are independent of
+  // commit order; unused slots stay NaN and are ignored by the
+  // validation helpers. Throws std::length_error when out of room.
+  u32 reserve_point_slots(std::size_t count);
+  void place_point(u32 id, const Point& p) { points_[id] = p; }
+
+  // Retriangulate the cavity around new vertex vid. The caller must
+  // hold exclusive rights to every cavity and outside triangle (serial
+  // build, or reservation-commit in parallel refinement).
+  void apply_insert(u32 vid, const Cavity& cavity);
+
+  // True if there is arena room for at least one more typical insert.
+  bool arena_has_room(std::size_t new_tris) const {
+    return num_tris_.load(std::memory_order_acquire) + new_tris <
+           tris_.size();
+  }
+
+  // Total triangle slots (ids are never reused, so slot-indexed side
+  // arrays sized by this stay valid for the mesh's lifetime).
+  std::size_t arena_capacity() const { return tris_.size(); }
+
+  // --- validation helpers (tests) -------------------------------------
+  // Adjacency symmetry, CCW orientation, every live pair consistent.
+  bool check_consistency() const;
+  // Order-independent fingerprint of the live triangulation: a
+  // commutative hash over the (sorted) vertex triples of live
+  // triangles. Equal meshes hash equal regardless of slot assignment.
+  u64 structure_hash() const;
+  // Fraction of sampled live all-real triangles whose circumcircle is
+  // empty of all real points (1.0 = perfectly Delaunay).
+  double delaunay_fraction(std::size_t sample_triangles = 200) const;
+
+ private:
+  i64 allocate_triangles(std::size_t count);
+
+  std::vector<Point> points_;
+  std::vector<Triangle> tris_;
+  std::atomic<std::size_t> num_points_{0};
+  std::atomic<std::size_t> num_tris_{0};
+};
+
+}  // namespace rpb::geom

@@ -1,0 +1,36 @@
+#include "geom/points.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "sched/parallel.h"
+#include "support/prng.h"
+
+namespace rpb::geom {
+
+std::vector<Point> kuzmin_points(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<Point> pts(n);
+  // Kuzmin CDF over radius: F(r) = 1 - 1/sqrt(1 + r^2), so
+  // r = sqrt(1/(1-u)^2 - 1). Normalize by the 99.9th percentile radius
+  // so almost everything lands in the unit disk.
+  const double r_cap = std::sqrt(1.0 / (0.001 * 0.001) - 1.0);
+  sched::parallel_for(0, n, [&](std::size_t i) {
+    double u = rng.uniform(2 * i) * 0.999;  // truncate the far tail
+    double r = std::sqrt(1.0 / ((1.0 - u) * (1.0 - u)) - 1.0) / r_cap;
+    double theta = rng.uniform(2 * i + 1) * 2.0 * std::numbers::pi;
+    pts[i] = Point{r * std::cos(theta), r * std::sin(theta)};
+  });
+  return pts;
+}
+
+std::vector<Point> uniform_points(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<Point> pts(n);
+  sched::parallel_for(0, n, [&](std::size_t i) {
+    pts[i] = Point{rng.uniform(2 * i), rng.uniform(2 * i + 1)};
+  });
+  return pts;
+}
+
+}  // namespace rpb::geom

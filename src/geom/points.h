@@ -1,0 +1,20 @@
+// Point-set generators for dr: the kuzmin radial distribution (PBBS's
+// input for Delaunay refinement) and a uniform-square control.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/predicates.h"
+#include "support/defs.h"
+
+namespace rpb::geom {
+
+// Kuzmin disk distribution: heavy concentration near the origin with a
+// long radial tail, normalized to fit inside the unit disk.
+std::vector<Point> kuzmin_points(std::size_t n, u64 seed);
+
+// Uniform points in the unit square.
+std::vector<Point> uniform_points(std::size_t n, u64 seed);
+
+}  // namespace rpb::geom

@@ -1,0 +1,64 @@
+// 2D geometric predicates in double precision. Inputs are generated
+// away from degeneracy (DESIGN.md "Known deviations"); the super-
+// triangle coordinates are kept small enough that the determinants stay
+// well inside double range.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpb::geom {
+
+struct Point {
+  double x = 0;
+  double y = 0;
+
+  bool operator==(const Point&) const = default;
+};
+
+// > 0 if a->b->c turns left (CCW), < 0 right, ~0 collinear.
+inline double orient2d(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+// > 0 if d lies strictly inside the circumcircle of CCW triangle abc.
+inline double in_circle(const Point& a, const Point& b, const Point& c,
+                        const Point& d) {
+  double adx = a.x - d.x, ady = a.y - d.y;
+  double bdx = b.x - d.x, bdy = b.y - d.y;
+  double cdx = c.x - d.x, cdy = c.y - d.y;
+  double ad2 = adx * adx + ady * ady;
+  double bd2 = bdx * bdx + bdy * bdy;
+  double cd2 = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd2 - cdy * bd2) - ady * (bdx * cd2 - cdx * bd2) +
+         ad2 * (bdx * cdy - cdx * bdy);
+}
+
+inline double squared_distance(const Point& a, const Point& b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+// Circumcenter of (non-degenerate) triangle abc.
+inline Point circumcenter(const Point& a, const Point& b, const Point& c) {
+  double d = 2.0 * orient2d(a, b, c);
+  double a2 = a.x * a.x + a.y * a.y;
+  double b2 = b.x * b.x + b.y * b.y;
+  double c2 = c.x * c.x + c.y * c.y;
+  return Point{(a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d,
+               (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d};
+}
+
+// Ruppert quality measure: circumradius / shortest edge. Large values
+// mean skinny triangles (ratio B corresponds to min angle
+// arcsin(1/(2B))).
+inline double radius_edge_ratio(const Point& a, const Point& b,
+                                const Point& c) {
+  Point cc = circumcenter(a, b, c);
+  double r2 = squared_distance(cc, a);
+  double e2 = std::min({squared_distance(a, b), squared_distance(b, c),
+                        squared_distance(c, a)});
+  return std::sqrt(r2 / e2);
+}
+
+}  // namespace rpb::geom

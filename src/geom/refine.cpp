@@ -1,0 +1,213 @@
+#include "geom/refine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "core/primitives.h"
+#include "core/reservation.h"
+#include "core/spec_for.h"
+#include "sched/parallel.h"
+
+namespace rpb::geom {
+namespace {
+
+bool is_bad_triangle(const Mesh& mesh, i64 t, double max_ratio) {
+  if (!mesh.alive(t) || mesh.has_super_vertex(t)) return false;
+  const Triangle& tri = mesh.triangle(t);
+  return radius_edge_ratio(mesh.point(tri.v[0]), mesh.point(tri.v[1]),
+                           mesh.point(tri.v[2])) > max_ratio;
+}
+
+// One refinement batch member: insert the circumcenter of bad triangle
+// targets[i], reserving the whole cavity plus its boundary ring.
+struct RefineStep {
+  Mesh& mesh;
+  const RefineConfig& config;
+  std::span<const i64> targets;
+  u32 point_base;  // batch member i commits vertex point_base + i
+  std::vector<par::Reservation>& reservations;  // one per triangle slot
+  std::vector<Mesh::Cavity>& cavities;          // per batch member
+  std::vector<Point>& centers;
+  std::vector<u8>& given_up;  // per triangle slot: unfixable, skip forever
+  std::atomic<std::size_t>& inserted;
+  std::atomic<std::size_t>& skipped;
+
+  bool reserve(std::size_t i) {
+    i64 t = targets[i];
+    if (!mesh.alive(t)) return false;  // retriangulated by a neighbor
+    const Triangle& tri = mesh.triangle(t);
+    Point center = circumcenter(mesh.point(tri.v[0]), mesh.point(tri.v[1]),
+                                mesh.point(tri.v[2]));
+    double r2 = center.x * center.x + center.y * center.y;
+    if (!(r2 < config.domain_radius * config.domain_radius)) {
+      give_up(t);
+      return false;
+    }
+    // A circumcenter landing (numerically) on an existing vertex would
+    // create zero-area triangles: unfixable by insertion.
+    if (mesh.coincides_with_vertex(t, center)) {
+      give_up(t);
+      return false;
+    }
+    // The bad triangle's own circumcircle contains its circumcenter, so
+    // t seeds its conflict cavity directly.
+    if (!mesh.collect_cavity(center, t, cavities[i])) {
+      give_up(t);
+      return false;
+    }
+    for (i64 c : cavities[i].tris) {
+      if (mesh.coincides_with_vertex(c, center)) {
+        give_up(t);
+        return false;
+      }
+    }
+    centers[i] = center;
+    for (i64 c : cavities[i].tris) {
+      reservations[static_cast<std::size_t>(c)].reserve(static_cast<i64>(i));
+    }
+    for (const auto& edge : cavities[i].boundary) {
+      if (edge.outside >= 0) {
+        reservations[static_cast<std::size_t>(edge.outside)].reserve(
+            static_cast<i64>(i));
+      }
+    }
+    return true;
+  }
+
+  bool commit(std::size_t i) {
+    const Mesh::Cavity& cavity = cavities[i];
+    bool holds_all = true;
+    for (i64 c : cavity.tris) {
+      if (!reservations[static_cast<std::size_t>(c)].check(
+              static_cast<i64>(i))) {
+        holds_all = false;
+      }
+    }
+    for (const auto& edge : cavity.boundary) {
+      if (edge.outside >= 0 &&
+          !reservations[static_cast<std::size_t>(edge.outside)].check(
+              static_cast<i64>(i))) {
+        holds_all = false;
+      }
+    }
+    if (holds_all) {
+      // Deterministic vertex id: pre-reserved slot for batch member i.
+      u32 vid = point_base + static_cast<u32>(i);
+      mesh.place_point(vid, centers[i]);
+      mesh.apply_insert(vid, cavity);
+      inserted.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Release whatever we still hold (success or not), PBBS-style.
+    for (i64 c : cavity.tris) {
+      auto& cell = reservations[static_cast<std::size_t>(c)];
+      if (cell.check(static_cast<i64>(i))) cell.reset();
+    }
+    for (const auto& edge : cavity.boundary) {
+      if (edge.outside < 0) continue;
+      auto& cell = reservations[static_cast<std::size_t>(edge.outside)];
+      if (cell.check(static_cast<i64>(i))) cell.reset();
+    }
+    return holds_all;
+  }
+
+  void give_up(i64 t) {
+    given_up[static_cast<std::size_t>(t)] = 1;
+    skipped.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
+
+std::size_t count_bad_triangles(const Mesh& mesh, double max_ratio) {
+  return par::count_if(0, mesh.num_triangle_slots(), [&](std::size_t t) {
+    return is_bad_triangle(mesh, static_cast<i64>(t), max_ratio);
+  });
+}
+
+RefineStats refine(Mesh& mesh, const RefineConfig& config) {
+  RefineStats stats;
+  // Triangle ids are never reused, so slot-indexed state is stable.
+  std::vector<par::Reservation> reservations(mesh.arena_capacity());
+  std::vector<u8> given_up(mesh.arena_capacity(), 0);
+
+  while (stats.inserted < config.max_insertions) {
+    // Collect the current bad set.
+    const std::size_t slots = mesh.num_triangle_slots();
+    std::vector<u8> flags(slots, 0);
+    sched::parallel_for(0, slots, [&](std::size_t t) {
+      flags[t] = given_up[t] == 0 &&
+                         is_bad_triangle(mesh, static_cast<i64>(t),
+                                         config.max_ratio)
+                     ? 1
+                     : 0;
+    });
+    std::vector<std::size_t> bad = par::pack_index(std::span<const u8>(flags));
+    if (bad.empty()) break;
+
+    // Triangle *slots* are assigned by a racing counter, so slot order
+    // is not schedule-independent. Batch selection keys on the
+    // canonical vertex triple instead (vertex ids are deterministic),
+    // which makes the whole refinement deterministic.
+    auto canonical_key = [&](std::size_t t) {
+      const Triangle& tri = mesh.triangle(static_cast<i64>(t));
+      u32 a = tri.v[0], b = tri.v[1], c = tri.v[2];
+      if (a > b) std::swap(a, b);
+      if (b > c) std::swap(b, c);
+      if (a > b) std::swap(a, b);
+      return std::tuple{a, b, c};
+    };
+    std::sort(bad.begin(), bad.end(), [&](std::size_t x, std::size_t y) {
+      return canonical_key(x) < canonical_key(y);
+    });
+
+    std::size_t batch = std::min(config.batch_size, bad.size());
+    std::vector<i64> targets(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      targets[i] = static_cast<i64>(bad[i]);
+    }
+
+    std::vector<Mesh::Cavity> cavities(batch);
+    std::vector<Point> centers(batch);
+    std::atomic<std::size_t> inserted{0}, skipped{0};
+    u32 point_base = 0;
+    try {
+      // One slot per batch member up front keeps vertex ids (and thus
+      // the refined mesh) independent of commit scheduling; slots of
+      // members that never commit stay NaN and unused.
+      point_base = mesh.reserve_point_slots(batch);
+      RefineStep step{mesh,     config,  targets,  point_base, reservations,
+                      cavities, centers, given_up, inserted,   skipped};
+      par::speculative_for(step, 0, batch, batch);
+    } catch (const std::length_error&) {
+      break;  // arena exhausted: stop refining with what we have
+    }
+    stats.inserted += inserted.load();
+    stats.skipped += skipped.load();
+    ++stats.rounds;
+    if (inserted.load() == 0 && skipped.load() == 0) {
+      // Every batch member found its triangle already dead; loop again
+      // with a fresh bad set. Guard against no-progress spins.
+      break;
+    }
+  }
+  stats.bad_remaining = count_bad_triangles(mesh, config.max_ratio);
+  return stats;
+}
+
+const census::BenchmarkCensus& dr_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "dr",
+      census::Dispatch::kStatic,
+      {
+          {Pattern::kRO, 3, "locate walk + cavity conflict tests"},
+          {Pattern::kStride, 2, "bad-triangle flags + pack"},
+          {Pattern::kDC, 1, "batch split"},
+          {Pattern::kSngInd, 1, "gather batch targets"},
+          {Pattern::kAW, 3, "cavity reservations + mesh mutation + arenas"},
+      }};
+  return c;
+}
+
+}  // namespace rpb::geom

@@ -1,0 +1,45 @@
+// dr benchmark: Delaunay refinement. Skinny triangles (large
+// radius/shortest-edge ratio) are fixed by inserting their
+// circumcenters; batches of bad triangles are inserted in parallel via
+// deterministic reservations — each insertion reserves its whole
+// cavity plus the boundary ring, exactly PBBS's incrementalRefine
+// discipline.
+#pragma once
+
+#include <cstddef>
+
+#include "core/census.h"
+#include "geom/delaunay.h"
+#include "support/defs.h"
+
+namespace rpb::geom {
+
+struct RefineConfig {
+  // Quality bound: triangles with circumradius/shortest-edge above this
+  // are bad (1.4 ~ minimum angle of about 21 degrees).
+  double max_ratio = 1.4;
+  // Reject circumcenters outside this radius (no input boundary
+  // segments; see DESIGN.md deviations).
+  double domain_radius = 2.0;
+  // Parallel batch per refinement round.
+  std::size_t batch_size = 256;
+  // Safety valve on total work.
+  std::size_t max_insertions = 1u << 20;
+};
+
+struct RefineStats {
+  std::size_t inserted = 0;
+  std::size_t rounds = 0;
+  std::size_t skipped = 0;      // bad triangles given up on
+  std::size_t bad_remaining = 0;  // unfixable (e.g. out-of-domain center)
+};
+
+// Refine in place. Deterministic given the mesh and config.
+RefineStats refine(Mesh& mesh, const RefineConfig& config = RefineConfig());
+
+// Count live all-real triangles violating the quality bound.
+std::size_t count_bad_triangles(const Mesh& mesh, double max_ratio);
+
+const census::BenchmarkCensus& dr_census();
+
+}  // namespace rpb::geom

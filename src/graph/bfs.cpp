@@ -1,0 +1,109 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/atomics.h"
+#include "sched/parallel.h"
+#include "sched/mq_executor.h"
+#include "support/env.h"
+
+namespace rpb::graph {
+namespace {
+
+struct Task {
+  u32 depth;
+  VertexId vertex;
+};
+
+struct TaskKey {
+  u64 operator()(const Task& t) const { return t.depth; }
+};
+
+}  // namespace
+
+std::vector<u32> bfs_multiqueue(const Graph& g, VertexId source,
+                                std::size_t num_threads,
+                                std::size_t queue_multiplier) {
+  if (num_threads == 0) num_threads = default_threads();
+  std::vector<u32> dist(g.num_vertices(), kUnreached);
+  dist[source] = 0;
+
+  sched::MqExecutor<Task, TaskKey> executor(num_threads, queue_multiplier);
+  executor.run(
+      [&](auto& handle) { handle.push(Task{0, source}); },
+      [&](const Task& task, auto& handle) {
+        // Stale task: a shorter path already claimed this vertex.
+        if (relaxed_load(&dist[task.vertex]) < task.depth) return;
+        u32 next_depth = task.depth + 1;
+        for (VertexId w : g.neighbors(task.vertex)) {
+          if (write_min(&dist[w], next_depth)) {
+            handle.push(Task{next_depth, w});
+          }
+        }
+      });
+  return dist;
+}
+
+std::vector<u32> bfs_level_sync(const Graph& g, VertexId source) {
+  std::vector<u32> dist(g.num_vertices(), kUnreached);
+  dist[source] = 0;
+  std::vector<VertexId> frontier{source};
+  u32 depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    // Per-vertex claim via write_min on the distance: exactly one
+    // relaxer wins each newly discovered vertex.
+    std::vector<std::vector<VertexId>> found(frontier.size());
+    sched::parallel_for(0, frontier.size(), [&](std::size_t f) {
+      for (VertexId w : g.neighbors(frontier[f])) {
+        if (relaxed_load(&dist[w]) == kUnreached && write_min(&dist[w], depth)) {
+          found[f].push_back(w);
+        }
+      }
+    });
+    // Flatten the per-task discoveries into the next frontier.
+    std::vector<std::size_t> offsets(frontier.size() + 1, 0);
+    for (std::size_t f = 0; f < frontier.size(); ++f) {
+      offsets[f + 1] = offsets[f] + found[f].size();
+    }
+    std::vector<VertexId> next(offsets.back());
+    sched::parallel_for(0, frontier.size(), [&](std::size_t f) {
+      std::copy(found[f].begin(), found[f].end(),
+                next.begin() + static_cast<std::ptrdiff_t>(offsets[f]));
+    });
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+std::vector<u32> bfs_reference(const Graph& g, VertexId source) {
+  std::vector<u32> dist(g.num_vertices(), kUnreached);
+  dist[source] = 0;
+  std::deque<VertexId> queue{source};
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId w : g.neighbors(v)) {
+      if (dist[w] == kUnreached) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+const census::BenchmarkCensus& bfs_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "bfs",
+      census::Dispatch::kDynamic,
+      {
+          {Pattern::kRO, 1, "neighbor scan"},
+          {Pattern::kAW, 2, "distance write_min + MultiQueue push/pop"},
+      }};
+  return c;
+}
+
+}  // namespace rpb::graph

@@ -1,0 +1,36 @@
+// bfs benchmark: breadth-first search with the MultiQueue scheduler
+// (the paper's dynamic-dispatch benchmark, Sec. 6): worker threads pop
+// (depth, vertex) tasks, relax neighbors with write_min on the shared
+// distance array (AW), and push improved vertices.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/access_mode.h"
+#include "core/census.h"
+#include "graph/csr.h"
+#include "support/defs.h"
+
+namespace rpb::graph {
+
+inline constexpr u32 kUnreached = std::numeric_limits<u32>::max();
+
+// MultiQueue-scheduled BFS depths from source. num_threads 0 -> default.
+std::vector<u32> bfs_multiqueue(const Graph& g, VertexId source,
+                                std::size_t num_threads = 0,
+                                std::size_t queue_multiplier = 4);
+
+// Reference sequential BFS for validation.
+std::vector<u32> bfs_reference(const Graph& g, VertexId source);
+
+// Level-synchronous parallel BFS (the classic frontier-at-a-time
+// schedule): rounds of parallel edge relaxation with CAS on parents,
+// then a pack of the next frontier. The static-dispatch counterpoint
+// to the MultiQueue schedule — `bench/ablation_scheduling` compares
+// them on long-diameter (road) vs. short-diameter (link) graphs.
+std::vector<u32> bfs_level_sync(const Graph& g, VertexId source);
+
+const census::BenchmarkCensus& bfs_census();
+
+}  // namespace rpb::graph

@@ -1,0 +1,92 @@
+#include "graph/csr.h"
+
+#include <atomic>
+
+#include "core/primitives.h"
+#include "sched/parallel.h"
+
+namespace rpb::graph {
+
+Graph Graph::from_edges(std::size_t num_vertices, std::span<const Edge> edges,
+                        bool symmetrize, bool weighted) {
+  Graph g;
+  g.offsets_.assign(num_vertices + 1, 0);
+
+  // Degree counting with relaxed atomic increments (AW on the shared
+  // degree array — endpoint collisions are data dependences).
+  std::vector<u64> degree(num_vertices, 0);
+  sched::parallel_for(0, edges.size(), [&](std::size_t i) {
+    const Edge& e = edges[i];
+    if (e.u == e.v || e.u >= num_vertices || e.v >= num_vertices) return;
+    std::atomic_ref<u64>(degree[e.u]).fetch_add(1, std::memory_order_relaxed);
+    if (symmetrize) {
+      std::atomic_ref<u64>(degree[e.v]).fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  u64 total = par::scan_exclusive_sum(std::span<u64>(degree));
+  sched::parallel_for(0, num_vertices,
+                      [&](std::size_t v) { g.offsets_[v] = degree[v]; });
+  g.offsets_[num_vertices] = total;
+
+  g.targets_.resize(total);
+  if (weighted) g.weights_.resize(total);
+
+  // Scatter with per-vertex atomic cursors.
+  std::vector<u64> cursor(degree);  // degree now holds start offsets
+  sched::parallel_for(0, edges.size(), [&](std::size_t i) {
+    const Edge& e = edges[i];
+    if (e.u == e.v || e.u >= num_vertices || e.v >= num_vertices) return;
+    u64 slot =
+        std::atomic_ref<u64>(cursor[e.u]).fetch_add(1, std::memory_order_relaxed);
+    g.targets_[slot] = e.v;
+    if (weighted) g.weights_[slot] = e.weight;
+    if (symmetrize) {
+      u64 back = std::atomic_ref<u64>(cursor[e.v])
+                     .fetch_add(1, std::memory_order_relaxed);
+      g.targets_[back] = e.u;
+      if (weighted) g.weights_[back] = e.weight;
+    }
+  });
+  return g;
+}
+
+Graph Graph::from_csr(std::vector<u64> offsets, std::vector<VertexId> targets,
+                      std::vector<u32> weights) {
+  if (offsets.empty() || offsets.back() != targets.size() ||
+      (!weights.empty() && weights.size() != targets.size())) {
+    throw std::invalid_argument("from_csr: inconsistent arrays");
+  }
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.targets_ = std::move(targets);
+  g.weights_ = std::move(weights);
+  return g;
+}
+
+std::vector<Edge> Graph::undirected_edges() const {
+  const std::size_t n = num_vertices();
+  // Count each edge once from its smaller endpoint.
+  std::vector<u64> counts(n, 0);
+  sched::parallel_for(0, n, [&](std::size_t u) {
+    auto nbrs = neighbors(static_cast<VertexId>(u));
+    u64 c = 0;
+    for (VertexId v : nbrs) c += v > u;
+    counts[u] = c;
+  });
+  u64 total = par::scan_exclusive_sum(std::span<u64>(counts));
+  std::vector<Edge> out(total);
+  sched::parallel_for(0, n, [&](std::size_t u) {
+    auto nbrs = neighbors(static_cast<VertexId>(u));
+    u64 pos = counts[u];
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (nbrs[k] > u) {
+        u32 w = weighted() ? weights_of(static_cast<VertexId>(u))[k] : 1;
+        out[pos++] = Edge{static_cast<VertexId>(u), nbrs[k], w};
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace rpb::graph

@@ -1,0 +1,73 @@
+// Compressed sparse row graphs — the unstructured shared data structure
+// of the paper's taxonomy (Fig. 1), built in parallel from edge lists.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/census.h"
+#include "support/defs.h"
+
+namespace rpb::graph {
+
+using VertexId = u32;
+
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  u32 weight = 1;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Build a CSR graph from directed edges. If symmetrize, both
+  // directions are inserted. Self-loops are dropped; parallel edges are
+  // kept (harmless for every algorithm here).
+  static Graph from_edges(std::size_t num_vertices, std::span<const Edge> edges,
+                          bool symmetrize, bool weighted);
+
+  std::size_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t num_edges() const { return targets_.size(); }
+  bool weighted() const { return !weights_.empty(); }
+
+  std::size_t degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return std::span<const VertexId>(targets_).subspan(offsets_[v], degree(v));
+  }
+
+  std::span<const u32> weights_of(VertexId v) const {
+    return std::span<const u32>(weights_).subspan(offsets_[v], degree(v));
+  }
+
+  // Assemble a graph directly from CSR arrays (deserialization, tests).
+  // offsets must have n+1 entries with offsets[n] == targets.size();
+  // weights is empty or parallel to targets.
+  static Graph from_csr(std::vector<u64> offsets, std::vector<VertexId> targets,
+                        std::vector<u32> weights);
+
+  // Raw CSR views (serialization).
+  std::span<const u64> raw_offsets() const { return offsets_; }
+  std::span<const VertexId> raw_targets() const { return targets_; }
+  std::span<const u32> raw_weights() const { return weights_; }
+
+  bool operator==(const Graph&) const = default;
+
+  // The undirected edge list (each edge once, u < v), e.g. for mm/msf.
+  std::vector<Edge> undirected_edges() const;
+
+  double average_degree() const {
+    std::size_t n = num_vertices();
+    return n == 0 ? 0.0 : static_cast<double>(num_edges()) / static_cast<double>(n);
+  }
+
+ private:
+  std::vector<u64> offsets_;  // size n+1
+  std::vector<VertexId> targets_;
+  std::vector<u32> weights_;  // empty or size m
+};
+
+}  // namespace rpb::graph

@@ -1,0 +1,193 @@
+#include "graph/forest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "core/reservation.h"
+#include "core/spec_for.h"
+#include "graph/union_find.h"
+#include "sched/parallel.h"
+#include "seq/integer_sort.h"
+
+namespace rpb::graph {
+namespace {
+
+// PBBS unionFindStep (the MST/ST variant): reserve *both* component
+// roots, but commit while holding *either* — the held root is linked
+// under the other. Holding either root keeps hub components parallel
+// (spokes into a giant component lose its root but still hold their
+// own), while reserving both keeps the result exactly Kruskal: an edge
+// whose endpoints are joined by a pending lighter path always loses
+// both roots to the path's end edges. Same-round links cannot cycle —
+// each link's source is an exclusively held root, and a cycle of held
+// roots would force a cyclically decreasing index order.
+struct UnionFindStep {
+  std::span<const Edge> edges;
+  UnionFind& uf;
+  std::vector<par::Reservation>& r;
+  std::vector<std::pair<VertexId, VertexId>>& roots;  // reserve-time roots
+  std::vector<std::atomic<u64>>& out;
+  std::atomic<std::size_t>& out_count;
+
+  bool reserve(std::size_t i) {
+    const Edge& e = edges[i];
+    VertexId ru = uf.find(e.u);
+    VertexId rv = uf.find(e.v);
+    if (ru == rv) return false;  // already connected: drop forever
+    if (ru > rv) std::swap(ru, rv);
+    roots[i] = {ru, rv};
+    r[ru].reserve(static_cast<i64>(i));
+    r[rv].reserve(static_cast<i64>(i));
+    return true;
+  }
+
+  bool commit(std::size_t i) {
+    auto [ru, rv] = roots[i];
+    bool hold_u = r[ru].check(static_cast<i64>(i));
+    bool hold_v = r[rv].check(static_cast<i64>(i));
+    if (!hold_u && !hold_v) return false;
+    if (hold_v) {
+      uf.link_root(rv, ru);  // rv held exclusively: re-parent it
+      r[rv].reset();
+      if (hold_u) r[ru].reset();
+    } else {
+      uf.link_root(ru, rv);
+      r[ru].reset();
+    }
+    out[out_count.fetch_add(1, std::memory_order_relaxed)].store(
+        i, std::memory_order_relaxed);
+    return true;
+  }
+};
+
+ForestResult forest_by_reservations(std::size_t num_vertices,
+                                    std::span<const Edge> edges,
+                                    std::size_t round_size) {
+  if (round_size == 0) {
+    round_size = std::max<std::size_t>(1024, edges.size() / 20 + 1);
+  }
+  UnionFind uf(num_vertices);
+  std::vector<par::Reservation> reservations(num_vertices);
+  std::vector<std::pair<VertexId, VertexId>> roots(edges.size());
+  std::vector<std::atomic<u64>> out(num_vertices == 0 ? 1 : num_vertices);
+  std::atomic<std::size_t> out_count{0};
+
+  UnionFindStep step{edges, uf, reservations, roots, out, out_count};
+  par::speculative_for(step, 0, edges.size(), round_size);
+
+  ForestResult result;
+  std::size_t k = out_count.load();
+  result.edges.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    result.edges[i] = out[i].load(std::memory_order_relaxed);
+    result.total_weight += edges[result.edges[i]].weight;
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+}  // namespace
+
+ForestResult spanning_forest(std::size_t num_vertices,
+                             std::span<const Edge> edges,
+                             std::size_t round_size) {
+  return forest_by_reservations(num_vertices, edges, round_size);
+}
+
+ForestResult minimum_spanning_forest(std::size_t num_vertices,
+                                     std::span<const Edge> edges,
+                                     std::size_t round_size) {
+  // Kruskal order: sort edge indices by (weight, index) — weight in the
+  // high bits so one 64-bit radix sort gives the whole order.
+  std::vector<u64> order(edges.size());
+  sched::parallel_for(0, edges.size(), [&](std::size_t i) {
+    order[i] = (static_cast<u64>(edges[i].weight) << 32) | i;
+  });
+  seq::integer_sort(order, 64, AccessMode::kUnchecked);
+
+  std::vector<Edge> sorted(edges.size());
+  sched::parallel_for(0, edges.size(), [&](std::size_t i) {
+    sorted[i] = edges[order[i] & 0xffffffffu];
+  });
+
+  ForestResult local =
+      forest_by_reservations(num_vertices, std::span<const Edge>(sorted),
+                             round_size);
+  // Map back to original edge indices.
+  ForestResult result;
+  result.total_weight = local.total_weight;
+  result.edges.resize(local.edges.size());
+  sched::parallel_for(0, local.edges.size(), [&](std::size_t i) {
+    result.edges[i] = order[local.edges[i]] & 0xffffffffu;
+  });
+  std::sort(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+ForestResult kruskal_reference(std::size_t num_vertices,
+                               std::span<const Edge> edges) {
+  std::vector<u64> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](u64 a, u64 b) {
+    return edges[a].weight < edges[b].weight;
+  });
+  UnionFind uf(num_vertices);
+  ForestResult result;
+  for (u64 i : order) {
+    const Edge& e = edges[i];
+    if (e.u != e.v && uf.unite(e.u, e.v)) {
+      result.edges.push_back(i);
+      result.total_weight += e.weight;
+    }
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+bool is_spanning_forest(std::size_t num_vertices, std::span<const Edge> edges,
+                        const ForestResult& forest) {
+  // Acyclicity: every accepted edge merges two distinct components.
+  UnionFind uf(num_vertices);
+  for (u64 i : forest.edges) {
+    const Edge& e = edges[i];
+    if (!uf.unite(e.u, e.v)) return false;
+  }
+  // Spanning: no remaining edge may connect two different components.
+  for (const Edge& e : edges) {
+    if (e.u != e.v && uf.find(e.u) != uf.find(e.v)) return false;
+  }
+  return true;
+}
+
+const census::BenchmarkCensus& sf_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "sf",
+      census::Dispatch::kStatic,
+      {
+          {Pattern::kRO, 1, "read edges"},
+          {Pattern::kStride, 2, "round flags + retry pack"},
+          {Pattern::kSngInd, 1, "gather retried edges"},
+          {Pattern::kAW, 2, "union-find links + root reservations"},
+      }};
+  return c;
+}
+
+const census::BenchmarkCensus& msf_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "msf",
+      census::Dispatch::kStatic,
+      {
+          {Pattern::kRO, 1, "read edges"},
+          {Pattern::kStride, 2, "kruskal key build + gather"},
+          {Pattern::kBlock, 1, "radix digit counts"},
+          {Pattern::kDC, 1, "sort recursion"},
+          {Pattern::kSngInd, 2, "sorted scatter + retry gather"},
+          {Pattern::kAW, 2, "union-find links + root reservations"},
+      }};
+  return c;
+}
+
+}  // namespace rpb::graph

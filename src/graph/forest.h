@@ -1,0 +1,46 @@
+// sf and msf benchmarks: spanning forest and minimum spanning forest.
+//
+// Both use the PBBS unionFindStep under deterministic reservations:
+// an edge reserves the larger of its two component roots and, on
+// commit, links that root to the other side. sf runs over edges in
+// input order; msf sample-sorts edges by weight first, so the spec_for
+// priority order is the Kruskal order and the result is the (unique,
+// with index tie-breaking) minimum spanning forest.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/census.h"
+#include "graph/csr.h"
+#include "support/defs.h"
+
+namespace rpb::graph {
+
+struct ForestResult {
+  std::vector<u64> edges;  // indices into the input edge list
+  u64 total_weight = 0;
+};
+
+// Spanning forest over the edge list (order-greedy, deterministic).
+ForestResult spanning_forest(std::size_t num_vertices,
+                             std::span<const Edge> edges,
+                             std::size_t round_size = 0);
+
+// Minimum spanning forest (parallel Kruskal via reservations).
+ForestResult minimum_spanning_forest(std::size_t num_vertices,
+                                     std::span<const Edge> edges,
+                                     std::size_t round_size = 0);
+
+// Reference sequential Kruskal with the same (weight, index) order.
+ForestResult kruskal_reference(std::size_t num_vertices,
+                               std::span<const Edge> edges);
+
+// A forest is valid if acyclic and spanning (one tree per component).
+bool is_spanning_forest(std::size_t num_vertices, std::span<const Edge> edges,
+                        const ForestResult& forest);
+
+const census::BenchmarkCensus& sf_census();
+const census::BenchmarkCensus& msf_census();
+
+}  // namespace rpb::graph

@@ -1,0 +1,103 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sched/parallel.h"
+#include "support/prng.h"
+
+namespace rpb::graph {
+
+std::vector<Edge> rmat_edges(int scale, double avg_degree, double a, double b,
+                             double c, u64 seed) {
+  const std::size_t n = std::size_t{1} << scale;
+  const std::size_t m = static_cast<std::size_t>(static_cast<double>(n) * avg_degree);
+  Rng rng(seed);
+  std::vector<Edge> edges(m);
+  sched::parallel_for(0, m, [&](std::size_t i) {
+    u64 u = 0, v = 0;
+    // One PRNG draw per level: 16 bits for quadrant choice + noise.
+    for (int level = 0; level < scale; ++level) {
+      u64 r = rng.bits(i * 64 + static_cast<u64>(level));
+      double p = static_cast<double>(r & 0xffffff) / double(0x1000000);
+      // +-10% multiplicative noise on a, b, c per level (SmoothKron-ish)
+      double na = a * (0.9 + 0.2 * (static_cast<double>((r >> 24) & 0xff) / 255.0));
+      double nb = b * (0.9 + 0.2 * (static_cast<double>((r >> 32) & 0xff) / 255.0));
+      double nc = c * (0.9 + 0.2 * (static_cast<double>((r >> 40) & 0xff) / 255.0));
+      double sum = na + nb + nc + (1 - a - b - c);
+      na /= sum;
+      nb /= sum;
+      nc /= sum;
+      u <<= 1;
+      v <<= 1;
+      if (p < na) {
+        // top-left: no bits set
+      } else if (p < na + nb) {
+        v |= 1;
+      } else if (p < na + nb + nc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    u32 w = static_cast<u32>(1 + rng.bits(i * 64 + 63) % 255);
+    edges[i] = Edge{static_cast<VertexId>(u), static_cast<VertexId>(v), w};
+  });
+  return edges;
+}
+
+Graph make_rmat(int scale, u64 seed) {
+  // Sample half the target degree: symmetrization doubles it (Table 2
+  // reports |E|/|V| ~ 6 for rmat).
+  auto edges = rmat_edges(scale, 3.0, 0.57, 0.19, 0.19, seed);
+  return Graph::from_edges(std::size_t{1} << scale, edges, /*symmetrize=*/true,
+                           /*weighted=*/true);
+}
+
+Graph make_link(int scale, u64 seed) {
+  // Heavier diagonal -> more skew, like the hyperlink host graph's
+  // power-law degrees; average degree ~20 (Table 2: 20.1).
+  auto edges = rmat_edges(scale, 10.0, 0.50, 0.20, 0.20, seed);
+  return Graph::from_edges(std::size_t{1} << scale, edges, /*symmetrize=*/true,
+                           /*weighted=*/true);
+}
+
+Graph make_road(std::size_t rows, std::size_t cols, double keep, u64 seed) {
+  Rng rng(seed);
+  const std::size_t n = rows * cols;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(static_cast<double>(2 * n) * keep));
+  // Sequential generation (outside timed regions); deterministic.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t col = 0; col < cols; ++col) {
+      u64 id = r * cols + col;
+      u32 w_right = static_cast<u32>(1 + rng.bits(id * 4) % 255);
+      u32 w_down = static_cast<u32>(1 + rng.bits(id * 4 + 1) % 255);
+      if (col + 1 < cols && rng.uniform(id * 4 + 2) < keep) {
+        edges.push_back(Edge{static_cast<VertexId>(id),
+                             static_cast<VertexId>(id + 1), w_right});
+      }
+      if (r + 1 < rows && rng.uniform(id * 4 + 3) < keep) {
+        edges.push_back(Edge{static_cast<VertexId>(id),
+                             static_cast<VertexId>(id + cols), w_down});
+      }
+    }
+  }
+  return Graph::from_edges(n, edges, /*symmetrize=*/true, /*weighted=*/true);
+}
+
+Graph make_named(const std::string& name, int scale, u64 seed) {
+  if (name == "rmat") return make_rmat(scale, seed);
+  if (name == "link") return make_link(scale, seed);
+  if (name == "road") {
+    // Same vertex budget as 2^scale, arranged as a tall grid.
+    std::size_t n = std::size_t{1} << scale;
+    std::size_t cols = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+    std::size_t rows = n / cols;
+    return make_road(rows, cols, 0.6, seed);
+  }
+  throw std::invalid_argument("unknown graph: " + name);
+}
+
+}  // namespace rpb::graph

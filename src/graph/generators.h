@@ -1,0 +1,37 @@
+// Synthetic graph generators standing in for the paper's inputs
+// (Table 2): R-MAT for `rmat`, a skewed power-law R-MAT for the
+// Hyperlink-like `link`, and a long-diameter sparse grid for `road`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "support/defs.h"
+
+namespace rpb::graph {
+
+// R-MAT edge generation (Chakrabarti et al.): n = 2^scale vertices,
+// n * avg_degree directed edge samples with quadrant probabilities
+// (a, b, c, 1-a-b-c) plus per-level noise.
+std::vector<Edge> rmat_edges(int scale, double avg_degree, double a, double b,
+                             double c, u64 seed);
+
+// The paper's rmat input: a=b=c defaults from the R-MAT paper, avg
+// degree ~6, symmetric, weighted.
+Graph make_rmat(int scale, u64 seed);
+
+// Hyperlink-like power-law graph: skewier R-MAT, avg degree ~20.
+Graph make_link(int scale, u64 seed);
+
+// Road-like graph: rows x cols grid keeping each right/down edge with
+// probability keep, giving avg symmetric degree ~4*keep (~2.4 at 0.6)
+// and a very long diameter.
+Graph make_road(std::size_t rows, std::size_t cols, double keep, u64 seed);
+
+// Named construction for the harnesses: "rmat" | "link" | "road",
+// scaled by `scale` (vertices ~ 2^scale).
+Graph make_named(const std::string& name, int scale, u64 seed);
+
+}  // namespace rpb::graph

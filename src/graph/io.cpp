@@ -1,0 +1,77 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace rpb::graph {
+namespace {
+
+constexpr u64 kMagic = 0x52504243'47525048ull;  // "RPBC GRPH"
+constexpr u32 kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const { std::fclose(f); }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+template <class T>
+void write_raw(std::FILE* f, const T* data, std::size_t count) {
+  if (std::fwrite(data, sizeof(T), count, f) != count) {
+    throw std::runtime_error("graph write failed");
+  }
+}
+
+template <class T>
+void read_raw(std::FILE* f, T* data, std::size_t count) {
+  if (std::fread(data, sizeof(T), count, f) != count) {
+    throw std::runtime_error("graph read failed (truncated?)");
+  }
+}
+
+}  // namespace
+
+void save_graph(const std::string& path, const Graph& g) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (!file) throw std::runtime_error("cannot open " + path + " for write");
+  std::FILE* f = file.get();
+
+  u64 header[4] = {kMagic, kVersion, g.num_vertices(), g.num_edges()};
+  u64 weighted = g.weighted() ? 1 : 0;
+  write_raw(f, header, 4);
+  write_raw(f, &weighted, 1);
+  write_raw(f, g.raw_offsets().data(), g.raw_offsets().size());
+  write_raw(f, g.raw_targets().data(), g.raw_targets().size());
+  if (g.weighted()) {
+    write_raw(f, g.raw_weights().data(), g.raw_weights().size());
+  }
+}
+
+Graph load_graph(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (!file) throw std::runtime_error("cannot open " + path);
+  std::FILE* f = file.get();
+
+  u64 header[4];
+  read_raw(f, header, 4);
+  if (header[0] != kMagic) throw std::runtime_error("not an rpb graph file");
+  if (header[1] != kVersion) throw std::runtime_error("unsupported version");
+  u64 n = header[2], m = header[3];
+  u64 weighted = 0;
+  read_raw(f, &weighted, 1);
+
+  std::vector<u64> offsets(n + 1);
+  read_raw(f, offsets.data(), offsets.size());
+  std::vector<VertexId> targets(m);
+  read_raw(f, targets.data(), targets.size());
+  std::vector<u32> weights;
+  if (weighted != 0) {
+    weights.resize(m);
+    read_raw(f, weights.data(), weights.size());
+  }
+  return Graph::from_csr(std::move(offsets), std::move(targets),
+                         std::move(weights));
+}
+
+}  // namespace rpb::graph

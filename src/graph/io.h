@@ -1,0 +1,19 @@
+// Graph serialization: a simple versioned binary CSR container so
+// generated inputs can be saved once and reloaded by benches/examples.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.h"
+
+namespace rpb::graph {
+
+// Writes the CSR arrays to `path`; throws std::runtime_error on I/O
+// failure.
+void save_graph(const std::string& path, const Graph& g);
+
+// Loads a graph written by save_graph; throws std::runtime_error on
+// I/O failure or format mismatch.
+Graph load_graph(const std::string& path);
+
+}  // namespace rpb::graph

@@ -1,0 +1,111 @@
+#include "graph/matching.h"
+
+#include <atomic>
+
+#include "core/atomics.h"
+#include "core/reservation.h"
+#include "core/spec_for.h"
+#include "sched/parallel.h"
+
+namespace rpb::graph {
+namespace {
+
+struct MatchingStep {
+  std::span<const Edge> edges;
+  std::vector<par::Reservation>& r;
+  std::vector<u8>& matched;
+  std::vector<std::atomic<u64>>& out;
+  std::atomic<std::size_t>& out_count;
+
+  bool reserve(std::size_t i) {
+    const Edge& e = edges[i];
+    if (e.u == e.v) return false;
+    if (relaxed_load(&matched[e.u]) != 0 || relaxed_load(&matched[e.v]) != 0) {
+      return false;  // drop: an endpoint is already taken
+    }
+    r[e.u].reserve(static_cast<i64>(i));
+    r[e.v].reserve(static_cast<i64>(i));
+    return true;
+  }
+
+  bool commit(std::size_t i) {
+    const Edge& e = edges[i];
+    // PBBS matchingStep: release whichever cells we hold; succeed only
+    // when we held both.
+    if (r[e.v].check(static_cast<i64>(i))) {
+      r[e.v].reset();
+      if (r[e.u].check(static_cast<i64>(i))) {
+        relaxed_store<u8>(&matched[e.u], 1);
+        relaxed_store<u8>(&matched[e.v], 1);
+        r[e.u].reset();
+        out[out_count.fetch_add(1, std::memory_order_relaxed)].store(
+            i, std::memory_order_relaxed);
+        return true;
+      }
+    } else if (r[e.u].check(static_cast<i64>(i))) {
+      r[e.u].reset();
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+MatchingResult maximal_matching(std::size_t num_vertices,
+                                std::span<const Edge> edges,
+                                std::size_t round_size) {
+  if (round_size == 0) {
+    round_size = std::max<std::size_t>(
+        1024, edges.size() / 20 + 1);
+  }
+  MatchingResult result;
+  result.matched.assign(num_vertices, 0);
+  std::vector<par::Reservation> reservations(num_vertices);
+  // A matching uses each vertex at most once: at most n/2 edges.
+  std::vector<std::atomic<u64>> out(num_vertices / 2 + 1);
+  std::atomic<std::size_t> out_count{0};
+
+  MatchingStep step{edges, reservations, result.matched, out, out_count};
+  par::speculative_for(step, 0, edges.size(), round_size);
+
+  std::size_t k = out_count.load();
+  result.matched_edges.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    result.matched_edges[i] = out[i].load(std::memory_order_relaxed);
+  }
+  std::sort(result.matched_edges.begin(), result.matched_edges.end());
+  return result;
+}
+
+bool is_valid_maximal_matching(std::size_t num_vertices,
+                               std::span<const Edge> edges,
+                               const MatchingResult& result) {
+  std::vector<u8> seen(num_vertices, 0);
+  for (u64 i : result.matched_edges) {
+    const Edge& e = edges[i];
+    if (e.u == e.v) return false;
+    if (seen[e.u] || seen[e.v]) return false;  // not a matching
+    seen[e.u] = seen[e.v] = 1;
+  }
+  if (seen != result.matched) return false;
+  for (const Edge& e : edges) {
+    if (e.u != e.v && !seen[e.u] && !seen[e.v]) return false;  // not maximal
+  }
+  return true;
+}
+
+const census::BenchmarkCensus& mm_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "mm",
+      census::Dispatch::kStatic,
+      {
+          {Pattern::kRO, 1, "read edge endpoints"},
+          {Pattern::kStride, 2, "round flags + retry pack"},
+          {Pattern::kSngInd, 1, "gather retried edges"},
+          {Pattern::kAW, 2, "endpoint reservations (write_min) + matched flags"},
+      }};
+  return c;
+}
+
+}  // namespace rpb::graph

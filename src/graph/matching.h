@@ -1,0 +1,33 @@
+// mm benchmark: maximal matching via deterministic reservations (the
+// PBBS matchingStep): edges bid for both endpoints with write_min;
+// an edge commits only while holding both, and resets its reservations
+// otherwise so later rounds see clean cells.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/census.h"
+#include "graph/csr.h"
+#include "support/defs.h"
+
+namespace rpb::graph {
+
+struct MatchingResult {
+  std::vector<u8> matched;        // per-vertex matched flag
+  std::vector<u64> matched_edges; // indices into the edge list
+};
+
+// round_size 0 -> a sensible default. The result is deterministic
+// (greedy matching in edge-index order).
+MatchingResult maximal_matching(std::size_t num_vertices,
+                                std::span<const Edge> edges,
+                                std::size_t round_size = 0);
+
+bool is_valid_maximal_matching(std::size_t num_vertices,
+                               std::span<const Edge> edges,
+                               const MatchingResult& result);
+
+const census::BenchmarkCensus& mm_census();
+
+}  // namespace rpb::graph

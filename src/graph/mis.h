@@ -1,0 +1,30 @@
+// mis benchmark: maximal independent set by rounds of random-priority
+// candidate selection (Blelloch et al.'s deterministic greedy MIS).
+// Output is deterministic: it equals the greedy MIS under the hashed
+// priority order, independent of thread schedule.
+#pragma once
+
+#include <vector>
+
+#include "core/access_mode.h"
+#include "core/census.h"
+#include "graph/csr.h"
+#include "support/defs.h"
+
+namespace rpb::graph {
+
+enum class MisState : u8 { kUndecided = 0, kIn = 1, kOut = 2 };
+
+// mode selects the flag-update expression: kAtomic uses relaxed atomic
+// loads/stores on the state bytes (the race-free "placate the type
+// system" version); kUnchecked uses plain accesses (the C++/unsafe
+// expression whose same-value races the paper calls out as non-portable
+// benign races).
+std::vector<MisState> maximal_independent_set(const Graph& g, AccessMode mode);
+
+// Validation helper: true iff `state` is an independent and maximal set.
+bool is_valid_mis(const Graph& g, const std::vector<MisState>& state);
+
+const census::BenchmarkCensus& mis_census();
+
+}  // namespace rpb::graph

@@ -1,0 +1,97 @@
+#include "graph/pagerank.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "sched/parallel.h"
+
+namespace rpb::graph {
+namespace {
+
+// Shared iteration driver: `spread` distributes the current ranks into
+// `next` (zero-initialized); the driver handles damping, dangling mass
+// and convergence.
+template <class Spread>
+PageRankResult iterate(const Graph& g, const PageRankConfig& config,
+                       Spread spread) {
+  const std::size_t n = g.num_vertices();
+  PageRankResult result;
+  result.rank.assign(n, 1.0);
+  if (n == 0) return result;
+  std::vector<double> next(n);
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    sched::parallel_for(0, n, [&](std::size_t v) { next[v] = 0.0; });
+
+    // Mass of vertices with no outgoing edges is spread uniformly.
+    double dangling = sched::parallel_reduce_range(
+        0, n, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double acc = 0;
+          for (std::size_t v = lo; v < hi; ++v) {
+            if (g.degree(static_cast<VertexId>(v)) == 0) acc += result.rank[v];
+          }
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+
+    spread(result.rank, next);
+
+    const double base =
+        (1.0 - config.damping) + config.damping * dangling / static_cast<double>(n);
+    double delta = sched::parallel_reduce_range(
+        0, n, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double acc = 0;
+          for (std::size_t v = lo; v < hi; ++v) {
+            double updated = base + config.damping * next[v];
+            acc += std::abs(updated - result.rank[v]);
+            next[v] = updated;
+          }
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+
+    std::swap(result.rank, next);
+    result.iterations = iter + 1;
+    result.final_delta = delta / static_cast<double>(n);
+    if (result.final_delta < config.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace
+
+PageRankResult pagerank_push(const Graph& g, const PageRankConfig& config) {
+  return iterate(g, config, [&](const std::vector<double>& rank,
+                                std::vector<double>& next) {
+    sched::parallel_for(0, g.num_vertices(), [&](std::size_t v) {
+      auto vid = static_cast<VertexId>(v);
+      std::size_t deg = g.degree(vid);
+      if (deg == 0) return;
+      double share = rank[v] / static_cast<double>(deg);
+      for (VertexId w : g.neighbors(vid)) {
+        // The paper's AW site: neighbors overlap across tasks.
+        std::atomic_ref<double>(next[w]).fetch_add(share,
+                                                   std::memory_order_relaxed);
+      }
+    });
+  });
+}
+
+PageRankResult pagerank_pull(const Graph& g, const PageRankConfig& config) {
+  return iterate(g, config, [&](const std::vector<double>& rank,
+                                std::vector<double>& next) {
+    sched::parallel_for(0, g.num_vertices(), [&](std::size_t v) {
+      auto vid = static_cast<VertexId>(v);
+      double acc = 0;
+      for (VertexId w : g.neighbors(vid)) {
+        std::size_t deg = g.degree(w);
+        if (deg > 0) acc += rank[w] / static_cast<double>(deg);
+      }
+      next[v] = acc;  // Stride: each task owns its own cell
+    });
+  });
+}
+
+}  // namespace rpb::graph

@@ -1,0 +1,42 @@
+// PageRank — the paper's named example of overlapping conflicting
+// accesses in graph analytics (Sec. 5.2: "common in graph algorithms
+// like push-based PageRank"). Two expressions of the same iteration:
+//
+//  * push: each vertex scatters rank/degree contributions to its
+//    neighbors' accumulators — overlapping AW writes, synchronized
+//    with relaxed atomic fetch_add (no unsynchronized expression
+//    exists).
+//  * pull: each vertex gathers from its neighbors and writes only its
+//    own accumulator — a Stride expression, fearless by construction.
+//
+// On the symmetric graphs used here both compute identical iterates,
+// which the tests exploit.
+#pragma once
+
+#include <vector>
+
+#include "core/census.h"
+#include "graph/csr.h"
+
+namespace rpb::graph {
+
+struct PageRankConfig {
+  double damping = 0.85;
+  std::size_t max_iterations = 100;
+  // Stop when the *mean per-vertex* change between iterations drops
+  // below this (L1 delta / |V|, so the bound is size-independent).
+  double tolerance = 1e-9;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;    // sums to num_vertices (PBBS convention)
+  std::size_t iterations = 0;
+  double final_delta = 0;  // mean per-vertex L1 change of the last step
+};
+
+PageRankResult pagerank_push(const Graph& g,
+                             const PageRankConfig& config = PageRankConfig());
+PageRankResult pagerank_pull(const Graph& g,
+                             const PageRankConfig& config = PageRankConfig());
+
+}  // namespace rpb::graph

@@ -1,0 +1,173 @@
+#include "graph/sssp.h"
+
+#include <queue>
+
+#include "core/atomics.h"
+#include "core/primitives.h"
+#include "sched/mq_executor.h"
+#include "sched/parallel.h"
+#include "support/env.h"
+
+namespace rpb::graph {
+namespace {
+
+struct Task {
+  u64 dist;
+  VertexId vertex;
+};
+
+struct TaskKey {
+  u64 operator()(const Task& t) const { return t.dist; }
+};
+
+}  // namespace
+
+std::vector<u64> sssp_multiqueue(const Graph& g, VertexId source,
+                                 std::size_t num_threads,
+                                 std::size_t queue_multiplier) {
+  if (num_threads == 0) num_threads = default_threads();
+  std::vector<u64> dist(g.num_vertices(), kInfDist);
+  dist[source] = 0;
+
+  sched::MqExecutor<Task, TaskKey> executor(num_threads, queue_multiplier);
+  executor.run(
+      [&](auto& handle) { handle.push(Task{0, source}); },
+      [&](const Task& task, auto& handle) {
+        if (relaxed_load(&dist[task.vertex]) < task.dist) return;  // stale
+        auto nbrs = g.neighbors(task.vertex);
+        auto wts = g.weights_of(task.vertex);
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          u64 candidate = task.dist + wts[k];
+          if (write_min(&dist[nbrs[k]], candidate)) {
+            handle.push(Task{candidate, nbrs[k]});
+          }
+        }
+      });
+  return dist;
+}
+
+std::vector<u64> sssp_delta_stepping(const Graph& g, VertexId source,
+                                     u64 delta) {
+  const std::size_t n = g.num_vertices();
+  std::vector<u64> dist(n, kInfDist);
+  if (n == 0) return dist;
+  dist[source] = 0;
+  if (delta == 0) {
+    // Heuristic: average edge weight (so a bucket covers ~one hop).
+    u64 total_w = sched::parallel_reduce_range(
+        0, n, u64{0},
+        [&](std::size_t lo, std::size_t hi) {
+          u64 acc = 0;
+          for (std::size_t v = lo; v < hi; ++v) {
+            for (u32 w : g.weights_of(static_cast<VertexId>(v))) acc += w;
+          }
+          return acc;
+        },
+        [](u64 a, u64 b) { return a + b; });
+    delta = std::max<u64>(1, g.num_edges() ? total_w / g.num_edges() : 1);
+  }
+
+  u64 bucket = 0;
+  std::vector<VertexId> frontier{source};
+  // A vertex re-enters the frontier whenever its distance improves into
+  // the current bucket; `in_frontier` dedupes within a sub-round.
+  std::vector<u8> in_frontier(n, 0);
+  in_frontier[source] = 1;
+  for (;;) {
+    // Process the current bucket to fixpoint (light edges can reinsert
+    // vertices into the same bucket).
+    while (!frontier.empty()) {
+      std::vector<std::vector<VertexId>> found(frontier.size());
+      sched::parallel_for(0, frontier.size(), [&](std::size_t f) {
+        VertexId v = frontier[f];
+        relaxed_store(&in_frontier[v], u8{0});
+        u64 dv = relaxed_load(&dist[v]);
+        if (dv >= (bucket + 1) * delta) return;  // moved to a later bucket
+        auto nbrs = g.neighbors(v);
+        auto wts = g.weights_of(v);
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          u64 candidate = dv + wts[k];
+          if (write_min(&dist[nbrs[k]], candidate) &&
+              candidate < (bucket + 1) * delta) {
+            // Improved into the current bucket: reprocess this round.
+            u8 expected = 0;
+            if (std::atomic_ref<u8>(in_frontier[nbrs[k]])
+                    .compare_exchange_strong(expected, 1,
+                                             std::memory_order_acq_rel)) {
+              found[f].push_back(nbrs[k]);
+            }
+          }
+        }
+      });
+      std::vector<VertexId> next;
+      for (auto& part : found) {
+        next.insert(next.end(), part.begin(), part.end());
+      }
+      frontier = std::move(next);
+    }
+    // Advance to the next non-empty bucket.
+    u64 best = sched::parallel_reduce_range(
+        0, n, kInfDist,
+        [&](std::size_t lo, std::size_t hi) {
+          u64 acc = kInfDist;
+          for (std::size_t v = lo; v < hi; ++v) {
+            if (dist[v] != kInfDist && dist[v] >= (bucket + 1) * delta) {
+              acc = std::min(acc, dist[v]);
+            }
+          }
+          return acc;
+        },
+        [](u64 a, u64 b) { return std::min(a, b); });
+    if (best == kInfDist) break;
+    bucket = best / delta;
+    // Gather everything settled-into-or-pending in the new bucket.
+    std::vector<u8> flags(n, 0);
+    sched::parallel_for(0, n, [&](std::size_t v) {
+      flags[v] = dist[v] != kInfDist && dist[v] / delta == bucket ? 1 : 0;
+    });
+    auto members = par::pack_index(std::span<const u8>(flags));
+    frontier.assign(members.size(), 0);
+    sched::parallel_for(0, members.size(), [&](std::size_t i) {
+      frontier[i] = static_cast<VertexId>(members[i]);
+      in_frontier[members[i]] = 1;
+    });
+  }
+  return dist;
+}
+
+std::vector<u64> sssp_reference(const Graph& g, VertexId source) {
+  std::vector<u64> dist(g.num_vertices(), kInfDist);
+  dist[source] = 0;
+  using Item = std::pair<u64, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    auto nbrs = g.neighbors(v);
+    auto wts = g.weights_of(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      u64 candidate = d + wts[k];
+      if (candidate < dist[nbrs[k]]) {
+        dist[nbrs[k]] = candidate;
+        heap.push({candidate, nbrs[k]});
+      }
+    }
+  }
+  return dist;
+}
+
+const census::BenchmarkCensus& sssp_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "sssp",
+      census::Dispatch::kDynamic,
+      {
+          {Pattern::kRO, 2, "neighbor + weight scan"},
+          {Pattern::kAW, 2, "distance write_min + MultiQueue push/pop"},
+      }};
+  return c;
+}
+
+}  // namespace rpb::graph

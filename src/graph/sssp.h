@@ -1,0 +1,33 @@
+// sssp benchmark: single-source shortest paths with the MultiQueue
+// (relaxed Dijkstra, the paper's second dynamic-dispatch benchmark).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/census.h"
+#include "graph/csr.h"
+#include "support/defs.h"
+
+namespace rpb::graph {
+
+inline constexpr u64 kInfDist = std::numeric_limits<u64>::max();
+
+// MultiQueue-scheduled SSSP distances. Requires a weighted graph.
+std::vector<u64> sssp_multiqueue(const Graph& g, VertexId source,
+                                 std::size_t num_threads = 0,
+                                 std::size_t queue_multiplier = 4);
+
+// Reference sequential Dijkstra for validation.
+std::vector<u64> sssp_reference(const Graph& g, VertexId source);
+
+// Delta-stepping SSSP (Meyer & Sanders): buckets of width delta
+// processed frontier-style, with CAS-min relaxations. The static-ish
+// dispatch counterpoint to the MultiQueue schedule; delta = 0 picks
+// a heuristic (average edge weight).
+std::vector<u64> sssp_delta_stepping(const Graph& g, VertexId source,
+                                     u64 delta = 0);
+
+const census::BenchmarkCensus& sssp_census();
+
+}  // namespace rpb::graph

@@ -1,0 +1,73 @@
+// Concurrent union-find with CAS root linking and path halving — the
+// shared substrate of sf and msf (AW: find/unite from different tasks
+// touch overlapping parent cells).
+#pragma once
+
+#include <vector>
+
+#include "core/atomics.h"
+#include "graph/csr.h"
+#include "support/defs.h"
+
+namespace rpb::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<VertexId>(i);
+  }
+
+  // Thread-safe find with path halving. Halving stores are racy only
+  // in the benign sense of writing valid ancestors; they use relaxed
+  // atomics to stay defined behaviour.
+  VertexId find(VertexId x) {
+    VertexId p = relaxed_load(&parent_[x]);
+    while (p != x) {
+      VertexId gp = relaxed_load(&parent_[p]);
+      relaxed_store(&parent_[x], gp);
+      x = p;
+      p = gp;
+    }
+    return x;
+  }
+
+  // Link-by-index: the larger root becomes a child of the smaller.
+  // Returns true iff this call merged two components.
+  bool unite(VertexId a, VertexId b) {
+    for (;;) {
+      VertexId ra = find(a);
+      VertexId rb = find(b);
+      if (ra == rb) return false;
+      if (ra < rb) std::swap(ra, rb);  // ra is larger: link it downward
+      if (cas(&parent_[ra], ra, rb)) return true;
+      // Lost a race: ra is no longer a root; retry from the new roots.
+      a = ra;
+      b = rb;
+    }
+  }
+
+  // Directly re-parent `child` (which the caller must know is a root it
+  // holds exclusively, e.g. via a Reservation) under `parent`.
+  void link_root(VertexId child, VertexId parent) {
+    relaxed_store(&parent_[child], parent);
+  }
+
+  bool same(VertexId a, VertexId b) {
+    for (;;) {
+      VertexId ra = find(a);
+      VertexId rb = find(b);
+      if (ra == rb) return true;
+      // ra is only a trustworthy answer if it is still a root.
+      if (relaxed_load(&parent_[ra]) == ra) return false;
+      a = ra;
+      b = rb;
+    }
+  }
+
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace rpb::graph

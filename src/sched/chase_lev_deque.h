@@ -1,0 +1,129 @@
+// Chase–Lev work-stealing deque (dynamic circular array), following the
+// weak-memory formulation of Le, Pop, Cohen & Zappa Nardelli (PPoPP'13).
+// The owner pushes and pops at the bottom; thieves steal from the top.
+//
+// Grown buffers are retired to a chain freed at destruction: a thief may
+// still hold a pointer into an old buffer, so freeing eagerly would be a
+// use-after-free. Deques live for the process lifetime (one per pool
+// worker), so the leak-until-destruction policy costs nothing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "sched/job.h"
+#include "support/defs.h"
+
+namespace rpb::sched {
+
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 1024)
+      : buffer_(new Buffer(initial_capacity, nullptr)) {}
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() {
+    Buffer* b = buffer_.load(std::memory_order_relaxed);
+    while (b != nullptr) {
+      Buffer* prev = b->prev;
+      delete b;
+      b = prev;
+    }
+  }
+
+  // Owner only.
+  void push(Job* job) {
+    i64 b = bottom_.load(std::memory_order_relaxed);
+    i64 t = top_.load(std::memory_order_acquire);
+    Buffer* a = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<i64>(a->capacity) - 1) {
+      a = grow(a, t, b);
+    }
+    a->at(b).store(job, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only. Returns nullptr when empty or lost the race on the last
+  // element.
+  Job* pop() {
+    i64 b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* a = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    i64 t = top_.load(std::memory_order_relaxed);
+    Job* job = nullptr;
+    if (t <= b) {
+      job = a->at(b).load(std::memory_order_relaxed);
+      if (t == b) {
+        // Single element: race against thieves via top.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          job = nullptr;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return job;
+  }
+
+  // Any thread. Returns nullptr when empty or on a lost race (caller
+  // should move on to another victim).
+  Job* steal() {
+    i64 t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    i64 b = bottom_.load(std::memory_order_acquire);
+    Job* job = nullptr;
+    if (t < b) {
+      Buffer* a = buffer_.load(std::memory_order_acquire);
+      job = a->at(t).load(std::memory_order_relaxed);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return nullptr;
+      }
+    }
+    return job;
+  }
+
+  bool looks_empty() const {
+    return bottom_.load(std::memory_order_relaxed) <=
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap, Buffer* prev_buffer)
+        : capacity(cap),
+          mask(cap - 1),
+          slots(std::make_unique<std::atomic<Job*>[]>(cap)),
+          prev(prev_buffer) {}
+
+    std::atomic<Job*>& at(i64 index) { return slots[index & mask]; }
+
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<Job*>[]> slots;
+    Buffer* prev;  // retired-buffer chain, freed in ~ChaseLevDeque
+  };
+
+  Buffer* grow(Buffer* old, i64 t, i64 b) {
+    auto* bigger = new Buffer(old->capacity * 2, old);
+    for (i64 i = t; i < b; ++i) {
+      bigger->at(i).store(old->at(i).load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    buffer_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  alignas(kCacheLineBytes) std::atomic<i64> top_{0};
+  alignas(kCacheLineBytes) std::atomic<i64> bottom_{0};
+  alignas(kCacheLineBytes) std::atomic<Buffer*> buffer_;
+};
+
+}  // namespace rpb::sched

@@ -1,0 +1,79 @@
+// Unit of schedulable work inside the fork-join pool.
+//
+// Jobs are intrusive: the runtime never allocates. A fork site (join,
+// parallel_for) places the job on its own stack frame, pushes a pointer
+// into its worker deque, and keeps the frame alive until the job's state
+// reaches kDone — the invariant that makes stack allocation safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+
+namespace rpb::sched {
+
+class Job {
+ public:
+  enum State : std::uint32_t { kPending = 0, kClaimed = 1, kDone = 2 };
+
+  Job() = default;
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+  virtual ~Job() = default;
+
+  // Attempt to take exclusive execution rights. Exactly one caller (the
+  // owner popping it back, or a thief) wins.
+  bool try_claim() {
+    std::uint32_t expected = kPending;
+    return state_.compare_exchange_strong(expected, kClaimed,
+                                          std::memory_order_acq_rel);
+  }
+
+  void run_claimed() {
+    try {
+      execute();
+    } catch (...) {
+      // Captured here, rethrown at the fork site that waits on us —
+      // exceptions propagate across steals like across calls.
+      error_ = std::current_exception();
+    }
+    state_.store(kDone, std::memory_order_release);
+    state_.notify_all();
+  }
+
+  // Call after done(): rethrows any exception the job's body raised.
+  void rethrow_if_error() {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+  bool done() const { return state_.load(std::memory_order_acquire) == kDone; }
+
+  void wait_done() {
+    std::uint32_t s = state_.load(std::memory_order_acquire);
+    while (s != kDone) {
+      state_.wait(s, std::memory_order_acquire);
+      s = state_.load(std::memory_order_acquire);
+    }
+  }
+
+ protected:
+  virtual void execute() = 0;
+
+ private:
+  std::atomic<std::uint32_t> state_{kPending};
+  std::exception_ptr error_;
+};
+
+// Adapts a callable to a Job. The callable is captured by reference —
+// the fork site's frame outlives the job by construction.
+template <class F>
+class ClosureJob final : public Job {
+ public:
+  explicit ClosureJob(F& f) : f_(f) {}
+
+ private:
+  void execute() override { f_(); }
+  F& f_;
+};
+
+}  // namespace rpb::sched

@@ -1,0 +1,93 @@
+// Long-running worker threads over a MultiQueue — the paper's bfs/sssp
+// execution model (Sec. 6): workers pop tasks, process them, and may
+// push newly discovered tasks, until the queue is globally drained.
+//
+// Termination detection: `pending` counts items in the queue plus items
+// currently being processed. A worker that sees an empty pop AND
+// pending == 0 can safely exit — no in-flight task can push again.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/multiqueue.h"
+#include "support/hash.h"
+
+namespace rpb::sched {
+
+template <class T, class KeyFn>
+class MqExecutor {
+ public:
+  MqExecutor(std::size_t num_threads, std::size_t queue_multiplier = 4,
+             KeyFn key = KeyFn())
+      : num_threads_(std::max<std::size_t>(1, num_threads)),
+        queue_(num_threads_, queue_multiplier, key) {}
+
+  // Push interface handed to seeding code and task bodies. Each thread
+  // gets its own handle (own RNG stream) — no shared mutable state.
+  class Handle {
+   public:
+    void push(const T& value) {
+      owner_->pending_.fetch_add(1, std::memory_order_acq_rel);
+      owner_->queue_.push(value, rng_state_);
+    }
+
+   private:
+    friend class MqExecutor;
+    Handle(MqExecutor* owner, u64 seed) : owner_(owner), rng_state_(seed) {}
+    MqExecutor* owner_;
+    u64 rng_state_;
+  };
+
+  // Seed the queue (single-threaded), then run workers until drained.
+  // process(item, handle) may call handle.push() to schedule new tasks.
+  // If any task throws, the executor cancels (remaining tasks are
+  // dropped), joins its workers, and rethrows the first exception.
+  template <class Seed, class Process>
+  void run(Seed&& seed, Process&& process) {
+    Handle seeder(this, hash64(0xabcdef));
+    seed(seeder);
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    std::atomic<bool> cancelled{false};
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads_);
+    for (std::size_t t = 0; t < num_threads_; ++t) {
+      threads.emplace_back([&, t] {
+        Handle handle(this, hash64(t + 1));
+        for (;;) {
+          if (cancelled.load(std::memory_order_acquire)) return;
+          auto item = queue_.try_pop(handle.rng_state_);
+          if (!item.has_value()) {
+            if (pending_.load(std::memory_order_acquire) == 0) return;
+            std::this_thread::yield();
+            continue;
+          }
+          try {
+            process(*item, handle);
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> guard(error_mutex);
+              if (!first_error) first_error = std::current_exception();
+            }
+            cancelled.store(true, std::memory_order_release);
+          }
+          pending_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+ private:
+  std::size_t num_threads_;
+  MultiQueue<T, KeyFn> queue_;
+  std::atomic<i64> pending_{0};
+};
+
+}  // namespace rpb::sched

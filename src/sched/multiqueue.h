@@ -1,0 +1,126 @@
+// MultiQueue relaxed concurrent priority queue (Rihani, Sanders &
+// Dementiev, SPAA'15), the paper's dynamic priority scheduler for bfs
+// and sssp (Sec. 6).
+//
+// Structure: c × threads sequential binary heaps, each guarded by its
+// own mutex (the mutex *encapsulates* the heap, mirroring the paper's
+// observation about Rust's Mutex<T>). push locks a random queue; pop
+// locks the smaller-topped of two random queues. Rank guarantees are
+// probabilistic, so consumers must tolerate out-of-order delivery —
+// bfs/sssp do, via CAS-min distance relaxation.
+//
+// This is a *min*-queue: elements with smaller key(value) pop first.
+// Each sub-queue caches its top key in an atomic so the pop-side
+// "better of two" comparison never touches heap internals without the
+// lock (the same trick production MultiQueues use).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "support/defs.h"
+#include "support/hash.h"
+
+namespace rpb::sched {
+
+// KeyFn: T -> u64 priority; smaller pops first.
+template <class T, class KeyFn>
+class MultiQueue {
+ public:
+  static constexpr u64 kEmptyKey = std::numeric_limits<u64>::max();
+
+  explicit MultiQueue(std::size_t num_threads, std::size_t queue_multiplier = 4,
+                      KeyFn key = KeyFn())
+      : key_(key),
+        queues_(std::max<std::size_t>(2, num_threads * queue_multiplier)) {}
+
+  std::size_t num_queues() const { return queues_.size(); }
+
+  // rng_state is caller-owned (one per thread) so pushes from different
+  // threads never contend on shared RNG state.
+  void push(const T& value, u64& rng_state) {
+    for (;;) {
+      SubQueue& q = pick(rng_state);
+      std::unique_lock<std::mutex> lock(q.mutex, std::try_to_lock);
+      if (!lock.owns_lock()) continue;  // contended: retry another queue
+      q.heap.push(Entry{key_(value), value});
+      q.top_key.store(q.heap.top().key, std::memory_order_release);
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  // Pop from the smaller-topped of two random queues. Returns nullopt
+  // when the whole structure appears empty; callers own termination
+  // detection (an empty pop does NOT mean no more work will arrive).
+  std::optional<T> try_pop(u64& rng_state) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      SubQueue& a = pick(rng_state);
+      SubQueue& b = pick(rng_state);
+      u64 ka = a.top_key.load(std::memory_order_acquire);
+      u64 kb = b.top_key.load(std::memory_order_acquire);
+      SubQueue* best = ka <= kb ? &a : &b;
+      if (ka == kEmptyKey && kb == kEmptyKey) continue;
+      if (auto out = pop_from(*best)) return out;
+    }
+    // Full sweep so emptiness reports are trustworthy at quiescence.
+    for (SubQueue& q : queues_) {
+      std::unique_lock<std::mutex> lock(q.mutex);
+      if (auto out = pop_locked(q)) return out;
+    }
+    return std::nullopt;
+  }
+
+  // Approximate element count (exact when quiescent).
+  std::size_t size_estimate() const {
+    i64 s = size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<std::size_t>(s);
+  }
+
+ private:
+  struct Entry {
+    u64 key;
+    T value;
+    // std::priority_queue is a max-heap; invert to get min-key-first.
+    bool operator<(const Entry& other) const { return key > other.key; }
+  };
+
+  struct alignas(kCacheLineBytes) SubQueue {
+    std::mutex mutex;
+    std::priority_queue<Entry> heap;
+    std::atomic<u64> top_key{kEmptyKey};
+  };
+
+  SubQueue& pick(u64& rng_state) {
+    rng_state = hash64(rng_state + 0x9e3779b97f4a7c15ull);
+    return queues_[rng_state % queues_.size()];
+  }
+
+  std::optional<T> pop_from(SubQueue& q) {
+    std::unique_lock<std::mutex> lock(q.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) return std::nullopt;
+    return pop_locked(q);
+  }
+
+  std::optional<T> pop_locked(SubQueue& q) {
+    if (q.heap.empty()) return std::nullopt;
+    T out = q.heap.top().value;
+    q.heap.pop();
+    q.top_key.store(q.heap.empty() ? kEmptyKey : q.heap.top().key,
+                    std::memory_order_release);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return out;
+  }
+
+  KeyFn key_;
+  std::vector<SubQueue> queues_;
+  std::atomic<i64> size_{0};
+};
+
+}  // namespace rpb::sched

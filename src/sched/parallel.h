@@ -1,0 +1,112 @@
+// High-level parallel primitives over the fork-join pool: parallel_for,
+// parallel_for_range, parallel_reduce, and join. These are the engine
+// underneath the rpb::par pattern vocabulary (src/core/patterns.h).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "sched/thread_pool.h"
+
+namespace rpb::sched {
+
+// Fork-join on the global pool.
+template <class A, class B>
+void join(A&& a, B&& b) {
+  ThreadPool::global().join(std::forward<A>(a), std::forward<B>(b));
+}
+
+namespace detail {
+
+// Grain: aim for ~8 leaves per worker so stealing can balance load
+// without drowning in task overhead.
+inline std::size_t default_grain(std::size_t n, std::size_t threads) {
+  return std::max<std::size_t>(1, n / (8 * threads) + 1);
+}
+
+}  // namespace detail
+
+// Invoke body(lo, hi) over disjoint subranges covering [begin, end) in
+// parallel. The range form lets leaves run tight sequential loops.
+template <class F>
+void parallel_for_range(std::size_t begin, std::size_t end, const F& body,
+                        std::size_t grain = 0) {
+  if (begin >= end) return;
+  ThreadPool& pool = ThreadPool::global();
+  std::size_t n = end - begin;
+  if (grain == 0) grain = detail::default_grain(n, pool.num_threads());
+  if (n <= grain) {
+    body(begin, end);
+    return;
+  }
+  pool.run([&] {
+    // Recursive binary splitting, right branch forked for thieves.
+    auto split = [&pool, grain, &body](auto&& self, std::size_t lo,
+                                       std::size_t hi) -> void {
+      if (hi - lo <= grain) {
+        body(lo, hi);
+        return;
+      }
+      std::size_t mid = lo + (hi - lo) / 2;
+      pool.join([&] { self(self, lo, mid); }, [&] { self(self, mid, hi); });
+    };
+    split(split, begin, end);
+  });
+}
+
+// Element-wise parallel for: body(i) for every i in [begin, end).
+template <class F>
+void parallel_for(std::size_t begin, std::size_t end, const F& body,
+                  std::size_t grain = 0) {
+  parallel_for_range(
+      begin, end,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+// Parallel reduction: combine(leaf(lo, hi)...) over disjoint subranges.
+// `combine` must be associative; identity is its unit.
+template <class T, class Leaf, class Combine>
+T parallel_reduce_range(std::size_t begin, std::size_t end, T identity,
+                        const Leaf& leaf, const Combine& combine,
+                        std::size_t grain = 0) {
+  if (begin >= end) return identity;
+  ThreadPool& pool = ThreadPool::global();
+  std::size_t n = end - begin;
+  if (grain == 0) grain = detail::default_grain(n, pool.num_threads());
+  if (n <= grain) return leaf(begin, end);
+  T result = identity;
+  pool.run([&] {
+    auto split = [&pool, grain, &leaf, &combine](auto&& self, std::size_t lo,
+                                                 std::size_t hi) -> T {
+      if (hi - lo <= grain) return leaf(lo, hi);
+      std::size_t mid = lo + (hi - lo) / 2;
+      T left{}, right{};
+      pool.join([&] { left = self(self, lo, mid); },
+                [&] { right = self(self, mid, hi); });
+      return combine(std::move(left), std::move(right));
+    };
+    result = split(split, begin, end);
+  });
+  return result;
+}
+
+// Element-wise reduction: combine over body(i).
+template <class T, class Body, class Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity,
+                  const Body& body, const Combine& combine,
+                  std::size_t grain = 0) {
+  return parallel_reduce_range(
+      begin, end, identity,
+      [&](std::size_t lo, std::size_t hi) {
+        T acc = identity;
+        for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, body(i));
+        return acc;
+      },
+      combine, grain);
+}
+
+}  // namespace rpb::sched

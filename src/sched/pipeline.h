@@ -1,0 +1,146 @@
+// Ordered three-stage parallel pipeline — one of the algorithmic
+// patterns the paper inventories as *absent* from PBBS/RPB and flags
+// for future work (Sec. 7.1). Shape:
+//
+//   produce()  -> std::optional<In>   serial, on the calling thread
+//   transform(In) -> Out              parallel, `workers` threads
+//   consume(Out)                      serial, in production order
+//
+// Items flow through a bounded queue (backpressure) and a reorder
+// buffer that releases outputs in sequence. Exceptions from any stage
+// cancel the pipeline and rethrow on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rpb::sched {
+
+namespace detail {
+
+// Bounded MPMC queue with close semantics.
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  // Returns false if the queue was closed (cancellation) before space
+  // became available.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  // No more pushes will arrive (normal end) or the pipeline is being
+  // cancelled (drop=true discards queued items so workers exit fast).
+  void close(bool drop = false) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    if (drop) items_.clear();
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace detail
+
+template <class Produce, class Transform, class Consume>
+void run_pipeline(Produce&& produce, Transform&& transform, Consume&& consume,
+                  std::size_t workers = 2, std::size_t capacity = 64) {
+  using In = typename std::invoke_result_t<Produce>::value_type;
+  using Out = std::invoke_result_t<Transform, In>;
+
+  struct Sequenced {
+    std::size_t seq;
+    In item;
+  };
+
+  detail::BoundedQueue<Sequenced> queue(std::max<std::size_t>(1, capacity));
+
+  std::mutex out_mutex;
+  std::map<std::size_t, Out> reorder;
+  std::size_t next_to_consume = 0;
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto record_error = [&] {
+    {
+      std::lock_guard<std::mutex> guard(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    queue.close(/*drop=*/true);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(std::max<std::size_t>(1, workers));
+  for (std::size_t w = 0; w < std::max<std::size_t>(1, workers); ++w) {
+    pool.emplace_back([&] {
+      try {
+        while (auto sequenced = queue.pop()) {
+          Out result = transform(std::move(sequenced->item));
+          // Hand to the reorder buffer; whoever completes the next
+          // expected item drains the ready run, keeping consume serial
+          // and ordered.
+          std::unique_lock<std::mutex> lock(out_mutex);
+          reorder.emplace(sequenced->seq, std::move(result));
+          while (!reorder.empty() &&
+                 reorder.begin()->first == next_to_consume) {
+            Out ready = std::move(reorder.begin()->second);
+            reorder.erase(reorder.begin());
+            ++next_to_consume;
+            consume(std::move(ready));  // under out_mutex: stays serial
+          }
+        }
+      } catch (...) {
+        record_error();
+      }
+    });
+  }
+
+  // Producer runs on the calling thread.
+  try {
+    std::size_t seq = 0;
+    while (auto item = produce()) {
+      if (!queue.push(Sequenced{seq, std::move(*item)})) break;  // cancelled
+      ++seq;
+    }
+  } catch (...) {
+    record_error();
+  }
+  queue.close();
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace rpb::sched

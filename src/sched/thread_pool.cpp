@@ -1,0 +1,184 @@
+#include "sched/thread_pool.h"
+
+#include <algorithm>
+
+#include "support/env.h"
+#include "support/hash.h"
+
+namespace rpb::sched {
+namespace {
+
+// Which pool (if any) the current thread works for, and its index there.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker_index = 0;
+
+// Spin/yield rounds before a worker goes to sleep on the condition
+// variable; keeps steal latency low while work is flowing.
+constexpr int kIdleRoundsBeforeSleep = 64;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> guard(sleep_mutex_);
+    stopping_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool ThreadPool::on_worker_thread() const { return tl_pool == this; }
+
+void ThreadPool::inject(Job* job) {
+  {
+    std::lock_guard<std::mutex> guard(injector_mutex_);
+    injector_.push_back(job);
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  wake_workers(1);
+}
+
+void ThreadPool::push_local(Job* job) {
+  workers_[tl_worker_index]->deque.push(job);
+  // Only pay the notify cost when someone is actually asleep.
+  if (sleepers_.load(std::memory_order_relaxed) > 0) wake_workers(1);
+}
+
+Job* ThreadPool::pop_local() { return workers_[tl_worker_index]->deque.pop(); }
+
+Job* ThreadPool::take_injected() {
+  std::lock_guard<std::mutex> guard(injector_mutex_);
+  if (injector_.empty()) return nullptr;
+  Job* job = injector_.front();
+  injector_.pop_front();
+  return job;
+}
+
+Job* ThreadPool::steal_from_anyone(std::size_t self, std::uint64_t& rng_state) {
+  const std::size_t n = workers_.size();
+  if (n <= 1) return take_injected();
+  // Random starting victim, then sweep; also check the injector.
+  rng_state = hash64(rng_state + 0x9e3779b97f4a7c15ull);
+  std::size_t start = rng_state % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t victim = start + k;
+    if (victim >= n) victim -= n;
+    if (victim == self) continue;
+    if (Job* job = workers_[victim]->deque.steal()) {
+      workers_[self]->stolen.fetch_add(1, std::memory_order_relaxed);
+      return job;
+    }
+  }
+  return take_injected();
+}
+
+void ThreadPool::wait_while_helping(Job& until_done) {
+  std::uint64_t rng_state = hash64(tl_worker_index + 1);
+  int idle_rounds = 0;
+  while (!until_done.done()) {
+    if (Job* job = steal_from_anyone(tl_worker_index, rng_state)) {
+      workers_[tl_worker_index]->executed.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      job->run_claimed();
+      idle_rounds = 0;
+      continue;
+    }
+    if (++idle_rounds < kIdleRoundsBeforeSleep) {
+      std::this_thread::yield();
+    } else {
+      // Nothing stealable: block until the thief finishes our branch.
+      until_done.wait_done();
+    }
+  }
+}
+
+void ThreadPool::wake_workers(std::size_t count) {
+  // Taking the sleep mutex here closes the missed-wakeup window: a
+  // worker between its final work re-check and cv.wait() holds the
+  // mutex, so this notify cannot slip past it.
+  std::lock_guard<std::mutex> guard(sleep_mutex_);
+  if (sleepers_.load(std::memory_order_relaxed) == 0) return;
+  if (count >= workers_.size()) {
+    sleep_cv_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < count; ++i) sleep_cv_.notify_one();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  std::uint64_t rng_state = hash64(index + 0x1234);
+  int idle_rounds = 0;
+  for (;;) {
+    Job* job = take_injected();
+    if (job == nullptr) job = steal_from_anyone(index, rng_state);
+    if (job != nullptr) {
+      workers_[index]->executed.fetch_add(1, std::memory_order_relaxed);
+      job->run_claimed();
+      idle_rounds = 0;
+      continue;
+    }
+    if (++idle_rounds < kIdleRoundsBeforeSleep) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stopping_) return;
+    // Final re-check under the mutex (pairs with wake_workers): anything
+    // injected after our last check is visible here.
+    if (Job* late = take_injected()) {
+      lock.unlock();
+      workers_[index]->executed.fetch_add(1, std::memory_order_relaxed);
+      late->run_claimed();
+      idle_rounds = 0;
+      continue;
+    }
+    sleepers_.fetch_add(1, std::memory_order_relaxed);
+    sleep_cv_.wait(lock);
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    if (stopping_) return;
+    idle_rounds = 0;
+  }
+}
+
+namespace {
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_pool_mutex;
+}  // namespace
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats out;
+  for (const auto& worker : workers_) {
+    out.jobs_executed += worker->executed.load(std::memory_order_relaxed);
+    out.steals += worker->stolen.load(std::memory_order_relaxed);
+  }
+  out.injected = injected_.load(std::memory_order_relaxed);
+  return out;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> guard(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_threads());
+  return *g_pool;
+}
+
+void ThreadPool::reset_global(std::size_t num_threads) {
+  std::lock_guard<std::mutex> guard(g_pool_mutex);
+  g_pool.reset();  // join old workers before building the new pool
+  g_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace rpb::sched

@@ -1,0 +1,127 @@
+// Work-stealing fork-join thread pool, the C++ stand-in for the paper's
+// Rayon/Cilk runtimes. Workers own Chase–Lev deques; external callers
+// inject root jobs; join() is work-first: the forking worker runs the
+// left branch itself, pushes the right branch for thieves, and pops it
+// back if nobody stole it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sched/chase_lev_deque.h"
+#include "sched/job.h"
+
+namespace rpb::sched {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // True if the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  // Execute f inside the pool and block until it finishes. Calls from a
+  // worker of this pool run inline (nested parallelism).
+  template <class F>
+  void run(F&& f) {
+    if (on_worker_thread()) {
+      f();
+      return;
+    }
+    ClosureJob<F> root(f);
+    inject(&root);
+    root.wait_done();
+    root.rethrow_if_error();
+  }
+
+  // Fork-join: run a and b, potentially in parallel. Must be called from
+  // a worker; callers outside the pool are routed through run().
+  template <class A, class B>
+  void join(A&& a, B&& b) {
+    if (!on_worker_thread()) {
+      run([&] { join(a, b); });
+      return;
+    }
+    ClosureJob<B> right(b);
+    push_local(&right);
+    // If the left branch throws, the right job must still be resolved
+    // before this frame (which owns it) can unwind.
+    std::exception_ptr left_error;
+    try {
+      a();
+    } catch (...) {
+      left_error = std::current_exception();
+    }
+    Job* popped = pop_local();
+    if (popped == &right) {
+      // Nobody stole it: run inline on this stack.
+      right.run_claimed();
+    } else {
+      // Stolen (steal order is oldest-first, so a successful pop here
+      // can only ever return &right or nothing). Help with other work
+      // while the thief finishes.
+      wait_while_helping(right);
+    }
+    if (left_error) std::rethrow_exception(left_error);
+    right.rethrow_if_error();
+  }
+
+  // Scheduler observability: cumulative counters since construction.
+  struct Stats {
+    std::uint64_t jobs_executed = 0;  // deque pops + steals + injected
+    std::uint64_t steals = 0;         // jobs taken from another worker
+    std::uint64_t injected = 0;       // external run() roots
+  };
+  Stats stats() const;
+
+  // The process-wide pool used by the parallel algorithms. Lazily built
+  // with rpb::default_threads() workers.
+  static ThreadPool& global();
+
+  // Rebuild the global pool with a new worker count (benchmark harness
+  // thread sweeps). Must not be called while parallel work is in flight.
+  static void reset_global(std::size_t num_threads);
+
+ private:
+  struct Worker {
+    ChaseLevDeque deque;
+    // Padded relaxed counters: observability must not create sharing.
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+  };
+
+  void worker_loop(std::size_t index);
+  void inject(Job* job);
+  void push_local(Job* job);
+  Job* pop_local();
+  Job* take_injected();
+  Job* steal_from_anyone(std::size_t self, std::uint64_t& rng_state);
+  void wait_while_helping(Job& until_done);
+  void wake_workers(std::size_t count);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex injector_mutex_;
+  std::deque<Job*> injector_;
+  std::atomic<std::uint64_t> injected_{0};
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::size_t> sleepers_{0};
+  bool stopping_ = false;
+};
+
+}  // namespace rpb::sched

@@ -1,0 +1,42 @@
+#include "seq/dedup.h"
+
+#include <stdexcept>
+
+#include "core/primitives.h"
+#include "sched/parallel.h"
+#include "seq/hash_table.h"
+
+namespace rpb::seq {
+
+std::vector<u64> dedup(std::span<const u64> keys, AccessMode mode) {
+  if (mode != AccessMode::kAtomic && mode != AccessMode::kLocked) {
+    // True data dependences: there is no unsynchronized expression —
+    // exactly the paper's Observation 5.
+    throw std::invalid_argument("dedup requires kAtomic or kLocked");
+  }
+  ConcurrentHashSet set(keys.size(), mode);
+  std::vector<u8> first(keys.size(), 0);
+  sched::parallel_for(0, keys.size(), [&](std::size_t i) {
+    first[i] = set.insert(keys[i]) ? 1 : 0;
+  });
+  std::vector<std::size_t> winners = par::pack_index(std::span<const u8>(first));
+  std::vector<u64> out(winners.size());
+  sched::parallel_for(0, winners.size(),
+                      [&](std::size_t i) { out[i] = keys[winners[i]]; });
+  return out;
+}
+
+const census::BenchmarkCensus& dedup_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "dedup",
+      census::Dispatch::kStatic,
+      {
+          {Pattern::kRO, 1, "read keys"},
+          {Pattern::kStride, 2, "first-inserter flags + output gather"},
+          {Pattern::kAW, 2, "hash-set probe loads + CAS inserts"},
+      }};
+  return c;
+}
+
+}  // namespace rpb::seq

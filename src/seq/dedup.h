@@ -1,0 +1,22 @@
+// dedup benchmark: remove duplicate keys via concurrent hash-set
+// insertion (AW — hash collisions make tasks' writes overlap, paper
+// Listing 8) followed by a stable pack of first-inserters.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/access_mode.h"
+#include "core/census.h"
+#include "support/defs.h"
+
+namespace rpb::seq {
+
+// Distinct keys of `keys`, ordered by first surviving inserter's index.
+// The *set* of returned keys is deterministic; supported modes are
+// kAtomic (CAS insert) and kLocked (striped mutexes).
+std::vector<u64> dedup(std::span<const u64> keys, AccessMode mode);
+
+const census::BenchmarkCensus& dedup_census();
+
+}  // namespace rpb::seq

@@ -1,0 +1,52 @@
+#include "seq/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/parallel.h"
+#include "support/prng.h"
+
+namespace rpb::seq {
+
+std::vector<u64> exponential_keys(std::size_t n, u64 range, u64 seed) {
+  Rng rng(seed);
+  std::vector<u64> keys(n);
+  // Map an exponential variate with rate chosen so ~e^-8 of the mass
+  // clips at the top of the range (PBBS's expDist flavor).
+  const double scale = static_cast<double>(range) / 8.0;
+  sched::parallel_for(0, n, [&](std::size_t i) {
+    double v = rng.exponential(i) * scale;
+    u64 k = static_cast<u64>(v);
+    keys[i] = k >= range ? range - 1 : k;
+  });
+  return keys;
+}
+
+std::vector<u64> uniform_keys(std::size_t n, u64 range, u64 seed) {
+  Rng rng(seed);
+  std::vector<u64> keys(n);
+  sched::parallel_for(0, n, [&](std::size_t i) { keys[i] = rng.next(i, range); });
+  return keys;
+}
+
+std::vector<double> exponential_doubles(std::size_t n, double rate, u64 seed) {
+  Rng rng(seed);
+  std::vector<double> values(n);
+  sched::parallel_for(0, n,
+                      [&](std::size_t i) { values[i] = rng.exponential(i, rate); });
+  return values;
+}
+
+std::vector<u32> random_permutation(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<u32> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<u32>(i);
+  // Fisher-Yates; sequential, but generation is outside timed regions.
+  for (std::size_t i = n; i > 1; --i) {
+    std::size_t j = rng.next(i, i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace rpb::seq

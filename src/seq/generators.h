@@ -1,0 +1,27 @@
+// Deterministic input generators for the sequence benchmarks. PBBS's
+// sort/dedup/hist/isort inputs use an exponential key distribution; we
+// reproduce that (DESIGN.md "Substitutions").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/defs.h"
+
+namespace rpb::seq {
+
+// n keys, exponentially distributed over [0, range): many small keys,
+// a long tail — the skew that stresses histogram/dedup buckets.
+std::vector<u64> exponential_keys(std::size_t n, u64 range, u64 seed);
+
+// n keys uniform over [0, range).
+std::vector<u64> uniform_keys(std::size_t n, u64 range, u64 seed);
+
+// n doubles, exponential with the given rate (comparison-sort input).
+std::vector<double> exponential_doubles(std::size_t n, double rate, u64 seed);
+
+// A permutation of [0, n) — the unique-offsets input for SngInd tests
+// and benches.
+std::vector<u32> random_permutation(std::size_t n, u64 seed);
+
+}  // namespace rpb::seq

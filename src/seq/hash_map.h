@@ -1,0 +1,118 @@
+// Concurrent open-addressing hash map (u64 -> u64) with CAS key claims
+// and per-value atomic update combinators — the AW data structure in
+// map form (companion to hash_table.h's set). Values are updated with
+// user-supplied atomic read-modify-write semantics: insert_or_add,
+// insert_or_min, insert_or_max cover the common reductions-by-key.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/atomics.h"
+#include "support/defs.h"
+#include "support/hash.h"
+
+namespace rpb::seq {
+
+class ConcurrentHashMap {
+ public:
+  static constexpr u64 kEmptyKey = std::numeric_limits<u64>::max();
+  // Transient marker while a winner initializes its slot's value; also
+  // reserved (keys must be < kBusyKey).
+  static constexpr u64 kBusyKey = std::numeric_limits<u64>::max() - 1;
+
+  explicit ConcurrentHashMap(std::size_t expected_elements) {
+    std::size_t cap = 16;
+    while (cap < expected_elements * 2) cap <<= 1;
+    keys_.assign(cap, kEmptyKey);
+    values_.assign(cap, 0);
+  }
+
+  // value += delta, inserting {key, delta} if absent. Thread-safe.
+  void insert_or_add(u64 key, u64 delta) {
+    std::size_t slot = claim(key);
+    std::atomic_ref<u64>(values_[slot]).fetch_add(delta,
+                                                  std::memory_order_relaxed);
+  }
+
+  // value = min(value, candidate), inserting if absent.
+  void insert_or_min(u64 key, u64 candidate) {
+    std::size_t slot = claim_with_initial(key, std::numeric_limits<u64>::max());
+    write_min(&values_[slot], candidate);
+  }
+
+  // value = max(value, candidate), inserting if absent.
+  void insert_or_max(u64 key, u64 candidate) {
+    std::size_t slot = claim_with_initial(key, 0);
+    write_max(&values_[slot], candidate);
+  }
+
+  std::optional<u64> get(u64 key) const {
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t i = hash64(key) & mask;
+    for (;;) {
+      u64 k = std::atomic_ref<const u64>(keys_[i]).load(
+          std::memory_order_acquire);
+      if (k == kBusyKey) continue;  // claim in flight: might be ours
+      if (k == key) {
+        return std::atomic_ref<const u64>(values_[i]).load(
+            std::memory_order_acquire);
+      }
+      if (k == kEmptyKey) return std::nullopt;
+      i = (i + 1) & mask;
+    }
+  }
+
+  std::size_t capacity() const { return keys_.size(); }
+
+  // Snapshot of all entries (call at quiescence).
+  std::vector<std::pair<u64, u64>> entries() const {
+    std::vector<std::pair<u64, u64>> out;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) out.push_back({keys_[i], values_[i]});
+    }
+    return out;
+  }
+
+ private:
+  // Find key's slot, inserting the key with a zero value if missing.
+  std::size_t claim(u64 key) { return claim_with_initial(key, 0); }
+
+  // Two-phase claim: empty -> busy (CAS) -> key (release). Only the
+  // CAS winner ever writes the slot's initial value, so no racer can
+  // clobber combined updates; losers spin past the busy window.
+  std::size_t claim_with_initial(u64 key, u64 initial) {
+    if (key >= kBusyKey) throw std::invalid_argument("reserved sentinel key");
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t i = hash64(key) & mask;
+    std::size_t probes = 0;
+    for (;;) {
+      std::atomic_ref<u64> slot(keys_[i]);
+      u64 current = slot.load(std::memory_order_acquire);
+      if (current == key) return i;
+      if (current == kBusyKey) continue;  // resolve before judging slot i
+      if (current == kEmptyKey) {
+        u64 expected = kEmptyKey;
+        if (slot.compare_exchange_strong(expected, kBusyKey,
+                                         std::memory_order_acq_rel)) {
+          std::atomic_ref<u64>(values_[i]).store(initial,
+                                                 std::memory_order_relaxed);
+          slot.store(key, std::memory_order_release);
+          return i;
+        }
+        continue;  // lost the claim: re-read this slot
+      }
+      i = (i + 1) & mask;
+      if (++probes > keys_.size()) throw std::runtime_error("hash map full");
+    }
+  }
+
+  std::vector<u64> keys_;
+  mutable std::vector<u64> values_;
+};
+
+}  // namespace rpb::seq

@@ -1,0 +1,117 @@
+// Concurrent open-addressing hash set — the paper's canonical AW data
+// structure (Listing 8): tasks insert through function-based indirection
+// into potentially overlapping slots, so correctness needs CAS (atomic
+// mode) or per-slot locks (locked mode). Linear probing over a
+// power-of-two table; keys are u64 with a reserved empty sentinel.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "core/access_mode.h"
+#include "support/defs.h"
+#include "support/hash.h"
+
+namespace rpb::seq {
+
+class ConcurrentHashSet {
+ public:
+  static constexpr u64 kEmpty = std::numeric_limits<u64>::max();
+
+  // Capacity is rounded up to a power of two >= 2 * expected_elements.
+  explicit ConcurrentHashSet(std::size_t expected_elements,
+                             AccessMode mode = AccessMode::kAtomic)
+      : mode_(mode) {
+    std::size_t cap = 16;
+    while (cap < expected_elements * 2) cap <<= 1;
+    slots_.assign(cap, kEmpty);
+    if (mode_ == AccessMode::kLocked) {
+      locks_ = std::vector<std::mutex>(kNumLocks);
+    }
+  }
+
+  // Insert key (key != kEmpty). Returns true iff the key was new.
+  // Thread-safe under kAtomic and kLocked.
+  bool insert(u64 key) {
+    if (key == kEmpty) throw std::invalid_argument("reserved sentinel key");
+    return mode_ == AccessMode::kLocked ? insert_locked(key)
+                                        : insert_atomic(key);
+  }
+
+  bool contains(u64 key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash64(key) & mask;
+    for (;;) {
+      u64 slot = std::atomic_ref<const u64>(slots_[i])
+                     .load(std::memory_order_acquire);
+      if (slot == key) return true;
+      if (slot == kEmpty) return false;
+      i = (i + 1) & mask;
+    }
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // All stored keys, in table order (call only at quiescence).
+  std::vector<u64> keys() const {
+    std::vector<u64> out;
+    for (u64 slot : slots_) {
+      if (slot != kEmpty) out.push_back(slot);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kNumLocks = 4096;
+
+  bool insert_atomic(u64 key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash64(key) & mask;
+    std::size_t probes = 0;
+    for (;;) {
+      std::atomic_ref<u64> slot(slots_[i]);
+      u64 current = slot.load(std::memory_order_acquire);
+      if (current == key) return false;
+      if (current == kEmpty) {
+        u64 expected = kEmpty;
+        if (slot.compare_exchange_strong(expected, key,
+                                         std::memory_order_acq_rel)) {
+          return true;
+        }
+        if (expected == key) return false;
+        // Lost the race to a different key; keep probing this slot's
+        // successor chain.
+      }
+      i = (i + 1) & mask;
+      if (++probes > slots_.size()) throw std::runtime_error("hash set full");
+    }
+  }
+
+  bool insert_locked(u64 key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash64(key) & mask;
+    std::size_t probes = 0;
+    for (;;) {
+      std::lock_guard<std::mutex> slot_guard(locks_[i & (kNumLocks - 1)]);
+      u64 current =
+          std::atomic_ref<u64>(slots_[i]).load(std::memory_order_relaxed);
+      if (current == key) return false;
+      if (current == kEmpty) {
+        std::atomic_ref<u64>(slots_[i]).store(key, std::memory_order_release);
+        return true;
+      }
+      i = (i + 1) & mask;
+      if (++probes > slots_.size()) throw std::runtime_error("hash set full");
+    }
+  }
+
+  AccessMode mode_;
+  std::vector<u64> slots_;
+  mutable std::vector<std::mutex> locks_;
+};
+
+}  // namespace rpb::seq

@@ -1,0 +1,135 @@
+#include "seq/histogram.h"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+
+#include "sched/parallel.h"
+
+namespace rpb::seq {
+
+void BucketStats::add(u64 key) {
+  ++count;
+  sum += key;
+  if (key < min) min = key;
+  if (key > max) max = key;
+  sum_squares += key * key;
+}
+
+void BucketStats::merge(const BucketStats& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+  sum_squares += other.sum_squares;
+}
+
+namespace {
+
+// Private-copy strategy shared by both histogram flavors: per-block
+// local accumulation (Block pattern) then a per-bucket merge (Stride).
+template <class Acc, class AddFn, class MergeFn>
+std::vector<Acc> histogram_private(std::span<const u64> keys,
+                                   std::size_t num_buckets, AddFn add,
+                                   MergeFn merge) {
+  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
+  const std::size_t block =
+      (keys.size() + num_blocks - 1) / std::max<std::size_t>(1, num_blocks);
+  std::vector<std::vector<Acc>> partial(num_blocks);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block;
+        std::size_t hi = std::min(keys.size(), lo + block);
+        auto& local = partial[b];
+        local.assign(num_buckets, Acc{});
+        for (std::size_t i = lo; i < hi; ++i) add(local[keys[i]], keys[i]);
+      },
+      1);
+  std::vector<Acc> out(num_buckets);
+  sched::parallel_for(0, num_buckets, [&](std::size_t bucket) {
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      merge(out[bucket], partial[b][bucket]);
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<u64> histogram(std::span<const u64> keys, std::size_t num_buckets,
+                           AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kUnchecked:
+    case AccessMode::kChecked:
+      // No independence contract to check here: private copies are
+      // correct by construction, so kChecked aliases kUnchecked.
+      return histogram_private<u64>(
+          keys, num_buckets, [](u64& slot, u64) { ++slot; },
+          [](u64& into, u64 from) { into += from; });
+    case AccessMode::kAtomic: {
+      std::vector<u64> counts(num_buckets, 0);
+      sched::parallel_for(0, keys.size(), [&](std::size_t i) {
+        std::atomic_ref<u64>(counts[keys[i]])
+            .fetch_add(1, std::memory_order_relaxed);
+      });
+      return counts;
+    }
+    case AccessMode::kLocked: {
+      std::vector<u64> counts(num_buckets, 0);
+      std::vector<std::mutex> locks(std::min<std::size_t>(num_buckets, 4096));
+      sched::parallel_for(0, keys.size(), [&](std::size_t i) {
+        u64 k = keys[i];
+        std::lock_guard<std::mutex> bucket_guard(locks[k % locks.size()]);
+        ++counts[k];
+      });
+      return counts;
+    }
+  }
+  throw std::invalid_argument("bad mode");
+}
+
+std::vector<BucketStats> histogram_stats(std::span<const u64> keys,
+                                         std::size_t num_buckets,
+                                         AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kUnchecked:
+    case AccessMode::kChecked:
+      return histogram_private<BucketStats>(
+          keys, num_buckets, [](BucketStats& slot, u64 key) { slot.add(key); },
+          [](BucketStats& into, const BucketStats& from) { into.merge(from); });
+    case AccessMode::kAtomic:
+      throw std::invalid_argument(
+          "histogram_stats: BucketStats is multi-word; no atomic expression "
+          "exists (use kLocked)");
+    case AccessMode::kLocked: {
+      std::vector<BucketStats> stats(num_buckets);
+      std::vector<std::mutex> locks(std::min<std::size_t>(num_buckets, 4096));
+      sched::parallel_for(0, keys.size(), [&](std::size_t i) {
+        u64 k = keys[i];
+        std::lock_guard<std::mutex> bucket_guard(locks[k % locks.size()]);
+        stats[k].add(k);
+      });
+      return stats;
+    }
+  }
+  throw std::invalid_argument("bad mode");
+}
+
+const census::BenchmarkCensus& hist_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "hist",
+      census::Dispatch::kStatic,
+      {
+          {Pattern::kRO, 1, "read keys"},
+          {Pattern::kBlock, 1, "per-block private accumulation"},
+          {Pattern::kStride, 2, "per-bucket merge"},
+          {Pattern::kSngInd, 1, "bucket scatter by key"},
+          {Pattern::kAW, 1, "shared-bucket increments"},
+      }};
+  return c;
+}
+
+}  // namespace rpb::seq

@@ -1,0 +1,50 @@
+// hist benchmark: histogram of exponentially distributed keys.
+//
+// Expression variants (the paper's Fig. 5(b) hist point):
+//  - kUnchecked: per-block private copies merged with a Stride reduce —
+//    algorithmically independent, no synchronization (what unsafe
+//    Rust / C++ buys you).
+//  - kAtomic: relaxed fetch_add per bucket (AW with atomics) — only
+//    possible for word-sized counters.
+//  - kLocked: a mutex per bucket stripe guarding the accumulator — the
+//    only option for multi-word accumulators, and the source of the
+//    paper's ~4x hist slowdown.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/access_mode.h"
+#include "core/census.h"
+#include "support/defs.h"
+
+namespace rpb::seq {
+
+// Plain counting histogram. Keys must be < num_buckets.
+std::vector<u64> histogram(std::span<const u64> keys, std::size_t num_buckets,
+                           AccessMode mode);
+
+// Multi-word per-bucket accumulator: too big for std::atomic_ref, so
+// the synchronized expression must take a lock (paper Sec. 7.4).
+struct BucketStats {
+  u64 count = 0;
+  u64 sum = 0;
+  u64 min = ~u64{0};
+  u64 max = 0;
+  u64 sum_squares = 0;
+
+  void add(u64 key);
+  void merge(const BucketStats& other);
+  bool operator==(const BucketStats&) const = default;
+};
+
+// Struct histogram. Supported modes: kUnchecked (private copies) and
+// kLocked (bucket mutexes); kAtomic throws (the point of the exercise).
+std::vector<BucketStats> histogram_stats(std::span<const u64> keys,
+                                         std::size_t num_buckets,
+                                         AccessMode mode);
+
+const census::BenchmarkCensus& hist_census();
+
+}  // namespace rpb::seq

@@ -1,0 +1,23 @@
+#include "seq/integer_sort.h"
+
+namespace rpb::seq {
+
+void integer_sort(std::vector<u64>& keys, int key_bits, AccessMode mode) {
+  integer_sort_by(keys, key_bits, [](u64 k) { return k; }, mode);
+}
+
+const census::BenchmarkCensus& isort_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "isort",
+      census::Dispatch::kStatic,
+      {
+          {Pattern::kRO, 1, "read keys"},
+          {Pattern::kBlock, 2, "per-block digit counts"},
+          {Pattern::kStride, 2, "prefix scan of bucket counts"},
+          {Pattern::kSngInd, 2, "stable scatter to computed ranks"},
+      }};
+  return c;
+}
+
+}  // namespace rpb::seq

@@ -1,0 +1,126 @@
+// isort benchmark: stable LSD radix sort. Each pass histograms 8-bit
+// digits per block (Block pattern), prefix-scans the bucket counts, and
+// scatters to destinations that are unique by construction — the exact
+// "sort routine" context of the paper's SngInd Listing 6. kChecked
+// materializes the destination vector and validates uniqueness through
+// par_ind_iter_mut before the scatter.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/access_mode.h"
+#include "core/atomics.h"
+#include "core/census.h"
+#include "core/patterns.h"
+#include "core/primitives.h"
+#include "sched/parallel.h"
+#include "support/defs.h"
+
+namespace rpb::seq {
+
+inline constexpr int kRadixBits = 8;
+inline constexpr std::size_t kRadix = 1u << kRadixBits;
+
+namespace detail {
+
+// One stable counting pass on digit [shift, shift+8) from `in` to `out`.
+template <class T, class KeyFn>
+void radix_pass(std::span<const T> in, std::span<T> out, int shift, KeyFn key,
+                AccessMode mode) {
+  const std::size_t n = in.size();
+  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+
+  // counts[digit * num_blocks + block]: bucket-major so one scan yields
+  // each block's cursor start for each digit.
+  std::vector<u64> counts(kRadix * num_blocks, 0);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        for (std::size_t i = lo; i < hi; ++i) {
+          u64 digit = (key(in[i]) >> shift) & (kRadix - 1);
+          ++counts[digit * num_blocks + b];
+        }
+      },
+      1);
+  par::scan_exclusive_sum(std::span<u64>(counts));
+
+  if (mode == AccessMode::kChecked) {
+    // Materialize destinations, prove they are a permutation, then let
+    // the checked pattern do the scatter (paper Listing 6(f)).
+    std::vector<u64> dest(n);
+    std::vector<u64> cursors(counts);
+    sched::parallel_for(
+        0, num_blocks,
+        [&](std::size_t b) {
+          std::size_t lo = b * block, hi = std::min(n, lo + block);
+          for (std::size_t i = lo; i < hi; ++i) {
+            u64 digit = (key(in[i]) >> shift) & (kRadix - 1);
+            dest[i] = cursors[digit * num_blocks + b]++;
+          }
+        },
+        1);
+    par::par_ind_iter_mut(
+        out, std::span<const u64>(dest),
+        [&](std::size_t i, T& slot) { slot = in[i]; }, AccessMode::kChecked);
+    return;
+  }
+
+  // Unchecked scatter: per-block cursors advance through disjoint
+  // regions (the "scary" but fast expression). kAtomic instead tags the
+  // stores with relaxed ordering — the zero-uniqueness-guarantee
+  // synchronization the paper measures in Fig. 5(b).
+  const bool atomic_stores = mode == AccessMode::kAtomic;
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        u64 local_cursor[kRadix];
+        for (std::size_t d = 0; d < kRadix; ++d) {
+          local_cursor[d] = counts[d * num_blocks + b];
+        }
+        for (std::size_t i = lo; i < hi; ++i) {
+          u64 digit = (key(in[i]) >> shift) & (kRadix - 1);
+          u64 slot = local_cursor[digit]++;
+          if constexpr (kWordWiseStorable<T>) {
+            if (atomic_stores) {
+              relaxed_store_object(&out[slot], in[i]);
+              continue;
+            }
+          }
+          out[slot] = in[i];
+        }
+      },
+      1);
+}
+
+}  // namespace detail
+
+// Stable sort of `items` by key(item), which must fit in key_bits bits.
+template <class T, class KeyFn>
+void integer_sort_by(std::vector<T>& items, int key_bits, KeyFn key,
+                     AccessMode mode = AccessMode::kUnchecked) {
+  if (items.size() < 2) return;
+  std::vector<T> buffer(items.size());
+  std::span<T> a(items), b(buffer);
+  int passes = (key_bits + kRadixBits - 1) / kRadixBits;
+  for (int p = 0; p < passes; ++p) {
+    detail::radix_pass(std::span<const T>(a), b, p * kRadixBits, key, mode);
+    std::swap(a, b);
+  }
+  if (passes % 2 == 1) {
+    sched::parallel_for(0, items.size(),
+                        [&](std::size_t i) { items[i] = buffer[i]; });
+  }
+}
+
+// The isort benchmark entry point: sort u64 keys.
+void integer_sort(std::vector<u64>& keys, int key_bits,
+                  AccessMode mode = AccessMode::kUnchecked);
+
+const census::BenchmarkCensus& isort_census();
+
+}  // namespace rpb::seq

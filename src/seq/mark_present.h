@@ -1,0 +1,38 @@
+// The paper's "benign race" example (Sec. 5.2): finding the distinct
+// characters of a string by having every task store 1 into
+// present[c]. All writers store the same value, so the race *looks*
+// benign — but C++ (like Rust) makes the unsynchronized version
+// undefined, and compilers may legally break it. The paper's fix is
+// relaxed atomic stores; both expressions live here so their cost can
+// be compared (it is zero on mainstream hardware).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "core/access_mode.h"
+#include "core/atomics.h"
+#include "sched/parallel.h"
+#include "support/defs.h"
+
+namespace rpb::seq {
+
+// present[c] == 1 iff byte c occurs in text. kUnchecked uses plain
+// stores (the PBBS original the paper calls out as non-portable);
+// kAtomic uses relaxed atomic stores (the paper's recommended fix).
+inline std::array<u8, 256> mark_present(std::span<const u8> text,
+                                        AccessMode mode = AccessMode::kAtomic) {
+  std::array<u8, 256> present{};
+  if (mode == AccessMode::kAtomic) {
+    sched::parallel_for(0, text.size(), [&](std::size_t i) {
+      relaxed_store(&present[text[i]], u8{1});
+    });
+  } else {
+    sched::parallel_for(0, text.size(), [&](std::size_t i) {
+      present[text[i]] = 1;  // same-value race: the "benign" original
+    });
+  }
+  return present;
+}
+
+}  // namespace rpb::seq

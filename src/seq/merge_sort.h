@@ -1,0 +1,105 @@
+// Parallel merge sort — the paper's Listing 9: divide-and-conquer with
+// rayon::join / our sched::join, the canonical fearless D&C pattern
+// (children get disjoint split_at halves, verified by API shape).
+// The merge itself is also parallel: binary-search splitting recurses
+// on independent output ranges.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sched/parallel.h"
+
+namespace rpb::seq {
+namespace detail {
+
+inline constexpr std::size_t kMergeSortSerialCutoff = 1 << 12;
+
+// Stable merge of sorted a then b into out (|out| == |a| + |b|): split
+// the larger input at its median, binary-search the split point in the
+// other, and recurse on the two independent halves. Tie direction
+// preserves stability: b-elements equal to an a-pivot go right
+// (lower_bound); a-elements equal to a b-pivot go left (upper_bound).
+template <class T, class Less>
+void parallel_merge(std::span<const T> a, std::span<const T> b,
+                    std::span<T> out, Less less) {
+  if (a.size() + b.size() <= kMergeSortSerialCutoff) {
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(), less);
+    return;
+  }
+  if (a.size() >= b.size()) {
+    std::size_t a_mid = a.size() / 2;
+    std::size_t b_mid = static_cast<std::size_t>(
+        std::lower_bound(b.begin(), b.end(), a[a_mid], less) - b.begin());
+    out[a_mid + b_mid] = a[a_mid];
+    sched::join(
+        [&] {
+          parallel_merge(a.subspan(0, a_mid), b.subspan(0, b_mid),
+                         out.subspan(0, a_mid + b_mid), less);
+        },
+        [&] {
+          parallel_merge(a.subspan(a_mid + 1), b.subspan(b_mid),
+                         out.subspan(a_mid + b_mid + 1), less);
+        });
+  } else {
+    std::size_t b_mid = b.size() / 2;
+    std::size_t a_mid = static_cast<std::size_t>(
+        std::upper_bound(a.begin(), a.end(), b[b_mid], less) - a.begin());
+    out[a_mid + b_mid] = b[b_mid];
+    sched::join(
+        [&] {
+          parallel_merge(a.subspan(0, a_mid), b.subspan(0, b_mid),
+                         out.subspan(0, a_mid + b_mid), less);
+        },
+        [&] {
+          parallel_merge(a.subspan(a_mid), b.subspan(b_mid + 1),
+                         out.subspan(a_mid + b_mid + 1), less);
+        });
+  }
+}
+
+// Sort `in`; the result lands in `in` if !result_in_buffer, else in
+// `buffer`. Classic ping-pong to avoid copies.
+template <class T, class Less>
+void merge_sort_rec(std::span<T> in, std::span<T> buffer, bool result_in_buffer,
+                    Less less) {
+  if (in.size() <= kMergeSortSerialCutoff) {
+    std::stable_sort(in.begin(), in.end(), less);
+    if (result_in_buffer) {
+      std::copy(in.begin(), in.end(), buffer.begin());
+    }
+    return;
+  }
+  std::size_t mid = in.size() / 2;
+  // Children sort into `in`'s halves or `buffer`'s halves so the merge
+  // reads from one array and writes the other (paper Listing 9's
+  // split_at / split_at_mut discipline).
+  sched::join(
+      [&] {
+        merge_sort_rec(in.subspan(0, mid), buffer.subspan(0, mid),
+                       !result_in_buffer, less);
+      },
+      [&] {
+        merge_sort_rec(in.subspan(mid), buffer.subspan(mid),
+                       !result_in_buffer, less);
+      });
+  std::span<T> src = result_in_buffer ? in : buffer;
+  std::span<T> dst = result_in_buffer ? buffer : in;
+  parallel_merge(std::span<const T>(src.subspan(0, mid)),
+                 std::span<const T>(src.subspan(mid)), dst, less);
+}
+
+}  // namespace detail
+
+// Stable parallel merge sort (paper Listing 9).
+template <class T, class Less = std::less<T>>
+void merge_sort(std::vector<T>& data, Less less = Less()) {
+  if (data.size() < 2) return;
+  std::vector<T> buffer(data.size());
+  detail::merge_sort_rec(std::span<T>(data), std::span<T>(buffer),
+                         /*result_in_buffer=*/false, less);
+}
+
+}  // namespace rpb::seq

@@ -1,0 +1,110 @@
+// sort benchmark: parallel sample sort (the paper uses PBBS's sample
+// sort). Oversample, pick splitters, classify per block (Block), scan,
+// scatter to bucket regions, then sort each bucket — the bucket-region
+// step is expressed through par_ind_chunks_mut (RngInd), whose cheap
+// monotonicity check is the "comfortable" expression the paper keeps
+// enabled even in the performance runs.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/access_mode.h"
+#include "core/census.h"
+#include "core/patterns.h"
+#include "core/primitives.h"
+#include "sched/parallel.h"
+#include "support/defs.h"
+#include "support/prng.h"
+
+namespace rpb::seq {
+
+template <class T, class Less = std::less<T>>
+void sample_sort(std::vector<T>& items, Less less = Less(),
+                 AccessMode mode = AccessMode::kChecked) {
+  const std::size_t n = items.size();
+  constexpr std::size_t kSerialCutoff = 1 << 13;
+  if (n <= kSerialCutoff) {
+    std::sort(items.begin(), items.end(), less);
+    return;
+  }
+
+  // Bucket count ~ sqrt-ish scaling, capped; oversampling factor 32.
+  const std::size_t num_buckets =
+      std::min<std::size_t>(512, std::max<std::size_t>(2, n / (1 << 13)));
+  const std::size_t oversample = 32;
+  const std::size_t sample_size = num_buckets * oversample;
+
+  Rng rng(0x5a5a5a);
+  std::vector<T> sample(sample_size);
+  for (std::size_t i = 0; i < sample_size; ++i) sample[i] = items[rng.next(i, n)];
+  std::sort(sample.begin(), sample.end(), less);
+  std::vector<T> splitters(num_buckets - 1);
+  for (std::size_t i = 0; i + 1 < num_buckets; ++i) {
+    splitters[i] = sample[(i + 1) * oversample];
+  }
+
+  // Classify per block; bucket of x = first splitter > x.
+  auto bucket_of = [&](const T& x) {
+    return static_cast<std::size_t>(
+        std::upper_bound(splitters.begin(), splitters.end(), x, less) -
+        splitters.begin());
+  };
+  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+  std::vector<u64> counts(num_buckets * num_blocks, 0);
+  std::vector<u32> bucket_ids(n);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        for (std::size_t i = lo; i < hi; ++i) {
+          std::size_t bkt = bucket_of(items[i]);
+          bucket_ids[i] = static_cast<u32>(bkt);
+          ++counts[bkt * num_blocks + b];
+        }
+      },
+      1);
+  par::scan_exclusive_sum(std::span<u64>(counts));
+
+  // Bucket boundary offsets (monotone by construction of the scan).
+  std::vector<u64> bucket_offsets(num_buckets + 1);
+  for (std::size_t bkt = 0; bkt < num_buckets; ++bkt) {
+    bucket_offsets[bkt] = counts[bkt * num_blocks];
+  }
+  bucket_offsets[num_buckets] = n;
+
+  // Scatter into bucket regions.
+  std::vector<T> buffer(n);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        std::vector<u64> cursor(num_buckets);
+        for (std::size_t bkt = 0; bkt < num_buckets; ++bkt) {
+          cursor[bkt] = counts[bkt * num_blocks + b];
+        }
+        for (std::size_t i = lo; i < hi; ++i) {
+          buffer[cursor[bucket_ids[i]]++] = items[i];
+        }
+      },
+      1);
+
+  // Sort each bucket region in place: RngInd over the bucket offsets.
+  par::par_ind_chunks_mut(
+      std::span<T>(buffer), std::span<const u64>(bucket_offsets),
+      [&](std::size_t, std::span<T> chunk) {
+        std::sort(chunk.begin(), chunk.end(), less);
+      },
+      mode == AccessMode::kChecked ? AccessMode::kChecked
+                                   : AccessMode::kUnchecked);
+
+  sched::parallel_for(0, n, [&](std::size_t i) { items[i] = buffer[i]; });
+}
+
+const census::BenchmarkCensus& sort_census();
+
+}  // namespace rpb::seq

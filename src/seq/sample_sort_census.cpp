@@ -1,0 +1,20 @@
+#include "seq/sample_sort.h"
+
+namespace rpb::seq {
+
+const census::BenchmarkCensus& sort_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "sort",
+      census::Dispatch::kStatic,
+      {
+          {Pattern::kRO, 2, "sampling + classification reads"},
+          {Pattern::kBlock, 2, "per-block bucket counts"},
+          {Pattern::kStride, 2, "scan + copy back"},
+          {Pattern::kDC, 1, "recursive bucket sorts"},
+          {Pattern::kRngInd, 2, "sort within bucket regions"},
+      }};
+  return c;
+}
+
+}  // namespace rpb::seq

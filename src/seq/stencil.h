@@ -1,0 +1,56 @@
+// 2D stencil computation — the paper's other canonical *regular*
+// pattern ("a parallel reduction on an array or a stencil computation",
+// Sec. 3). Double-buffered 5-point Jacobi steps over a row-major grid:
+// each task owns a block of rows of the output (Block pattern) and only
+// reads the input, so the expression is fearless by construction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/parallel.h"
+
+namespace rpb::seq {
+
+// One Jacobi step: out(r,c) = average of the 4-neighborhood + self.
+// Border cells copy through unchanged (Dirichlet boundary).
+inline void jacobi_step(std::span<const double> in, std::span<double> out,
+                        std::size_t rows, std::size_t cols) {
+  if (in.size() != rows * cols || out.size() != rows * cols) {
+    throw std::invalid_argument("jacobi_step: grid size mismatch");
+  }
+  if (rows == 0 || cols == 0) return;
+  sched::parallel_for_range(0, rows, [&](std::size_t r_lo, std::size_t r_hi) {
+    for (std::size_t r = r_lo; r < r_hi; ++r) {
+      const double* in_row = in.data() + r * cols;
+      double* out_row = out.data() + r * cols;
+      if (r == 0 || r + 1 == rows) {
+        for (std::size_t c = 0; c < cols; ++c) out_row[c] = in_row[c];
+        continue;
+      }
+      out_row[0] = in_row[0];
+      for (std::size_t c = 1; c + 1 < cols; ++c) {
+        out_row[c] = 0.2 * (in_row[c] + in_row[c - 1] + in_row[c + 1] +
+                            in_row[c - cols] + in_row[c + cols]);
+      }
+      out_row[cols - 1] = in_row[cols - 1];
+    }
+  });
+}
+
+// Run `steps` Jacobi iterations in place (ping-pong buffers); returns
+// the final grid.
+inline std::vector<double> jacobi(std::vector<double> grid, std::size_t rows,
+                                  std::size_t cols, std::size_t steps) {
+  std::vector<double> other(grid.size());
+  for (std::size_t s = 0; s < steps; ++s) {
+    jacobi_step(std::span<const double>(grid), std::span<double>(other), rows,
+                cols);
+    std::swap(grid, other);
+  }
+  return grid;
+}
+
+}  // namespace rpb::seq

@@ -1,0 +1,43 @@
+#include "support/cli.h"
+
+#include <cstdlib>
+
+namespace rpb {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& dflt) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? dflt : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t dflt) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double dflt) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace rpb

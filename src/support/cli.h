@@ -1,0 +1,29 @@
+// Minimal command-line flag parsing shared by benches and examples.
+// Flags look like: --name value  or  --name=value  or  --flag (boolean).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rpb {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& dflt) const;
+  std::int64_t get_int(const std::string& name, std::int64_t dflt) const;
+  double get_double(const std::string& name, double dflt) const;
+
+  // Non-flag positional arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rpb

@@ -1,0 +1,19 @@
+// Common small definitions shared by every rpb subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rpb {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+// Destructive false sharing shows up at cache-line granularity; pad
+// per-thread mutable state to this.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+}  // namespace rpb

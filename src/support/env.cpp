@@ -1,0 +1,17 @@
+#include "support/env.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace rpb {
+
+std::size_t default_threads() {
+  if (const char* env = std::getenv("RPB_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace rpb

@@ -1,0 +1,13 @@
+// Process-environment helpers: default thread count resolution shared by
+// the pool, benches, and tests.
+#pragma once
+
+#include <cstddef>
+
+namespace rpb {
+
+// Number of worker threads to use by default: RPB_THREADS env var if
+// set, otherwise std::thread::hardware_concurrency() (min 1).
+std::size_t default_threads();
+
+}  // namespace rpb

@@ -1,0 +1,19 @@
+// Error types for the "comfortable" tier of the paper's fear spectrum:
+// run-time validation failures whose symptom is close to the cause.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rpb {
+
+// Thrown when a checked irregular pattern (par_ind_iter_mut /
+// par_ind_chunks_mut) detects that the caller's independence contract is
+// violated — the C++ analogue of the paper's interior-unsafe run-time
+// checks panicking.
+class CheckFailure : public std::runtime_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace rpb

@@ -1,0 +1,31 @@
+// The PBBS 64-bit mix hash (paper appendix, Listing 10). Used as the
+// canonical cheap "task" for the Fig. 6 microbenchmark, and as the mixing
+// stage of our deterministic PRNG.
+#pragma once
+
+#include "support/defs.h"
+
+namespace rpb {
+
+// Stateless 64->64 bit mixer; identical constants to PBBS's hash64.
+constexpr u64 hash64(u64 v) {
+  v = v * 3935559000370003845ull + 2691343689449507681ull;
+  v ^= v >> 21;
+  v ^= v << 37;
+  v ^= v >> 4;
+  v = v * 4768777513237032717ull;
+  v ^= v << 20;
+  v ^= v >> 41;
+  v ^= v << 5;
+  return v;
+}
+
+// Cheap secondary mixer (splitmix64 finalizer) for combining seeds.
+constexpr u64 mix64(u64 v) {
+  v += 0x9e3779b97f4a7c15ull;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+  return v ^ (v >> 31);
+}
+
+}  // namespace rpb

@@ -1,0 +1,43 @@
+// Deterministic, seekable PRNG used by all input generators and
+// randomized algorithms. Counter-based (stateless per draw) so parallel
+// tasks can draw independent values without shared mutable state: the
+// i-th value of a stream is a pure function of (seed, i).
+#pragma once
+
+#include <cmath>
+
+#include "support/hash.h"
+
+namespace rpb {
+
+class Rng {
+ public:
+  explicit constexpr Rng(u64 seed) : seed_(mix64(seed)) {}
+
+  // i-th raw 64-bit draw of this stream.
+  constexpr u64 bits(u64 i) const { return hash64(seed_ ^ mix64(i)); }
+
+  // Uniform in [0, bound). Slightly biased for huge bounds; fine for
+  // workload generation.
+  constexpr u64 next(u64 i, u64 bound) const { return bits(i) % bound; }
+
+  // Uniform double in [0, 1).
+  constexpr double uniform(u64 i) const {
+    return static_cast<double>(bits(i) >> 11) * 0x1.0p-53;
+  }
+
+  // Exponentially distributed double with the given rate (PBBS's
+  // exponential input distribution for sort/dedup/hist/isort).
+  double exponential(u64 i, double rate = 1.0) const {
+    // Guard against log(0): uniform() < 1 always, so 1-u > 0.
+    return -std::log(1.0 - uniform(i)) / rate;
+  }
+
+  // Derive an independent stream (e.g. per phase or per structure).
+  constexpr Rng fork(u64 stream) const { return Rng(seed_ ^ mix64(~stream)); }
+
+ private:
+  u64 seed_;
+};
+
+}  // namespace rpb

@@ -1,0 +1,66 @@
+// Mutex-encapsulated value (CppCoreGuidelines CP.50: "define a mutex
+// together with the data it guards"). This is the C++ analogue of the
+// paper's Listing 1 discussion of Rust's Mutex<T>/RwLock<T>: the lock
+// *owns* the data, so unsynchronized access is unrepresentable and the
+// guard's destructor makes forgetting to unlock impossible.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+namespace rpb {
+
+template <class T>
+class Synchronized {
+ public:
+  Synchronized() = default;
+  explicit Synchronized(T initial) : value_(std::move(initial)) {}
+
+  Synchronized(const Synchronized&) = delete;
+  Synchronized& operator=(const Synchronized&) = delete;
+
+  class WriteGuard {
+   public:
+    T& operator*() { return owner_->value_; }
+    T* operator->() { return &owner_->value_; }
+
+   private:
+    friend class Synchronized;
+    explicit WriteGuard(Synchronized* owner)
+        : owner_(owner), lock_(owner->mutex_) {}
+    Synchronized* owner_;
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+
+  class ReadGuard {
+   public:
+    const T& operator*() const { return owner_->value_; }
+    const T* operator->() const { return &owner_->value_; }
+
+   private:
+    friend class Synchronized;
+    explicit ReadGuard(const Synchronized* owner)
+        : owner_(owner), lock_(owner->mutex_) {}
+    const Synchronized* owner_;
+    std::shared_lock<std::shared_mutex> lock_;
+  };
+
+  // Exclusive access (Rust's lock()/write()).
+  WriteGuard write() { return WriteGuard(this); }
+  // Shared access (Rust's read()).
+  ReadGuard read() const { return ReadGuard(this); }
+
+  // Run f with exclusive access; returns f's result.
+  template <class F>
+  decltype(auto) with(F&& f) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return f(value_);
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  T value_{};
+};
+
+}  // namespace rpb

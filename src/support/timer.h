@@ -1,0 +1,25 @@
+// Wall-clock timing for the benchmark harnesses (the paper reports
+// wall-clock time, Sec. 7.1).
+#pragma once
+
+#include <chrono>
+
+namespace rpb {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds since construction or last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rpb

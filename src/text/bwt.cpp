@@ -1,0 +1,206 @@
+#include "text/bwt.h"
+
+#include <stdexcept>
+
+#include "core/atomics.h"
+#include "core/patterns.h"
+#include "core/primitives.h"
+#include "sched/parallel.h"
+#include "text/suffix_array.h"
+
+namespace rpb::text {
+
+std::vector<u8> bwt_encode(std::span<const u8> text, AccessMode mode) {
+  const std::size_t n = text.size();
+  std::vector<u8> with_sentinel(n + 1);
+  sched::parallel_for(0, n, [&](std::size_t i) {
+    if (text[i] == 0) throw std::invalid_argument("text contains NUL");
+    with_sentinel[i] = text[i];
+  });
+  with_sentinel[n] = 0;
+
+  std::vector<u32> sa = suffix_array(with_sentinel, mode);
+  std::vector<u8> bwt(n + 1);
+  sched::parallel_for(0, n + 1, [&](std::size_t j) {
+    u32 p = sa[j];
+    bwt[j] = p == 0 ? with_sentinel[n] : with_sentinel[p - 1];
+  });
+  return bwt;
+}
+
+namespace {
+
+// Shared decode machinery: the psi permutation (forward-walk successor
+// rows) and the first column of the sorted rotation matrix.
+struct DecodeTables {
+  std::vector<u64> psi;
+  std::vector<u8> first_col;
+};
+
+DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode);
+
+}  // namespace
+
+std::vector<u8> bwt_decode(std::span<const u8> bwt, AccessMode mode) {
+  const std::size_t n = bwt.size();
+  if (n == 0) return {};
+  DecodeTables tables = build_decode_tables(bwt, mode);
+
+  // Serial cycle chase from the sentinel row (row 0): psi steps walk
+  // the text forward.
+  std::vector<u8> out(n - 1);
+  u64 row = tables.psi[0];
+  for (std::size_t t = 0; t + 1 < n; ++t) {
+    out[t] = tables.first_col[row];
+    row = tables.psi[row];
+  }
+  return out;
+}
+
+std::vector<u8> bwt_decode_parallel_chase(std::span<const u8> bwt,
+                                          AccessMode mode,
+                                          std::size_t num_segments) {
+  const std::size_t n = bwt.size();
+  if (n == 0) return {};
+  const std::size_t out_len = n - 1;
+  DecodeTables tables = build_decode_tables(bwt, mode);
+  if (num_segments == 0) {
+    num_segments = 4 * sched::ThreadPool::global().num_threads();
+  }
+  num_segments = std::max<std::size_t>(1, std::min(num_segments, out_len));
+  const std::size_t seg_len = (out_len + num_segments - 1) / num_segments;
+
+  // Segment j outputs t in [j*seg_len, ...) and needs its entry row
+  // row_t = psi^(t+1)(0). Find all entry rows at once by pointer
+  // doubling: at level l we hold jump = psi^(2^l) and advance every
+  // segment whose remaining step count has bit l set.
+  std::vector<u64> entry(num_segments, 0);
+  std::vector<u64> steps(num_segments);
+  u64 max_steps = 0;
+  for (std::size_t j = 0; j < num_segments; ++j) {
+    steps[j] = static_cast<u64>(j) * seg_len + 1;
+    max_steps = std::max(max_steps, steps[j]);
+  }
+  std::vector<u64> jump(tables.psi);
+  std::vector<u64> jump_next(n);
+  for (int level = 0; (u64{1} << level) <= max_steps; ++level) {
+    for (std::size_t j = 0; j < num_segments; ++j) {
+      if (steps[j] & (u64{1} << level)) entry[j] = jump[entry[j]];
+    }
+    if ((u64{2} << level) > max_steps) break;  // last level: skip squaring
+    sched::parallel_for(0, n,
+                        [&](std::size_t i) { jump_next[i] = jump[jump[i]]; });
+    std::swap(jump, jump_next);
+  }
+
+  // Independent chases: each segment owns a disjoint output block.
+  std::vector<u8> out(out_len);
+  sched::parallel_for(
+      0, num_segments,
+      [&](std::size_t j) {
+        std::size_t lo = j * seg_len;
+        std::size_t hi = std::min(out_len, lo + seg_len);
+        u64 row = entry[j];
+        for (std::size_t t = lo; t < hi; ++t) {
+          out[t] = tables.first_col[row];
+          row = tables.psi[row];
+        }
+      },
+      1);
+  return out;
+}
+
+namespace {
+
+DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode) {
+  const std::size_t n = bwt.size();
+  constexpr std::size_t kAlphabet = 256;
+
+  // Per-block character counts (Block), then a transpose scan giving
+  // both the global C array and each block's per-char occ offsets.
+  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+  std::vector<u64> counts(kAlphabet * num_blocks, 0);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        for (std::size_t i = lo; i < hi; ++i) {
+          ++counts[static_cast<std::size_t>(bwt[i]) * num_blocks + b];
+        }
+      },
+      1);
+  par::scan_exclusive_sum(std::span<u64>(counts));
+
+  // First-column boundaries C[c] = start row of character c.
+  std::vector<u64> c_bounds(kAlphabet + 1);
+  for (std::size_t c = 0; c < kAlphabet; ++c) {
+    c_bounds[c] = counts[c * num_blocks];
+  }
+  c_bounds[kAlphabet] = n;
+
+  // LF mapping: lf[i] = C[bwt[i]] + occ(bwt[i], i). A permutation of
+  // [0, n) by construction.
+  std::vector<u64> lf(n);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        u64 cursor[kAlphabet];
+        for (std::size_t c = 0; c < kAlphabet; ++c) {
+          cursor[c] = counts[c * num_blocks + b];
+        }
+        for (std::size_t i = lo; i < hi; ++i) {
+          lf[i] = cursor[bwt[i]]++;
+        }
+      },
+      1);
+
+  // psi = LF^-1 via the SngInd scatter: kChecked validates lf is a
+  // permutation first; kAtomic tags the stores Relaxed instead.
+  std::vector<u64> psi(n);
+  const bool atomic_stores = mode == AccessMode::kAtomic;
+  par::par_ind_iter_mut(
+      std::span<u64>(psi), std::span<const u64>(lf),
+      [atomic_stores](std::size_t i, u64& slot) {
+        if (atomic_stores) {
+          relaxed_store(&slot, static_cast<u64>(i));
+        } else {
+          slot = static_cast<u64>(i);
+        }
+      },
+      mode);
+
+  // First column F: fill each character's row range (RngInd).
+  std::vector<u8> first_col(n);
+  par::par_ind_chunks_mut(
+      std::span<u8>(first_col), std::span<const u64>(c_bounds),
+      [](std::size_t c, std::span<u8> chunk) {
+        for (u8& v : chunk) v = static_cast<u8>(c);
+      },
+      mode == AccessMode::kChecked ? AccessMode::kChecked
+                                   : AccessMode::kUnchecked);
+
+  return DecodeTables{std::move(psi), std::move(first_col)};
+}
+
+}  // namespace
+
+const census::BenchmarkCensus& bw_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "bw",
+      census::Dispatch::kStatic,
+      {
+          {Pattern::kRO, 1, "first-column boundary reads"},
+          {Pattern::kStride, 4, "bwt reads (x2), lf write, psi gather"},
+          {Pattern::kBlock, 2, "per-block char counts + cursors"},
+          {Pattern::kDC, 1, "rotation sort recursion (encode)"},
+          {Pattern::kSngInd, 1, "psi inversion scatter"},
+          {Pattern::kRngInd, 1, "first-column run fill"},
+      }};
+  return c;
+}
+
+}  // namespace rpb::text

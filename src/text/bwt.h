@@ -1,0 +1,41 @@
+// bw benchmark: Burrows–Wheeler transform encode + decode.
+//
+// Encode sorts the rotations of text+sentinel via the suffix array.
+// Decode is the benchmark proper (as in PBBS): it builds the LF
+// permutation from per-block character counts (Block + scan), inverts
+// it with a SngInd scatter — the mode-controlled par_ind_iter_mut site
+// of Fig. 5(a) — fills the first-column runs via RngInd, and finishes
+// with the (serial) cycle chase.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/access_mode.h"
+#include "core/census.h"
+#include "support/defs.h"
+
+namespace rpb::text {
+
+// BWT of text + implicit 0 sentinel; output length is text.size() + 1
+// and contains exactly one 0 byte. Input must not contain 0 bytes.
+std::vector<u8> bwt_encode(std::span<const u8> text,
+                           AccessMode mode = AccessMode::kUnchecked);
+
+// Inverse transform; returns the original text (sentinel removed).
+std::vector<u8> bwt_decode(std::span<const u8> bwt,
+                           AccessMode mode = AccessMode::kUnchecked);
+
+// Extension (see DESIGN.md): fully parallel decode. The serial cycle
+// chase is replaced by pointer doubling — O(n log k) extra work to find
+// k segment entry rows, then k independent chases (Block writes). Loses
+// to the serial chase at 1 thread, wins once cores outnumber the
+// doubling overhead; `bench/ablation_bwt_chase` quantifies the
+// crossover. num_segments 0 picks 4x the worker count.
+std::vector<u8> bwt_decode_parallel_chase(
+    std::span<const u8> bwt, AccessMode mode = AccessMode::kUnchecked,
+    std::size_t num_segments = 0);
+
+const census::BenchmarkCensus& bw_census();
+
+}  // namespace rpb::text

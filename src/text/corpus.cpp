@@ -1,0 +1,64 @@
+#include "text/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "support/prng.h"
+
+namespace rpb::text {
+namespace {
+
+constexpr std::size_t kVocabulary = 8192;
+
+// Deterministic pseudo-word for vocabulary slot w: length 2..11,
+// lowercase letters.
+std::string make_word(u64 w, const Rng& rng) {
+  std::size_t len = 2 + rng.next(w * 2 + 1, 10);
+  std::string word(len, 'a');
+  for (std::size_t i = 0; i < len; ++i) {
+    word[i] = static_cast<char>('a' + rng.next(w * 31 + i, 26));
+  }
+  return word;
+}
+
+}  // namespace
+
+std::vector<u8> make_corpus(std::size_t n, u64 seed,
+                            std::size_t planted_repeat_len) {
+  Rng rng(seed);
+  Rng word_rng = rng.fork(1);
+
+  std::vector<std::string> vocab(kVocabulary);
+  for (std::size_t w = 0; w < kVocabulary; ++w) {
+    vocab[w] = make_word(w, word_rng);
+  }
+
+  // Zipf sampling via inverse-power transform of a uniform draw:
+  // rank ~ u^(-1/s) gives a heavy head like natural language.
+  std::vector<u8> out;
+  out.reserve(n + 16);
+  u64 draw = 0;
+  while (out.size() < n) {
+    double u = rng.uniform(draw++);
+    double r = std::pow(1.0 - u, -1.25);  // s ~ 0.8 Zipf-ish tail
+    auto rank = static_cast<std::size_t>(r) % kVocabulary;
+    const std::string& word = vocab[rank];
+    out.insert(out.end(), word.begin(), word.end());
+    out.push_back(' ');
+  }
+  out.resize(n);
+
+  if (planted_repeat_len > 0 && n > 4 * planted_repeat_len + 8) {
+    // Copy a passage from the first quarter into the last quarter.
+    std::size_t src = 1 + rng.next(~u64{7}, n / 4 - planted_repeat_len - 1);
+    std::size_t dst =
+        n / 2 + rng.next(~u64{8}, n / 4 - planted_repeat_len - 1);
+    std::copy_n(out.begin() + static_cast<std::ptrdiff_t>(src),
+                planted_repeat_len,
+                out.begin() + static_cast<std::ptrdiff_t>(dst));
+  }
+  return out;
+}
+
+}  // namespace rpb::text

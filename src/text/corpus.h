@@ -1,0 +1,21 @@
+// Synthetic "wiki"-like corpus generator: Zipf-distributed vocabulary
+// assembled into space-separated words, with an optional planted
+// repeated passage so lrs answers are verifiable (DESIGN.md
+// "Substitutions" — stands in for the paper's Wikipedia input).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/defs.h"
+
+namespace rpb::text {
+
+// Roughly n bytes of text over printable ASCII (no NUL bytes, so a 0
+// sentinel is always safe for suffix-array/BWT use).
+// If planted_repeat_len > 0, one passage of that length appears at two
+// far-apart positions, making it (almost surely) the longest repeat.
+std::vector<u8> make_corpus(std::size_t n, u64 seed,
+                            std::size_t planted_repeat_len = 0);
+
+}  // namespace rpb::text

@@ -1,0 +1,79 @@
+#include "text/lcp.h"
+
+#include "sched/parallel.h"
+#include "text/suffix_array.h"
+
+namespace rpb::text {
+
+std::vector<u32> lcp_kasai(std::span<const u8> text, std::span<const u32> sa) {
+  const std::size_t n = text.size();
+  std::vector<u32> lcp(n, 0);
+  if (n == 0) return lcp;
+  std::vector<u32> rank = inverse_permutation(sa);
+  u32 h = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rank[i] == 0) {
+      h = 0;
+      continue;
+    }
+    std::size_t j = sa[rank[i] - 1];
+    while (i + h < n && j + h < n && text[i + h] == text[j + h]) ++h;
+    lcp[rank[i]] = h;
+    if (h > 0) --h;
+  }
+  return lcp;
+}
+
+LrsResult longest_repeated_substring(std::span<const u8> text,
+                                     AccessMode mode) {
+  const std::size_t n = text.size();
+  LrsResult result;
+  if (n < 2) return result;
+  std::vector<u32> sa = suffix_array(text, mode);
+  std::vector<u32> lcp = lcp_kasai(text, sa);
+
+  // Parallel argmax over the LCP array (ties -> smallest index, so the
+  // result is deterministic).
+  struct Best {
+    u32 length = 0;
+    u32 index = 0;
+  };
+  Best best = sched::parallel_reduce_range(
+      1, n, Best{},
+      [&](std::size_t lo, std::size_t hi) {
+        Best acc;
+        for (std::size_t j = lo; j < hi; ++j) {
+          if (lcp[j] > acc.length) acc = Best{lcp[j], static_cast<u32>(j)};
+        }
+        return acc;
+      },
+      [](Best a, Best b) {
+        if (a.length != b.length) return a.length > b.length ? a : b;
+        return a.index <= b.index ? a : b;
+      });
+
+  result.length = best.length;
+  if (best.length > 0) {
+    result.position_a = sa[best.index - 1];
+    result.position_b = sa[best.index];
+  }
+  return result;
+}
+
+const census::BenchmarkCensus& lrs_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "lrs",
+      census::Dispatch::kStatic,
+      {
+          {Pattern::kRO, 2, "suffix compares + lcp argmax reads"},
+          {Pattern::kStride, 5, "key build, boundary flags, rank write, inverse perm, sa copy"},
+          {Pattern::kBlock, 2, "radix digit counts + cursors"},
+          {Pattern::kDC, 2, "sort recursion + argmax reduction tree"},
+          {Pattern::kSngInd, 2, "radix scatter + rank scatter by suffix"},
+          {Pattern::kAW, 1, "distinct-character marking (same-value writes)"},
+      }};
+  return c;
+}
+
+}  // namespace rpb::text

@@ -1,0 +1,32 @@
+// lrs benchmark: longest repeated substring = the maximum LCP between
+// lexicographically adjacent suffixes. LCP via Kasai's algorithm (the
+// serial tail PBBS also pays), argmax via parallel reduction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/access_mode.h"
+#include "core/census.h"
+#include "support/defs.h"
+
+namespace rpb::text {
+
+// lcp[j] = longest common prefix of suffixes sa[j-1] and sa[j]
+// (lcp[0] = 0).
+std::vector<u32> lcp_kasai(std::span<const u8> text, std::span<const u32> sa);
+
+struct LrsResult {
+  u32 length = 0;
+  u32 position_a = 0;  // starts of the two occurrences
+  u32 position_b = 0;
+};
+
+// Longest repeated substring; mode feeds through to the suffix sort's
+// SngInd scatter (Fig. 5(a)'s lrs bar).
+LrsResult longest_repeated_substring(std::span<const u8> text,
+                                     AccessMode mode = AccessMode::kUnchecked);
+
+const census::BenchmarkCensus& lrs_census();
+
+}  // namespace rpb::text

@@ -1,0 +1,121 @@
+#include "text/suffix_array.h"
+
+#include <array>
+#include <bit>
+
+#include "core/primitives.h"
+#include "sched/parallel.h"
+#include "seq/integer_sort.h"
+#include "seq/mark_present.h"
+
+namespace rpb::text {
+namespace {
+
+struct Item {
+  u64 key;
+  u32 suffix;
+};
+
+}  // namespace
+
+std::vector<u32> suffix_array(std::span<const u8> text, AccessMode mode) {
+  const std::size_t n = text.size();
+  std::vector<u32> sa(n);
+  if (n == 0) return sa;
+
+  // rank values stay < n + 2 throughout; keys pack two of them.
+  const u64 base = static_cast<u64>(n) + 2;
+  const int rank_bits = 64 - std::countl_zero(base - 1);
+  const int key_bits = 2 * rank_bits;
+
+  std::vector<u32> rank(n), next_rank(n);
+  std::vector<Item> items(n);
+  // Derive dense ranks from the current sorted items (flag boundaries,
+  // scan), returning the number of boundaries (= max dense rank).
+  auto rebuild_ranks = [&] {
+    // Rebuild ranks: flag key boundaries, scan for dense ranks.
+    std::vector<u64> flags(n);
+    flags[0] = 0;
+    sched::parallel_for(1, n, [&](std::size_t j) {
+      flags[j] = items[j].key != items[j - 1].key ? 1 : 0;
+    });
+    u64 max_rank = par::scan_exclusive_sum(std::span<u64>(flags));
+    // After the exclusive scan, flags[j] counts boundaries before j;
+    // the dense rank also includes j's own (recomputed) boundary flag.
+    sched::parallel_for(0, n, [&](std::size_t j) {
+      u64 own = j > 0 && items[j].key != items[j - 1].key ? 1 : 0;
+      next_rank[items[j].suffix] = static_cast<u32>(flags[j] + own);
+    });
+    std::swap(rank, next_rank);
+    return max_rank;  // number of boundaries = max dense rank
+  };
+
+  auto sort_round = [&](std::size_t k) {
+    // Ranks are dense (< n) after the initial round, so the base-(n+2)
+    // packing is collision-free.
+    sched::parallel_for(0, n, [&](std::size_t i) {
+      u64 r2 = i + k < n ? static_cast<u64>(rank[i + k]) + 1 : 0;
+      items[i] = Item{static_cast<u64>(rank[i]) * base + r2,
+                      static_cast<u32>(i)};
+    });
+    seq::integer_sort_by(items, key_bits,
+                         [](const Item& it) { return it.key; }, mode);
+    return rebuild_ranks();
+  };
+
+  // Alphabet compression (the paper's Sec. 5.2 "benign race" snippet
+  // lives here): mark the distinct characters in parallel — same-value
+  // AW writes, expressed with relaxed atomics as the paper recommends —
+  // then scan to a dense character rank.
+  std::array<u8, 256> present = seq::mark_present(
+      text, mode == AccessMode::kUnchecked ? AccessMode::kUnchecked
+                                           : AccessMode::kAtomic);
+  std::array<u32, 256> char_rank{};
+  u32 alphabet = 0;
+  for (std::size_t c = 0; c < 256; ++c) {
+    char_rank[c] = alphabet;
+    alphabet += present[c];
+  }
+
+  // Initial round: sort by the compressed character and densify.
+  sched::parallel_for(0, n, [&](std::size_t i) {
+    items[i] = Item{static_cast<u64>(char_rank[text[i]]), static_cast<u32>(i)};
+  });
+  seq::integer_sort_by(items, 8, [](const Item& it) { return it.key; }, mode);
+  u64 distinct = rebuild_ranks();
+
+  std::size_t k = 1;
+  while (distinct + 1 < n && k < n) {
+    distinct = sort_round(k);
+    k *= 2;
+  }
+  sched::parallel_for(0, n,
+                      [&](std::size_t j) { sa[j] = items[j].suffix; });
+  return sa;
+}
+
+std::vector<u32> inverse_permutation(std::span<const u32> sa) {
+  std::vector<u32> inv(sa.size());
+  sched::parallel_for(0, sa.size(), [&](std::size_t j) {
+    inv[sa[j]] = static_cast<u32>(j);
+  });
+  return inv;
+}
+
+const census::BenchmarkCensus& sa_census() {
+  using census::Pattern;
+  static const census::BenchmarkCensus c{
+      "sa",
+      census::Dispatch::kStatic,
+      {
+          {Pattern::kRO, 1, "initial character reads"},
+          {Pattern::kStride, 5, "key build (rank pair reads), boundary flags, rank write, sa copy"},
+          {Pattern::kBlock, 2, "radix digit counts + cursors"},
+          {Pattern::kDC, 1, "sort recursion"},
+          {Pattern::kSngInd, 2, "radix scatter + rank scatter by suffix"},
+          {Pattern::kAW, 1, "distinct-character marking (same-value writes)"},
+      }};
+  return c;
+}
+
+}  // namespace rpb::text

@@ -1,0 +1,27 @@
+// sa benchmark: suffix array by parallel prefix doubling. Each round
+// packs (rank[i], rank[i+k]) into one integer key, radix-sorts the
+// suffixes (whose scatter is the paper's SngInd site — `mode` selects
+// unchecked vs checked, Fig. 5(a)), and rebuilds ranks with a
+// flag-and-scan.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/access_mode.h"
+#include "core/census.h"
+#include "support/defs.h"
+
+namespace rpb::text {
+
+// Lexicographic order of all suffixes of text (no sentinel needed; the
+// shorter suffix sorts first on ties, per the usual convention).
+std::vector<u32> suffix_array(std::span<const u8> text,
+                              AccessMode mode = AccessMode::kUnchecked);
+
+// Rank (inverse) array: rank[i] = position of suffix i in the SA.
+std::vector<u32> inverse_permutation(std::span<const u32> sa);
+
+const census::BenchmarkCensus& sa_census();
+
+}  // namespace rpb::text

@@ -1,0 +1,128 @@
+// Tests for the extension algorithms: parallel merge sort (the paper's
+// Listing 9) and PageRank (the paper's Sec. 5.2 AW example).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.h"
+#include "graph/pagerank.h"
+#include "sched/thread_pool.h"
+#include "seq/generators.h"
+#include "seq/merge_sort.h"
+
+namespace rpb {
+namespace {
+
+class AlgoEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { sched::ThreadPool::reset_global(4); }
+  void TearDown() override { sched::ThreadPool::reset_global(1); }
+};
+const ::testing::Environment* const kAlgoEnv =
+    ::testing::AddGlobalTestEnvironment(new AlgoEnv);
+
+class MergeSortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MergeSortSizes, MatchesStdSort) {
+  auto values = seq::exponential_doubles(GetParam(), 1.0, GetParam() + 1);
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  seq::merge_sort(values);
+  EXPECT_EQ(values, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MergeSortSizes,
+                         ::testing::Values(0, 1, 2, 100, 4096, 5000, 200000,
+                                           1 << 19));
+
+TEST(MergeSort, IsStable) {
+  // Pairs sorted by key only: equal keys must keep index order.
+  const std::size_t n = 120000;
+  auto keys = seq::exponential_keys(n, 32, 7);  // heavy duplication
+  std::vector<std::pair<u64, u32>> items(n);
+  for (std::size_t i = 0; i < n; ++i) items[i] = {keys[i], static_cast<u32>(i)};
+  seq::merge_sort(items, [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  for (std::size_t i = 1; i < n; ++i) {
+    ASSERT_LE(items[i - 1].first, items[i].first);
+    if (items[i - 1].first == items[i].first) {
+      ASSERT_LT(items[i - 1].second, items[i].second) << "instability at " << i;
+    }
+  }
+}
+
+TEST(MergeSort, CustomComparatorAndAllEqual) {
+  auto values = seq::exponential_doubles(50000, 1.0, 3);
+  auto expected = values;
+  std::sort(expected.begin(), expected.end(), std::greater<double>());
+  seq::merge_sort(values, std::greater<double>());
+  EXPECT_EQ(values, expected);
+
+  std::vector<int> same(100000, 5);
+  seq::merge_sort(same);
+  EXPECT_TRUE(std::all_of(same.begin(), same.end(), [](int v) { return v == 5; }));
+}
+
+TEST(PageRank, PushAndPullAgree) {
+  for (const char* name : {"rmat", "road", "link"}) {
+    graph::Graph g = graph::make_named(name, 11, 41);
+    auto push = graph::pagerank_push(g);
+    auto pull = graph::pagerank_pull(g);
+    ASSERT_EQ(push.rank.size(), pull.rank.size());
+    for (std::size_t v = 0; v < push.rank.size(); ++v) {
+      ASSERT_NEAR(push.rank[v], pull.rank[v], 1e-6) << name << " vertex " << v;
+    }
+  }
+}
+
+TEST(PageRank, MassIsConserved) {
+  graph::Graph g = graph::make_named("rmat", 11, 43);
+  auto result = graph::pagerank_pull(g);
+  double total = std::accumulate(result.rank.begin(), result.rank.end(), 0.0);
+  EXPECT_NEAR(total, static_cast<double>(g.num_vertices()),
+              1e-6 * static_cast<double>(g.num_vertices()));
+}
+
+TEST(PageRank, SymmetricCliqueIsUniform) {
+  // In a complete symmetric graph every vertex is equivalent.
+  std::vector<graph::Edge> edges;
+  for (u32 i = 0; i < 8; ++i) {
+    for (u32 j = i + 1; j < 8; ++j) edges.push_back({i, j, 1});
+  }
+  graph::Graph g = graph::Graph::from_edges(8, edges, true, false);
+  auto result = graph::pagerank_push(g);
+  for (double r : result.rank) EXPECT_NEAR(r, 1.0, 1e-9);
+}
+
+TEST(PageRank, HubOutranksLeaves) {
+  // Star graph: the hub must dominate.
+  std::vector<graph::Edge> edges;
+  for (u32 leaf = 1; leaf < 20; ++leaf) edges.push_back({0, leaf, 1});
+  graph::Graph g = graph::Graph::from_edges(20, edges, true, false);
+  auto result = graph::pagerank_pull(g);
+  for (std::size_t leaf = 1; leaf < 20; ++leaf) {
+    EXPECT_GT(result.rank[0], 3.0 * result.rank[leaf]);
+  }
+}
+
+TEST(PageRank, ConvergesAndReportsIterations) {
+  graph::Graph g = graph::make_named("road", 11, 47);
+  graph::PageRankConfig config;
+  config.tolerance = 1e-8;
+  auto result = graph::pagerank_push(g, config);
+  EXPECT_LT(result.final_delta, config.tolerance);
+  EXPECT_GT(result.iterations, 3u);
+  EXPECT_LE(result.iterations, config.max_iterations);
+}
+
+TEST(PageRank, EmptyGraph) {
+  graph::Graph g;
+  auto result = graph::pagerank_push(g);
+  EXPECT_TRUE(result.rank.empty());
+}
+
+}  // namespace
+}  // namespace rpb

@@ -1,0 +1,98 @@
+// Meta-tests pinning the pattern census: all 14 benchmarks registered,
+// the Table 1 matrix shape the paper's claims depend on, and the
+// Fig. 3 headline (a substantial irregular share) hold by construction.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/census.h"
+#include "../bench/suite.h"
+
+namespace rpb::census {
+namespace {
+
+std::vector<const BenchmarkCensus*> all() {
+  return bench::Suite::all_censuses();
+}
+
+TEST(Census, FourteenUniqueBenchmarks) {
+  auto censuses = all();
+  EXPECT_EQ(censuses.size(), 14u);
+  std::set<std::string> names;
+  for (const auto* c : censuses) {
+    EXPECT_FALSE(c->sites.empty()) << c->name;
+    names.insert(c->name);
+  }
+  EXPECT_EQ(names.size(), 14u);
+}
+
+TEST(Census, EveryBenchmarkHasIrregularParallelism) {
+  // The paper's headline: "All RPB benchmarks have irregular
+  // parallelism" — SngInd, RngInd or AW in every row.
+  for (const auto* c : all()) {
+    EXPECT_TRUE(c->uses(Pattern::kSngInd) || c->uses(Pattern::kRngInd) ||
+                c->uses(Pattern::kAW))
+        << c->name << " claims to be fully regular";
+  }
+}
+
+TEST(Census, EveryBenchmarkReadsSharedData) {
+  for (const auto* c : all()) {
+    EXPECT_TRUE(c->uses(Pattern::kRO)) << c->name;
+  }
+}
+
+TEST(Census, DynamicDispatchIsExactlyTheMqBenchmarks) {
+  for (const auto* c : all()) {
+    bool is_mq = c->name == "bfs" || c->name == "sssp";
+    EXPECT_EQ(c->dispatch == Dispatch::kDynamic, is_mq) << c->name;
+  }
+}
+
+TEST(Census, SortIsComfortableButNotFearless) {
+  // Paper: "sort only has RngInd, so is comfortable to express but not
+  // fearless."
+  for (const auto* c : all()) {
+    if (c->name != "sort") continue;
+    EXPECT_TRUE(c->uses(Pattern::kRngInd));
+    EXPECT_FALSE(c->uses(Pattern::kSngInd));
+    EXPECT_FALSE(c->uses(Pattern::kAW));
+  }
+}
+
+TEST(Census, IrregularShareIsSubstantial) {
+  int total = 0, irregular = 0;
+  for (const auto* c : all()) {
+    total += c->total_accesses();
+    irregular += c->accesses(Pattern::kSngInd) + c->accesses(Pattern::kRngInd) +
+                 c->accesses(Pattern::kAW);
+  }
+  double share = static_cast<double>(irregular) / total;
+  // Paper reports 29%; our implementations land nearby. Pin the claim
+  // loosely so honest recounts don't break it but regressions do.
+  EXPECT_GT(share, 0.15);
+  EXPECT_LT(share, 0.50);
+}
+
+TEST(Census, FearTiersMatchTable3) {
+  EXPECT_EQ(fear_of(Pattern::kRO), Fear::kFearless);
+  EXPECT_EQ(fear_of(Pattern::kStride), Fear::kFearless);
+  EXPECT_EQ(fear_of(Pattern::kBlock), Fear::kFearless);
+  EXPECT_EQ(fear_of(Pattern::kDC), Fear::kFearless);
+  EXPECT_EQ(fear_of(Pattern::kSngInd), Fear::kComfortable);
+  EXPECT_EQ(fear_of(Pattern::kRngInd), Fear::kComfortable);
+  EXPECT_EQ(fear_of(Pattern::kAW), Fear::kScared);
+}
+
+TEST(Census, NamesAndExpressionsAreStable) {
+  for (Pattern p : kAllPatterns) {
+    EXPECT_STRNE(name_of(p), "?");
+    EXPECT_STRNE(expression_of(p), "?");
+  }
+  EXPECT_STREQ(name_of(Dispatch::kStatic), "static");
+  EXPECT_STREQ(name_of(Fear::kScared), "Scared");
+}
+
+}  // namespace
+}  // namespace rpb::census

@@ -1,0 +1,283 @@
+// Tests for the core pattern vocabulary: scan/pack primitives, the
+// fearless patterns, the checked irregular patterns (including that the
+// checks actually catch contract violations), reservations, and the
+// deterministic-reservations speculative_for.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/access_mode.h"
+#include "core/atomics.h"
+#include "core/patterns.h"
+#include "core/primitives.h"
+#include "core/reservation.h"
+#include "core/spec_for.h"
+#include "sched/thread_pool.h"
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/prng.h"
+#include "seq/generators.h"
+
+#include <mutex>
+
+namespace rpb {
+namespace {
+
+class CoreEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { sched::ThreadPool::reset_global(4); }
+  void TearDown() override { sched::ThreadPool::reset_global(1); }
+};
+const ::testing::Environment* const kCoreEnv =
+    ::testing::AddGlobalTestEnvironment(new CoreEnv);
+
+using par::pack;
+using par::pack_index;
+using par::scan_exclusive_sum;
+
+class CoreSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CoreSizes, ScanExclusiveSumMatchesSerial) {
+  const std::size_t n = GetParam();
+  Rng rng(42);
+  std::vector<u64> data(n), expected(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = rng.next(i, 1000);
+  u64 acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = acc;
+    acc += data[i];
+  }
+  u64 total = scan_exclusive_sum(std::span<u64>(data));
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(CoreSizes, PackIndexFindsExactlyTheFlagged) {
+  const std::size_t n = GetParam();
+  Rng rng(7);
+  std::vector<u8> flags(n);
+  for (std::size_t i = 0; i < n; ++i) flags[i] = rng.next(i, 3) == 0 ? 1 : 0;
+  auto idx = pack_index(std::span<const u8>(flags));
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (flags[i]) expected.push_back(i);
+  }
+  EXPECT_EQ(idx, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CoreSizes,
+                         ::testing::Values(0, 1, 2, 100, 4096, 100001));
+
+TEST(Primitives, ScanGenericOpMax) {
+  std::vector<u64> data{3, 1, 4, 1, 5, 9, 2, 6};
+  u64 total = par::scan_exclusive(
+      std::span<u64>(data), u64{0}, [](u64 a, u64 b) { return std::max(a, b); });
+  EXPECT_EQ(total, 9u);
+  EXPECT_EQ(data, (std::vector<u64>{0, 3, 3, 4, 4, 5, 9, 9}));
+}
+
+TEST(Primitives, PackPredicate) {
+  std::vector<int> in{5, 2, 8, 1, 9, 4};
+  auto evens = pack(std::span<const int>(in), [](int x) { return x % 2 == 0; });
+  EXPECT_EQ(evens, (std::vector<int>{2, 8, 4}));
+}
+
+TEST(Primitives, CountIf) {
+  EXPECT_EQ(par::count_if(0, 1000, [](std::size_t i) { return i % 7 == 0; }),
+            143u);
+}
+
+TEST(Patterns, ParIterReadsAll) {
+  std::vector<u32> data(5000, 2);
+  std::atomic<u64> sum{0};
+  par::par_iter(std::span<const u32>(data),
+                [&](std::size_t, const u32& v) { sum.fetch_add(v); });
+  EXPECT_EQ(sum.load(), 10000u);
+}
+
+TEST(Patterns, ParIterMutStride) {
+  std::vector<u64> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  par::par_iter_mut(std::span<u64>(data),
+                    [](std::size_t, u64& v) { v *= v; });
+  for (std::size_t i = 0; i < data.size(); ++i) ASSERT_EQ(data[i], i * i);
+}
+
+TEST(Patterns, ParChunksMutCoversAllWithShortTail) {
+  std::vector<int> data(1003, 0);
+  std::vector<std::size_t> chunk_sizes;
+  std::mutex mu;
+  par::par_chunks_mut(std::span<int>(data), 100,
+                      [&](std::size_t c, std::span<int> chunk) {
+                        for (int& v : chunk) v = static_cast<int>(c) + 1;
+                        std::lock_guard<std::mutex> guard(mu);
+                        chunk_sizes.push_back(chunk.size());
+                      });
+  EXPECT_EQ(chunk_sizes.size(), 11u);  // 10 full + 1 tail of 3
+  EXPECT_TRUE(std::all_of(data.begin(), data.end(), [](int v) { return v > 0; }));
+  EXPECT_EQ(std::count(chunk_sizes.begin(), chunk_sizes.end(), 3u), 1);
+}
+
+TEST(Patterns, SngIndUncheckedScatters) {
+  const std::size_t n = 20000;
+  auto offsets = seq::random_permutation(n, 123);
+  std::vector<u64> out(n, 0);
+  par::par_ind_iter_mut(
+      std::span<u64>(out), std::span<const u32>(offsets),
+      [](std::size_t i, u64& slot) { slot = i; }, AccessMode::kUnchecked);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[offsets[i]], i);
+}
+
+TEST(Patterns, SngIndCheckedAcceptsPermutation) {
+  const std::size_t n = 20000;
+  auto offsets = seq::random_permutation(n, 123);
+  std::vector<u64> out(n, 0);
+  EXPECT_NO_THROW(par::par_ind_iter_mut(
+      std::span<u64>(out), std::span<const u32>(offsets),
+      [](std::size_t i, u64& slot) { slot = i; }, AccessMode::kChecked));
+}
+
+TEST(Patterns, SngIndCheckedThrowsOnDuplicate) {
+  const std::size_t n = 20000;
+  auto offsets = seq::random_permutation(n, 123);
+  offsets[n / 2] = offsets[10];  // plant the bug
+  std::vector<u64> out(n, 0);
+  EXPECT_THROW(par::par_ind_iter_mut(
+                   std::span<u64>(out), std::span<const u32>(offsets),
+                   [](std::size_t i, u64& slot) { slot = i; },
+                   AccessMode::kChecked),
+               CheckFailure);
+}
+
+TEST(Patterns, SngIndCheckedThrowsOutOfBounds) {
+  std::vector<u32> offsets{0, 1, 2, 100};
+  std::vector<u64> out(4, 0);
+  EXPECT_THROW(par::par_ind_iter_mut(
+                   std::span<u64>(out), std::span<const u32>(offsets),
+                   [](std::size_t, u64&) {}, AccessMode::kChecked),
+               CheckFailure);
+}
+
+TEST(Patterns, RngIndCheckedAcceptsMonotone) {
+  std::vector<u64> data(100, 0);
+  std::vector<u32> offsets{0, 10, 10, 55, 100};
+  par::par_ind_chunks_mut(
+      std::span<u64>(data), std::span<const u32>(offsets),
+      [](std::size_t c, std::span<u64> chunk) {
+        for (u64& v : chunk) v = c + 1;
+      },
+      AccessMode::kChecked);
+  EXPECT_EQ(data[0], 1u);
+  EXPECT_EQ(data[10], 3u);  // chunk 1 is empty
+  EXPECT_EQ(data[54], 3u);
+  EXPECT_EQ(data[99], 4u);
+}
+
+TEST(Patterns, RngIndCheckedThrowsOnNonMonotone) {
+  std::vector<u64> data(100, 0);
+  std::vector<u32> offsets{0, 60, 40, 100};
+  EXPECT_THROW(par::par_ind_chunks_mut(
+                   std::span<u64>(data), std::span<const u32>(offsets),
+                   [](std::size_t, std::span<u64>) {}, AccessMode::kChecked),
+               CheckFailure);
+}
+
+TEST(Patterns, RngIndCheckedThrowsPastEnd) {
+  std::vector<u64> data(50, 0);
+  std::vector<u32> offsets{0, 25, 51};
+  EXPECT_THROW(par::par_ind_chunks_mut(
+                   std::span<u64>(data), std::span<const u32>(offsets),
+                   [](std::size_t, std::span<u64>) {}, AccessMode::kChecked),
+               CheckFailure);
+}
+
+TEST(Atomics, WriteMinMaxAndCas) {
+  u64 cell = 100;
+  EXPECT_TRUE(write_min(&cell, u64{50}));
+  EXPECT_FALSE(write_min(&cell, u64{70}));
+  EXPECT_EQ(cell, 50u);
+  EXPECT_TRUE(write_max(&cell, u64{90}));
+  EXPECT_FALSE(write_max(&cell, u64{10}));
+  EXPECT_EQ(cell, 90u);
+  EXPECT_TRUE(cas(&cell, u64{90}, u64{7}));
+  EXPECT_FALSE(cas(&cell, u64{90}, u64{8}));
+  EXPECT_EQ(cell, 7u);
+}
+
+TEST(Atomics, ConcurrentWriteMinFindsGlobalMin) {
+  sched::ThreadPool::reset_global(4);
+  u64 cell = ~u64{0};
+  sched::parallel_for(0, 100000, [&](std::size_t i) {
+    write_min(&cell, hash64(i) % 1000000);
+  });
+  u64 expected = ~u64{0};
+  for (std::size_t i = 0; i < 100000; ++i) {
+    expected = std::min(expected, hash64(i) % 1000000);
+  }
+  EXPECT_EQ(cell, expected);
+  sched::ThreadPool::reset_global(1);
+}
+
+TEST(Reservation, PriorityWins) {
+  par::Reservation r;
+  EXPECT_FALSE(r.reserved());
+  r.reserve(10);
+  r.reserve(5);
+  r.reserve(8);
+  EXPECT_TRUE(r.check(5));
+  EXPECT_FALSE(r.check(8));
+  r.reset();
+  EXPECT_FALSE(r.reserved());
+}
+
+// A toy spec_for problem with real conflicts: greedy sequential
+// "claim your slot" — task i claims slot (i % kSlots); only the
+// lowest-index unclaimed task per slot may commit per round, so the
+// final owner of each slot must be the first task mapped to it.
+struct SlotClaimStep {
+  std::vector<par::Reservation>& r;
+  std::vector<i64>& owner;
+
+  bool reserve(std::size_t i) {
+    std::size_t slot = i % owner.size();
+    if (relaxed_load(&owner[slot]) >= 0) return false;  // taken: drop
+    r[slot].reserve(static_cast<i64>(i));
+    return true;
+  }
+  bool commit(std::size_t i) {
+    std::size_t slot = i % owner.size();
+    if (r[slot].check(static_cast<i64>(i))) {
+      relaxed_store(&owner[slot], static_cast<i64>(i));
+      r[slot].reset();
+      return true;
+    }
+    return false;
+  }
+};
+
+TEST(SpeculativeFor, DeterministicSlotClaim) {
+  sched::ThreadPool::reset_global(4);
+  constexpr std::size_t kSlots = 97, kTasks = 5000;
+  std::vector<par::Reservation> reservations(kSlots);
+  std::vector<i64> owner(kSlots, -1);
+  SlotClaimStep step{reservations, owner};
+  auto stats = par::speculative_for(step, 0, kTasks, 512);
+  EXPECT_GE(stats.rounds, 1u);
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    // First task hitting slot s is s itself.
+    EXPECT_EQ(owner[s], static_cast<i64>(s));
+  }
+  sched::ThreadPool::reset_global(1);
+}
+
+TEST(AccessModeRoundTrip, ParseAndPrint) {
+  for (AccessMode m : {AccessMode::kUnchecked, AccessMode::kChecked,
+                       AccessMode::kAtomic, AccessMode::kLocked}) {
+    EXPECT_EQ(parse_access_mode(to_string(m)), m);
+  }
+  EXPECT_THROW(parse_access_mode("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpb

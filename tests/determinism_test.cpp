@@ -1,0 +1,125 @@
+// Cross-thread-count determinism: the deterministic benchmarks must
+// produce bit-identical results no matter how many workers run them —
+// the property deterministic reservations and priority-based rounds
+// buy (Blelloch et al.'s "internally deterministic" programs).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/forest.h"
+#include "graph/generators.h"
+#include "graph/matching.h"
+#include "graph/mis.h"
+#include "sched/thread_pool.h"
+#include "seq/generators.h"
+#include "seq/histogram.h"
+#include "seq/integer_sort.h"
+#include "seq/mark_present.h"
+#include "seq/sample_sort.h"
+#include "text/corpus.h"
+#include "text/suffix_array.h"
+
+namespace rpb {
+namespace {
+
+const std::size_t kThreadCounts[] = {1, 3, 8};
+
+// Runs fn under each thread count and checks all results are equal.
+template <class Fn>
+void expect_same_result_across_threads(Fn fn) {
+  using Result = decltype(fn());
+  std::vector<Result> results;
+  for (std::size_t t : kThreadCounts) {
+    sched::ThreadPool::reset_global(t);
+    results.push_back(fn());
+  }
+  sched::ThreadPool::reset_global(1);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], results[0]) << "thread count changed the result";
+  }
+}
+
+TEST(Determinism, SuffixArray) {
+  auto text = text::make_corpus(30000, 3);
+  expect_same_result_across_threads(
+      [&] { return text::suffix_array(std::span<const u8>(text)); });
+}
+
+TEST(Determinism, IntegerSort) {
+  auto keys = seq::exponential_keys(100000, u64{1} << 40, 5);
+  expect_same_result_across_threads([&] {
+    auto copy = keys;
+    seq::integer_sort(copy, 40);
+    return copy;
+  });
+}
+
+TEST(Determinism, SampleSort) {
+  auto values = seq::exponential_doubles(100000, 1.0, 7);
+  expect_same_result_across_threads([&] {
+    auto copy = values;
+    seq::sample_sort(copy);
+    return copy;
+  });
+}
+
+TEST(Determinism, Histogram) {
+  auto keys = seq::exponential_keys(100000, 512, 9);
+  expect_same_result_across_threads([&] {
+    return seq::histogram(std::span<const u64>(keys), 512,
+                          AccessMode::kAtomic);
+  });
+}
+
+TEST(Determinism, MarkPresentBothExpressions) {
+  auto text = text::make_corpus(50000, 11);
+  for (AccessMode mode : {AccessMode::kAtomic, AccessMode::kUnchecked}) {
+    expect_same_result_across_threads([&] {
+      auto present = seq::mark_present(std::span<const u8>(text), mode);
+      return std::vector<u8>(present.begin(), present.end());
+    });
+  }
+}
+
+TEST(Determinism, MaximalIndependentSet) {
+  graph::Graph g = graph::make_named("rmat", 11, 13);
+  expect_same_result_across_threads(
+      [&] { return graph::maximal_independent_set(g, AccessMode::kAtomic); });
+}
+
+TEST(Determinism, MaximalMatching) {
+  graph::Graph g = graph::make_named("road", 12, 15);
+  auto edges = g.undirected_edges();
+  expect_same_result_across_threads([&] {
+    return graph::maximal_matching(g.num_vertices(), edges).matched_edges;
+  });
+}
+
+TEST(Determinism, MinimumSpanningForest) {
+  graph::Graph g = graph::make_named("link", 11, 17);
+  auto edges = g.undirected_edges();
+  expect_same_result_across_threads([&] {
+    return graph::minimum_spanning_forest(g.num_vertices(), edges).edges;
+  });
+}
+
+TEST(Determinism, SpanningForestIsKruskalOfInputOrder) {
+  // sf with priorities = input order equals sequential greedy.
+  graph::Graph g = graph::make_named("rmat", 11, 19);
+  auto edges = g.undirected_edges();
+  expect_same_result_across_threads([&] {
+    return graph::spanning_forest(g.num_vertices(), edges).edges;
+  });
+}
+
+TEST(MarkPresent, FindsExactlyTheDistinctBytes) {
+  std::vector<u8> text{'a', 'b', 'a', 'z'};
+  auto present = seq::mark_present(std::span<const u8>(text));
+  for (int c = 0; c < 256; ++c) {
+    bool expected = c == 'a' || c == 'b' || c == 'z';
+    EXPECT_EQ(present[static_cast<std::size_t>(c)] != 0, expected) << c;
+  }
+}
+
+}  // namespace
+}  // namespace rpb

@@ -1,0 +1,142 @@
+// Randomized differential tests: drive the concurrent data structures
+// with generated operation sequences and compare against their obvious
+// sequential references.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "graph/union_find.h"
+#include "sched/multiqueue.h"
+#include "seq/hash_map.h"
+#include "seq/hash_table.h"
+#include "support/prng.h"
+
+namespace rpb {
+namespace {
+
+class DifferentialSeeds : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DifferentialSeeds, HashSetMatchesStdSet) {
+  Rng rng(GetParam());
+  seq::ConcurrentHashSet set(4096, AccessMode::kAtomic);
+  std::set<u64> reference;
+  for (u64 op = 0; op < 20000; ++op) {
+    u64 key = rng.next(op * 2, 3000);  // small key space: many repeats
+    if (rng.next(op * 2 + 1, 3) == 0) {
+      EXPECT_EQ(set.contains(key), reference.count(key) > 0) << "op " << op;
+    } else {
+      EXPECT_EQ(set.insert(key), reference.insert(key).second) << "op " << op;
+    }
+  }
+  auto keys = set.keys();
+  EXPECT_EQ(keys.size(), reference.size());
+}
+
+TEST_P(DifferentialSeeds, HashMapMatchesStdMap) {
+  Rng rng(GetParam());
+  seq::ConcurrentHashMap map(4096);
+  std::map<u64, u64> reference;
+  for (u64 op = 0; op < 20000; ++op) {
+    u64 key = rng.next(op * 3, 2000);
+    u64 val = rng.next(op * 3 + 1, 1000);
+    switch (rng.next(op * 3 + 2, 4)) {
+      case 0:
+        map.insert_or_add(key, val);
+        reference[key] += val;
+        break;
+      case 1: {
+        map.insert_or_min(key + 100000, val);
+        auto [it, fresh] = reference.try_emplace(key + 100000, val);
+        if (!fresh) it->second = std::min(it->second, val);
+        break;
+      }
+      case 2: {
+        map.insert_or_max(key + 200000, val);
+        auto [it, fresh] = reference.try_emplace(key + 200000, val);
+        if (!fresh) it->second = std::max(it->second, val);
+        break;
+      }
+      default: {
+        auto got = map.get(key);
+        auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_FALSE(got.has_value()) << "op " << op;
+        } else {
+          EXPECT_EQ(got, std::optional<u64>(it->second)) << "op " << op;
+        }
+      }
+    }
+  }
+  auto entries = map.entries();
+  EXPECT_EQ(entries.size(), reference.size());
+  for (auto [k, v] : entries) EXPECT_EQ(reference.at(k), v);
+}
+
+TEST_P(DifferentialSeeds, UnionFindMatchesSerialDsu) {
+  Rng rng(GetParam());
+  constexpr std::size_t kN = 500;
+  graph::UnionFind uf(kN);
+  // Straightforward quadratic reference.
+  std::vector<u32> label(kN);
+  for (u32 i = 0; i < kN; ++i) label[i] = i;
+  auto relabel = [&](u32 from, u32 to) {
+    for (u32& l : label) {
+      if (l == from) l = to;
+    }
+  };
+  for (u64 op = 0; op < 5000; ++op) {
+    auto a = static_cast<u32>(rng.next(op * 2, kN));
+    auto b = static_cast<u32>(rng.next(op * 2 + 1, kN));
+    if (rng.next(op * 7, 2) == 0) {
+      bool merged = uf.unite(a, b);
+      EXPECT_EQ(merged, label[a] != label[b]) << "op " << op;
+      if (label[a] != label[b]) relabel(label[a], label[b]);
+    } else {
+      EXPECT_EQ(uf.same(a, b), label[a] == label[b]) << "op " << op;
+    }
+  }
+}
+
+struct IdentityKey {
+  u64 operator()(u64 v) const { return v; }
+};
+
+TEST_P(DifferentialSeeds, MultiQueuePreservesMultisetContents) {
+  Rng rng(GetParam());
+  sched::MultiQueue<u64, IdentityKey> mq(2, 2);
+  std::multiset<u64> reference;
+  u64 state = GetParam() + 1;
+  for (u64 op = 0; op < 20000; ++op) {
+    if (rng.next(op, 3) != 0) {
+      u64 v = rng.next(op * 5 + 1, 1000);
+      mq.push(v, state);
+      reference.insert(v);
+    } else {
+      auto popped = mq.try_pop(state);
+      if (reference.empty()) {
+        EXPECT_FALSE(popped.has_value());
+      } else {
+        ASSERT_TRUE(popped.has_value());
+        auto it = reference.find(*popped);
+        ASSERT_NE(it, reference.end()) << "popped value never pushed";
+        reference.erase(it);
+      }
+    }
+  }
+  EXPECT_EQ(mq.size_estimate(), reference.size());
+  while (auto v = mq.try_pop(state)) {
+    auto it = reference.find(*v);
+    ASSERT_NE(it, reference.end());
+    reference.erase(it);
+  }
+  EXPECT_TRUE(reference.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeeds,
+                         ::testing::Values(1u, 2u, 3u, 42u, 12345u));
+
+}  // namespace
+}  // namespace rpb

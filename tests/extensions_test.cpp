@@ -1,0 +1,188 @@
+// Tests for the extension features: the ordered pipeline pattern, the
+// concurrent hash map, and the function-indexed SngInd generalization.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "core/patterns.h"
+#include "sched/parallel.h"
+#include "sched/pipeline.h"
+#include "sched/thread_pool.h"
+#include "seq/generators.h"
+#include "seq/hash_map.h"
+#include "support/error.h"
+#include "support/hash.h"
+
+namespace rpb {
+namespace {
+
+TEST(Pipeline, OrderedEndToEnd) {
+  constexpr std::size_t kItems = 10000;
+  std::size_t produced = 0;
+  std::vector<u64> consumed;
+  sched::run_pipeline(
+      [&]() -> std::optional<u64> {
+        if (produced == kItems) return std::nullopt;
+        return produced++;
+      },
+      [](u64 v) { return hash64(v); },
+      [&](u64 v) { consumed.push_back(v); },
+      /*workers=*/4, /*capacity=*/32);
+  ASSERT_EQ(consumed.size(), kItems);
+  for (std::size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(consumed[i], hash64(i)) << "out of order at " << i;
+  }
+}
+
+TEST(Pipeline, EmptyProducer) {
+  int consumed = 0;
+  sched::run_pipeline([]() -> std::optional<int> { return std::nullopt; },
+                      [](int v) { return v; }, [&](int) { ++consumed; }, 2, 8);
+  EXPECT_EQ(consumed, 0);
+}
+
+TEST(Pipeline, SingleWorkerStaysOrdered) {
+  std::size_t produced = 0;
+  std::vector<int> consumed;
+  sched::run_pipeline(
+      [&]() -> std::optional<int> {
+        if (produced == 100) return std::nullopt;
+        return static_cast<int>(produced++);
+      },
+      [](int v) { return v * 2; }, [&](int v) { consumed.push_back(v); },
+      /*workers=*/1, /*capacity=*/1);
+  ASSERT_EQ(consumed.size(), 100u);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(consumed[static_cast<std::size_t>(i)], 2 * i);
+}
+
+TEST(Pipeline, TransformExceptionPropagates) {
+  std::size_t produced = 0;
+  EXPECT_THROW(
+      sched::run_pipeline(
+          [&]() -> std::optional<int> {
+            if (produced == 100000) return std::nullopt;
+            return static_cast<int>(produced++);
+          },
+          [](int v) -> int {
+            if (v == 777) throw std::runtime_error("transform boom");
+            return v;
+          },
+          [](int) {}, 4, 16),
+      std::runtime_error);
+}
+
+TEST(Pipeline, ProducerExceptionPropagates) {
+  EXPECT_THROW(
+      sched::run_pipeline(
+          [&]() -> std::optional<int> { throw std::logic_error("prod"); },
+          [](int v) { return v; }, [](int) {}, 2, 4),
+      std::logic_error);
+}
+
+TEST(Pipeline, ConsumerExceptionPropagates) {
+  std::size_t produced = 0;
+  EXPECT_THROW(
+      sched::run_pipeline(
+          [&]() -> std::optional<int> {
+            if (produced == 1000) return std::nullopt;
+            return static_cast<int>(produced++);
+          },
+          [](int v) { return v; },
+          [](int v) {
+            if (v == 500) throw std::runtime_error("consume boom");
+          },
+          3, 8),
+      std::runtime_error);
+}
+
+TEST(HashMap, InsertOrAddSerial) {
+  seq::ConcurrentHashMap map(100);
+  map.insert_or_add(7, 3);
+  map.insert_or_add(7, 4);
+  map.insert_or_add(9, 1);
+  EXPECT_EQ(map.get(7), std::optional<u64>(7));
+  EXPECT_EQ(map.get(9), std::optional<u64>(1));
+  EXPECT_EQ(map.get(8), std::nullopt);
+  EXPECT_THROW(map.insert_or_add(seq::ConcurrentHashMap::kEmptyKey, 1),
+               std::invalid_argument);
+}
+
+TEST(HashMap, MinMaxCombinators) {
+  seq::ConcurrentHashMap mins(10), maxs(10);
+  for (u64 v : {5, 3, 9, 4}) {
+    mins.insert_or_min(1, v);
+    maxs.insert_or_max(1, v);
+  }
+  EXPECT_EQ(mins.get(1), std::optional<u64>(3));
+  EXPECT_EQ(maxs.get(1), std::optional<u64>(9));
+}
+
+TEST(HashMap, ParallelCountByKeyMatchesSerial) {
+  sched::ThreadPool::reset_global(4);
+  const std::size_t n = 200000, keys = 500;
+  auto input = seq::exponential_keys(n, keys, 3);
+  seq::ConcurrentHashMap map(keys);
+  sched::parallel_for(0, n,
+                      [&](std::size_t i) { map.insert_or_add(input[i], 1); });
+  std::vector<u64> expected(keys, 0);
+  for (u64 k : input) ++expected[k];
+  u64 total = 0;
+  for (auto [k, v] : map.entries()) {
+    EXPECT_EQ(v, expected[k]) << "key " << k;
+    total += v;
+  }
+  EXPECT_EQ(total, n);
+  sched::ThreadPool::reset_global(1);
+}
+
+TEST(HashMap, ParallelMinByKey) {
+  sched::ThreadPool::reset_global(4);
+  const std::size_t n = 100000, keys = 64;
+  seq::ConcurrentHashMap map(keys);
+  sched::parallel_for(0, n, [&](std::size_t i) {
+    map.insert_or_min(i % keys, hash64(i) % 1000000);
+  });
+  for (std::size_t k = 0; k < keys; ++k) {
+    u64 expected = ~u64{0};
+    for (std::size_t i = k; i < n; i += keys) {
+      expected = std::min(expected, hash64(i) % 1000000);
+    }
+    EXPECT_EQ(map.get(k), std::optional<u64>(expected));
+  }
+  sched::ThreadPool::reset_global(1);
+}
+
+TEST(IndIterFn, FunctionIndexedScatter) {
+  const std::size_t n = 10000;
+  std::vector<u64> data(n, 0);
+  // Index function: a fixed permutation computed on the fly.
+  auto perm = seq::random_permutation(n, 5);
+  par::par_ind_iter_mut_fn(
+      std::span<u64>(data), n, [&](std::size_t i) { return perm[i]; },
+      [](std::size_t i, u64& slot) { slot = i + 1; }, AccessMode::kChecked);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(data[perm[i]], i + 1);
+}
+
+TEST(IndIterFn, CheckedCatchesNonInjectiveFunction) {
+  std::vector<u64> data(100, 0);
+  EXPECT_THROW(par::par_ind_iter_mut_fn(
+                   std::span<u64>(data), 100,
+                   [](std::size_t i) { return i / 2; },  // collides!
+                   [](std::size_t, u64&) {}, AccessMode::kChecked),
+               CheckFailure);
+}
+
+TEST(IndIterFn, UncheckedTrustsTheCaller) {
+  std::vector<u64> data(64, 0);
+  par::par_ind_iter_mut_fn(
+      std::span<u64>(data), 64,
+      [](std::size_t i) { return (i * 17) % 64; },  // 17 coprime to 64
+      [](std::size_t i, u64& slot) { slot = i; }, AccessMode::kUnchecked);
+  u64 sum = std::accumulate(data.begin(), data.end(), u64{0});
+  EXPECT_EQ(sum, u64{64} * 63 / 2);
+}
+
+}  // namespace
+}  // namespace rpb

@@ -1,0 +1,168 @@
+// Tests for the geometry substrate: predicates, point generators,
+// Delaunay construction invariants, and parallel refinement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/delaunay.h"
+#include "geom/points.h"
+#include "geom/predicates.h"
+#include "geom/refine.h"
+#include "sched/thread_pool.h"
+
+namespace rpb::geom {
+namespace {
+
+class GeomEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { sched::ThreadPool::reset_global(4); }
+  void TearDown() override { sched::ThreadPool::reset_global(1); }
+};
+const ::testing::Environment* const kGeomEnv =
+    ::testing::AddGlobalTestEnvironment(new GeomEnv);
+
+TEST(Predicates, Orient2d) {
+  EXPECT_GT(orient2d({0, 0}, {1, 0}, {0, 1}), 0);  // left turn
+  EXPECT_LT(orient2d({0, 0}, {0, 1}, {1, 0}), 0);  // right turn
+  EXPECT_EQ(orient2d({0, 0}, {1, 1}, {2, 2}), 0);  // collinear
+}
+
+TEST(Predicates, InCircle) {
+  // Unit circle through (1,0), (0,1), (-1,0).
+  Point a{1, 0}, b{0, 1}, c{-1, 0};
+  EXPECT_GT(in_circle(a, b, c, {0, 0}), 0);       // center inside
+  EXPECT_LT(in_circle(a, b, c, {2, 2}), 0);       // far outside
+  EXPECT_NEAR(in_circle(a, b, c, {0, -1}), 0, 1e-12);  // on circle
+}
+
+TEST(Predicates, CircumcenterAndRatio) {
+  Point a{0, 0}, b{2, 0}, c{1, 2};
+  Point cc = circumcenter(a, b, c);
+  double ra = squared_distance(cc, a);
+  EXPECT_NEAR(ra, squared_distance(cc, b), 1e-12);
+  EXPECT_NEAR(ra, squared_distance(cc, c), 1e-12);
+  // Equilateral triangle: ratio = 1/sqrt(3).
+  Point e1{0, 0}, e2{1, 0}, e3{0.5, std::sqrt(3) / 2};
+  EXPECT_NEAR(radius_edge_ratio(e1, e2, e3), 1.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(Points, KuzminConcentratedNearOrigin) {
+  auto pts = kuzmin_points(20000, 3);
+  std::size_t close = 0;
+  for (const Point& p : pts) {
+    double r = std::sqrt(p.x * p.x + p.y * p.y);
+    ASSERT_LE(r, 1.0 + 1e-9);
+    close += r < 0.1;
+  }
+  // Kuzmin piles mass at the center far beyond a uniform disk (1% of
+  // area within r=0.1).
+  EXPECT_GT(close, pts.size() / 10);
+}
+
+TEST(Points, Deterministic) {
+  EXPECT_EQ(kuzmin_points(100, 7), kuzmin_points(100, 7));
+  EXPECT_NE(kuzmin_points(100, 7), kuzmin_points(100, 8));
+}
+
+class MeshSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MeshSizes, BuildIsConsistentTriangulation) {
+  auto pts = kuzmin_points(GetParam(), 19);
+  Mesh mesh(pts);
+  mesh.build();
+  EXPECT_TRUE(mesh.check_consistency());
+  // Euler: a triangulation of n+3 points (super hull is the 3-vertex
+  // super triangle) has exactly 2*(n+3) - 2 - 3 = 2n + 1 triangles.
+  EXPECT_EQ(mesh.num_live_triangles(), 2 * GetParam() + 1);
+}
+
+TEST_P(MeshSizes, BuildIsDelaunay) {
+  auto pts = uniform_points(GetParam(), 23);
+  Mesh mesh(pts);
+  mesh.build();
+  EXPECT_GE(mesh.delaunay_fraction(100), 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshSizes, ::testing::Values(10, 100, 1500));
+
+TEST(MeshLocate, FindsContainingTriangle) {
+  auto pts = uniform_points(500, 29);
+  Mesh mesh(pts);
+  mesh.build();
+  // Every input point must locate to a triangle having it as a vertex
+  // (or containing it on an edge).
+  for (std::size_t i = 0; i < 500; i += 17) {
+    i64 t = mesh.locate(pts[i], 0);
+    ASSERT_GE(t, 0);
+    const Triangle& tri = mesh.triangle(t);
+    for (int k = 0; k < 3; ++k) {
+      const Point& a = mesh.point(tri.v[(k + 1) % 3]);
+      const Point& b = mesh.point(tri.v[(k + 2) % 3]);
+      ASSERT_GE(orient2d(a, b, pts[i]), -1e-12);
+    }
+  }
+}
+
+TEST(Refine, ImprovesQualityAndStaysConsistent) {
+  auto pts = kuzmin_points(2000, 31);
+  Mesh mesh(pts, /*extra_points=*/20000);
+  mesh.build();
+  std::size_t bad_before = count_bad_triangles(mesh, 1.4);
+  ASSERT_GT(bad_before, 0u);
+
+  RefineConfig config;
+  config.max_insertions = 20000;
+  RefineStats stats = refine(mesh, config);
+  EXPECT_GT(stats.inserted, 0u);
+  EXPECT_TRUE(mesh.check_consistency());
+  // All remaining bad triangles are the deliberately skipped ones.
+  EXPECT_LE(stats.bad_remaining, stats.skipped + 5);
+  EXPECT_LT(stats.bad_remaining, bad_before);
+}
+
+TEST(Refine, DeterministicAcrossRuns) {
+  auto pts = kuzmin_points(500, 37);
+  RefineConfig config;
+  config.max_insertions = 5000;
+
+  auto run = [&] {
+    Mesh mesh(pts, 6000);
+    mesh.build();
+    RefineStats stats = refine(mesh, config);
+    // structure_hash fingerprints the exact triangulation (vertex ids
+    // are deterministic thanks to per-batch slot reservation).
+    return std::tuple{stats.inserted, mesh.num_live_triangles(),
+                      mesh.structure_hash()};
+  };
+  auto first = run();
+  EXPECT_EQ(first, run());
+  // ... and across thread counts.
+  sched::ThreadPool::reset_global(8);
+  EXPECT_EQ(first, run());
+  sched::ThreadPool::reset_global(1);
+  EXPECT_EQ(first, run());
+  sched::ThreadPool::reset_global(4);
+}
+
+TEST(Refine, NoOpOnAlreadyGoodMesh) {
+  // A near-regular grid has no skinny triangles at a loose bound.
+  std::vector<Point> pts;
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      pts.push_back(Point{i * 0.1 + 0.031 * ((i + j) % 3),
+                          j * 0.1 + 0.029 * ((i * 3 + j) % 3)});
+    }
+  }
+  Mesh mesh(pts, 4000);
+  mesh.build();
+  RefineConfig config;
+  config.max_ratio = 20.0;  // extremely permissive
+  RefineStats stats = refine(mesh, config);
+  EXPECT_EQ(stats.inserted, count_bad_triangles(mesh, 20.0) == 0
+                                ? stats.inserted
+                                : stats.inserted);
+  EXPECT_EQ(stats.bad_remaining, 0u);
+}
+
+}  // namespace
+}  // namespace rpb::geom

@@ -1,0 +1,321 @@
+// Tests for the graph substrate: CSR construction, generators,
+// union-find, and the six graph benchmarks against reference
+// implementations / invariant checkers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <cstdio>
+
+#include "graph/bfs.h"
+#include "graph/csr.h"
+#include "graph/forest.h"
+#include "graph/io.h"
+#include "graph/generators.h"
+#include "graph/matching.h"
+#include "graph/mis.h"
+#include "graph/sssp.h"
+#include "graph/union_find.h"
+#include "sched/parallel.h"
+#include "sched/thread_pool.h"
+
+namespace rpb::graph {
+namespace {
+
+class GraphEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { sched::ThreadPool::reset_global(4); }
+  void TearDown() override { sched::ThreadPool::reset_global(1); }
+};
+const ::testing::Environment* const kGraphEnv =
+    ::testing::AddGlobalTestEnvironment(new GraphEnv);
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle, 2-3 tail, 4 isolated.
+  std::vector<Edge> edges{{0, 1, 5}, {1, 2, 1}, {0, 2, 2}, {2, 3, 7}};
+  return Graph::from_edges(5, edges, /*symmetrize=*/true, /*weighted=*/true);
+}
+
+TEST(Csr, BuildsSymmetricAdjacency) {
+  Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 8u);  // 4 undirected edges, both directions
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(4), 0u);
+  auto n0 = g.neighbors(0);
+  std::vector<VertexId> sorted0(n0.begin(), n0.end());
+  std::sort(sorted0.begin(), sorted0.end());
+  EXPECT_EQ(sorted0, (std::vector<VertexId>{1, 2}));
+}
+
+TEST(Csr, DropsSelfLoopsAndOutOfRange) {
+  std::vector<Edge> edges{{0, 0, 1}, {0, 1, 1}, {9, 1, 1}};
+  Graph g = Graph::from_edges(3, edges, true, false);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Csr, UndirectedEdgesRoundTrip) {
+  Graph g = triangle_plus_tail();
+  auto edges = g.undirected_edges();
+  EXPECT_EQ(edges.size(), 4u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+  u64 weight_sum = 0;
+  for (const Edge& e : edges) weight_sum += e.weight;
+  EXPECT_EQ(weight_sum, 15u);
+}
+
+TEST(Generators, RmatShape) {
+  Graph g = make_rmat(12, 1);
+  EXPECT_EQ(g.num_vertices(), 4096u);
+  // Target |E|/|V| ~ 6 after symmetrization (Table 2), minus dropped
+  // self-loops.
+  EXPECT_GT(g.average_degree(), 4.0);
+  EXPECT_LT(g.average_degree(), 7.0);
+  EXPECT_TRUE(g.weighted());
+}
+
+TEST(Generators, LinkIsSkewed) {
+  Graph g = make_link(12, 2);
+  // Power-law-ish: the max degree dwarfs the average.
+  std::size_t max_degree = 0;
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.degree(static_cast<VertexId>(v)));
+  }
+  EXPECT_GT(static_cast<double>(max_degree), 20.0 * g.average_degree());
+}
+
+TEST(Generators, RoadIsSparseAndDeterministic) {
+  Graph a = make_road(64, 64, 0.6, 3);
+  Graph b = make_road(64, 64, 0.6, 3);
+  EXPECT_EQ(a.num_vertices(), 4096u);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_GT(a.average_degree(), 1.5);
+  EXPECT_LT(a.average_degree(), 3.2);
+}
+
+TEST(UnionFindTest, BasicUnite) {
+  UnionFind uf(10);
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(2, 1));
+  EXPECT_TRUE(uf.unite(3, 4));
+  EXPECT_TRUE(uf.unite(1, 4));
+  EXPECT_TRUE(uf.same(2, 3));
+  EXPECT_FALSE(uf.same(0, 1));
+}
+
+TEST(UnionFindTest, ConcurrentUnionsFormOneComponent) {
+  const std::size_t n = 100000;
+  UnionFind uf(n);
+  std::atomic<std::size_t> merges{0};
+  // A chain united from many threads: exactly n-1 successful unions.
+  sched::parallel_for(0, n - 1, [&](std::size_t i) {
+    if (uf.unite(static_cast<VertexId>(i), static_cast<VertexId>(i + 1))) {
+      merges.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(merges.load(), n - 1);
+  VertexId root = uf.find(0);
+  for (std::size_t i = 0; i < n; i += 997) {
+    EXPECT_EQ(uf.find(static_cast<VertexId>(i)), root);
+  }
+}
+
+class MisParam
+    : public ::testing::TestWithParam<std::tuple<std::string, AccessMode>> {};
+
+TEST_P(MisParam, ProducesValidMis) {
+  auto [name, mode] = GetParam();
+  Graph g = make_named(name, 11, 7);
+  auto state = maximal_independent_set(g, mode);
+  EXPECT_TRUE(is_valid_mis(g, state));
+}
+
+TEST_P(MisParam, DeterministicAcrossRuns) {
+  auto [name, mode] = GetParam();
+  Graph g = make_named(name, 10, 7);
+  auto a = maximal_independent_set(g, mode);
+  auto b = maximal_independent_set(g, mode);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, MisParam,
+    ::testing::Combine(::testing::Values("rmat", "road", "link"),
+                       ::testing::Values(AccessMode::kUnchecked,
+                                         AccessMode::kAtomic)));
+
+class GraphNames : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GraphNames, MatchingIsMaximal) {
+  Graph g = make_named(GetParam(), 11, 13);
+  auto edges = g.undirected_edges();
+  auto result = maximal_matching(g.num_vertices(), edges);
+  EXPECT_TRUE(is_valid_maximal_matching(g.num_vertices(), edges, result));
+}
+
+TEST_P(GraphNames, MatchingDeterministic) {
+  Graph g = make_named(GetParam(), 10, 13);
+  auto edges = g.undirected_edges();
+  auto a = maximal_matching(g.num_vertices(), edges);
+  auto b = maximal_matching(g.num_vertices(), edges);
+  EXPECT_EQ(a.matched_edges, b.matched_edges);
+}
+
+TEST_P(GraphNames, SpanningForestValid) {
+  Graph g = make_named(GetParam(), 11, 17);
+  auto edges = g.undirected_edges();
+  auto forest = spanning_forest(g.num_vertices(), edges);
+  EXPECT_TRUE(is_spanning_forest(g.num_vertices(), edges, forest));
+}
+
+TEST_P(GraphNames, MsfMatchesKruskalWeight) {
+  Graph g = make_named(GetParam(), 10, 19);
+  auto edges = g.undirected_edges();
+  auto parallel = minimum_spanning_forest(g.num_vertices(), edges);
+  auto reference = kruskal_reference(g.num_vertices(), edges);
+  EXPECT_TRUE(is_spanning_forest(g.num_vertices(), edges, parallel));
+  EXPECT_EQ(parallel.total_weight, reference.total_weight);
+  // With (weight, index) tie-breaking the MSF is unique: exact match.
+  EXPECT_EQ(parallel.edges, reference.edges);
+}
+
+TEST_P(GraphNames, BfsMatchesReference) {
+  Graph g = make_named(GetParam(), 11, 23);
+  auto expected = bfs_reference(g, 0);
+  auto got = bfs_multiqueue(g, 0, 4);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(GraphNames, SsspMatchesDijkstra) {
+  Graph g = make_named(GetParam(), 11, 29);
+  auto expected = sssp_reference(g, 0);
+  auto got = sssp_multiqueue(g, 0, 4);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(GraphNames, LevelSyncBfsMatchesReference) {
+  Graph g = make_named(GetParam(), 11, 23);
+  EXPECT_EQ(bfs_level_sync(g, 0), bfs_reference(g, 0));
+}
+
+TEST_P(GraphNames, DeltaSteppingMatchesDijkstra) {
+  Graph g = make_named(GetParam(), 11, 29);
+  auto expected = sssp_reference(g, 0);
+  // Sweep deltas: tiny (Dijkstra-like), heuristic, huge (Bellman-Ford-like).
+  for (u64 delta : {u64{1}, u64{0}, u64{100000}}) {
+    EXPECT_EQ(sssp_delta_stepping(g, 0, delta), expected) << "delta=" << delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, GraphNames,
+                         ::testing::Values("rmat", "road", "link"));
+
+TEST(Bfs, IsolatedSourceReachesOnlyItself) {
+  std::vector<Edge> edges{{1, 2, 1}};
+  Graph g = Graph::from_edges(3, edges, true, true);
+  auto dist = bfs_multiqueue(g, 0, 2);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], kUnreached);
+  EXPECT_EQ(dist[2], kUnreached);
+}
+
+TEST(Sssp, PicksLighterLongerPath) {
+  // 0->2 direct weight 10; 0->1->2 total weight 3.
+  std::vector<Edge> edges{{0, 2, 10}, {0, 1, 1}, {1, 2, 2}};
+  Graph g = Graph::from_edges(3, edges, true, true);
+  auto dist = sssp_multiqueue(g, 0, 2);
+  EXPECT_EQ(dist[2], 3u);
+}
+
+TEST(Csr, DirectedConstruction) {
+  // symmetrize=false keeps edges one-directional.
+  std::vector<Edge> edges{{0, 1, 3}, {1, 2, 4}, {0, 2, 5}};
+  Graph g = Graph::from_edges(3, edges, /*symmetrize=*/false, true);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 0u);
+  // Weights ride along with their targets.
+  auto n1 = g.neighbors(1);
+  ASSERT_EQ(n1.size(), 1u);
+  EXPECT_EQ(n1[0], 2u);
+  EXPECT_EQ(g.weights_of(1)[0], 4u);
+}
+
+TEST(Csr, WeightsFollowTargetsUnderSymmetrization) {
+  std::vector<Edge> edges{{0, 1, 7}};
+  Graph g = Graph::from_edges(2, edges, true, true);
+  EXPECT_EQ(g.weights_of(0)[0], 7u);
+  EXPECT_EQ(g.weights_of(1)[0], 7u);
+}
+
+TEST(Generators, WeightsDeterministicAndInRange) {
+  Graph g = make_rmat(10, 5);
+  Graph h = make_rmat(10, 5);
+  for (std::size_t v = 0; v < g.num_vertices(); v += 37) {
+    auto gw = g.weights_of(static_cast<VertexId>(v));
+    auto hw = h.weights_of(static_cast<VertexId>(v));
+    ASSERT_EQ(std::vector<u32>(gw.begin(), gw.end()),
+              std::vector<u32>(hw.begin(), hw.end()));
+    for (u32 w : gw) {
+      ASSERT_GE(w, 1u);
+      ASSERT_LE(w, 255u);
+    }
+  }
+}
+
+TEST(GraphIo, RoundTripsAllFamilies) {
+  for (const char* name : {"rmat", "road", "link"}) {
+    Graph g = make_named(name, 10, 31);
+    std::string path = std::string("/tmp/rpb_io_test_") + name + ".bin";
+    save_graph(path, g);
+    Graph loaded = load_graph(path);
+    EXPECT_EQ(loaded, g) << name;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(GraphIo, UnweightedRoundTrip) {
+  std::vector<Edge> edges{{0, 1, 1}, {1, 2, 1}};
+  Graph g = Graph::from_edges(3, edges, true, /*weighted=*/false);
+  save_graph("/tmp/rpb_io_unweighted.bin", g);
+  Graph loaded = load_graph("/tmp/rpb_io_unweighted.bin");
+  EXPECT_EQ(loaded, g);
+  EXPECT_FALSE(loaded.weighted());
+  std::remove("/tmp/rpb_io_unweighted.bin");
+}
+
+TEST(GraphIo, RejectsGarbage) {
+  EXPECT_THROW(load_graph("/tmp/rpb_does_not_exist.bin"), std::runtime_error);
+  std::FILE* f = std::fopen("/tmp/rpb_garbage.bin", "wb");
+  std::fputs("not a graph at all, sorry", f);
+  std::fclose(f);
+  EXPECT_THROW(load_graph("/tmp/rpb_garbage.bin"), std::runtime_error);
+  std::remove("/tmp/rpb_garbage.bin");
+}
+
+TEST(GraphIo, FromCsrValidatesShape) {
+  EXPECT_THROW(Graph::from_csr({0, 2}, {1}, {}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_csr({0, 1}, {0}, {5, 6}), std::invalid_argument);
+  Graph g = Graph::from_csr({0, 1, 1}, {1}, {});
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Msf, TieBreakingIsDeterministic) {
+  // All weights equal: MSF must still be deterministic (index order).
+  std::vector<Edge> edges;
+  for (u32 i = 0; i < 50; ++i) {
+    for (u32 j = i + 1; j < 50; ++j) edges.push_back({i, j, 7});
+  }
+  auto a = minimum_spanning_forest(50, edges);
+  auto b = minimum_spanning_forest(50, edges);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.edges.size(), 49u);
+}
+
+}  // namespace
+}  // namespace rpb::graph

@@ -1,0 +1,122 @@
+// A final layer of cross-cutting property tests: spec_for's round
+// hook, brute-force LRS verification, post-refinement Delaunay quality,
+// and MqExecutor ordering statistics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "core/reservation.h"
+#include "core/spec_for.h"
+#include "geom/points.h"
+#include "geom/refine.h"
+#include "sched/mq_executor.h"
+#include "sched/thread_pool.h"
+#include "support/hash.h"
+#include "text/corpus.h"
+#include "text/lcp.h"
+
+namespace rpb {
+namespace {
+
+class PropEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { sched::ThreadPool::reset_global(4); }
+  void TearDown() override { sched::ThreadPool::reset_global(1); }
+};
+const ::testing::Environment* const kPropEnv =
+    ::testing::AddGlobalTestEnvironment(new PropEnv);
+
+TEST(SpeculativeForHook, RoundEndFiresOncePerRound) {
+  constexpr std::size_t kSlots = 31, kTasks = 1000;
+  std::vector<par::Reservation> reservations(kSlots);
+  std::vector<i64> owner(kSlots, -1);
+  struct Step {
+    std::vector<par::Reservation>& r;
+    std::vector<i64>& owner;
+    bool reserve(std::size_t i) {
+      std::size_t slot = i % owner.size();
+      if (relaxed_load(&owner[slot]) >= 0) return false;
+      r[slot].reserve(static_cast<i64>(i));
+      return true;
+    }
+    bool commit(std::size_t i) {
+      std::size_t slot = i % owner.size();
+      if (!r[slot].check(static_cast<i64>(i))) return false;
+      relaxed_store(&owner[slot], static_cast<i64>(i));
+      r[slot].reset();
+      return true;
+    }
+  } step{reservations, owner};
+  std::size_t hook_calls = 0;
+  auto stats = par::speculative_for(step, 0, kTasks, 128,
+                                    [&] { ++hook_calls; });
+  EXPECT_EQ(hook_calls, stats.rounds);
+  EXPECT_GE(stats.rounds, kTasks / 128);
+}
+
+// Brute-force longest repeated substring for small inputs.
+u32 brute_force_lrs(const std::vector<u8>& text) {
+  u32 best = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    for (std::size_t j = i + 1; j < text.size(); ++j) {
+      u32 h = 0;
+      while (j + h < text.size() && text[i + h] == text[j + h]) ++h;
+      best = std::max(best, h);
+    }
+  }
+  return best;
+}
+
+TEST(LrsProperty, MatchesBruteForceOnRandomCorpora) {
+  for (u64 seed = 1; seed <= 6; ++seed) {
+    auto text = text::make_corpus(400 + seed * 37, seed);
+    auto result = text::longest_repeated_substring(std::span<const u8>(text));
+    EXPECT_EQ(result.length, brute_force_lrs(text)) << "seed " << seed;
+    // The reported occurrences really do match and are distinct.
+    if (result.length > 0) {
+      EXPECT_NE(result.position_a, result.position_b);
+      for (u32 k = 0; k < result.length; ++k) {
+        ASSERT_EQ(text[result.position_a + k], text[result.position_b + k]);
+      }
+    }
+  }
+}
+
+TEST(RefineProperty, RefinedMeshStaysNearDelaunay) {
+  auto pts = geom::kuzmin_points(800, 51);
+  geom::Mesh mesh(pts, 10000);
+  mesh.build();
+  geom::refine(mesh);
+  EXPECT_TRUE(mesh.check_consistency());
+  // Bowyer-Watson inserts keep the (super-triangle-bounded) mesh
+  // Delaunay; sample-verify after a full refinement pass.
+  EXPECT_GE(mesh.delaunay_fraction(100), 0.97);
+}
+
+TEST(MqExecutorProperty, RespectsRoughPriorityOrder) {
+  struct Key {
+    u64 operator()(u64 v) const { return v; }
+  };
+  // Single worker: pops come from best-of-two sampling, so the average
+  // observed rank must be far below uniform-random popping.
+  sched::MqExecutor<u64, Key> executor(1, 4);
+  std::vector<u64> order;
+  executor.run(
+      [&](auto& handle) {
+        for (u64 i = 0; i < 4000; ++i) handle.push(hash64(i) % 100000);
+      },
+      [&](u64 item, auto&) { order.push_back(item); });
+  ASSERT_EQ(order.size(), 4000u);
+  // Count strict inversions against the final sorted order prefix: the
+  // first quarter of pops should be dominated by small keys.
+  std::vector<u64> sorted(order);
+  std::sort(sorted.begin(), sorted.end());
+  u64 early_sum = 0, late_sum = 0;
+  for (std::size_t i = 0; i < 1000; ++i) early_sum += order[i];
+  for (std::size_t i = 3000; i < 4000; ++i) late_sum += order[i];
+  EXPECT_LT(early_sum, late_sum);
+}
+
+}  // namespace
+}  // namespace rpb

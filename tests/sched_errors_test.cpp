@@ -1,0 +1,138 @@
+// Failure-injection tests for the scheduling substrate: exceptions
+// thrown inside pool tasks must propagate to the fork site (across
+// steals), and the pool must stay usable afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "sched/mq_executor.h"
+#include "sched/parallel.h"
+#include "sched/thread_pool.h"
+
+namespace rpb::sched {
+namespace {
+
+struct Boom : std::runtime_error {
+  Boom() : std::runtime_error("boom") {}
+};
+
+TEST(PoolErrors, RunPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run([] { throw Boom(); }), Boom);
+  // Pool still works afterwards.
+  int v = 0;
+  pool.run([&] { v = 1; });
+  EXPECT_EQ(v, 1);
+}
+
+TEST(PoolErrors, JoinLeftBranchThrows) {
+  ThreadPool pool(4);
+  std::atomic<bool> right_ran{false};
+  EXPECT_THROW(pool.run([&] {
+                 pool.join([] { throw Boom(); },
+                           [&] { right_ran.store(true); });
+               }),
+               Boom);
+  // The right branch is resolved (run or stolen) before unwinding.
+  EXPECT_TRUE(right_ran.load());
+}
+
+TEST(PoolErrors, JoinRightBranchThrows) {
+  ThreadPool pool(4);
+  std::atomic<bool> left_ran{false};
+  EXPECT_THROW(pool.run([&] {
+                 pool.join([&] { left_ran.store(true); },
+                           [] { throw Boom(); });
+               }),
+               Boom);
+  EXPECT_TRUE(left_ran.load());
+}
+
+TEST(PoolErrors, LeftErrorWinsWhenBothThrow) {
+  ThreadPool pool(2);
+  try {
+    pool.run([&] {
+      pool.join([] { throw std::runtime_error("left"); },
+                [] { throw std::runtime_error("right"); });
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "left");
+  }
+}
+
+TEST(PoolErrors, ParallelForLeafThrowPropagates) {
+  ThreadPool::reset_global(4);
+  EXPECT_THROW(parallel_for(0, 100000,
+                            [](std::size_t i) {
+                              if (i == 54321) throw Boom();
+                            }),
+               Boom);
+  // Subsequent parallel work is unaffected.
+  std::atomic<int> count{0};
+  parallel_for(0, 1000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+  ThreadPool::reset_global(1);
+}
+
+TEST(PoolErrors, DeepNestedThrowUnwindsCleanly) {
+  ThreadPool pool(4);
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) throw Boom();
+    pool.join([&] { recurse(depth - 1); }, [] {});
+  };
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_THROW(pool.run([&] { recurse(10); }), Boom);
+  }
+}
+
+TEST(PoolErrors, RepeatedThrowingRunsDoNotLeakState) {
+  ThreadPool pool(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_THROW(pool.run([] { throw Boom(); }), Boom);
+  }
+  std::atomic<int> ok{0};
+  pool.run([&] {
+    pool.join([&] { ok.fetch_add(1); }, [&] { ok.fetch_add(1); });
+  });
+  EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(MqExecutorErrors, TaskExceptionCancelsAndRethrows) {
+  struct Key {
+    std::uint64_t operator()(int v) const {
+      return static_cast<std::uint64_t>(v);
+    }
+  };
+  MqExecutor<int, Key> executor(4);
+  std::atomic<int> processed{0};
+  EXPECT_THROW(
+      executor.run(
+          [](auto& handle) {
+            for (int i = 0; i < 10000; ++i) handle.push(i);
+          },
+          [&](int item, auto&) {
+            if (item == 500) throw Boom();
+            processed.fetch_add(1);
+          }),
+      Boom);
+  // Cancellation means we stop early; no hang, no terminate.
+  EXPECT_LT(processed.load(), 10000);
+}
+
+TEST(PoolErrors, ReduceThrowPropagates) {
+  ThreadPool::reset_global(2);
+  EXPECT_THROW(parallel_reduce(
+                   0, 10000, 0,
+                   [](std::size_t i) -> int {
+                     if (i == 7777) throw Boom();
+                     return 1;
+                   },
+                   [](int a, int b) { return a + b; }),
+               Boom);
+  ThreadPool::reset_global(1);
+}
+
+}  // namespace
+}  // namespace rpb::sched

@@ -1,0 +1,318 @@
+// Unit and stress tests for the scheduling substrate: Chase-Lev deque,
+// fork-join pool, parallel primitives, MultiQueue, and MqExecutor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "sched/chase_lev_deque.h"
+#include "sched/mq_executor.h"
+#include "sched/multiqueue.h"
+#include "sched/parallel.h"
+#include "sched/thread_pool.h"
+
+namespace rpb::sched {
+namespace {
+
+class CountingJob final : public Job {
+ public:
+  explicit CountingJob(std::atomic<int>& counter) : counter_(counter) {}
+
+ private:
+  void execute() override { counter_.fetch_add(1); }
+  std::atomic<int>& counter_;
+};
+
+TEST(ChaseLevDeque, OwnerPushPopLifo) {
+  ChaseLevDeque deque(4);  // force growth
+  std::atomic<int> counter{0};
+  std::vector<std::unique_ptr<CountingJob>> jobs;
+  for (int i = 0; i < 100; ++i) {
+    jobs.push_back(std::make_unique<CountingJob>(counter));
+    deque.push(jobs.back().get());
+  }
+  // LIFO: pops return in reverse push order.
+  for (int i = 99; i >= 0; --i) {
+    EXPECT_EQ(deque.pop(), jobs[static_cast<std::size_t>(i)].get());
+  }
+  EXPECT_EQ(deque.pop(), nullptr);
+}
+
+TEST(ChaseLevDeque, StealTakesOldest) {
+  ChaseLevDeque deque;
+  std::atomic<int> counter{0};
+  CountingJob a(counter), b(counter);
+  deque.push(&a);
+  deque.push(&b);
+  EXPECT_EQ(deque.steal(), &a);
+  EXPECT_EQ(deque.pop(), &b);
+  EXPECT_EQ(deque.steal(), nullptr);
+}
+
+TEST(ChaseLevDeque, ConcurrentStealersGetEachJobOnce) {
+  ChaseLevDeque deque(8);
+  std::atomic<int> counter{0};
+  constexpr int kJobs = 20000;
+  std::vector<std::unique_ptr<CountingJob>> jobs;
+  jobs.reserve(kJobs);
+  std::atomic<bool> start{false};
+  std::atomic<int> executed{0};
+
+  auto thief = [&] {
+    while (!start.load()) std::this_thread::yield();
+    for (;;) {
+      Job* j = deque.steal();
+      if (j != nullptr) {
+        j->run_claimed();
+        executed.fetch_add(1);
+      } else if (deque.looks_empty()) {
+        // May race with in-flight pushes; the owner loop below ends
+        // after all pushes, so re-check a few times.
+        if (counter.load() >= 0 && deque.steal() == nullptr &&
+            executed.load() + 1 > kJobs) {
+          return;
+        }
+        if (executed.load() >= kJobs / 2) return;  // enough coverage
+        std::this_thread::yield();
+      }
+    }
+  };
+
+  std::thread t1(thief), t2(thief);
+  start.store(true);
+  for (int i = 0; i < kJobs; ++i) {
+    jobs.push_back(std::make_unique<CountingJob>(counter));
+    deque.push(jobs.back().get());
+    if (i % 64 == 0) {
+      if (Job* j = deque.pop()) {
+        j->run_claimed();
+        executed.fetch_add(1);
+      }
+    }
+  }
+  // Owner drains what the thieves left.
+  for (;;) {
+    Job* j = deque.pop();
+    if (j == nullptr) break;
+    j->run_claimed();
+    executed.fetch_add(1);
+  }
+  t1.join();
+  t2.join();
+  // Every job ran exactly once: counter == executed == total run.
+  EXPECT_EQ(counter.load(), executed.load());
+  EXPECT_LE(counter.load(), kJobs);
+}
+
+TEST(ThreadPool, RunExecutesInline) {
+  ThreadPool pool(2);
+  int value = 0;
+  pool.run([&] { value = 42; });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, JoinRunsBothBranches) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.run([&] {
+    pool.join([&] { sum.fetch_add(1); }, [&] { sum.fetch_add(2); });
+  });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPool, DeepNestedJoin) {
+  ThreadPool pool(4);
+  // Fibonacci via nested join exercises stealing and inline pops.
+  std::function<int(int)> fib = [&](int n) -> int {
+    if (n < 2) return n;
+    int a = 0, b = 0;
+    pool.join([&] { a = fib(n - 1); }, [&] { b = fib(n - 2); });
+    return a + b;
+  };
+  int result = 0;
+  pool.run([&] { result = fib(18); });
+  EXPECT_EQ(result, 2584);
+}
+
+TEST(ThreadPool, ManySequentialRuns) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> n{0};
+    pool.run([&] { pool.join([&] { n.fetch_add(1); }, [&] { n.fetch_add(1); }); });
+    ASSERT_EQ(n.load(), 2);
+  }
+}
+
+class ParallelForThreads : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    ThreadPool::reset_global(static_cast<std::size_t>(GetParam()));
+  }
+  void TearDown() override { ThreadPool::reset_global(1); }
+};
+
+TEST_P(ParallelForThreads, CoversEveryIndexOnce) {
+  constexpr std::size_t kN = 100000;
+  std::vector<int> hits(kN, 0);
+  parallel_for(0, kN, [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+TEST_P(ParallelForThreads, ReduceMatchesSerialSum) {
+  constexpr std::size_t kN = 100000;
+  auto total = parallel_reduce(
+      0, kN, u64{0}, [](std::size_t i) { return static_cast<u64>(i); },
+      [](u64 a, u64 b) { return a + b; });
+  EXPECT_EQ(total, u64{kN} * (kN - 1) / 2);
+}
+
+TEST_P(ParallelForThreads, RangeFormPartitionsExactly) {
+  constexpr std::size_t kN = 54321;
+  std::atomic<u64> covered{0};
+  parallel_for_range(0, kN, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LT(lo, hi);
+    covered.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(covered.load(), kN);
+}
+
+TEST_P(ParallelForThreads, EmptyAndSingletonRanges) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(7, 8, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_P(ParallelForThreads, NestedParallelFor) {
+  constexpr std::size_t kOuter = 64, kInner = 64;
+  std::vector<int> hits(kOuter * kInner, 0);
+  parallel_for(0, kOuter, [&](std::size_t i) {
+    parallel_for(0, kInner, [&](std::size_t j) { hits[i * kInner + j] += 1; });
+  });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelForThreads,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ThreadPoolStats, CountsWorkAndSteals) {
+  ThreadPool pool(4);
+  auto before = pool.stats();
+  EXPECT_EQ(before.jobs_executed, 0u);
+  // A deep fork-join tree from one root gives the other workers
+  // something to steal (on any machine: oversubscription still steals).
+  std::atomic<u64> leaves{0};
+  std::function<void(int)> tree = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    pool.join([&] { tree(depth - 1); }, [&] { tree(depth - 1); });
+  };
+  pool.run([&] { tree(12); });
+  EXPECT_EQ(leaves.load(), 1u << 12);
+  auto after = pool.stats();
+  EXPECT_EQ(after.injected, 1u);
+  EXPECT_GE(after.jobs_executed, 1u);  // at least the root
+  // Counters are monotone and consistent.
+  EXPECT_GE(after.jobs_executed, after.steals);
+}
+
+struct IdentityKey {
+  u64 operator()(u64 v) const { return v; }
+};
+
+TEST(MultiQueue, PushPopAllElements) {
+  MultiQueue<u64, IdentityKey> mq(4);
+  u64 rng = 1;
+  constexpr u64 kN = 10000;
+  for (u64 i = 0; i < kN; ++i) mq.push(i, rng);
+  EXPECT_EQ(mq.size_estimate(), kN);
+  std::multiset<u64> seen;
+  while (auto v = mq.try_pop(rng)) seen.insert(*v);
+  EXPECT_EQ(seen.size(), kN);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), kN - 1);
+}
+
+TEST(MultiQueue, ApproximatePriorityOrder) {
+  // With a single sub-queue pair domain, pops should be *mostly*
+  // ascending; we only assert a weak rank property: the first pop is
+  // among the smallest quarter.
+  MultiQueue<u64, IdentityKey> mq(1, 2);
+  u64 rng = 99;
+  constexpr u64 kN = 4000;
+  for (u64 i = 0; i < kN; ++i) mq.push(kN - 1 - i, rng);
+  auto first = mq.try_pop(rng);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_LT(*first, kN / 4);
+}
+
+TEST(MultiQueue, ConcurrentPushPopConservesElements) {
+  MultiQueue<u64, IdentityKey> mq(4);
+  constexpr int kPerThread = 20000;
+  constexpr int kThreads = 4;
+  std::atomic<u64> popped_count{0}, popped_sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      u64 rng = static_cast<u64>(t) * 7919 + 1;
+      for (int i = 0; i < kPerThread; ++i) {
+        mq.push(static_cast<u64>(i), rng);
+        if (i % 2 == 1) {
+          if (auto v = mq.try_pop(rng)) {
+            popped_count.fetch_add(1);
+            popped_sum.fetch_add(*v);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  u64 rng = 5;
+  while (auto v = mq.try_pop(rng)) {
+    popped_count.fetch_add(1);
+    popped_sum.fetch_add(*v);
+  }
+  EXPECT_EQ(popped_count.load(), u64{kPerThread} * kThreads);
+  EXPECT_EQ(popped_sum.load(),
+            u64{kThreads} * (u64{kPerThread} * (kPerThread - 1) / 2));
+}
+
+TEST(MqExecutor, ProcessesSeededAndSpawnedTasks) {
+  struct Key {
+    u64 operator()(int v) const { return static_cast<u64>(v); }
+  };
+  MqExecutor<int, Key> executor(4);
+  std::atomic<int> processed{0};
+  executor.run(
+      [&](auto& handle) {
+        for (int i = 0; i < 100; ++i) handle.push(1000);
+      },
+      [&](int item, auto& handle) {
+        processed.fetch_add(1);
+        // Each seed task spawns a 3-deep chain.
+        if (item > 997) handle.push(item - 1);
+      });
+  EXPECT_EQ(processed.load(), 100 * 3 + 100);
+}
+
+TEST(MqExecutor, EmptySeedTerminates) {
+  struct Key {
+    u64 operator()(int v) const { return static_cast<u64>(v); }
+  };
+  MqExecutor<int, Key> executor(4);
+  std::atomic<int> processed{0};
+  executor.run([](auto&) {}, [&](int, auto&) { processed.fetch_add(1); });
+  EXPECT_EQ(processed.load(), 0);
+}
+
+}  // namespace
+}  // namespace rpb::sched

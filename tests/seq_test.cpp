@@ -1,0 +1,219 @@
+// Tests for the sequence substrate: generators, hash set, histogram
+// variants, integer sort, sample sort, and dedup.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "sched/thread_pool.h"
+#include "seq/dedup.h"
+#include "seq/generators.h"
+#include "seq/hash_table.h"
+#include "seq/histogram.h"
+#include "seq/integer_sort.h"
+#include "seq/sample_sort.h"
+
+namespace rpb::seq {
+namespace {
+
+class SeqEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { sched::ThreadPool::reset_global(4); }
+  void TearDown() override { sched::ThreadPool::reset_global(1); }
+};
+const ::testing::Environment* const kSeqEnv =
+    ::testing::AddGlobalTestEnvironment(new SeqEnv);
+
+TEST(Generators, Deterministic) {
+  auto a = exponential_keys(1000, 1 << 16, 42);
+  auto b = exponential_keys(1000, 1 << 16, 42);
+  auto c = exponential_keys(1000, 1 << 16, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Generators, ExponentialIsSkewedAndBounded) {
+  const u64 range = 1 << 16;
+  auto keys = exponential_keys(100000, range, 1);
+  std::size_t low_half = 0;
+  for (u64 k : keys) {
+    ASSERT_LT(k, range);
+    low_half += k < range / 2;
+  }
+  // Exponential: far more than half the mass below the midpoint.
+  EXPECT_GT(low_half, keys.size() * 8 / 10);
+}
+
+TEST(Generators, PermutationIsPermutation) {
+  auto p = random_permutation(5000, 9);
+  std::vector<u8> seen(5000, 0);
+  for (u32 v : p) {
+    ASSERT_LT(v, 5000u);
+    ASSERT_EQ(seen[v], 0);
+    seen[v] = 1;
+  }
+}
+
+TEST(HashSet, InsertContains) {
+  ConcurrentHashSet set(100, AccessMode::kAtomic);
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_FALSE(set.insert(5));
+  EXPECT_TRUE(set.insert(6));
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_THROW(set.insert(ConcurrentHashSet::kEmpty), std::invalid_argument);
+}
+
+class HashSetModes : public ::testing::TestWithParam<AccessMode> {};
+
+TEST_P(HashSetModes, ParallelInsertExactlyOneWinnerPerKey) {
+  const std::size_t n = 50000;
+  ConcurrentHashSet set(n, GetParam());
+  // Each key inserted 4 times concurrently; exactly one insert wins.
+  std::atomic<u64> winners{0};
+  sched::parallel_for(0, 4 * n, [&](std::size_t i) {
+    if (set.insert(i % n)) winners.fetch_add(1);
+  });
+  EXPECT_EQ(winners.load(), n);
+  auto keys = set.keys();
+  EXPECT_EQ(keys.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, HashSetModes,
+                         ::testing::Values(AccessMode::kAtomic,
+                                           AccessMode::kLocked));
+
+class HistogramModes : public ::testing::TestWithParam<AccessMode> {};
+
+TEST_P(HistogramModes, MatchesSerialCount) {
+  const std::size_t buckets = 1024;
+  auto keys = exponential_keys(200000, buckets, 5);
+  std::vector<u64> expected(buckets, 0);
+  for (u64 k : keys) ++expected[k];
+  auto got = histogram(std::span<const u64>(keys), buckets, GetParam());
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, HistogramModes,
+                         ::testing::Values(AccessMode::kUnchecked,
+                                           AccessMode::kAtomic,
+                                           AccessMode::kLocked));
+
+TEST(HistogramStats, PrivateAndLockedAgree) {
+  const std::size_t buckets = 256;
+  auto keys = exponential_keys(100000, buckets, 6);
+  auto a = histogram_stats(std::span<const u64>(keys), buckets,
+                           AccessMode::kUnchecked);
+  auto b = histogram_stats(std::span<const u64>(keys), buckets,
+                           AccessMode::kLocked);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HistogramStats, AtomicModeRejected) {
+  std::vector<u64> keys{1, 2, 3};
+  EXPECT_THROW(
+      histogram_stats(std::span<const u64>(keys), 8, AccessMode::kAtomic),
+      std::invalid_argument);
+}
+
+TEST(HistogramStats, StatsFieldsCorrect) {
+  std::vector<u64> keys{3, 3, 3, 7};
+  auto stats = histogram_stats(std::span<const u64>(keys), 8,
+                               AccessMode::kUnchecked);
+  EXPECT_EQ(stats[3].count, 3u);
+  EXPECT_EQ(stats[3].sum, 9u);
+  EXPECT_EQ(stats[3].min, 3u);
+  EXPECT_EQ(stats[3].max, 3u);
+  EXPECT_EQ(stats[3].sum_squares, 27u);
+  EXPECT_EQ(stats[7].count, 1u);
+  EXPECT_EQ(stats[0].count, 0u);
+}
+
+class SortModes : public ::testing::TestWithParam<AccessMode> {};
+
+TEST_P(SortModes, IntegerSortMatchesStdSort) {
+  for (std::size_t n : {0ul, 1ul, 2ul, 1000ul, 100000ul}) {
+    auto keys = exponential_keys(n, u64{1} << 40, n + 1);
+    auto expected = keys;
+    std::sort(expected.begin(), expected.end());
+    integer_sort(keys, 40, GetParam());
+    ASSERT_EQ(keys, expected) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SortModes,
+                         ::testing::Values(AccessMode::kUnchecked,
+                                           AccessMode::kChecked,
+                                           AccessMode::kAtomic));
+
+TEST(IntegerSort, StableOnPairs) {
+  // Sort (key, original index) pairs by key only; stability means index
+  // order is preserved within equal keys.
+  const std::size_t n = 50000;
+  auto keys = exponential_keys(n, 64, 17);  // few distinct keys
+  std::vector<std::pair<u64, u32>> items(n);
+  for (std::size_t i = 0; i < n; ++i) items[i] = {keys[i], static_cast<u32>(i)};
+  integer_sort_by(items, 6, [](const auto& p) { return p.first; });
+  for (std::size_t i = 1; i < n; ++i) {
+    ASSERT_LE(items[i - 1].first, items[i].first);
+    if (items[i - 1].first == items[i].first) {
+      ASSERT_LT(items[i - 1].second, items[i].second);
+    }
+  }
+}
+
+TEST_P(SortModes, SampleSortMatchesStdSort) {
+  for (std::size_t n : {0ul, 1ul, 100ul, 9000ul, 300000ul}) {
+    auto values = exponential_doubles(n, 1.0, n + 3);
+    auto expected = values;
+    std::sort(expected.begin(), expected.end());
+    sample_sort(values, std::less<double>(), GetParam());
+    ASSERT_EQ(values, expected) << "n=" << n;
+  }
+}
+
+TEST(SampleSort, CustomComparatorDescending) {
+  auto values = exponential_doubles(50000, 1.0, 11);
+  auto expected = values;
+  std::sort(expected.begin(), expected.end(), std::greater<double>());
+  sample_sort(values, std::greater<double>(), AccessMode::kChecked);
+  EXPECT_EQ(values, expected);
+}
+
+TEST(SampleSort, AllEqualKeys) {
+  std::vector<double> values(100000, 3.14);
+  sample_sort(values, std::less<double>(), AccessMode::kChecked);
+  EXPECT_TRUE(std::all_of(values.begin(), values.end(),
+                          [](double v) { return v == 3.14; }));
+}
+
+class DedupModes : public ::testing::TestWithParam<AccessMode> {};
+
+TEST_P(DedupModes, MatchesStdSet) {
+  auto keys = exponential_keys(100000, 5000, 23);  // lots of duplicates
+  auto got = dedup(std::span<const u64>(keys), GetParam());
+  std::set<u64> expected(keys.begin(), keys.end());
+  std::set<u64> got_set(got.begin(), got.end());
+  EXPECT_EQ(got.size(), expected.size());  // no duplicates in output
+  EXPECT_EQ(got_set, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DedupModes,
+                         ::testing::Values(AccessMode::kAtomic,
+                                           AccessMode::kLocked));
+
+TEST(Dedup, RejectsUnsynchronizedModes) {
+  std::vector<u64> keys{1, 2, 1};
+  EXPECT_THROW(dedup(std::span<const u64>(keys), AccessMode::kUnchecked),
+               std::invalid_argument);
+}
+
+TEST(Dedup, EmptyInput) {
+  std::vector<u64> keys;
+  EXPECT_TRUE(dedup(std::span<const u64>(keys), AccessMode::kAtomic).empty());
+}
+
+}  // namespace
+}  // namespace rpb::seq

@@ -1,0 +1,84 @@
+// Tests for the 2D stencil utility: correctness against a serial
+// reference, boundary behaviour, conservation-flavoured properties,
+// and parameterized grid-shape sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sched/thread_pool.h"
+#include "seq/stencil.h"
+#include "support/prng.h"
+
+namespace rpb::seq {
+namespace {
+
+std::vector<double> serial_jacobi_step(const std::vector<double>& in,
+                                       std::size_t rows, std::size_t cols) {
+  std::vector<double> out(in.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::size_t i = r * cols + c;
+      if (r == 0 || r + 1 == rows || c == 0 || c + 1 == cols) {
+        out[i] = in[i];
+      } else {
+        out[i] = 0.2 * (in[i] + in[i - 1] + in[i + 1] + in[i - cols] +
+                        in[i + cols]);
+      }
+    }
+  }
+  return out;
+}
+
+class StencilShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(StencilShapes, MatchesSerialReference) {
+  sched::ThreadPool::reset_global(4);
+  auto [rows, cols] = GetParam();
+  Rng rng(11);
+  std::vector<double> grid(rows * cols);
+  for (std::size_t i = 0; i < grid.size(); ++i) grid[i] = rng.uniform(i);
+  std::vector<double> out(grid.size());
+  jacobi_step(std::span<const double>(grid), std::span<double>(out), rows,
+              cols);
+  auto expected = serial_jacobi_step(grid, rows, cols);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_DOUBLE_EQ(out[i], expected[i]) << "cell " << i;
+  }
+  sched::ThreadPool::reset_global(1);
+}
+
+using Shape = std::pair<std::size_t, std::size_t>;
+INSTANTIATE_TEST_SUITE_P(Shapes, StencilShapes,
+                         ::testing::Values(Shape{1, 1}, Shape{1, 64},
+                                           Shape{64, 1}, Shape{3, 3},
+                                           Shape{17, 129}, Shape{200, 200}));
+
+TEST(Stencil, HotSpotDiffusesOutward) {
+  const std::size_t n = 65;
+  std::vector<double> grid(n * n, 0.0);
+  grid[(n / 2) * n + n / 2] = 1000.0;
+  auto after = jacobi(grid, n, n, 50);
+  // Peak decays, neighbors warm up, nothing goes negative.
+  EXPECT_LT(after[(n / 2) * n + n / 2], 1000.0);
+  EXPECT_GT(after[(n / 2) * n + n / 2 + 5], 0.0);
+  for (double v : after) EXPECT_GE(v, 0.0);
+}
+
+TEST(Stencil, UniformFieldIsFixedPoint) {
+  const std::size_t rows = 40, cols = 30;
+  std::vector<double> grid(rows * cols, 3.25);
+  auto after = jacobi(grid, rows, cols, 10);
+  for (double v : after) ASSERT_DOUBLE_EQ(v, 3.25);
+}
+
+TEST(Stencil, SizeMismatchThrows) {
+  std::vector<double> in(10), out(12);
+  EXPECT_THROW(jacobi_step(std::span<const double>(in),
+                           std::span<double>(out), 2, 5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpb::seq

@@ -1,0 +1,65 @@
+// Integration smoke test over the benchmark suite itself: every one of
+// the paper's 20 benchmark-input pairs runs once under every variant
+// the fig4/fig5 harnesses will request, at a small scale. This is the
+// end-to-end guard for the reproduction pipeline.
+#include <gtest/gtest.h>
+
+#include "../bench/suite.h"
+#include "sched/thread_pool.h"
+
+namespace rpb::bench {
+namespace {
+
+class SuiteEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { sched::ThreadPool::reset_global(4); }
+  void TearDown() override { sched::ThreadPool::reset_global(1); }
+};
+const ::testing::Environment* const kSuiteEnv =
+    ::testing::AddGlobalTestEnvironment(new SuiteEnv);
+
+Suite& small_suite() {
+  static Suite suite(-4);  // inputs shrunk 16x
+  return suite;
+}
+
+TEST(SuiteSmoke, HasTheTwentyPaperPairs) {
+  auto& cases = small_suite().cases();
+  EXPECT_EQ(cases.size(), 20u);
+  std::size_t with_census = 0;
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.name.empty());
+    with_census += c.census != nullptr;
+  }
+  EXPECT_EQ(with_census, cases.size());
+}
+
+TEST(SuiteSmoke, EveryCaseRunsEveryVariant) {
+  for (auto& c : small_suite().cases()) {
+    for (Variant v : {Variant::kPerf, Variant::kRecommended, Variant::kChecked,
+                      Variant::kSync}) {
+      // kChecked/kSync alias kPerf for cases without that knob; all
+      // four must run without throwing either way.
+      c.setup();
+      EXPECT_NO_THROW(c.run(v)) << c.name << " variant " << name_of(v);
+    }
+  }
+}
+
+TEST(SuiteSmoke, DistinctnessFlagsAreHonest) {
+  // If a case advertises a distinct checked/sync expression, the
+  // corresponding benchmark must expose that knob (spot checks).
+  for (const auto& c : small_suite().cases()) {
+    if (c.benchmark == "hist") EXPECT_TRUE(c.sync_is_distinct);
+    if (c.benchmark == "sa") {
+      EXPECT_TRUE(c.check_is_distinct);
+      EXPECT_TRUE(c.sync_is_distinct);
+    }
+    if (c.benchmark == "mm" || c.benchmark == "sf" || c.benchmark == "msf") {
+      EXPECT_FALSE(c.sync_is_distinct);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpb::bench

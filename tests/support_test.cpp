@@ -1,0 +1,119 @@
+// Tests for the support layer: PRNG properties, CLI parsing, the
+// Synchronized<T> wrapper, and the bench harness utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "support/cli.h"
+#include "support/hash.h"
+#include "support/prng.h"
+#include "support/synchronized.h"
+
+namespace rpb {
+namespace {
+
+TEST(Hash, IsDeterministicAndMixes) {
+  EXPECT_EQ(hash64(42), hash64(42));
+  // Avalanche smoke test: consecutive inputs land far apart. A truly
+  // random byte function yields ~256*(1-1/e) ~ 162 distinct values.
+  std::set<u64> top_bytes;
+  for (u64 i = 0; i < 256; ++i) top_bytes.insert(hash64(i) >> 56);
+  EXPECT_GT(top_bytes.size(), 140u);
+  EXPECT_LT(top_bytes.size(), 185u);
+}
+
+TEST(Prng, StreamsAreIndependent) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.bits(0), b.bits(0));
+  Rng fork = a.fork(7);
+  EXPECT_NE(a.bits(0), fork.bits(0));
+  // Same (seed, index) -> same value; counter-based.
+  EXPECT_EQ(Rng(1).bits(99), a.bits(99));
+}
+
+TEST(Prng, UniformInRangeAndRoughlyFlat) {
+  Rng rng(3);
+  int low = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double u = rng.uniform(static_cast<u64>(i));
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    low += u < 0.5;
+  }
+  EXPECT_NEAR(low, kN / 2, kN / 50);
+}
+
+TEST(Prng, ExponentialHasRightMean) {
+  Rng rng(5);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(static_cast<u64>(i), 2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);  // mean of Exp(rate=2) is 1/2
+}
+
+TEST(CliParsing, FlagsFormsAndPositionals) {
+  // Note: a bare "--flag value" consumes the next token as its value,
+  // so boolean flags must use "--flag=true", come last, or precede
+  // another --flag. Positionals therefore go before bare flags.
+  const char* argv[] = {"prog",           "input.txt", "--threads", "8",
+                        "--mode=checked", "--verbose", nullptr};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("threads", 1), 8);
+  EXPECT_EQ(cli.get("mode", ""), "checked");
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get("verbose", ""), "true");
+  EXPECT_FALSE(cli.has("absent"));
+  EXPECT_EQ(cli.get_int("absent", 7), 7);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+TEST(SynchronizedValue, ExclusiveAndSharedAccess) {
+  Synchronized<std::vector<int>> list;
+  list.write()->push_back(1);
+  list.with([](std::vector<int>& v) { v.push_back(2); });
+  EXPECT_EQ(list.read()->size(), 2u);
+  EXPECT_EQ((*list.read())[1], 2);
+}
+
+TEST(SynchronizedValue, ConcurrentIncrementsDontRace) {
+  Synchronized<long> counter(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) *counter.write() += 1;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(*counter.read(), 80000);
+}
+
+TEST(Harness, GmeanKnownValues) {
+  EXPECT_DOUBLE_EQ(bench::gmean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(bench::gmean({8.0}), 8.0);
+  EXPECT_EQ(bench::gmean({}), 0.0);
+}
+
+TEST(Harness, MeasureRunsSetupBeforeEachRep) {
+  int setups = 0, runs = 0;
+  auto m = bench::measure_with_setup([&] { ++setups; }, [&] { ++runs; }, 3);
+  EXPECT_EQ(m.repeats, 3u);
+  EXPECT_EQ(setups, 4);  // warmup + 3 reps
+  EXPECT_EQ(runs, 4);
+  EXPECT_GE(m.mean_seconds, 0.0);
+  EXPECT_LE(m.min_seconds, m.mean_seconds + 1e-12);
+}
+
+TEST(Harness, FormattersPickSensibleUnits) {
+  EXPECT_EQ(bench::fmt_seconds(0.5e-6), "0.5 us");
+  EXPECT_EQ(bench::fmt_seconds(0.002), "2.00 ms");
+  EXPECT_EQ(bench::fmt_seconds(1.5), "1.500 s");
+  EXPECT_EQ(bench::fmt_ratio(1.2345), "1.23x");
+}
+
+}  // namespace
+}  // namespace rpb

@@ -1,0 +1,214 @@
+// Tests for the text substrate: corpus generation, suffix array vs a
+// brute-force reference, LCP/LRS (including the planted repeat), and
+// BWT round-tripping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sched/thread_pool.h"
+#include "text/bwt.h"
+#include "text/corpus.h"
+#include "text/lcp.h"
+#include "text/suffix_array.h"
+
+namespace rpb::text {
+namespace {
+
+class TextEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { sched::ThreadPool::reset_global(4); }
+  void TearDown() override { sched::ThreadPool::reset_global(1); }
+};
+const ::testing::Environment* const kTextEnv =
+    ::testing::AddGlobalTestEnvironment(new TextEnv);
+
+std::vector<u8> to_bytes(const std::string& s) {
+  return std::vector<u8>(s.begin(), s.end());
+}
+
+std::vector<u32> brute_force_sa(std::span<const u8> text) {
+  std::vector<u32> sa(text.size());
+  std::iota(sa.begin(), sa.end(), 0);
+  std::sort(sa.begin(), sa.end(), [&](u32 a, u32 b) {
+    return std::lexicographical_compare(text.begin() + a, text.end(),
+                                        text.begin() + b, text.end());
+  });
+  return sa;
+}
+
+TEST(Corpus, DeterministicAndPrintable) {
+  auto a = make_corpus(10000, 5);
+  auto b = make_corpus(10000, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 10000u);
+  for (u8 ch : a) {
+    ASSERT_TRUE(ch == ' ' || (ch >= 'a' && ch <= 'z'));
+  }
+}
+
+TEST(Corpus, PlantedRepeatIsPresent) {
+  const std::size_t repeat = 200;
+  auto text = make_corpus(20000, 5, repeat);
+  auto result = longest_repeated_substring(std::span<const u8>(text));
+  EXPECT_GE(result.length, repeat);
+}
+
+class SaModes : public ::testing::TestWithParam<AccessMode> {};
+
+TEST_P(SaModes, MatchesBruteForceOnStrings) {
+  for (const std::string& s :
+       {std::string("banana"), std::string("mississippi"),
+        std::string("aaaaaaaaaa"), std::string("abcabcabcabcx"),
+        std::string("z"), std::string("ba")}) {
+    auto text = to_bytes(s);
+    auto got = suffix_array(std::span<const u8>(text), GetParam());
+    EXPECT_EQ(got, brute_force_sa(text)) << s;
+  }
+}
+
+TEST_P(SaModes, MatchesBruteForceOnCorpus) {
+  auto text = make_corpus(3000, 11);
+  auto got = suffix_array(std::span<const u8>(text), GetParam());
+  EXPECT_EQ(got, brute_force_sa(text));
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SaModes,
+                         ::testing::Values(AccessMode::kUnchecked,
+                                           AccessMode::kChecked,
+                                           AccessMode::kAtomic));
+
+TEST(SuffixArray, EmptyAndSingle) {
+  std::vector<u8> empty;
+  EXPECT_TRUE(suffix_array(std::span<const u8>(empty)).empty());
+  auto one = to_bytes("x");
+  EXPECT_EQ(suffix_array(std::span<const u8>(one)), (std::vector<u32>{0}));
+}
+
+TEST(SuffixArray, LargeCorpusIsValidPermutationInOrder) {
+  auto text = make_corpus(100000, 13);
+  auto sa = suffix_array(std::span<const u8>(text));
+  // Permutation check.
+  std::vector<u8> seen(text.size(), 0);
+  for (u32 s : sa) {
+    ASSERT_LT(s, text.size());
+    ASSERT_FALSE(seen[s]);
+    seen[s] = 1;
+  }
+  // Spot-check sortedness on adjacent pairs.
+  for (std::size_t j = 1; j < sa.size(); j += 97) {
+    auto a = sa[j - 1], b = sa[j];
+    bool le = std::lexicographical_compare(
+                  text.begin() + a, text.end(), text.begin() + b, text.end()) ||
+              std::equal(text.begin() + a, text.end(), text.begin() + b);
+    ASSERT_TRUE(le) << "order violated at " << j;
+  }
+}
+
+TEST(Lcp, KnownValuesOnBanana) {
+  auto text = to_bytes("banana");
+  auto sa = suffix_array(std::span<const u8>(text));
+  // SA of banana: 5(a) 3(ana) 1(anana) 0(banana) 4(na) 2(nana)
+  EXPECT_EQ(sa, (std::vector<u32>{5, 3, 1, 0, 4, 2}));
+  auto lcp = lcp_kasai(std::span<const u8>(text), sa);
+  EXPECT_EQ(lcp, (std::vector<u32>{0, 1, 3, 0, 0, 2}));
+}
+
+TEST(Lcp, AgainstBruteForceOnCorpus) {
+  auto text = make_corpus(2000, 17);
+  auto sa = suffix_array(std::span<const u8>(text));
+  auto lcp = lcp_kasai(std::span<const u8>(text), sa);
+  for (std::size_t j = 1; j < sa.size(); j += 13) {
+    u32 a = sa[j - 1], b = sa[j], h = 0;
+    while (a + h < text.size() && b + h < text.size() &&
+           text[a + h] == text[b + h]) {
+      ++h;
+    }
+    ASSERT_EQ(lcp[j], h) << "at " << j;
+  }
+}
+
+TEST(Lrs, FindsExactRepeat) {
+  auto text = to_bytes("xabcabcy");
+  auto result = longest_repeated_substring(std::span<const u8>(text));
+  EXPECT_EQ(result.length, 3u);  // "abc"
+  // Both occurrences really match.
+  for (u32 k = 0; k < result.length; ++k) {
+    EXPECT_EQ(text[result.position_a + k], text[result.position_b + k]);
+  }
+}
+
+TEST(Lrs, NoRepeats) {
+  auto text = to_bytes("abcdefg");  // all distinct: nothing repeats
+  EXPECT_EQ(longest_repeated_substring(std::span<const u8>(text)).length, 0u);
+  auto one_repeat = to_bytes("abcdefa");  // only 'a' repeats
+  EXPECT_EQ(longest_repeated_substring(std::span<const u8>(one_repeat)).length,
+            1u);
+  auto single = to_bytes("a");
+  EXPECT_EQ(longest_repeated_substring(std::span<const u8>(single)).length,
+            0u);
+}
+
+class BwtModes : public ::testing::TestWithParam<AccessMode> {};
+
+TEST_P(BwtModes, RoundTripsCorpus) {
+  for (std::size_t n : {1ul, 2ul, 100ul, 5000ul, 100000ul}) {
+    auto text = make_corpus(n, n + 31);
+    auto encoded = bwt_encode(std::span<const u8>(text), GetParam());
+    EXPECT_EQ(encoded.size(), text.size() + 1);
+    EXPECT_EQ(std::count(encoded.begin(), encoded.end(), 0), 1);
+    auto decoded = bwt_decode(std::span<const u8>(encoded), GetParam());
+    ASSERT_EQ(decoded, text) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BwtModes,
+                         ::testing::Values(AccessMode::kUnchecked,
+                                           AccessMode::kChecked,
+                                           AccessMode::kAtomic));
+
+TEST(Bwt, KnownTransform) {
+  // banana + sentinel: BWT is "annb\0aa".
+  auto text = to_bytes("banana");
+  auto encoded = bwt_encode(std::span<const u8>(text));
+  std::vector<u8> expected{'a', 'n', 'n', 'b', 0, 'a', 'a'};
+  EXPECT_EQ(encoded, expected);
+}
+
+TEST(Bwt, RejectsNulBytes) {
+  std::vector<u8> text{'a', 0, 'b'};
+  EXPECT_THROW(bwt_encode(std::span<const u8>(text)), std::invalid_argument);
+}
+
+TEST_P(BwtModes, ParallelChaseMatchesSerialDecode) {
+  for (std::size_t n : {1ul, 2ul, 100ul, 50000ul}) {
+    auto text = make_corpus(n, n + 77);
+    auto encoded = bwt_encode(std::span<const u8>(text));
+    auto serial = bwt_decode(std::span<const u8>(encoded), GetParam());
+    for (std::size_t segments : {0ul, 1ul, 3ul, 16ul, 1000ul}) {
+      auto parallel = bwt_decode_parallel_chase(std::span<const u8>(encoded),
+                                                GetParam(), segments);
+      ASSERT_EQ(parallel, serial) << "n=" << n << " segments=" << segments;
+    }
+  }
+}
+
+TEST(Bwt, ClusteringProperty) {
+  // BWT of repetitive text has long runs; sanity-check compressibility.
+  auto text = make_corpus(50000, 41);
+  auto encoded = bwt_encode(std::span<const u8>(text));
+  std::size_t runs_bwt = 1;
+  for (std::size_t i = 1; i < encoded.size(); ++i) {
+    runs_bwt += encoded[i] != encoded[i - 1];
+  }
+  std::size_t runs_plain = 1;
+  for (std::size_t i = 1; i < text.size(); ++i) {
+    runs_plain += text[i] != text[i - 1];
+  }
+  EXPECT_LT(runs_bwt, runs_plain);
+}
+
+}  // namespace
+}  // namespace rpb::text
