@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bwt_chase.dir/ablation_bwt_chase.cpp.o"
+  "CMakeFiles/ablation_bwt_chase.dir/ablation_bwt_chase.cpp.o.d"
+  "ablation_bwt_chase"
+  "ablation_bwt_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bwt_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

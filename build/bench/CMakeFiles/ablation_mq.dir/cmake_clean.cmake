@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mq.dir/ablation_mq.cpp.o"
+  "CMakeFiles/ablation_mq.dir/ablation_mq.cpp.o.d"
+  "ablation_mq"
+  "ablation_mq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

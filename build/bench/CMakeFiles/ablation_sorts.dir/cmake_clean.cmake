@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sorts.dir/ablation_sorts.cpp.o"
+  "CMakeFiles/ablation_sorts.dir/ablation_sorts.cpp.o.d"
+  "ablation_sorts"
+  "ablation_sorts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sorts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_census.dir/fig3_census.cpp.o"
+  "CMakeFiles/fig3_census.dir/fig3_census.cpp.o.d"
+  "fig3_census"
+  "fig3_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_indcheck.dir/fig5a_indcheck.cpp.o"
+  "CMakeFiles/fig5a_indcheck.dir/fig5a_indcheck.cpp.o.d"
+  "fig5a_indcheck"
+  "fig5a_indcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_indcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

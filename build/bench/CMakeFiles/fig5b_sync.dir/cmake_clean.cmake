@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_sync.dir/fig5b_sync.cpp.o"
+  "CMakeFiles/fig5b_sync.dir/fig5b_sync.cpp.o.d"
+  "fig5b_sync"
+  "fig5b_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

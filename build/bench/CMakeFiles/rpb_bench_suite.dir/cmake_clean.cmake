@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpb_bench_suite.dir/suite.cpp.o"
+  "CMakeFiles/rpb_bench_suite.dir/suite.cpp.o.d"
+  "librpb_bench_suite.a"
+  "librpb_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpb_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

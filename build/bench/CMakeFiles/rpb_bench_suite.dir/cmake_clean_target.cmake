@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librpb_bench_suite.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_index.dir/text_index.cpp.o"
+  "CMakeFiles/text_index.dir/text_index.cpp.o.d"
+  "text_index"
+  "text_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpb_bench_util.dir/harness.cpp.o"
+  "CMakeFiles/rpb_bench_util.dir/harness.cpp.o.d"
+  "librpb_bench_util.a"
+  "librpb_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpb_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpb_core.dir/access_mode.cpp.o"
+  "CMakeFiles/rpb_core.dir/access_mode.cpp.o.d"
+  "CMakeFiles/rpb_core.dir/census.cpp.o"
+  "CMakeFiles/rpb_core.dir/census.cpp.o.d"
+  "librpb_core.a"
+  "librpb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/delaunay.cpp" "src/geom/CMakeFiles/rpb_geom.dir/delaunay.cpp.o" "gcc" "src/geom/CMakeFiles/rpb_geom.dir/delaunay.cpp.o.d"
+  "/root/repo/src/geom/points.cpp" "src/geom/CMakeFiles/rpb_geom.dir/points.cpp.o" "gcc" "src/geom/CMakeFiles/rpb_geom.dir/points.cpp.o.d"
+  "/root/repo/src/geom/refine.cpp" "src/geom/CMakeFiles/rpb_geom.dir/refine.cpp.o" "gcc" "src/geom/CMakeFiles/rpb_geom.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rpb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rpb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rpb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

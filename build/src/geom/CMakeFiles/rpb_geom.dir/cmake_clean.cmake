@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpb_geom.dir/delaunay.cpp.o"
+  "CMakeFiles/rpb_geom.dir/delaunay.cpp.o.d"
+  "CMakeFiles/rpb_geom.dir/points.cpp.o"
+  "CMakeFiles/rpb_geom.dir/points.cpp.o.d"
+  "CMakeFiles/rpb_geom.dir/refine.cpp.o"
+  "CMakeFiles/rpb_geom.dir/refine.cpp.o.d"
+  "librpb_geom.a"
+  "librpb_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpb_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cpp" "src/graph/CMakeFiles/rpb_graph.dir/bfs.cpp.o" "gcc" "src/graph/CMakeFiles/rpb_graph.dir/bfs.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/rpb_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/rpb_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/forest.cpp" "src/graph/CMakeFiles/rpb_graph.dir/forest.cpp.o" "gcc" "src/graph/CMakeFiles/rpb_graph.dir/forest.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/rpb_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/rpb_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/rpb_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/rpb_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/matching.cpp" "src/graph/CMakeFiles/rpb_graph.dir/matching.cpp.o" "gcc" "src/graph/CMakeFiles/rpb_graph.dir/matching.cpp.o.d"
+  "/root/repo/src/graph/mis.cpp" "src/graph/CMakeFiles/rpb_graph.dir/mis.cpp.o" "gcc" "src/graph/CMakeFiles/rpb_graph.dir/mis.cpp.o.d"
+  "/root/repo/src/graph/pagerank.cpp" "src/graph/CMakeFiles/rpb_graph.dir/pagerank.cpp.o" "gcc" "src/graph/CMakeFiles/rpb_graph.dir/pagerank.cpp.o.d"
+  "/root/repo/src/graph/sssp.cpp" "src/graph/CMakeFiles/rpb_graph.dir/sssp.cpp.o" "gcc" "src/graph/CMakeFiles/rpb_graph.dir/sssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rpb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rpb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rpb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/rpb_seq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpb_graph.dir/bfs.cpp.o"
+  "CMakeFiles/rpb_graph.dir/bfs.cpp.o.d"
+  "CMakeFiles/rpb_graph.dir/csr.cpp.o"
+  "CMakeFiles/rpb_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/rpb_graph.dir/forest.cpp.o"
+  "CMakeFiles/rpb_graph.dir/forest.cpp.o.d"
+  "CMakeFiles/rpb_graph.dir/generators.cpp.o"
+  "CMakeFiles/rpb_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/rpb_graph.dir/io.cpp.o"
+  "CMakeFiles/rpb_graph.dir/io.cpp.o.d"
+  "CMakeFiles/rpb_graph.dir/matching.cpp.o"
+  "CMakeFiles/rpb_graph.dir/matching.cpp.o.d"
+  "CMakeFiles/rpb_graph.dir/mis.cpp.o"
+  "CMakeFiles/rpb_graph.dir/mis.cpp.o.d"
+  "CMakeFiles/rpb_graph.dir/pagerank.cpp.o"
+  "CMakeFiles/rpb_graph.dir/pagerank.cpp.o.d"
+  "CMakeFiles/rpb_graph.dir/sssp.cpp.o"
+  "CMakeFiles/rpb_graph.dir/sssp.cpp.o.d"
+  "librpb_graph.a"
+  "librpb_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpb_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpb_sched.dir/thread_pool.cpp.o"
+  "CMakeFiles/rpb_sched.dir/thread_pool.cpp.o.d"
+  "librpb_sched.a"
+  "librpb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/dedup.cpp" "src/seq/CMakeFiles/rpb_seq.dir/dedup.cpp.o" "gcc" "src/seq/CMakeFiles/rpb_seq.dir/dedup.cpp.o.d"
+  "/root/repo/src/seq/generators.cpp" "src/seq/CMakeFiles/rpb_seq.dir/generators.cpp.o" "gcc" "src/seq/CMakeFiles/rpb_seq.dir/generators.cpp.o.d"
+  "/root/repo/src/seq/histogram.cpp" "src/seq/CMakeFiles/rpb_seq.dir/histogram.cpp.o" "gcc" "src/seq/CMakeFiles/rpb_seq.dir/histogram.cpp.o.d"
+  "/root/repo/src/seq/integer_sort.cpp" "src/seq/CMakeFiles/rpb_seq.dir/integer_sort.cpp.o" "gcc" "src/seq/CMakeFiles/rpb_seq.dir/integer_sort.cpp.o.d"
+  "/root/repo/src/seq/sample_sort_census.cpp" "src/seq/CMakeFiles/rpb_seq.dir/sample_sort_census.cpp.o" "gcc" "src/seq/CMakeFiles/rpb_seq.dir/sample_sort_census.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rpb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rpb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rpb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

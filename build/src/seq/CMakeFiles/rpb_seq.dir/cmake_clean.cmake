@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpb_seq.dir/dedup.cpp.o"
+  "CMakeFiles/rpb_seq.dir/dedup.cpp.o.d"
+  "CMakeFiles/rpb_seq.dir/generators.cpp.o"
+  "CMakeFiles/rpb_seq.dir/generators.cpp.o.d"
+  "CMakeFiles/rpb_seq.dir/histogram.cpp.o"
+  "CMakeFiles/rpb_seq.dir/histogram.cpp.o.d"
+  "CMakeFiles/rpb_seq.dir/integer_sort.cpp.o"
+  "CMakeFiles/rpb_seq.dir/integer_sort.cpp.o.d"
+  "CMakeFiles/rpb_seq.dir/sample_sort_census.cpp.o"
+  "CMakeFiles/rpb_seq.dir/sample_sort_census.cpp.o.d"
+  "librpb_seq.a"
+  "librpb_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpb_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpb_support.dir/cli.cpp.o"
+  "CMakeFiles/rpb_support.dir/cli.cpp.o.d"
+  "CMakeFiles/rpb_support.dir/env.cpp.o"
+  "CMakeFiles/rpb_support.dir/env.cpp.o.d"
+  "librpb_support.a"
+  "librpb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

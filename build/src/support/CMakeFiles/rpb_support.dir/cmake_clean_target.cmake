@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librpb_support.a"
+)

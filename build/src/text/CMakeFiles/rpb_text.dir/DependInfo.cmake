@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/bwt.cpp" "src/text/CMakeFiles/rpb_text.dir/bwt.cpp.o" "gcc" "src/text/CMakeFiles/rpb_text.dir/bwt.cpp.o.d"
+  "/root/repo/src/text/corpus.cpp" "src/text/CMakeFiles/rpb_text.dir/corpus.cpp.o" "gcc" "src/text/CMakeFiles/rpb_text.dir/corpus.cpp.o.d"
+  "/root/repo/src/text/lcp.cpp" "src/text/CMakeFiles/rpb_text.dir/lcp.cpp.o" "gcc" "src/text/CMakeFiles/rpb_text.dir/lcp.cpp.o.d"
+  "/root/repo/src/text/suffix_array.cpp" "src/text/CMakeFiles/rpb_text.dir/suffix_array.cpp.o" "gcc" "src/text/CMakeFiles/rpb_text.dir/suffix_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rpb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rpb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rpb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/rpb_seq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpb_text.dir/bwt.cpp.o"
+  "CMakeFiles/rpb_text.dir/bwt.cpp.o.d"
+  "CMakeFiles/rpb_text.dir/corpus.cpp.o"
+  "CMakeFiles/rpb_text.dir/corpus.cpp.o.d"
+  "CMakeFiles/rpb_text.dir/lcp.cpp.o"
+  "CMakeFiles/rpb_text.dir/lcp.cpp.o.d"
+  "CMakeFiles/rpb_text.dir/suffix_array.cpp.o"
+  "CMakeFiles/rpb_text.dir/suffix_array.cpp.o.d"
+  "librpb_text.a"
+  "librpb_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpb_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_failure_test.dir/geom_failure_test.cpp.o"
+  "CMakeFiles/geom_failure_test.dir/geom_failure_test.cpp.o.d"
+  "geom_failure_test"
+  "geom_failure_test.pdb"
+  "geom_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

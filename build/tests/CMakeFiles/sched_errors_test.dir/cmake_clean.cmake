@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_errors_test.dir/sched_errors_test.cpp.o"
+  "CMakeFiles/sched_errors_test.dir/sched_errors_test.cpp.o.d"
+  "sched_errors_test"
+  "sched_errors_test.pdb"
+  "sched_errors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
