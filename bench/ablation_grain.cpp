@@ -1,6 +1,9 @@
-// Ablation (DESIGN.md Sec. 6): fork-join grain size for parallel_for.
-// Too-small grains drown in task overhead; too-large grains starve the
-// thieves. The default heuristic targets ~8 leaves per worker.
+// Ablation (DESIGN.md Sec. 6): fork-join grain size x splitting
+// strategy for parallel_for. Eager splitting forks every leaf up front,
+// so small grains drown in task overhead; the adaptive (lazy) splitter
+// forks only on observed demand, which flattens the small-grain cliff
+// while keeping the same steal-driven balance. The default heuristic
+// targets ~8 leaves per worker.
 #include <cstdio>
 #include <vector>
 
@@ -17,25 +20,35 @@ int main(int argc, char** argv) {
   std::vector<u64> data(n);
   sched::parallel_for(0, n, [&](std::size_t i) { data[i] = i; });
 
-  std::printf("\nAblation: parallel_for grain size (n=%zu)\n\n", n);
+  std::printf("\nAblation: parallel_for grain x split strategy (n=%zu)\n\n",
+              n);
   const std::size_t grains[] = {1, 64, 1024, 16384, 262144, 0 /*default*/};
-  std::vector<double> means;
+  std::vector<double> eager_means, lazy_means;
   for (std::size_t grain : grains) {
-    auto m = bench::measure(
-        [&] {
-          sched::parallel_for(
-              0, n, [&](std::size_t i) { data[i] = hash64(data[i]); }, grain);
-        },
-        opt.repeats);
-    means.push_back(m.mean_seconds);
+    for (sched::SplitMode mode :
+         {sched::SplitMode::kEager, sched::SplitMode::kLazy}) {
+      sched::set_split_mode(mode);
+      auto m = bench::measure(
+          [&] {
+            sched::parallel_for(
+                0, n, [&](std::size_t i) { data[i] = hash64(data[i]); },
+                grain);
+          },
+          opt.repeats);
+      (mode == sched::SplitMode::kEager ? eager_means : lazy_means)
+          .push_back(m.mean_seconds);
+    }
   }
-  double default_time = means.back();
+  sched::set_split_mode(opt.split);
+  double lazy_default = lazy_means.back();
 
-  bench::Table table({"grain", "time", "vs default"});
+  bench::Table table({"grain", "eager", "lazy", "lazy/eager", "vs default"});
   for (std::size_t g = 0; g < std::size(grains); ++g) {
     table.add_row({grains[g] == 0 ? "default" : std::to_string(grains[g]),
-                   bench::fmt_seconds(means[g]),
-                   bench::fmt_ratio(means[g] / default_time)});
+                   bench::fmt_seconds(eager_means[g]),
+                   bench::fmt_seconds(lazy_means[g]),
+                   bench::fmt_ratio(lazy_means[g] / eager_means[g]),
+                   bench::fmt_ratio(lazy_means[g] / lazy_default)});
   }
   table.print();
   return 0;

@@ -1,11 +1,12 @@
 // Shared CLI handling for the table/figure harnesses: --threads,
-// --repeats, --scale.
+// --repeats, --scale, --split.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "sched/parallel.h"
 #include "sched/thread_pool.h"
 #include "support/cli.h"
 #include "support/env.h"
@@ -16,6 +17,7 @@ struct Options {
   std::size_t threads = 0;
   std::size_t repeats = 3;
   int scale = 0;
+  sched::SplitMode split = sched::SplitMode::kLazy;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -25,12 +27,25 @@ inline Options parse_options(int argc, char** argv) {
   if (opt.threads == 0) opt.threads = default_threads();
   opt.repeats = static_cast<std::size_t>(cli.get_int("repeats", 3));
   opt.scale = static_cast<int>(cli.get_int("scale", 0));
+  std::string split = cli.get("split", "");
+  if (split.empty()) {
+    opt.split = sched::split_mode();  // RPB_SPLIT or lazy
+  } else if (split == "eager") {
+    opt.split = sched::SplitMode::kEager;
+  } else {
+    if (split != "lazy")
+      std::fprintf(stderr, "# warning: unknown --split '%s', using lazy\n",
+                   split.c_str());
+    opt.split = sched::SplitMode::kLazy;
+  }
+  sched::set_split_mode(opt.split);
   // Propagate to everything that reads the default (MQ executors spawn
   // their own workers and consult RPB_THREADS at run time).
   setenv("RPB_THREADS", std::to_string(opt.threads).c_str(), 1);
   sched::ThreadPool::reset_global(opt.threads);
-  std::printf("# threads=%zu repeats=%zu scale=%d\n", opt.threads, opt.repeats,
-              opt.scale);
+  std::printf("# threads=%zu repeats=%zu scale=%d split=%s\n", opt.threads,
+              opt.repeats, opt.scale,
+              opt.split == sched::SplitMode::kLazy ? "lazy" : "eager");
   return opt;
 }
 

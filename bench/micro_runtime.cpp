@@ -1,11 +1,25 @@
 // google-benchmark microbenchmarks of the runtime substrate: fork-join
 // overhead, scan/pack/reduce primitives, sorting kernels, MultiQueue
 // operations, and concurrent hash-set inserts.
+//
+// Two modes:
+//   (default)              the google-benchmark suite below.
+//   --json PATH [--smoke]  the perf-regression harness: measures the
+//                          scheduler primitives per thread count with
+//                          median/p10/p90 stats, emits PATH in the
+//                          rpb-bench-v1 schema (BENCH_sched.json), and
+//                          self-validates it. --smoke shrinks sizes so
+//                          CI can check the schema without gating on
+//                          timing.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
 #include <numeric>
+#include <string>
 #include <vector>
 
+#include "bench_util/harness.h"
 #include "core/primitives.h"
 #include "seq/stencil.h"
 #include "seq/hash_map.h"
@@ -19,6 +33,7 @@
 #include "seq/hash_table.h"
 #include "seq/integer_sort.h"
 #include "seq/sample_sort.h"
+#include "support/env.h"
 #include "support/hash.h"
 
 using namespace rpb;
@@ -208,6 +223,225 @@ void BM_HashSetInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_HashSetInsert);
 
+// ---------------------------------------------------------------------
+// Perf-regression harness (--json): the trajectory file every future PR
+// compares against. One record per primitive x split-mode x thread
+// count; "parallel_for_overhead/*" records are the trivial-body cost
+// with the raw sequential loop subtracted (median-to-median), i.e. what
+// the scheduler itself charges.
+
+const char* mode_name(sched::SplitMode mode) {
+  return mode == sched::SplitMode::kLazy ? "lazy" : "eager";
+}
+
+bench::BenchRecord make_record(std::string name, std::size_t threads,
+                               std::size_t n, const bench::Measurement& m) {
+  bench::BenchRecord r;
+  r.name = std::move(name);
+  r.threads = threads;
+  r.n = n;
+  r.repeats = m.repeats;
+  r.median_s = m.median_seconds;
+  r.p10_s = m.p10_seconds;
+  r.p90_s = m.p90_seconds;
+  r.mean_s = m.mean_seconds;
+  return r;
+}
+
+int run_json_harness(const std::string& path, bool smoke) {
+  const std::size_t n = smoke ? (std::size_t{1} << 16) : 10'000'000;
+  const std::size_t repeats = smoke ? 3 : 9;
+  // Region-overhead metric: many parallel regions over a small array per
+  // timed sample, so the per-region scheduler cost (injection, forks,
+  // split checks) dominates the timer instead of drowning in a
+  // memory-bound 10M-element sweep.
+  const std::size_t small_n = 4096;
+  const std::size_t inner = smoke ? 50 : 400;
+  const std::size_t hw = default_threads();
+  std::vector<std::size_t> thread_counts{1, 2, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  std::vector<bench::BenchRecord> records;
+  double overhead_eager_hw = 0, overhead_lazy_hw = 0;
+
+  for (std::size_t threads : thread_counts) {
+    sched::ThreadPool::reset_global(threads);
+    std::vector<u64> data(n, 1);
+    std::vector<u64> small(small_n, 1);
+
+    // Per-region baseline: the same small sweep with no scheduler.
+    auto raw_small = bench::measure(
+        [&] {
+          for (std::size_t r = 0; r < inner; ++r) {
+            for (std::size_t i = 0; i < small_n; ++i) small[i] += 1;
+            benchmark::DoNotOptimize(small.data());
+          }
+        },
+        repeats);
+    bench::Measurement raw_region = raw_small;
+    raw_region.median_seconds /= static_cast<double>(inner);
+    raw_region.p10_seconds /= static_cast<double>(inner);
+    raw_region.p90_seconds /= static_cast<double>(inner);
+    raw_region.mean_seconds /= static_cast<double>(inner);
+    records.push_back(
+        make_record("raw_loop_region", threads, small_n, raw_region));
+
+    for (sched::SplitMode mode :
+         {sched::SplitMode::kEager, sched::SplitMode::kLazy}) {
+      sched::set_split_mode(mode);
+      // Total-time trajectory at the big size (memory-bound; the
+      // scheduler must not make it worse).
+      auto pf = bench::measure(
+          [&] {
+            sched::parallel_for(0, n, [&](std::size_t i) { data[i] += 1; });
+            benchmark::DoNotOptimize(data.data());
+          },
+          repeats);
+      records.push_back(make_record(
+          std::string("parallel_for_trivial/") + mode_name(mode), threads, n,
+          pf));
+
+      // Amortized per-region cost and overhead-above-raw.
+      auto region = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              sched::parallel_for(0, small_n,
+                                  [&](std::size_t i) { small[i] += 1; });
+              benchmark::DoNotOptimize(small.data());
+            }
+          },
+          repeats);
+      bench::Measurement rc = region;
+      rc.median_seconds /= static_cast<double>(inner);
+      rc.p10_seconds /= static_cast<double>(inner);
+      rc.p90_seconds /= static_cast<double>(inner);
+      rc.mean_seconds /= static_cast<double>(inner);
+      records.push_back(make_record(
+          std::string("parallel_for_region_cost/") + mode_name(mode), threads,
+          small_n, rc));
+      bench::Measurement om;
+      om.repeats = repeats;
+      om.median_seconds =
+          std::max(0.0, rc.median_seconds - raw_region.median_seconds);
+      om.p10_seconds =
+          std::max(0.0, rc.p10_seconds - raw_region.median_seconds);
+      om.p90_seconds =
+          std::max(0.0, rc.p90_seconds - raw_region.median_seconds);
+      om.mean_seconds =
+          std::max(0.0, rc.mean_seconds - raw_region.mean_seconds);
+      records.push_back(make_record(
+          std::string("parallel_for_overhead/") + mode_name(mode), threads,
+          small_n, om));
+      if (threads == hw) {
+        (mode == sched::SplitMode::kEager ? overhead_eager_hw
+                                          : overhead_lazy_hw) =
+            om.median_seconds;
+      }
+
+      auto rd = bench::measure(
+          [&] {
+            u64 total = sched::parallel_reduce(
+                0, n, u64{0}, [](std::size_t i) { return hash64(i); },
+                [](u64 a, u64 b) { return a + b; });
+            benchmark::DoNotOptimize(total);
+          },
+          repeats);
+      records.push_back(make_record(
+          std::string("parallel_reduce_hash/") + mode_name(mode), threads, n,
+          rd));
+    }
+    sched::set_split_mode(sched::SplitMode::kLazy);
+
+    auto jn = bench::measure(
+        [&] {
+          auto& pool = sched::ThreadPool::global();
+          int a = 0, b = 0;
+          pool.run([&] {
+            pool.join([&] { a = 1; }, [&] { b = 2; });
+          });
+          benchmark::DoNotOptimize(a + b);
+        },
+        repeats);
+    records.push_back(make_record("join_pair", threads, 1, jn));
+
+    auto sc = bench::measure(
+        [&] {
+          benchmark::DoNotOptimize(
+              par::scan_exclusive_sum(std::span<u64>(data)));
+        },
+        repeats);
+    records.push_back(make_record("scan_exclusive_sum", threads, n, sc));
+
+    std::vector<u8> flags(n);
+    for (std::size_t i = 0; i < n; ++i) flags[i] = hash64(i) & 1;
+    auto pk = bench::measure(
+        [&] {
+          auto idx = par::pack_index(std::span<const u8>(flags));
+          benchmark::DoNotOptimize(idx.data());
+        },
+        repeats);
+    records.push_back(make_record("pack_index", threads, n, pk));
+  }
+
+  if (!bench::write_bench_json(path, "sched", records)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::string error;
+  if (!bench::validate_bench_json(path, &error)) {
+    std::fprintf(stderr, "error: %s fails schema validation: %s\n",
+                 path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records, schema ok)\n", path.c_str(),
+              records.size());
+  // Floor at 10ns so a fully-inlined lazy region (overhead below timer
+  // resolution) yields a finite, conservative ratio.
+  double lazy_floor = std::max(overhead_lazy_hw, 1e-8);
+  std::printf(
+      "per-region parallel_for overhead @%zu threads (region n=%zu): "
+      "eager %s, lazy %s, improvement %.2fx\n",
+      hw, small_n, bench::fmt_seconds(overhead_eager_hw).c_str(),
+      bench::fmt_seconds(overhead_lazy_hw).c_str(),
+      overhead_eager_hw / lazy_floor);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --json requires an output path\n");
+        return 1;
+      }
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      if (json_path.empty()) {
+        std::fprintf(stderr, "error: --json requires an output path\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return run_json_harness(json_path, smoke);
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -183,11 +183,17 @@ bench/CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/bit /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/bench_util/harness.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /root/repo/src/core/primitives.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/sched/parallel.h \
- /root/repo/src/sched/thread_pool.h \
+ /root/repo/src/sched/parallel.h /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
@@ -230,22 +236,17 @@ bench/CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o: \
  /usr/include/c++/12/thread /root/repo/src/sched/chase_lev_deque.h \
  /root/repo/src/sched/job.h /root/repo/src/support/defs.h \
  /root/repo/src/seq/stencil.h /root/repo/src/seq/hash_map.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/core/atomics.h /root/repo/src/support/hash.h \
- /root/repo/src/core/spec_for.h /root/repo/src/core/reservation.h \
- /root/repo/src/sched/multiqueue.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/seq/generators.h \
- /root/repo/src/seq/hash_table.h /root/repo/src/core/access_mode.h \
- /root/repo/src/seq/integer_sort.h /root/repo/src/core/census.h \
- /root/repo/src/core/patterns.h /root/repo/src/core/checks.h \
- /root/repo/src/support/error.h /root/repo/src/seq/sample_sort.h \
- /root/repo/src/support/prng.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/optional /root/repo/src/core/atomics.h \
+ /root/repo/src/support/hash.h /root/repo/src/core/spec_for.h \
+ /root/repo/src/core/reservation.h /root/repo/src/sched/multiqueue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/seq/generators.h /root/repo/src/seq/hash_table.h \
+ /root/repo/src/core/access_mode.h /root/repo/src/seq/integer_sort.h \
+ /root/repo/src/core/census.h /root/repo/src/core/patterns.h \
+ /root/repo/src/core/checks.h /root/repo/src/support/error.h \
+ /root/repo/src/seq/sample_sort.h /root/repo/src/support/prng.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -265,4 +266,4 @@ bench/CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/support/env.h

@@ -246,6 +246,7 @@ bench/CMakeFiles/rpb_bench_suite.dir/suite.cpp.o: \
  /root/repo/src/seq/histogram.h /root/repo/src/seq/integer_sort.h \
  /root/repo/src/core/atomics.h /root/repo/src/core/patterns.h \
  /root/repo/src/core/checks.h /root/repo/src/sched/parallel.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \

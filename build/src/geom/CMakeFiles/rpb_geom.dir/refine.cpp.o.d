@@ -202,6 +202,7 @@ src/geom/CMakeFiles/rpb_geom.dir/refine.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/support/defs.h \
  /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /root/repo/src/core/primitives.h /root/repo/src/sched/parallel.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \

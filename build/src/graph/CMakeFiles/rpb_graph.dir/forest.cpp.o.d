@@ -183,7 +183,8 @@ src/graph/CMakeFiles/rpb_graph.dir/forest.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/core/reservation.h /root/repo/src/core/atomics.h \
  /root/repo/src/core/spec_for.h /root/repo/src/core/primitives.h \
- /root/repo/src/sched/parallel.h /usr/include/c++/12/utility \
+ /root/repo/src/sched/parallel.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \

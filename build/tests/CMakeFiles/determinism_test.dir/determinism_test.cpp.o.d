@@ -316,10 +316,11 @@ tests/CMakeFiles/determinism_test.dir/determinism_test.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/support/error.h /root/repo/src/core/primitives.h \
- /root/repo/src/seq/mark_present.h /root/repo/src/seq/sample_sort.h \
- /root/repo/src/support/prng.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/cstring /root/repo/src/support/error.h \
+ /root/repo/src/core/primitives.h /root/repo/src/seq/mark_present.h \
+ /root/repo/src/seq/sample_sort.h /root/repo/src/support/prng.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

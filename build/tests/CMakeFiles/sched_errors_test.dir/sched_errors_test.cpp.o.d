@@ -310,6 +310,6 @@ tests/CMakeFiles/sched_errors_test.dir/sched_errors_test.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sched/thread_pool.h \
+ /usr/include/c++/12/cstring /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable \
  /root/repo/src/sched/chase_lev_deque.h /root/repo/src/sched/job.h

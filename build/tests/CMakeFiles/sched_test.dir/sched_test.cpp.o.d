@@ -312,5 +312,5 @@ tests/CMakeFiles/sched_test.dir/sched_test.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sched/thread_pool.h \
+ /usr/include/c++/12/cstring /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable

@@ -1,12 +1,30 @@
 #include "bench_util/harness.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "support/timer.h"
 
 namespace rpb::bench {
+namespace {
+
+// Linear-interpolation quantile of an already-sorted sample.
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
 
 Measurement measure(const std::function<void()>& fn, std::size_t repeats) {
   return measure_with_setup([] {}, fn, repeats);
@@ -39,6 +57,10 @@ Measurement measure_with_setup(const std::function<void()>& setup,
     var += (t - m.mean_seconds) * (t - m.mean_seconds);
   }
   m.stddev_seconds = std::sqrt(var / static_cast<double>(repeats));
+  std::sort(times.begin(), times.end());
+  m.median_seconds = quantile_sorted(times, 0.5);
+  m.p10_seconds = quantile_sorted(times, 0.1);
+  m.p90_seconds = quantile_sorted(times, 0.9);
   return m;
 }
 
@@ -98,6 +120,125 @@ double gmean(const std::vector<double>& values) {
   double log_sum = 0;
   for (double v : values) log_sum += std::log(v);
   return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Reads the double value following `"key":` inside record. Returns false
+// if the key is missing or the value does not parse as a finite number.
+bool read_number_field(const std::string& record, const std::string& key,
+                       double* out) {
+  std::string needle = "\"" + key + "\":";
+  std::size_t pos = record.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = record.c_str() + pos + needle.size();
+  char* end = nullptr;
+  double v = std::strtod(start, &end);
+  if (end == start || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool write_bench_json(const std::string& path, const std::string& suite,
+                      const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"schema\": \"rpb-bench-v1\",\n  \"suite\": \"%s\",\n",
+               json_escape(suite).c_str());
+  std::fprintf(f, "  \"records\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"threads\": %zu, \"n\": %zu, "
+                 "\"repeats\": %zu, \"median_s\": %.9e, \"p10_s\": %.9e, "
+                 "\"p90_s\": %.9e, \"mean_s\": %.9e}%s\n",
+                 json_escape(r.name).c_str(), r.threads, r.n, r.repeats,
+                 r.median_s, r.p10_s, r.p90_s, r.mean_s,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+bool validate_bench_json(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) return fail(error, "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+
+  // Structural sanity: balanced braces/brackets outside strings.
+  int depth_obj = 0, depth_arr = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++depth_obj;
+    if (c == '}') --depth_obj;
+    if (c == '[') ++depth_arr;
+    if (c == ']') --depth_arr;
+    if (depth_obj < 0 || depth_arr < 0) return fail(error, "unbalanced JSON");
+  }
+  if (depth_obj != 0 || depth_arr != 0 || in_string) {
+    return fail(error, "unbalanced JSON");
+  }
+  if (text.find("\"schema\": \"rpb-bench-v1\"") == std::string::npos) {
+    return fail(error, "missing schema tag rpb-bench-v1");
+  }
+  std::size_t records_pos = text.find("\"records\": [");
+  if (records_pos == std::string::npos) {
+    return fail(error, "missing records array");
+  }
+
+  std::size_t record_count = 0;
+  std::size_t cursor = records_pos;
+  for (;;) {
+    std::size_t open = text.find('{', cursor + 1);
+    if (open == std::string::npos) break;
+    std::size_t close = text.find('}', open);
+    if (close == std::string::npos) return fail(error, "truncated record");
+    std::string record = text.substr(open, close - open + 1);
+    if (record.find("\"name\": \"") == std::string::npos) {
+      return fail(error, "record missing name");
+    }
+    for (const char* key : {"threads", "n", "repeats", "median_s", "p10_s",
+                            "p90_s", "mean_s"}) {
+      double v = 0;
+      if (!read_number_field(record, key, &v) || v < 0) {
+        return fail(error, std::string("record missing/invalid field ") + key);
+      }
+    }
+    ++record_count;
+    cursor = close;
+  }
+  if (record_count == 0) return fail(error, "no records");
+  return true;
 }
 
 }  // namespace rpb::bench

@@ -14,6 +14,11 @@ struct Measurement {
   double mean_seconds = 0;
   double min_seconds = 0;
   double stddev_seconds = 0;
+  // Order statistics over the timed repeats (linear interpolation):
+  // robust against the occasional scheduling hiccup the mean absorbs.
+  double median_seconds = 0;
+  double p10_seconds = 0;
+  double p90_seconds = 0;
   std::size_t repeats = 0;
 };
 
@@ -42,5 +47,29 @@ std::string fmt_ratio(double r);
 
 // Geometric mean of positive values (the paper's gmean summary).
 double gmean(const std::vector<double>& values);
+
+// One line of a machine-readable perf-trajectory file (BENCH_*.json):
+// a primitive measured at one thread count and input size.
+struct BenchRecord {
+  std::string name;  // primitive/variant, e.g. "parallel_for_trivial/lazy"
+  std::size_t threads = 0;
+  std::size_t n = 0;
+  std::size_t repeats = 0;
+  double median_s = 0;
+  double p10_s = 0;
+  double p90_s = 0;
+  double mean_s = 0;
+};
+
+// Writes {"schema":"rpb-bench-v1","suite":...,"records":[...]} to path.
+// Returns false on I/O failure.
+bool write_bench_json(const std::string& path, const std::string& suite,
+                      const std::vector<BenchRecord>& records);
+
+// Structural check of a file produced by write_bench_json: schema tag,
+// balanced nesting, at least one record, and every record carrying all
+// required fields with finite non-negative timings. On failure returns
+// false and describes the problem in *error (if non-null).
+bool validate_bench_json(const std::string& path, std::string* error);
 
 }  // namespace rpb::bench

@@ -24,7 +24,7 @@ T scan_exclusive(std::span<T> data, T identity, Op op) {
   const std::size_t n = data.size();
   if (n == 0) return identity;
   const std::size_t threads = sched::ThreadPool::global().num_threads();
-  const std::size_t block = std::max<std::size_t>(2048, n / (8 * threads) + 1);
+  const std::size_t block = sched::detail::default_block(n, threads);
   const std::size_t num_blocks = (n + block - 1) / block;
 
   if (num_blocks == 1) {
@@ -82,7 +82,7 @@ std::vector<Index> pack_index(std::span<const u8> flags) {
   const std::size_t n = flags.size();
   std::vector<std::size_t> counts;
   const std::size_t threads = sched::ThreadPool::global().num_threads();
-  const std::size_t block = std::max<std::size_t>(2048, n / (8 * threads) + 1);
+  const std::size_t block = sched::detail::default_block(n, threads);
   const std::size_t num_blocks = (n + block - 1) / block;
   counts.assign(num_blocks, 0);
   sched::parallel_for(

@@ -18,6 +18,16 @@
 namespace rpb::sched {
 
 class ChaseLevDeque {
+  // The PPoPP'13 formulation synchronizes the job payload through the
+  // fences in push/pop/steal and leaves the slot/index accesses relaxed.
+  // TSAN does not model standalone fences, so under it we upgrade the
+  // relaxed operations that carry the payload to release/acquire — the
+  // algorithm is unchanged, only the annotations are stronger.
+  static constexpr std::memory_order kPublish =
+      kTsanEnabled ? std::memory_order_release : std::memory_order_relaxed;
+  static constexpr std::memory_order kConsume =
+      kTsanEnabled ? std::memory_order_acquire : std::memory_order_relaxed;
+
  public:
   explicit ChaseLevDeque(std::size_t initial_capacity = 1024)
       : buffer_(new Buffer(initial_capacity, nullptr)) {}
@@ -42,9 +52,9 @@ class ChaseLevDeque {
     if (b - t > static_cast<i64>(a->capacity) - 1) {
       a = grow(a, t, b);
     }
-    a->at(b).store(job, std::memory_order_relaxed);
+    a->at(b).store(job, kPublish);
     std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    bottom_.store(b + 1, kPublish);
   }
 
   // Owner only. Returns nullptr when empty or lost the race on the last
@@ -81,7 +91,7 @@ class ChaseLevDeque {
     Job* job = nullptr;
     if (t < b) {
       Buffer* a = buffer_.load(std::memory_order_acquire);
-      job = a->at(t).load(std::memory_order_relaxed);
+      job = a->at(t).load(kConsume);
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         return nullptr;
@@ -90,9 +100,14 @@ class ChaseLevDeque {
     return job;
   }
 
-  bool looks_empty() const {
-    return bottom_.load(std::memory_order_relaxed) <=
-           top_.load(std::memory_order_relaxed);
+  bool looks_empty() const { return size_estimate() == 0; }
+
+  // Racy size estimate (owner's bottom minus thieves' top). Used for
+  // victim selection and split heuristics only — never for correctness.
+  std::size_t size_estimate() const {
+    i64 b = bottom_.load(std::memory_order_relaxed);
+    i64 t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
   }
 
  private:
@@ -115,7 +130,7 @@ class ChaseLevDeque {
     auto* bigger = new Buffer(old->capacity * 2, old);
     for (i64 i = t; i < b; ++i) {
       bigger->at(i).store(old->at(i).load(std::memory_order_relaxed),
-                          std::memory_order_relaxed);
+                          kPublish);
     }
     buffer_.store(bigger, std::memory_order_release);
     return bigger;

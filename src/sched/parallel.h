@@ -1,10 +1,22 @@
 // High-level parallel primitives over the fork-join pool: parallel_for,
 // parallel_for_range, parallel_reduce, and join. These are the engine
 // underneath the rpb::par pattern vocabulary (src/core/patterns.h).
+//
+// Range splitting is adaptive by default (SplitMode::kLazy): a leaf
+// walks its range in grain-sized chunks and only forks the remaining
+// half when the pool reports demand (its deque was drained by thieves).
+// Unstolen ranges therefore fork O(log(n/grain)) jobs instead of the
+// eager strategy's O(n/grain), while steal-driven splitting keeps the
+// same load balance when thieves do show up. The eager splitter is kept
+// selectable (RPB_SPLIT=eager / set_split_mode) as the ablation
+// baseline.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "sched/thread_pool.h"
@@ -17,6 +29,9 @@ void join(A&& a, B&& b) {
   ThreadPool::global().join(std::forward<A>(a), std::forward<B>(b));
 }
 
+// Range-splitting strategy for parallel_for_range / parallel_reduce_range.
+enum class SplitMode : int { kEager = 0, kLazy = 1 };
+
 namespace detail {
 
 // Grain: aim for ~8 leaves per worker so stealing can balance load
@@ -25,7 +40,38 @@ inline std::size_t default_grain(std::size_t n, std::size_t threads) {
   return std::max<std::size_t>(1, n / (8 * threads) + 1);
 }
 
+// Block size for explicitly blocked primitives (scan, pack): same
+// leaves-per-worker target with a floor that keeps per-block bookkeeping
+// (sums arrays, serial block scans) negligible.
+inline std::size_t default_block(std::size_t n, std::size_t threads) {
+  return std::max<std::size_t>(2048, n / (8 * threads) + 1);
+}
+
+inline std::atomic<int> g_split_mode{-1};  // -1: not yet resolved
+
+inline SplitMode resolve_split_mode() {
+  if (const char* env = std::getenv("RPB_SPLIT")) {
+    if (std::strcmp(env, "eager") == 0) return SplitMode::kEager;
+  }
+  return SplitMode::kLazy;
+}
+
 }  // namespace detail
+
+inline SplitMode split_mode() {
+  int mode = detail::g_split_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    mode = static_cast<int>(detail::resolve_split_mode());
+    detail::g_split_mode.store(mode, std::memory_order_relaxed);
+  }
+  return static_cast<SplitMode>(mode);
+}
+
+// Benchmark/test knob; safe to flip between (not during) parallel regions.
+inline void set_split_mode(SplitMode mode) {
+  detail::g_split_mode.store(static_cast<int>(mode),
+                             std::memory_order_relaxed);
+}
 
 // Invoke body(lo, hi) over disjoint subranges covering [begin, end) in
 // parallel. The range form lets leaves run tight sequential loops.
@@ -40,18 +86,47 @@ void parallel_for_range(std::size_t begin, std::size_t end, const F& body,
     body(begin, end);
     return;
   }
+  if (split_mode() == SplitMode::kEager) {
+    pool.run([&] {
+      // Recursive binary splitting, right branch forked for thieves.
+      auto split = [&pool, grain, &body](auto&& self, std::size_t lo,
+                                         std::size_t hi) -> void {
+        if (hi - lo <= grain) {
+          body(lo, hi);
+          return;
+        }
+        std::size_t mid = lo + (hi - lo) / 2;
+        pool.join([&] { self(self, lo, mid); }, [&] { self(self, mid, hi); });
+      };
+      split(split, begin, end);
+    });
+    return;
+  }
+  if (pool.num_threads() == 1) {
+    // One worker can never be stolen from: skip the injection round-trip
+    // and run the whole range on the calling thread (exactly what the
+    // n <= grain fast path above already does for small ranges).
+    body(begin, end);
+    return;
+  }
   pool.run([&] {
-    // Recursive binary splitting, right branch forked for thieves.
-    auto split = [&pool, grain, &body](auto&& self, std::size_t lo,
-                                       std::size_t hi) -> void {
-      if (hi - lo <= grain) {
-        body(lo, hi);
-        return;
+    // Adaptive splitting: advance chunk by chunk, forking the remaining
+    // half only when the pool reports demand (our deque was drained).
+    auto work = [&pool, grain, &body](auto&& self, std::size_t lo,
+                                      std::size_t hi) -> void {
+      while (hi - lo > grain) {
+        if (pool.should_split()) {
+          std::size_t mid = lo + (hi - lo) / 2;
+          pool.join([&] { self(self, lo, mid); }, [&] { self(self, mid, hi); });
+          return;
+        }
+        std::size_t next = lo + grain;
+        body(lo, next);
+        lo = next;
       }
-      std::size_t mid = lo + (hi - lo) / 2;
-      pool.join([&] { self(self, lo, mid); }, [&] { self(self, mid, hi); });
+      body(lo, hi);
     };
-    split(split, begin, end);
+    work(work, begin, end);
   });
 }
 
@@ -68,7 +143,8 @@ void parallel_for(std::size_t begin, std::size_t end, const F& body,
 }
 
 // Parallel reduction: combine(leaf(lo, hi)...) over disjoint subranges.
-// `combine` must be associative; identity is its unit.
+// `combine` must be associative; identity is its unit. T needs copy
+// construction and assignment, but not default construction.
 template <class T, class Leaf, class Combine>
 T parallel_reduce_range(std::size_t begin, std::size_t end, T identity,
                         const Leaf& leaf, const Combine& combine,
@@ -79,17 +155,42 @@ T parallel_reduce_range(std::size_t begin, std::size_t end, T identity,
   if (grain == 0) grain = detail::default_grain(n, pool.num_threads());
   if (n <= grain) return leaf(begin, end);
   T result = identity;
+  if (split_mode() == SplitMode::kEager) {
+    pool.run([&] {
+      auto split = [&pool, grain, &leaf, &combine, &identity](
+                       auto&& self, std::size_t lo, std::size_t hi) -> T {
+        if (hi - lo <= grain) return leaf(lo, hi);
+        std::size_t mid = lo + (hi - lo) / 2;
+        T left(identity), right(identity);
+        pool.join([&] { left = self(self, lo, mid); },
+                  [&] { right = self(self, mid, hi); });
+        return combine(std::move(left), std::move(right));
+      };
+      result = split(split, begin, end);
+    });
+    return result;
+  }
+  if (pool.num_threads() == 1) return leaf(begin, end);
   pool.run([&] {
-    auto split = [&pool, grain, &leaf, &combine](auto&& self, std::size_t lo,
-                                                 std::size_t hi) -> T {
-      if (hi - lo <= grain) return leaf(lo, hi);
-      std::size_t mid = lo + (hi - lo) / 2;
-      T left{}, right{};
-      pool.join([&] { left = self(self, lo, mid); },
-                [&] { right = self(self, mid, hi); });
-      return combine(std::move(left), std::move(right));
+    auto work = [&pool, grain, &leaf, &combine, &identity](
+                    auto&& self, std::size_t lo, std::size_t hi) -> T {
+      T acc(identity);
+      while (hi - lo > grain) {
+        if (pool.should_split()) {
+          std::size_t mid = lo + (hi - lo) / 2;
+          T left(identity), right(identity);
+          pool.join([&] { left = self(self, lo, mid); },
+                    [&] { right = self(self, mid, hi); });
+          return combine(std::move(acc),
+                         combine(std::move(left), std::move(right)));
+        }
+        std::size_t next = lo + grain;
+        acc = combine(std::move(acc), leaf(lo, next));
+        lo = next;
+      }
+      return combine(std::move(acc), leaf(lo, hi));
     };
-    result = split(split, begin, end);
+    result = work(work, begin, end);
   });
   return result;
 }

@@ -12,9 +12,33 @@ namespace {
 thread_local ThreadPool* tl_pool = nullptr;
 thread_local std::size_t tl_worker_index = 0;
 
-// Spin/yield rounds before a worker goes to sleep on the condition
-// variable; keeps steal latency low while work is flowing.
-constexpr int kIdleRoundsBeforeSleep = 64;
+// Bounded exponential backoff between failed steal sweeps: a few
+// doubling busy-spin rounds keep steal latency in the sub-microsecond
+// range while work is flowing, then a handful of sched yields, then the
+// caller's sleep path. Replaces the old flat 64-yield loop — idle
+// workers now reach the kernel less while busy and go to sleep sooner
+// when the system is genuinely drained.
+constexpr int kSpinRounds = 6;   // 1, 2, 4, ..., 32 pause instructions
+constexpr int kYieldRounds = 10;
+constexpr int kIdleRoundsBeforeSleep = kSpinRounds + kYieldRounds;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+inline void idle_backoff(int round) {
+  if (round < kSpinRounds) {
+    for (int i = 0; i < (1 << round); ++i) cpu_relax();
+  } else {
+    std::this_thread::yield();
+  }
+}
 
 }  // namespace
 
@@ -41,10 +65,20 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::on_worker_thread() const { return tl_pool == this; }
 
+bool ThreadPool::should_split() const {
+  if (workers_.size() <= 1) return false;
+  if (tl_pool != this) return false;
+  // An empty deque means thieves consumed everything we previously
+  // forked (or we never forked): there is observed demand, so the next
+  // fork will feed a thief rather than rot in the deque.
+  return workers_[tl_worker_index]->deque.size_estimate() == 0;
+}
+
 void ThreadPool::inject(Job* job) {
   {
     std::lock_guard<std::mutex> guard(injector_mutex_);
     injector_.push_back(job);
+    injected_pending_.fetch_add(1, std::memory_order_release);
   }
   injected_.fetch_add(1, std::memory_order_relaxed);
   wake_workers(1);
@@ -59,19 +93,55 @@ void ThreadPool::push_local(Job* job) {
 Job* ThreadPool::pop_local() { return workers_[tl_worker_index]->deque.pop(); }
 
 Job* ThreadPool::take_injected() {
+  // Fast path: skip the mutex when nothing is queued. A stale zero is
+  // harmless — inject() publishes the count before wake_workers, and the
+  // pre-sleep re-check runs under sleep_mutex_, which orders it after
+  // any increment made by a racing inject (see wake_workers).
+  if (injected_pending_.load(std::memory_order_acquire) == 0) return nullptr;
   std::lock_guard<std::mutex> guard(injector_mutex_);
   if (injector_.empty()) return nullptr;
   Job* job = injector_.front();
   injector_.pop_front();
+  injected_pending_.fetch_sub(1, std::memory_order_relaxed);
   return job;
 }
 
 Job* ThreadPool::steal_from_anyone(std::size_t self, std::uint64_t& rng_state) {
   const std::size_t n = workers_.size();
   if (n <= 1) return take_injected();
-  // Random starting victim, then sweep; also check the injector.
   rng_state = hash64(rng_state + 0x9e3779b97f4a7c15ull);
-  std::size_t start = rng_state % n;
+  const std::size_t start = rng_state % n;
+  // First choice: the victim advertising the deepest deque (random tie
+  // order via the sweep start). Deep deques mean old, large subtree
+  // tasks at the top — the best theft per trip.
+  std::size_t best = n;
+  std::size_t best_size = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t victim = start + k;
+    if (victim >= n) victim -= n;
+    if (victim == self) continue;
+    std::size_t est = workers_[victim]->deque.size_estimate();
+    if (est > best_size) {
+      best_size = est;
+      best = victim;
+    }
+  }
+  if (best != n) {
+    if (Job* job = workers_[best]->deque.steal()) {
+      workers_[self]->stolen.fetch_add(1, std::memory_order_relaxed);
+      // Batch: if the victim still has depth to spare, take one more and
+      // park it on our own deque — it is runnable by us (pop-first loops
+      // and the join pop-loop) and stealable by anyone else.
+      if (best_size >= 2 && tl_pool == this && tl_worker_index == self) {
+        if (Job* extra = workers_[best]->deque.steal()) {
+          workers_[self]->stolen.fetch_add(1, std::memory_order_relaxed);
+          push_local(extra);
+        }
+      }
+      return job;
+    }
+  }
+  // Estimates raced with reality: fall back to a plain sweep.
   for (std::size_t k = 0; k < n; ++k) {
     std::size_t victim = start + k;
     if (victim >= n) victim -= n;
@@ -88,7 +158,12 @@ void ThreadPool::wait_while_helping(Job& until_done) {
   std::uint64_t rng_state = hash64(tl_worker_index + 1);
   int idle_rounds = 0;
   while (!until_done.done()) {
-    if (Job* job = steal_from_anyone(tl_worker_index, rng_state)) {
+    // Own deque first: batched steals may be parked there, and they must
+    // drain before any blocking wait (nobody else is obliged to take
+    // them).
+    Job* job = pop_local();
+    if (job == nullptr) job = steal_from_anyone(tl_worker_index, rng_state);
+    if (job != nullptr) {
       workers_[tl_worker_index]->executed.fetch_add(1,
                                                     std::memory_order_relaxed);
       job->run_claimed();
@@ -96,7 +171,7 @@ void ThreadPool::wait_while_helping(Job& until_done) {
       continue;
     }
     if (++idle_rounds < kIdleRoundsBeforeSleep) {
-      std::this_thread::yield();
+      idle_backoff(idle_rounds - 1);
     } else {
       // Nothing stealable: block until the thief finishes our branch.
       until_done.wait_done();
@@ -123,7 +198,8 @@ void ThreadPool::worker_loop(std::size_t index) {
   std::uint64_t rng_state = hash64(index + 0x1234);
   int idle_rounds = 0;
   for (;;) {
-    Job* job = take_injected();
+    Job* job = pop_local();  // batched steals parked by steal_from_anyone
+    if (job == nullptr) job = take_injected();
     if (job == nullptr) job = steal_from_anyone(index, rng_state);
     if (job != nullptr) {
       workers_[index]->executed.fetch_add(1, std::memory_order_relaxed);
@@ -132,13 +208,15 @@ void ThreadPool::worker_loop(std::size_t index) {
       continue;
     }
     if (++idle_rounds < kIdleRoundsBeforeSleep) {
-      std::this_thread::yield();
+      idle_backoff(idle_rounds - 1);
       continue;
     }
     std::unique_lock<std::mutex> lock(sleep_mutex_);
     if (stopping_) return;
     // Final re-check under the mutex (pairs with wake_workers): anything
-    // injected after our last check is visible here.
+    // injected after our last check is visible here. Our own deque
+    // cannot have gained jobs since the last pop (we are its only
+    // pusher), so the injector is the only thing to re-check.
     if (Job* late = take_injected()) {
       lock.unlock();
       workers_[index]->executed.fetch_add(1, std::memory_order_relaxed);
@@ -156,6 +234,9 @@ void ThreadPool::worker_loop(std::size_t index) {
 
 namespace {
 std::unique_ptr<ThreadPool> g_pool;
+// Published pool pointer for the lock-free steady-state path of
+// global(); g_pool_mutex guards (re)construction only.
+std::atomic<ThreadPool*> g_pool_ptr{nullptr};
 std::mutex g_pool_mutex;
 }  // namespace
 
@@ -170,15 +251,26 @@ ThreadPool::Stats ThreadPool::stats() const {
 }
 
 ThreadPool& ThreadPool::global() {
+  if (ThreadPool* pool = g_pool_ptr.load(std::memory_order_acquire)) {
+    return *pool;
+  }
   std::lock_guard<std::mutex> guard(g_pool_mutex);
-  if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_threads());
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(default_threads());
+    g_pool_ptr.store(g_pool.get(), std::memory_order_release);
+  }
   return *g_pool;
 }
 
 void ThreadPool::reset_global(std::size_t num_threads) {
   std::lock_guard<std::mutex> guard(g_pool_mutex);
+  // Contract: no parallel work in flight. Unpublish before destruction
+  // so a racing first-time global() waits on the mutex instead of
+  // touching a dying pool.
+  g_pool_ptr.store(nullptr, std::memory_order_release);
   g_pool.reset();  // join old workers before building the new pool
   g_pool = std::make_unique<ThreadPool>(num_threads);
+  g_pool_ptr.store(g_pool.get(), std::memory_order_release);
 }
 
 }  // namespace rpb::sched

@@ -64,19 +64,34 @@ class ThreadPool {
     } catch (...) {
       left_error = std::current_exception();
     }
-    Job* popped = pop_local();
-    if (popped == &right) {
-      // Nobody stole it: run inline on this stack.
-      right.run_claimed();
-    } else {
-      // Stolen (steal order is oldest-first, so a successful pop here
-      // can only ever return &right or nothing). Help with other work
-      // while the thief finishes.
-      wait_while_helping(right);
+    for (;;) {
+      Job* popped = pop_local();
+      if (popped == &right) {
+        // Nobody stole it: run inline on this stack.
+        right.run_claimed();
+        break;
+      }
+      if (popped == nullptr) {
+        // Stolen (steal order is oldest-first, so anything of ours still
+        // queued below &right was taken before it). Help with other work
+        // while the thief finishes.
+        wait_while_helping(right);
+        break;
+      }
+      // A batched steal parked above &right (steal_from_anyone may take
+      // an extra job and stash it on our deque): run it here so it is
+      // never stranded behind a blocking wait.
+      popped->run_claimed();
     }
     if (left_error) std::rethrow_exception(left_error);
     right.rethrow_if_error();
   }
+
+  // Demand signal for the adaptive splitter (sched/parallel.h): true when
+  // forking another task would give an observed thief something to take —
+  // i.e. the calling worker's deque has been drained. Always false on a
+  // single-worker pool and for non-worker callers.
+  bool should_split() const;
 
   // Scheduler observability: cumulative counters since construction.
   struct Stats {
@@ -87,7 +102,9 @@ class ThreadPool {
   Stats stats() const;
 
   // The process-wide pool used by the parallel algorithms. Lazily built
-  // with rpb::default_threads() workers.
+  // with rpb::default_threads() workers. Steady-state calls are a single
+  // atomic acquire-load; the construction mutex is only taken on first
+  // use and inside reset_global.
   static ThreadPool& global();
 
   // Rebuild the global pool with a new worker count (benchmark harness
@@ -116,6 +133,9 @@ class ThreadPool {
 
   std::mutex injector_mutex_;
   std::deque<Job*> injector_;
+  // Advisory count of jobs sitting in injector_: lets the steal path skip
+  // injector_mutex_ entirely when nothing is queued (the common case).
+  std::atomic<std::size_t> injected_pending_{0};
   std::atomic<std::uint64_t> injected_{0};
 
   std::mutex sleep_mutex_;

@@ -16,4 +16,20 @@ using i64 = std::int64_t;
 // per-thread mutable state to this.
 inline constexpr std::size_t kCacheLineBytes = 64;
 
+// True when compiling under ThreadSanitizer (-DRPB_SANITIZE=thread).
+// TSAN does not model standalone atomic fences, so fence-synchronized
+// code (the Chase-Lev deque) selects stronger per-operation orderings
+// when this is set; everything else is unaffected.
+#if defined(__SANITIZE_THREAD__)
+inline constexpr bool kTsanEnabled = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+inline constexpr bool kTsanEnabled = true;
+#else
+inline constexpr bool kTsanEnabled = false;
+#endif
+#else
+inline constexpr bool kTsanEnabled = false;
+#endif
+
 }  // namespace rpb

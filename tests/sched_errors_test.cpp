@@ -121,6 +121,67 @@ TEST(MqExecutorErrors, TaskExceptionCancelsAndRethrows) {
   EXPECT_LT(processed.load(), 10000);
 }
 
+// Restores the default splitting strategy even if a test body throws.
+class SplitModeGuard {
+ public:
+  explicit SplitModeGuard(SplitMode mode) { set_split_mode(mode); }
+  ~SplitModeGuard() { set_split_mode(SplitMode::kLazy); }
+};
+
+// A throw from the middle of an adaptive leaf's chunk walk must unwind
+// through any forks the splitter made and reach the caller, leaving the
+// pool usable.
+TEST(PoolErrors, LazyMidRangeLeafThrowPropagates) {
+  ThreadPool::reset_global(4);
+  SplitModeGuard guard(SplitMode::kLazy);
+  EXPECT_THROW(parallel_for_range(
+                   0, 100000,
+                   [](std::size_t lo, std::size_t hi) {
+                     if (lo <= 54321 && 54321 < hi) throw Boom();
+                   },
+                   /*grain=*/16),
+               Boom);
+  std::atomic<int> count{0};
+  parallel_for(0, 1000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+  ThreadPool::reset_global(1);
+}
+
+TEST(PoolErrors, EagerModeThrowStillPropagates) {
+  ThreadPool::reset_global(4);
+  SplitModeGuard guard(SplitMode::kEager);
+  EXPECT_THROW(parallel_for(0, 100000,
+                            [](std::size_t i) {
+                              if (i == 54321) throw Boom();
+                            }),
+               Boom);
+  ThreadPool::reset_global(1);
+}
+
+TEST(PoolErrors, NestedParallelForInsideJoinThrow) {
+  ThreadPool::reset_global(4);
+  SplitModeGuard guard(SplitMode::kLazy);
+  std::atomic<int> right_done{0};
+  EXPECT_THROW(
+      join(
+          [&] {
+            parallel_for(0, 50000,
+                         [](std::size_t i) {
+                           if (i == 12345) throw Boom();
+                         },
+                         /*grain=*/32);
+          },
+          [&] {
+            parallel_for(0, 50000,
+                         [&](std::size_t) { right_done.fetch_add(1); },
+                         /*grain=*/32);
+          }),
+      Boom);
+  // The right branch resolved fully before the join unwound.
+  EXPECT_EQ(right_done.load(), 50000);
+  ThreadPool::reset_global(1);
+}
+
 TEST(PoolErrors, ReduceThrowPropagates) {
   ThreadPool::reset_global(2);
   EXPECT_THROW(parallel_reduce(

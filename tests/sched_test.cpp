@@ -41,6 +41,23 @@ TEST(ChaseLevDeque, OwnerPushPopLifo) {
   EXPECT_EQ(deque.pop(), nullptr);
 }
 
+TEST(ChaseLevDeque, SizeEstimateTracksPushPop) {
+  ChaseLevDeque deque;
+  std::atomic<int> counter{0};
+  CountingJob a(counter), b(counter), c(counter);
+  EXPECT_EQ(deque.size_estimate(), 0u);
+  EXPECT_TRUE(deque.looks_empty());
+  deque.push(&a);
+  deque.push(&b);
+  deque.push(&c);
+  EXPECT_EQ(deque.size_estimate(), 3u);
+  EXPECT_EQ(deque.steal(), &a);
+  EXPECT_EQ(deque.size_estimate(), 2u);
+  EXPECT_EQ(deque.pop(), &c);
+  EXPECT_EQ(deque.pop(), &b);
+  EXPECT_EQ(deque.size_estimate(), 0u);
+}
+
 TEST(ChaseLevDeque, StealTakesOldest) {
   ChaseLevDeque deque;
   std::atomic<int> counter{0};
@@ -201,6 +218,135 @@ TEST_P(ParallelForThreads, NestedParallelFor) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, ParallelForThreads,
                          ::testing::Values(1, 2, 4, 8));
+
+// Regression test for the lock-free ThreadPool::global() fast path:
+// many external threads entering parallel regions concurrently must
+// neither race (TSAN-clean) nor serialize on a pool-lookup mutex.
+// reset_global is excluded while the callers run, per the contract.
+TEST(ThreadPoolGlobal, ConcurrentExternalCallersSharePool) {
+  ThreadPool::reset_global(4);
+  constexpr int kCallers = 8;
+  constexpr int kRounds = 25;
+  constexpr std::size_t kN = 2000;
+  std::atomic<u64> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        u64 sum = parallel_reduce(
+            0, kN, u64{0}, [](std::size_t i) { return static_cast<u64>(i); },
+            [](u64 a, u64 b) { return a + b; });
+        total.fetch_add(sum);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), u64{kCallers} * kRounds * (kN * (kN - 1) / 2));
+  ThreadPool::reset_global(1);
+}
+
+// Restores the default splitting strategy even if a test body throws.
+class SplitModeGuard {
+ public:
+  explicit SplitModeGuard(SplitMode mode) { set_split_mode(mode); }
+  ~SplitModeGuard() { set_split_mode(SplitMode::kLazy); }
+};
+
+// Tiny grain + oversubscribed pool force the adaptive splitter through
+// its fork-on-demand path constantly; every index must still be covered
+// exactly once.
+TEST(LazySplitter, ForcedStealingCoversEveryIndexOnce) {
+  ThreadPool::reset_global(8);
+  SplitModeGuard guard(SplitMode::kLazy);
+  constexpr std::size_t kN = 200000;
+  std::vector<int> hits(kN, 0);
+  parallel_for(0, kN, [&](std::size_t i) { hits[i] += 1; }, /*grain=*/1);
+  EXPECT_TRUE(
+      std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+  ThreadPool::reset_global(1);
+}
+
+TEST(LazySplitter, RangeFormPartitionsExactlyBothModes) {
+  ThreadPool::reset_global(4);
+  constexpr std::size_t kN = 54321;
+  for (SplitMode mode : {SplitMode::kEager, SplitMode::kLazy}) {
+    SplitModeGuard guard(mode);
+    std::atomic<u64> covered{0};
+    parallel_for_range(
+        0, kN,
+        [&](std::size_t lo, std::size_t hi) {
+          ASSERT_LT(lo, hi);
+          covered.fetch_add(hi - lo);
+        },
+        /*grain=*/16);
+    EXPECT_EQ(covered.load(), kN);
+  }
+  ThreadPool::reset_global(1);
+}
+
+TEST(LazySplitter, NestedParallelForInsideJoin) {
+  ThreadPool::reset_global(4);
+  SplitModeGuard guard(SplitMode::kLazy);
+  constexpr std::size_t kHalf = 50000;
+  std::vector<int> hits(2 * kHalf, 0);
+  join(
+      [&] {
+        parallel_for(0, kHalf, [&](std::size_t i) { hits[i] += 1; },
+                     /*grain=*/64);
+      },
+      [&] {
+        parallel_for(kHalf, 2 * kHalf, [&](std::size_t i) { hits[i] += 1; },
+                     /*grain=*/64);
+      });
+  EXPECT_TRUE(
+      std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+  ThreadPool::reset_global(1);
+}
+
+// The reduction value type needs neither a default constructor nor an
+// aggregate zero state: both splitters must seed accumulators from
+// `identity`.
+struct SumBox {
+  explicit SumBox(u64 v) : value(v) {}
+  u64 value;
+};
+
+TEST(Reduce, NonDefaultConstructibleValueBothModes) {
+  ThreadPool::reset_global(4);
+  constexpr std::size_t kN = 10000;
+  for (SplitMode mode : {SplitMode::kEager, SplitMode::kLazy}) {
+    SplitModeGuard guard(mode);
+    SumBox total = parallel_reduce_range(
+        0, kN, SumBox(0),
+        [](std::size_t lo, std::size_t hi) {
+          u64 s = 0;
+          for (std::size_t i = lo; i < hi; ++i) s += i;
+          return SumBox(s);
+        },
+        [](SumBox a, SumBox b) { return SumBox(a.value + b.value); },
+        /*grain=*/64);
+    EXPECT_EQ(total.value, u64{kN} * (kN - 1) / 2);
+  }
+  ThreadPool::reset_global(1);
+}
+
+// Oversubscribed deep fork-join tree: exercises victim selection, steal
+// batching (parked extras drain through the pop-first loops), and the
+// join pop-loop under heavy contention.
+TEST(ThreadPool, OversubscribedTreeStress) {
+  ThreadPool pool(8);
+  std::atomic<u64> leaves{0};
+  std::function<void(int)> tree = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    pool.join([&] { tree(depth - 1); }, [&] { tree(depth - 1); });
+  };
+  pool.run([&] { tree(14); });
+  EXPECT_EQ(leaves.load(), 1u << 14);
+}
 
 TEST(ThreadPoolStats, CountsWorkAndSteals) {
   ThreadPool pool(4);
