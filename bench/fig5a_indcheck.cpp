@@ -2,15 +2,190 @@
 // SngInd writes with the interior-unsafe par_ind_iter_mut and its
 // run-time uniqueness check, on the three benchmarks that integrate it
 // (bw, lrs, sa). Paper reference: bw ~1.0x, lrs up to ~2.8x, sa ~2.5x.
+//
+// Two modes:
+//   (default)              the suite-level Fig. 5(a) table below.
+//   --json PATH [--smoke]  the check-machinery ablation harness:
+//                          measures the SngInd scatter per check
+//                          expression (unchecked / legacy bitmap /
+//                          epoch-split / fused) per thread count,
+//                          amortized per parallel region (many regions
+//                          per timed sample, per repo convention),
+//                          emits PATH in the rpb-bench-v1 schema
+//                          (BENCH_indcheck.json) and self-validates
+//                          it. --smoke shrinks sizes so CI can check
+//                          the schema without gating on timing.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_util/harness.h"
 #include "common.h"
+#include "core/checks.h"
+#include "core/patterns.h"
+#include "sched/thread_pool.h"
+#include "seq/generators.h"
+#include "support/env.h"
 #include "suite.h"
 
 using namespace rpb;
 
-int main(int argc, char** argv) {
+namespace {
+
+struct CheckVariant {
+  const char* name;
+  AccessMode mode;
+  par::CheckMode check;
+};
+
+constexpr CheckVariant kVariants[] = {
+    {"unchecked", AccessMode::kUnchecked, par::CheckMode::kFused},
+    {"bitmap", AccessMode::kChecked, par::CheckMode::kBitmap},
+    {"epoch_split", AccessMode::kChecked, par::CheckMode::kSplit},
+    {"fused", AccessMode::kChecked, par::CheckMode::kFused},
+};
+
+bench::BenchRecord make_record(std::string name, std::size_t threads,
+                               std::size_t n, std::size_t inner,
+                               bench::Measurement m) {
+  m.median_seconds /= static_cast<double>(inner);
+  m.p10_seconds /= static_cast<double>(inner);
+  m.p90_seconds /= static_cast<double>(inner);
+  m.mean_seconds /= static_cast<double>(inner);
+  bench::BenchRecord r;
+  r.name = std::move(name);
+  r.threads = threads;
+  r.n = n;
+  r.repeats = m.repeats;
+  r.median_s = m.median_seconds;
+  r.p10_s = m.p10_seconds;
+  r.p90_s = m.p90_seconds;
+  r.mean_s = m.mean_seconds;
+  return r;
+}
+
+int run_json_harness(const std::string& path, bool smoke) {
+  const std::size_t repeats = smoke ? 3 : 9;
+  // Two regimes: a small scatter where the legacy bitmap's O(bound)
+  // alloc+memset dominates the useful work (the per-bucket/per-round
+  // call shape of integer_sort / sample_sort / histogram / bwt), and a
+  // large scatter where the fused single traversal is what shows.
+  const std::size_t small_n = 4096;
+  const std::size_t large_n = smoke ? (std::size_t{1} << 14)
+                                    : (std::size_t{1} << 20);
+  const std::size_t inner_small = smoke ? 50 : 400;
+  const std::size_t inner_large = smoke ? 5 : 40;
+  const std::size_t hw = default_threads();
+  std::vector<std::size_t> thread_counts{1, 2, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  std::vector<bench::BenchRecord> records;
+  double small_bitmap_hw = 0, small_fused_hw = 0;
+  double large_bitmap_hw = 0, large_fused_hw = 0;
+  double large_unchecked_hw = 0;
+
+  for (std::size_t threads : thread_counts) {
+    sched::ThreadPool::reset_global(threads);
+    struct Regime {
+      const char* label;
+      std::size_t n;
+      std::size_t inner;
+    };
+    for (Regime regime : {Regime{"sngind_scatter_region", small_n,
+                                 inner_small},
+                          Regime{"sngind_scatter_region", large_n,
+                                 inner_large}}) {
+      auto offsets = seq::random_permutation(regime.n, 0xf1650a + regime.n);
+      std::vector<u64> out(regime.n, 0);
+      for (const CheckVariant& v : kVariants) {
+        par::set_check_mode(v.check);
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < regime.inner; ++r) {
+                par::par_ind_iter_mut(
+                    std::span<u64>(out), std::span<const u32>(offsets),
+                    [](std::size_t i, u64& slot) { slot = i; }, v.mode);
+              }
+            },
+            repeats);
+        records.push_back(make_record(std::string(regime.label) + "/" + v.name,
+                                      threads, regime.n, regime.inner, m));
+        if (threads == hw) {
+          const bench::BenchRecord& r = records.back();
+          if (regime.n == small_n) {
+            if (std::strcmp(v.name, "bitmap") == 0) small_bitmap_hw = r.median_s;
+            if (std::strcmp(v.name, "fused") == 0) small_fused_hw = r.median_s;
+          } else {
+            if (std::strcmp(v.name, "bitmap") == 0) large_bitmap_hw = r.median_s;
+            if (std::strcmp(v.name, "fused") == 0) large_fused_hw = r.median_s;
+            if (std::strcmp(v.name, "unchecked") == 0) {
+              large_unchecked_hw = r.median_s;
+            }
+          }
+        }
+      }
+    }
+
+    // Function-indexed SngInd (paper Sec. 5.1): the fused expression
+    // skips the O(n) index materialization the bitmap baseline needs.
+    {
+      const std::size_t n = large_n;
+      auto perm = seq::random_permutation(n, 0xfeed5eed);
+      std::vector<u64> out(n, 0);
+      for (const CheckVariant& v : kVariants) {
+        par::set_check_mode(v.check);
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner_large; ++r) {
+                par::par_ind_iter_mut_fn(
+                    std::span<u64>(out), n,
+                    [&](std::size_t i) { return perm[i]; },
+                    [](std::size_t i, u64& slot) { slot = i; }, v.mode);
+              }
+            },
+            repeats);
+        records.push_back(make_record(std::string("sngind_fn_region/") +
+                                          v.name,
+                                      threads, n, inner_large, m));
+      }
+    }
+  }
+  par::set_check_mode(par::CheckMode::kFused);
+
+  if (!bench::write_bench_json(path, "indcheck", records)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::string error;
+  if (!bench::validate_bench_json(path, &error)) {
+    std::fprintf(stderr, "error: %s fails schema validation: %s\n",
+                 path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records, schema ok)\n", path.c_str(),
+              records.size());
+  double fused_floor_small = std::max(small_fused_hw, 1e-9);
+  double fused_floor_large = std::max(large_fused_hw, 1e-9);
+  std::printf(
+      "per-region checked SngInd scatter @%zu threads:\n"
+      "  n=%zu: bitmap %s, fused %s (%.2fx)\n"
+      "  n=%zu: bitmap %s, fused %s (%.2fx); unchecked %s\n",
+      hw, small_n, bench::fmt_seconds(small_bitmap_hw).c_str(),
+      bench::fmt_seconds(small_fused_hw).c_str(),
+      small_bitmap_hw / fused_floor_small, large_n,
+      bench::fmt_seconds(large_bitmap_hw).c_str(),
+      bench::fmt_seconds(large_fused_hw).c_str(),
+      large_bitmap_hw / fused_floor_large,
+      bench::fmt_seconds(large_unchecked_hw).c_str());
+  return 0;
+}
+
+int run_suite_table(int argc, char** argv) {
   bench::Options opt = bench::parse_options(argc, argv);
   bench::Suite suite(opt.scale);
 
@@ -35,4 +210,34 @@ int main(int argc, char** argv) {
   std::printf("\n(paper: bw ~1x [SngInd is a small phase], lrs/sa large "
               "overhead and worse scaling)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        std::fprintf(stderr, "error: --json requires an output path\n");
+        return 1;
+      }
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      if (json_path.empty()) {
+        std::fprintf(stderr, "error: --json requires an output path\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return run_json_harness(json_path, smoke);
+  return run_suite_table(static_cast<int>(passthrough.size()),
+                         passthrough.data());
 }

@@ -235,6 +235,7 @@ bench/CMakeFiles/ablation_sorts.dir/ablation_sorts.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/seq/sample_sort.h \
  /root/repo/src/core/access_mode.h /root/repo/src/core/census.h \
  /root/repo/src/core/patterns.h /root/repo/src/core/checks.h \
+ /root/repo/src/core/atomics.h /root/repo/src/core/mark_table.h \
  /root/repo/src/support/error.h /root/repo/src/core/primitives.h \
  /root/repo/src/support/prng.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

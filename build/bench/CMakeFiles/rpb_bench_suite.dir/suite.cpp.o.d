@@ -245,14 +245,15 @@ bench/CMakeFiles/rpb_bench_suite.dir/suite.cpp.o: \
  /root/repo/src/seq/dedup.h /root/repo/src/seq/generators.h \
  /root/repo/src/seq/histogram.h /root/repo/src/seq/integer_sort.h \
  /root/repo/src/core/atomics.h /root/repo/src/core/patterns.h \
- /root/repo/src/core/checks.h /root/repo/src/sched/parallel.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/checks.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/core/mark_table.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sched/parallel.h \
  /root/repo/src/sched/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -260,10 +261,10 @@ bench/CMakeFiles/rpb_bench_suite.dir/suite.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/sched/chase_lev_deque.h /root/repo/src/sched/job.h \
- /root/repo/src/support/error.h /root/repo/src/core/primitives.h \
- /root/repo/src/seq/sample_sort.h /root/repo/src/support/prng.h \
- /root/repo/src/support/hash.h /root/repo/src/support/env.h \
- /root/repo/src/text/bwt.h /root/repo/src/text/corpus.h \
- /root/repo/src/text/lcp.h /root/repo/src/text/suffix_array.h
+ /usr/include/c++/12/thread /root/repo/src/sched/chase_lev_deque.h \
+ /root/repo/src/sched/job.h /root/repo/src/support/error.h \
+ /root/repo/src/core/primitives.h /root/repo/src/seq/sample_sort.h \
+ /root/repo/src/support/prng.h /root/repo/src/support/hash.h \
+ /root/repo/src/support/env.h /root/repo/src/text/bwt.h \
+ /root/repo/src/text/corpus.h /root/repo/src/text/lcp.h \
+ /root/repo/src/text/suffix_array.h

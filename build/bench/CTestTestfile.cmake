@@ -5,4 +5,6 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(bench_sched_json_smoke "/root/repo/build/bench/micro_runtime" "--json" "/root/repo/build/BENCH_sched_smoke.json" "--smoke")
-set_tests_properties(bench_sched_json_smoke PROPERTIES  LABELS "bench_smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_sched_json_smoke PROPERTIES  LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_indcheck_json_smoke "/root/repo/build/bench/fig5a_indcheck" "--json" "/root/repo/build/BENCH_indcheck_smoke.json" "--smoke")
+set_tests_properties(bench_indcheck_json_smoke PROPERTIES  LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -226,5 +226,5 @@ src/text/CMakeFiles/rpb_text.dir/suffix_array.cpp.o: \
  /usr/include/c++/12/thread /root/repo/src/sched/chase_lev_deque.h \
  /root/repo/src/sched/job.h /root/repo/src/seq/integer_sort.h \
  /root/repo/src/core/atomics.h /root/repo/src/core/patterns.h \
- /root/repo/src/core/checks.h /root/repo/src/support/error.h \
- /root/repo/src/seq/mark_present.h
+ /root/repo/src/core/checks.h /root/repo/src/core/mark_table.h \
+ /root/repo/src/support/error.h /root/repo/src/seq/mark_present.h

@@ -297,23 +297,24 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/core/access_mode.h /root/repo/src/core/atomics.h \
  /root/repo/src/core/patterns.h /usr/include/c++/12/span \
- /root/repo/src/core/checks.h /root/repo/src/sched/parallel.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/core/checks.h /usr/include/c++/12/cstring \
+ /root/repo/src/core/mark_table.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/cstring /root/repo/src/sched/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/support/defs.h \
+ /root/repo/src/sched/parallel.h /root/repo/src/sched/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/sched/chase_lev_deque.h /root/repo/src/sched/job.h \
- /root/repo/src/support/defs.h /root/repo/src/support/error.h \
+ /usr/include/c++/12/thread /root/repo/src/sched/chase_lev_deque.h \
+ /root/repo/src/sched/job.h /root/repo/src/support/error.h \
  /root/repo/src/core/primitives.h /root/repo/src/core/reservation.h \
  /root/repo/src/core/spec_for.h /root/repo/src/support/hash.h \
  /root/repo/src/support/prng.h /usr/include/c++/12/cmath \

@@ -312,11 +312,11 @@ tests/CMakeFiles/determinism_test.dir/determinism_test.cpp.o: \
  /root/repo/src/seq/generators.h /root/repo/src/seq/histogram.h \
  /root/repo/src/seq/integer_sort.h /root/repo/src/core/atomics.h \
  /root/repo/src/core/patterns.h /root/repo/src/core/checks.h \
- /root/repo/src/sched/parallel.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/cstring /root/repo/src/core/mark_table.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/cstring /root/repo/src/support/error.h \
+ /root/repo/src/sched/parallel.h /root/repo/src/support/error.h \
  /root/repo/src/core/primitives.h /root/repo/src/seq/mark_present.h \
  /root/repo/src/seq/sample_sort.h /root/repo/src/support/prng.h \
  /usr/include/c++/12/cmath /usr/include/math.h \

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mark_table_test.cpp" "tests/CMakeFiles/mark_table_test.dir/mark_table_test.cpp.o" "gcc" "tests/CMakeFiles/mark_table_test.dir/mark_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_util/CMakeFiles/rpb_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rpb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rpb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/rpb_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rpb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rpb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rpb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rpb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

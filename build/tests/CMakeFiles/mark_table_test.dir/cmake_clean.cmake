@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mark_table_test.dir/mark_table_test.cpp.o"
+  "CMakeFiles/mark_table_test.dir/mark_table_test.cpp.o.d"
+  "mark_table_test"
+  "mark_table_test.pdb"
+  "mark_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mark_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

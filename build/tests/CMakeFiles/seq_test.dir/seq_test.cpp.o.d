@@ -316,11 +316,12 @@ tests/CMakeFiles/seq_test.dir/seq_test.cpp.o: \
  /root/repo/src/seq/hash_table.h /root/repo/src/support/hash.h \
  /root/repo/src/seq/histogram.h /root/repo/src/seq/integer_sort.h \
  /root/repo/src/core/atomics.h /root/repo/src/core/patterns.h \
- /root/repo/src/core/checks.h /root/repo/src/sched/parallel.h \
- /usr/include/c++/12/cstring /root/repo/src/support/error.h \
- /root/repo/src/core/primitives.h /root/repo/src/seq/sample_sort.h \
- /root/repo/src/support/prng.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/core/checks.h /usr/include/c++/12/cstring \
+ /root/repo/src/core/mark_table.h /root/repo/src/sched/parallel.h \
+ /root/repo/src/support/error.h /root/repo/src/core/primitives.h \
+ /root/repo/src/seq/sample_sort.h /root/repo/src/support/prng.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -2,66 +2,267 @@
 // parallel offset-uniqueness check of par_ind_iter_mut (paper Sec. 5.1,
 // deliberately expensive — Fig. 5(a) measures it) and the cheap
 // monotonicity check of par_ind_chunks_mut.
+//
+// Three selectable uniqueness expressions (CheckMode / RPB_CHECK_FUSE):
+//   kBitmap — the original per-call byte bitmap: O(bound) allocation +
+//             zero-fill on every check, then a marking pass, then the
+//             caller's separate write pass. Kept as the Fig. 5(a)
+//             ablation baseline.
+//   kSplit  — epoch-stamped pooled mark tables (core/mark_table.h):
+//             amortized O(1) setup, but still a distinct check pass
+//             before the caller's write pass (no writes land on
+//             failure, like kBitmap).
+//   kFused  — the default: validation (bounds + epoch-claim uniqueness)
+//             and the caller's write happen in the same parallel
+//             region, halving traversals. On failure the region still
+//             completes: writes at indices that passed validation have
+//             landed, writes at violating indices are suppressed.
+//             Below check_fuse_threshold() the fused path degrades to a
+//             sequential loop that stops at the first violation, so
+//             exactly the writes before the reported index landed.
+//
+// Failure reporting is deterministic in every mode: parallel passes
+// only flag that a violation exists (write_min keeps the lowest
+// *detected* index), and the thrown message is recomputed by a serial
+// ascending rescan, so the reported index is always the first index at
+// which a left-to-right validation would fail — independent of thread
+// schedule.
 #pragma once
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/atomics.h"
+#include "core/mark_table.h"
 #include "sched/parallel.h"
 #include "support/defs.h"
 #include "support/error.h"
 
 namespace rpb::par {
 
-// Verifies every offsets[i] is in [0, bound) and no two are equal.
-// Parallel byte-bitmap marking; throws CheckFailure on violation. The
-// O(bound) bitmap allocation + reset is part of the check's real cost.
+// Strategy for the SngInd uniqueness check (see file header).
+enum class CheckMode : int { kBitmap = 0, kSplit = 1, kFused = 2 };
+
+namespace detail {
+
+inline constexpr std::size_t kDefaultFuseThreshold = 4096;
+inline constexpr u64 kNoBadIndex = ~u64{0};
+
+inline std::atomic<int> g_check_mode{-1};          // -1: not yet resolved
+inline std::atomic<i64> g_fuse_threshold{-1};      // -1: not yet resolved
+
+// RPB_CHECK_FUSE: "bitmap" / "split" select the two-pass expressions,
+// "fused" (or unset) the fused one, and a bare integer selects fused
+// with that sequential-fallback threshold (0 = always parallel).
+inline CheckMode resolve_check_mode() {
+  if (const char* env = std::getenv("RPB_CHECK_FUSE")) {
+    if (std::strcmp(env, "bitmap") == 0) return CheckMode::kBitmap;
+    if (std::strcmp(env, "split") == 0) return CheckMode::kSplit;
+  }
+  return CheckMode::kFused;
+}
+
+inline std::size_t resolve_fuse_threshold() {
+  if (const char* env = std::getenv("RPB_CHECK_FUSE")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return kDefaultFuseThreshold;
+}
+
+}  // namespace detail
+
+inline CheckMode check_mode() {
+  int mode = detail::g_check_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    mode = static_cast<int>(detail::resolve_check_mode());
+    detail::g_check_mode.store(mode, std::memory_order_relaxed);
+  }
+  return static_cast<CheckMode>(mode);
+}
+
+// Benchmark/test knob; safe to flip between (not during) checks —
+// mirrors sched::set_split_mode for the RPB_SPLIT knob.
+inline void set_check_mode(CheckMode mode) {
+  detail::g_check_mode.store(static_cast<int>(mode),
+                             std::memory_order_relaxed);
+}
+
+// Below this count the fused path runs sequentially: a tiny check-and-
+// write region costs more in fork/injection than it saves in overlap.
+inline std::size_t check_fuse_threshold() {
+  i64 threshold = detail::g_fuse_threshold.load(std::memory_order_relaxed);
+  if (threshold < 0) {
+    threshold = static_cast<i64>(detail::resolve_fuse_threshold());
+    detail::g_fuse_threshold.store(threshold, std::memory_order_relaxed);
+  }
+  return static_cast<std::size_t>(threshold);
+}
+
+inline void set_check_fuse_threshold(std::size_t threshold) {
+  detail::g_fuse_threshold.store(static_cast<i64>(threshold),
+                                 std::memory_order_relaxed);
+}
+
+namespace detail {
+
+inline std::string oob_message(std::size_t index) {
+  return "par_ind_iter_mut: offset out of bounds at index " +
+         std::to_string(index);
+}
+
+inline std::string dup_message(std::size_t offset, std::size_t index) {
+  return "par_ind_iter_mut: duplicate offset " + std::to_string(offset) +
+         " at index " + std::to_string(index);
+}
+
+// Deterministic failure reporting: rescan serially in ascending index
+// order (index_of must be pure, which the pattern API already requires)
+// and throw for the first index a left-to-right validation rejects.
+// Cold path — only reached after a parallel pass detected a violation.
+template <class IndexFn>
+[[noreturn]] void throw_first_unique_violation(std::size_t count,
+                                               std::size_t bound,
+                                               const IndexFn& index_of,
+                                               MarkTable& table) {
+  const u32 stamp = table.begin_check(bound);
+  u32* slots = table.slots();
+  for (std::size_t i = 0; i < count; ++i) {
+    auto off = static_cast<std::size_t>(index_of(i));
+    if (off >= bound) throw CheckFailure(oob_message(i));
+    if (slots[off] == stamp) throw CheckFailure(dup_message(off, i));
+    slots[off] = stamp;
+  }
+  throw CheckFailure(
+      "par_ind_iter_mut: violation detected in parallel but not "
+      "reproducible serially (impure index function?)");
+}
+
+}  // namespace detail
+
+// Validates index_of(i) for i in [0, count) — every value in [0, bound)
+// and no two equal — and, where validation succeeds, immediately calls
+// apply(i, off) in the same region. This is the fused check-and-write
+// engine behind par_ind_iter_mut's default checked expression; pass a
+// no-op apply to get a pure epoch-table check. Throws CheckFailure on
+// violation with the deterministic lowest-index message (see file
+// header for which writes have landed when it throws).
+template <class IndexFn, class Apply>
+void fused_check_apply(std::size_t count, std::size_t bound,
+                       const IndexFn& index_of, const Apply& apply,
+                       std::size_t grain = 0) {
+  MarkTableLease lease;
+  const u32 stamp = lease->begin_check(bound);
+  u32* slots = lease->slots();
+
+  if (count <= check_fuse_threshold()) {
+    // Sequential fallback: ascending order means the first violation
+    // found is already the canonical one, and no later write lands.
+    for (std::size_t i = 0; i < count; ++i) {
+      auto off = static_cast<std::size_t>(index_of(i));
+      if (off >= bound) throw CheckFailure(detail::oob_message(i));
+      if (slots[off] == stamp) throw CheckFailure(detail::dup_message(off, i));
+      slots[off] = stamp;
+      apply(i, off);
+    }
+    return;
+  }
+
+  u64 first_bad = detail::kNoBadIndex;
+  sched::parallel_for(
+      0, count,
+      [&](std::size_t i) {
+        auto off = static_cast<std::size_t>(index_of(i));
+        if (off >= bound) {
+          write_min(&first_bad, static_cast<u64>(i));
+          return;
+        }
+        // Epoch claim: exactly one task per offset observes the
+        // pre-stamp value and proceeds to write; later claimants see
+        // the stamp and report. The winner's write cannot race with a
+        // loser (losers never touch data), so the fused region is as
+        // race-free as check-then-write.
+        std::atomic_ref<u32> slot(slots[off]);
+        if (slot.exchange(stamp, std::memory_order_relaxed) == stamp) {
+          write_min(&first_bad, static_cast<u64>(i));
+          return;
+        }
+        apply(i, off);
+      },
+      grain);
+  if (relaxed_load(&first_bad) != detail::kNoBadIndex) {
+    detail::throw_first_unique_violation(count, bound, index_of, *lease);
+  }
+}
+
+// Legacy bitmap expression, kept callable as the Fig. 5(a) ablation
+// baseline: the O(bound) std::vector<u8> allocation + zero-fill is part
+// of the measured per-call cost.
 template <class Index>
-void check_unique_offsets(std::span<const Index> offsets, std::size_t bound) {
+void check_unique_offsets_bitmap(std::span<const Index> offsets,
+                                 std::size_t bound) {
   std::vector<u8> marks(bound, 0);
-  std::atomic<i64> bad_at{-1};
+  u64 first_bad = detail::kNoBadIndex;
   sched::parallel_for(0, offsets.size(), [&](std::size_t i) {
     auto off = static_cast<std::size_t>(offsets[i]);
     if (off >= bound) {
-      i64 expected = -1;
-      bad_at.compare_exchange_strong(expected, static_cast<i64>(i));
+      write_min(&first_bad, static_cast<u64>(i));
       return;
     }
     std::atomic_ref<u8> mark(marks[off]);
     if (mark.exchange(1, std::memory_order_relaxed) != 0) {
-      i64 expected = -1;
-      bad_at.compare_exchange_strong(expected, static_cast<i64>(i));
+      write_min(&first_bad, static_cast<u64>(i));
     }
   });
-  i64 bad = bad_at.load();
-  if (bad >= 0) {
-    auto off = static_cast<std::size_t>(offsets[bad]);
-    throw CheckFailure(
-        off >= bound
-            ? "par_ind_iter_mut: offset out of bounds at index " +
-                  std::to_string(bad)
-            : "par_ind_iter_mut: duplicate offset " + std::to_string(off) +
-                  " at index " + std::to_string(bad));
+  if (relaxed_load(&first_bad) != detail::kNoBadIndex) {
+    MarkTableLease lease;
+    detail::throw_first_unique_violation(
+        offsets.size(), bound,
+        [&](std::size_t i) { return static_cast<std::size_t>(offsets[i]); },
+        *lease);
   }
+}
+
+// Verifies every offsets[i] is in [0, bound) and no two are equal;
+// throws CheckFailure on violation. Dispatches on check_mode(): the
+// epoch-table expression (amortized O(1) setup) unless the legacy
+// bitmap baseline was selected.
+template <class Index>
+void check_unique_offsets(std::span<const Index> offsets, std::size_t bound) {
+  if (check_mode() == CheckMode::kBitmap) {
+    check_unique_offsets_bitmap(offsets, bound);
+    return;
+  }
+  fused_check_apply(
+      offsets.size(), bound,
+      [&](std::size_t i) { return static_cast<std::size_t>(offsets[i]); },
+      [](std::size_t, std::size_t) {});
 }
 
 // Verifies offsets is monotonically non-decreasing with offsets.back()
 // <= bound (chunk boundaries). O(m) scan — cheap, as the paper notes.
+// write_min keeps the lowest violating index, so the message is stable
+// across runs and thread schedules (a descent at index i is a property
+// of the input alone, unlike the uniqueness check's claim races).
 template <class Index>
 void check_monotonic_offsets(std::span<const Index> offsets,
                              std::size_t bound) {
   if (offsets.empty()) return;
-  std::atomic<i64> bad_at{-1};
+  u64 first_bad = detail::kNoBadIndex;
   sched::parallel_for(0, offsets.size() - 1, [&](std::size_t i) {
     if (offsets[i] > offsets[i + 1]) {
-      i64 expected = -1;
-      bad_at.compare_exchange_strong(expected, static_cast<i64>(i));
+      write_min(&first_bad, static_cast<u64>(i));
     }
   });
-  i64 bad = bad_at.load();
-  if (bad >= 0) {
+  u64 bad = relaxed_load(&first_bad);
+  if (bad != detail::kNoBadIndex) {
     throw CheckFailure("par_ind_chunks_mut: offsets not monotonic at index " +
                        std::to_string(bad));
   }

@@ -1,0 +1,136 @@
+// Epoch-stamped mark tables backing the comfortable tier's uniqueness
+// check (core/checks.h). The legacy expression allocated and zero-filled
+// an O(bound) byte bitmap on every check; a MarkTable instead keeps a
+// u32 slot array alive across checks and treats "slot == current epoch"
+// as marked, so invalidating every mark is one counter bump. The
+// O(bound) fill survives only in two cold places: growing a table past
+// its high-water bound and the u32 epoch wraparound reset (once every
+// ~4 billion checks per table). Tables are leased from a process-wide
+// pool RAII-style, making the per-check setup amortized O(1) even for
+// callers like the radix sort that check once per pass per round.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "support/defs.h"
+
+namespace rpb::par {
+
+class MarkTable {
+ public:
+  // Prepare the table for one check over offsets in [0, bound): grows
+  // the slot array if this bound is a new high-water mark and bumps the
+  // epoch, which invalidates every prior mark in O(1). Returns the
+  // stamp value that means "marked during this check".
+  u32 begin_check(std::size_t bound) {
+    if (bound > slots_.size()) {
+      // New slots start at 0, which is never a live stamp; surviving
+      // slots hold stamps strictly below the post-increment epoch.
+      slots_.resize(bound, 0);
+    }
+    if (++epoch_ == 0) {
+      // u32 wraparound: stale slots could otherwise collide with
+      // re-issued stamps, so pay the one O(bound) reset per 2^32 - 1
+      // checks and restart above the never-marked value 0.
+      std::fill(slots_.begin(), slots_.end(), 0);
+      epoch_ = 1;
+    }
+    return epoch_;
+  }
+
+  u32* slots() { return slots_.data(); }
+  std::size_t capacity() const { return slots_.size(); }
+  u32 epoch() const { return epoch_; }
+
+  // Test hook: jump the counter (e.g. to UINT32_MAX - 1) so the
+  // wraparound reset is reachable without 2^32 real checks.
+  void set_epoch_for_test(u32 epoch) { epoch_ = epoch; }
+
+ private:
+  std::vector<u32> slots_;
+  u32 epoch_ = 0;
+};
+
+namespace detail {
+
+struct MarkTablePool {
+  std::mutex mu;
+  std::vector<std::unique_ptr<MarkTable>> idle;
+  std::size_t created = 0;
+  // Concurrent leases beyond this many come from plain allocation and
+  // are dropped on release instead of retained forever.
+  static constexpr std::size_t kMaxIdle = 32;
+};
+
+inline MarkTablePool& mark_table_pool() {
+  static MarkTablePool pool;
+  return pool;
+}
+
+}  // namespace detail
+
+// Leases a table from the pool (or constructs one when every pooled
+// table is held by a concurrent check — nested parallel regions may
+// check independently at the same time) and returns it on destruction.
+class MarkTableLease {
+ public:
+  MarkTableLease() {
+    auto& pool = detail::mark_table_pool();
+    {
+      std::lock_guard<std::mutex> guard(pool.mu);
+      if (!pool.idle.empty()) {
+        table_ = std::move(pool.idle.back());
+        pool.idle.pop_back();
+        return;
+      }
+      ++pool.created;
+    }
+    table_ = std::make_unique<MarkTable>();
+  }
+
+  ~MarkTableLease() {
+    auto& pool = detail::mark_table_pool();
+    std::lock_guard<std::mutex> guard(pool.mu);
+    if (pool.idle.size() < detail::MarkTablePool::kMaxIdle) {
+      pool.idle.push_back(std::move(table_));
+    }
+  }
+
+  MarkTableLease(const MarkTableLease&) = delete;
+  MarkTableLease& operator=(const MarkTableLease&) = delete;
+
+  MarkTable& operator*() { return *table_; }
+  MarkTable* operator->() { return table_.get(); }
+
+ private:
+  std::unique_ptr<MarkTable> table_;
+};
+
+// Pool observability for tests/benches: tables sitting idle, and total
+// tables ever constructed (steady-state reuse keeps the latter flat).
+inline std::size_t mark_table_pool_idle() {
+  auto& pool = detail::mark_table_pool();
+  std::lock_guard<std::mutex> guard(pool.mu);
+  return pool.idle.size();
+}
+
+inline std::size_t mark_table_pool_created() {
+  auto& pool = detail::mark_table_pool();
+  std::lock_guard<std::mutex> guard(pool.mu);
+  return pool.created;
+}
+
+// Test hook: drop every idle table (e.g. to measure creation counts
+// from a clean slate). Leased tables are unaffected.
+inline void mark_table_pool_clear() {
+  auto& pool = detail::mark_table_pool();
+  std::lock_guard<std::mutex> guard(pool.mu);
+  pool.idle.clear();
+}
+
+}  // namespace rpb::par

@@ -53,13 +53,23 @@ void par_chunks_mut(std::span<T> data, std::size_t chunk_size, F body) {
 
 // SngInd: task i mutates data[offsets[i]] (paper Listing 6(f)). The
 // algorithm must guarantee unique offsets; kChecked validates that
-// claim in parallel before the writes and throws CheckFailure if the
-// translation of algorithm to code got it wrong.
+// claim and throws CheckFailure if the translation of algorithm to
+// code got it wrong. Under the default CheckMode::kFused the
+// validation and the write share one parallel region (see checks.h for
+// the per-mode cost model and which writes land on failure); the
+// two-pass modes check first and write only on success.
 template <class T, class Index, class F>
 void par_ind_iter_mut(std::span<T> data, std::span<const Index> offsets,
                       F body, AccessMode mode = AccessMode::kChecked,
                       std::size_t grain = 0) {
   if (mode == AccessMode::kChecked) {
+    if (check_mode() == CheckMode::kFused) {
+      fused_check_apply(
+          offsets.size(), data.size(),
+          [&](std::size_t i) { return static_cast<std::size_t>(offsets[i]); },
+          [&](std::size_t i, std::size_t off) { body(i, data[off]); }, grain);
+      return;
+    }
     check_unique_offsets(offsets, data.size());
   }
   sched::parallel_for(
@@ -69,20 +79,49 @@ void par_ind_iter_mut(std::span<T> data, std::span<const Index> offsets,
 }
 
 // SngInd generalized beyond offset arrays (paper Sec. 5.1): indices
-// come from a pure function of the task id. kChecked materializes the
-// indices and runs the same uniqueness validation.
+// come from a pure function of the task id. The fused expression never
+// materializes the indices (the epoch table is the only auxiliary
+// state); the bitmap baseline still pays the O(count) index vector its
+// check requires.
 template <class T, class IndexFn, class F>
 void par_ind_iter_mut_fn(std::span<T> data, std::size_t count,
                          IndexFn index_of, F body,
                          AccessMode mode = AccessMode::kChecked,
                          std::size_t grain = 0) {
   if (mode == AccessMode::kChecked) {
-    std::vector<std::size_t> indices(count);
-    sched::parallel_for(
-        0, count,
-        [&](std::size_t i) { indices[i] = static_cast<std::size_t>(index_of(i)); },
-        grain);
-    check_unique_offsets(std::span<const std::size_t>(indices), data.size());
+    switch (check_mode()) {
+      case CheckMode::kFused:
+        fused_check_apply(
+            count, data.size(),
+            [&](std::size_t i) {
+              return static_cast<std::size_t>(index_of(i));
+            },
+            [&](std::size_t i, std::size_t off) { body(i, data[off]); },
+            grain);
+        return;
+      case CheckMode::kSplit:
+        // Pure check through the epoch table, directly off the index
+        // function — no materialization, then a separate write pass.
+        fused_check_apply(
+            count, data.size(),
+            [&](std::size_t i) {
+              return static_cast<std::size_t>(index_of(i));
+            },
+            [](std::size_t, std::size_t) {}, grain);
+        break;
+      case CheckMode::kBitmap: {
+        std::vector<std::size_t> indices(count);
+        sched::parallel_for(
+            0, count,
+            [&](std::size_t i) {
+              indices[i] = static_cast<std::size_t>(index_of(i));
+            },
+            grain);
+        check_unique_offsets_bitmap(std::span<const std::size_t>(indices),
+                                    data.size());
+        break;
+      }
+    }
   }
   sched::parallel_for(
       0, count,
@@ -95,9 +134,14 @@ void par_ind_iter_mut_fn(std::span<T> data, std::size_t count,
 // RngInd: task i mutates data[offsets[i] .. offsets[i+1]) (paper
 // Listing 7(c)). offsets has k+1 entries for k tasks; kChecked verifies
 // monotonicity — cheap, so "comfort is an easier trade-off to accept".
+// grain batches that many consecutive chunks per task: the default 1
+// gives every chunk its own task (right when chunks are large), 0 asks
+// the scheduler for its default grain (right when chunks are tiny and
+// per-chunk fork overhead would dominate, e.g. alphabet-sized ranges).
 template <class T, class Index, class F>
 void par_ind_chunks_mut(std::span<T> data, std::span<const Index> offsets,
-                        F body, AccessMode mode = AccessMode::kChecked) {
+                        F body, AccessMode mode = AccessMode::kChecked,
+                        std::size_t grain = 1) {
   if (offsets.size() < 2) return;
   if (mode == AccessMode::kChecked) {
     check_monotonic_offsets(offsets, data.size());
@@ -109,7 +153,7 @@ void par_ind_chunks_mut(std::span<T> data, std::span<const Index> offsets,
         auto hi = static_cast<std::size_t>(offsets[i + 1]);
         body(i, data.subspan(lo, hi - lo));
       },
-      1);
+      grain);
 }
 
 }  // namespace rpb::par

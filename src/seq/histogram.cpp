@@ -4,6 +4,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "core/patterns.h"
+#include "core/primitives.h"
 #include "sched/parallel.h"
 
 namespace rpb::seq {
@@ -56,18 +58,71 @@ std::vector<Acc> histogram_private(std::span<const u64> keys,
   return out;
 }
 
+// The census's SngInd site ("bucket scatter by key") as a checked
+// expression: compute per-block bucket cursors (Block + scan, exactly
+// like a counting-sort pass), materialize each key's destination, and
+// let the comfortable tier prove the destinations are a permutation
+// while grouping the keys — counts are then bucket boundary gaps. This
+// is the strategy whose independence contract is non-trivial (cursor
+// arithmetic), i.e. the one worth paying a run-time check for.
+std::vector<u64> histogram_checked_scatter(std::span<const u64> keys,
+                                           std::size_t num_buckets) {
+  const std::size_t n = keys.size();
+  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
+  const std::size_t block = (n + num_blocks - 1) / std::max<std::size_t>(
+                                                       1, num_blocks);
+  std::vector<u64> counts(num_buckets * num_blocks, 0);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        for (std::size_t i = lo; i < hi; ++i) {
+          ++counts[keys[i] * num_blocks + b];
+        }
+      },
+      1);
+  par::scan_exclusive_sum(std::span<u64>(counts));
+
+  std::vector<u64> bucket_starts(num_buckets + 1);
+  for (std::size_t bkt = 0; bkt < num_buckets; ++bkt) {
+    bucket_starts[bkt] = counts[bkt * num_blocks];
+  }
+  bucket_starts[num_buckets] = n;
+
+  std::vector<u64> dest(n);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        for (std::size_t i = lo; i < hi; ++i) {
+          dest[i] = counts[keys[i] * num_blocks + b]++;
+        }
+      },
+      1);
+  std::vector<u64> grouped(n);
+  par::par_ind_iter_mut(
+      std::span<u64>(grouped), std::span<const u64>(dest),
+      [&](std::size_t i, u64& slot) { slot = keys[i]; }, AccessMode::kChecked);
+
+  std::vector<u64> out(num_buckets);
+  sched::parallel_for(0, num_buckets, [&](std::size_t bkt) {
+    out[bkt] = bucket_starts[bkt + 1] - bucket_starts[bkt];
+  });
+  return out;
+}
+
 }  // namespace
 
 std::vector<u64> histogram(std::span<const u64> keys, std::size_t num_buckets,
                            AccessMode mode) {
   switch (mode) {
     case AccessMode::kUnchecked:
-    case AccessMode::kChecked:
-      // No independence contract to check here: private copies are
-      // correct by construction, so kChecked aliases kUnchecked.
       return histogram_private<u64>(
           keys, num_buckets, [](u64& slot, u64) { ++slot; },
           [](u64& into, u64 from) { into += from; });
+    case AccessMode::kChecked:
+      return histogram_checked_scatter(keys, num_buckets);
     case AccessMode::kAtomic: {
       std::vector<u64> counts(num_buckets, 0);
       sched::parallel_for(0, keys.size(), [&](std::size_t i) {

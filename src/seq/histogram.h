@@ -4,6 +4,10 @@
 //  - kUnchecked: per-block private copies merged with a Stride reduce —
 //    algorithmically independent, no synchronization (what unsafe
 //    Rust / C++ buys you).
+//  - kChecked (histogram only): the census's SngInd "bucket scatter by
+//    key" — group keys by bucket through a checked scatter whose
+//    destination permutation is validated by the comfortable tier's
+//    fused check-and-write; counts fall out of the bucket boundaries.
 //  - kAtomic: relaxed fetch_add per bucket (AW with atomics) — only
 //    possible for word-sized counters.
 //  - kLocked: a mutex per bucket stripe guarding the accumulator — the

@@ -3,7 +3,10 @@
 // scatters to destinations that are unique by construction — the exact
 // "sort routine" context of the paper's SngInd Listing 6. kChecked
 // materializes the destination vector and validates uniqueness through
-// par_ind_iter_mut before the scatter.
+// par_ind_iter_mut; under the default fused check mode the validation
+// and the scatter share one parallel region, and the epoch-table pool
+// amortizes the per-pass check setup this sort used to re-pay every
+// radix round (an O(n) bitmap alloc+memset per pass).
 #pragma once
 
 #include <span>
@@ -49,8 +52,10 @@ void radix_pass(std::span<const T> in, std::span<T> out, int shift, KeyFn key,
   par::scan_exclusive_sum(std::span<u64>(counts));
 
   if (mode == AccessMode::kChecked) {
-    // Materialize destinations, prove they are a permutation, then let
-    // the checked pattern do the scatter (paper Listing 6(f)).
+    // Materialize destinations (the per-block cursor walk is inherently
+    // sequential per block, so no pure index function exists), then let
+    // the checked pattern prove they are a permutation while doing the
+    // scatter (paper Listing 6(f), fused check-and-write).
     std::vector<u64> dest(n);
     std::vector<u64> cursors(counts);
     sched::parallel_for(

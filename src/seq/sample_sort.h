@@ -94,13 +94,16 @@ void sample_sort(std::vector<T>& items, Less less = Less(),
       1);
 
   // Sort each bucket region in place: RngInd over the bucket offsets.
+  // grain stays 1 — every bucket holds >= 2^13 elements here, so each
+  // chunk is worth its own task and stealing balances skewed buckets.
   par::par_ind_chunks_mut(
       std::span<T>(buffer), std::span<const u64>(bucket_offsets),
       [&](std::size_t, std::span<T> chunk) {
         std::sort(chunk.begin(), chunk.end(), less);
       },
       mode == AccessMode::kChecked ? AccessMode::kChecked
-                                   : AccessMode::kUnchecked);
+                                   : AccessMode::kUnchecked,
+      /*grain=*/1);
 
   sched::parallel_for(0, n, [&](std::size_t i) { items[i] = buffer[i]; });
 }

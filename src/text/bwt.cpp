@@ -158,7 +158,8 @@ DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode) {
       1);
 
   // psi = LF^-1 via the SngInd scatter: kChecked validates lf is a
-  // permutation first; kAtomic tags the stores Relaxed instead.
+  // permutation (fused with the scatter under the default check mode);
+  // kAtomic tags the stores Relaxed instead.
   std::vector<u64> psi(n);
   const bool atomic_stores = mode == AccessMode::kAtomic;
   par::par_ind_iter_mut(
@@ -172,7 +173,10 @@ DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode) {
       },
       mode);
 
-  // First column F: fill each character's row range (RngInd).
+  // First column F: fill each character's row range (RngInd). The 256
+  // alphabet chunks are mostly tiny (many characters never occur), so
+  // grain 0 lets the scheduler batch consecutive chunks instead of
+  // paying a fork per character.
   std::vector<u8> first_col(n);
   par::par_ind_chunks_mut(
       std::span<u8>(first_col), std::span<const u64>(c_bounds),
@@ -180,7 +184,8 @@ DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode) {
         for (u8& v : chunk) v = static_cast<u8>(c);
       },
       mode == AccessMode::kChecked ? AccessMode::kChecked
-                                   : AccessMode::kUnchecked);
+                                   : AccessMode::kUnchecked,
+      /*grain=*/0);
 
   return DecodeTables{std::move(psi), std::move(first_col)};
 }

@@ -174,6 +174,27 @@ TEST(Patterns, RngIndCheckedAcceptsMonotone) {
   EXPECT_EQ(data[99], 4u);
 }
 
+TEST(Patterns, RngIndGrainBatchingCoversAllChunks) {
+  // grain batches consecutive chunks per task; any grain must produce
+  // the same coverage (0 = scheduler default, 7 doesn't divide 33).
+  std::vector<u32> offsets(34);
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    offsets[i] = static_cast<u32>(3 * i);
+  }
+  for (std::size_t grain : {std::size_t{0}, std::size_t{7}}) {
+    std::vector<u64> data(99, 0);
+    par::par_ind_chunks_mut(
+        std::span<u64>(data), std::span<const u32>(offsets),
+        [](std::size_t c, std::span<u64> chunk) {
+          for (u64& v : chunk) v = c + 1;
+        },
+        AccessMode::kChecked, grain);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      ASSERT_EQ(data[i], i / 3 + 1) << "grain " << grain;
+    }
+  }
+}
+
 TEST(Patterns, RngIndCheckedThrowsOnNonMonotone) {
   std::vector<u64> data(100, 0);
   std::vector<u32> offsets{0, 60, 40, 100};

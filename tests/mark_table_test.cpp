@@ -1,0 +1,335 @@
+// Tests for the epoch-stamped mark-table pool and the three uniqueness
+// check expressions (core/mark_table.h, core/checks.h): epoch
+// wraparound, pool reuse under concurrent nested checks, the documented
+// fused mid-write failure semantics, and deterministic lowest-index
+// error reporting across modes and schedules.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checks.h"
+#include "core/mark_table.h"
+#include "core/patterns.h"
+#include "sched/thread_pool.h"
+#include "seq/generators.h"
+#include "support/error.h"
+
+namespace rpb {
+namespace {
+
+class MarkTableEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { sched::ThreadPool::reset_global(4); }
+  void TearDown() override { sched::ThreadPool::reset_global(1); }
+};
+const ::testing::Environment* const kMarkTableEnv =
+    ::testing::AddGlobalTestEnvironment(new MarkTableEnv);
+
+// Save/restore the check knobs so tests that pin a mode or threshold
+// can't leak into each other (mirrors sched_test's SplitModeGuard).
+class CheckModeGuard {
+ public:
+  CheckModeGuard()
+      : mode_(par::check_mode()), threshold_(par::check_fuse_threshold()) {}
+  ~CheckModeGuard() {
+    par::set_check_mode(mode_);
+    par::set_check_fuse_threshold(threshold_);
+  }
+
+ private:
+  par::CheckMode mode_;
+  std::size_t threshold_;
+};
+
+std::string check_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const CheckFailure& e) {
+    return e.what();
+  }
+  return "<no CheckFailure thrown>";
+}
+
+TEST(MarkTable, EpochWraparoundResetsSlots) {
+  par::MarkTable table;
+  EXPECT_EQ(table.begin_check(64), 1u);
+  table.slots()[5] = 1;
+
+  table.set_epoch_for_test(UINT32_MAX - 1);
+  u32 stamp = table.begin_check(64);
+  EXPECT_EQ(stamp, UINT32_MAX);
+  table.slots()[5] = stamp;
+  table.slots()[7] = stamp;
+
+  // ++UINT32_MAX wraps to 0: the table must reset every slot and
+  // restart at 1, otherwise the stale UINT32_MAX stamps above would
+  // never collide but stale stamp-1 marks from the first check would.
+  u32 reissued = table.begin_check(64);
+  EXPECT_EQ(reissued, 1u);
+  EXPECT_EQ(table.epoch(), 1u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(table.slots()[i], 0u) << "slot " << i << " survived wraparound";
+  }
+}
+
+TEST(MarkTable, WraparoundEndToEndThroughPool) {
+  CheckModeGuard guard;
+  par::set_check_mode(par::CheckMode::kFused);
+  // Park a table on the verge of wraparound as the only idle one, so
+  // the next checked calls lease exactly it (single-threaded here).
+  par::mark_table_pool_clear();
+  { par::MarkTableLease lease; lease->set_epoch_for_test(UINT32_MAX - 1); }
+
+  const std::size_t n = 512;
+  auto offsets = seq::random_permutation(n, 99);
+  std::vector<u64> out(n, 0);
+  auto run = [&] {
+    par::par_ind_iter_mut(
+        std::span<u64>(out), std::span<const u32>(offsets),
+        [](std::size_t i, u64& slot) { slot = i; }, AccessMode::kChecked);
+  };
+  EXPECT_NO_THROW(run());  // stamp UINT32_MAX
+  EXPECT_NO_THROW(run());  // wraparound reset, stamp 1
+  // Post-wraparound the check must still catch a real duplicate.
+  offsets[n / 2] = offsets[3];
+  EXPECT_THROW(run(), CheckFailure);
+}
+
+TEST(MarkTable, PoolReusesTablesAcrossSequentialChecks) {
+  CheckModeGuard guard;
+  par::set_check_mode(par::CheckMode::kFused);
+  par::mark_table_pool_clear();
+  const std::size_t created_before = par::mark_table_pool_created();
+
+  const std::size_t n = 20000;  // above the fuse threshold: parallel path
+  auto offsets = seq::random_permutation(n, 7);
+  std::vector<u64> out(n, 0);
+  for (int round = 0; round < 100; ++round) {
+    par::par_ind_iter_mut(
+        std::span<u64>(out), std::span<const u32>(offsets),
+        [](std::size_t i, u64& slot) { slot = i; }, AccessMode::kChecked);
+  }
+  // Steady state is one leased table handed back and forth; 100 checks
+  // must not construct 100 tables.
+  EXPECT_EQ(par::mark_table_pool_created() - created_before, 1u);
+  EXPECT_GE(par::mark_table_pool_idle(), 1u);
+}
+
+TEST(MarkTable, PoolHandlesConcurrentNestedChecks) {
+  CheckModeGuard guard;
+  par::set_check_mode(par::CheckMode::kFused);
+  constexpr std::size_t kTasks = 16;
+  constexpr std::size_t kInner = 512;  // below threshold: sequential fused
+  std::atomic<std::size_t> ok{0}, caught{0};
+  sched::parallel_for(
+      0, kTasks,
+      [&](std::size_t t) {
+        auto offsets = seq::random_permutation(kInner, 1000 + t);
+        if (t == 3) offsets[kInner / 2] = offsets[1];  // one task is buggy
+        std::vector<u64> out(kInner, 0);
+        try {
+          par::par_ind_iter_mut(
+              std::span<u64>(out), std::span<const u32>(offsets),
+              [](std::size_t i, u64& slot) { slot = i; },
+              AccessMode::kChecked);
+          for (std::size_t i = 0; i < kInner; ++i) {
+            ASSERT_EQ(out[offsets[i]], i);
+          }
+          ok.fetch_add(1);
+        } catch (const CheckFailure&) {
+          caught.fetch_add(1);
+        }
+      },
+      1);
+  EXPECT_EQ(ok.load(), kTasks - 1);
+  EXPECT_EQ(caught.load(), 1u);
+}
+
+TEST(FusedCheck, ParallelFailureSemanticsValidWritesLand) {
+  CheckModeGuard guard;
+  par::set_check_mode(par::CheckMode::kFused);
+  par::set_check_fuse_threshold(0);  // force the parallel fused region
+
+  const std::size_t n = 20000;
+  const std::size_t i1 = 10, i2 = n / 2;
+  auto offsets = seq::random_permutation(n, 123);
+  const u32 orphan = offsets[i2];  // after planting, nobody targets this
+  offsets[i2] = offsets[i1];
+  std::vector<u64> out(n, 0);
+
+  std::string msg = check_message([&] {
+    par::par_ind_iter_mut(
+        std::span<u64>(out), std::span<const u32>(offsets),
+        [](std::size_t i, u64& slot) { slot = i + 1; }, AccessMode::kChecked);
+  });
+  // Canonical report: the serial rescan blames i2 (where left-to-right
+  // validation first fails), whichever task lost the parallel claim.
+  EXPECT_EQ(msg, "par_ind_iter_mut: duplicate offset " +
+                     std::to_string(offsets[i1]) + " at index " +
+                     std::to_string(i2));
+
+  // Documented mid-write semantics: the region completes, so every
+  // validated index's write has landed; the duplicated slot holds
+  // whichever claimant won (never a torn/other value); the orphaned
+  // offset was written by nobody.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == i1 || i == i2) continue;
+    ASSERT_EQ(out[offsets[i]], i + 1) << "validated write lost at " << i;
+  }
+  EXPECT_TRUE(out[offsets[i1]] == i1 + 1 || out[offsets[i1]] == i2 + 1);
+  EXPECT_EQ(out[orphan], 0u);
+}
+
+TEST(FusedCheck, SequentialFallbackStopsAtFirstViolation) {
+  CheckModeGuard guard;
+  par::set_check_mode(par::CheckMode::kFused);
+  const std::size_t n = 1000;
+  par::set_check_fuse_threshold(n);  // force the sequential fallback
+
+  auto offsets = seq::random_permutation(n, 5);
+  const std::size_t dup_at = 600;
+  const u32 orphan = offsets[dup_at];
+  offsets[dup_at] = offsets[100];
+  std::vector<u64> out(n, 0);
+
+  std::string msg = check_message([&] {
+    par::par_ind_iter_mut(
+        std::span<u64>(out), std::span<const u32>(offsets),
+        [](std::size_t i, u64& slot) { slot = i + 1; }, AccessMode::kChecked);
+  });
+  EXPECT_EQ(msg, "par_ind_iter_mut: duplicate offset " +
+                     std::to_string(offsets[100]) + " at index " +
+                     std::to_string(dup_at));
+  // Prefix semantics: exactly the writes before the reported index.
+  for (std::size_t i = 0; i < dup_at; ++i) {
+    ASSERT_EQ(out[offsets[i]], i + 1);
+  }
+  for (std::size_t i = dup_at + 1; i < n; ++i) {
+    ASSERT_EQ(out[offsets[i]], 0u) << "write past the violation at " << i;
+  }
+  EXPECT_EQ(out[orphan], 0u);
+}
+
+TEST(FusedCheck, LowestViolatingIndexIsDeterministicAcrossModes) {
+  CheckModeGuard guard;
+  par::set_check_fuse_threshold(0);  // parallel regions even at this n
+
+  const std::size_t n = 20000;
+  auto offsets = seq::random_permutation(n, 77);
+  offsets[17000] = static_cast<u32>(n + 5);  // out of bounds, later...
+  offsets[9000] = offsets[3000];             // ...than this duplicate
+  const std::string expected = "par_ind_iter_mut: duplicate offset " +
+                               std::to_string(offsets[3000]) +
+                               " at index 9000";
+  std::vector<u64> out(n, 0);
+  for (par::CheckMode mode :
+       {par::CheckMode::kBitmap, par::CheckMode::kSplit,
+        par::CheckMode::kFused}) {
+    par::set_check_mode(mode);
+    for (int rep = 0; rep < 10; ++rep) {
+      std::string msg = check_message([&] {
+        par::par_ind_iter_mut(
+            std::span<u64>(out), std::span<const u32>(offsets),
+            [](std::size_t i, u64& slot) { slot = i; },
+            AccessMode::kChecked);
+      });
+      ASSERT_EQ(msg, expected)
+          << "mode " << static_cast<int>(mode) << " rep " << rep;
+    }
+  }
+}
+
+TEST(FusedCheck, OutOfBoundsAloneReportsLowestIndex) {
+  CheckModeGuard guard;
+  par::set_check_mode(par::CheckMode::kFused);
+  par::set_check_fuse_threshold(0);
+  const std::size_t n = 20000;
+  auto offsets = seq::random_permutation(n, 21);
+  offsets[15000] = static_cast<u32>(n);
+  offsets[4000] = static_cast<u32>(n + 9);
+  std::vector<u64> out(n, 0);
+  std::string msg = check_message([&] {
+    par::par_ind_iter_mut(
+        std::span<u64>(out), std::span<const u32>(offsets),
+        [](std::size_t i, u64& slot) { slot = i; }, AccessMode::kChecked);
+  });
+  EXPECT_EQ(msg, "par_ind_iter_mut: offset out of bounds at index 4000");
+}
+
+TEST(MonotonicCheck, ReportsLowestDescent) {
+  std::vector<u32> offsets(100);
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    offsets[i] = static_cast<u32>(4 * i);
+  }
+  offsets[6] = offsets[5] - 1;    // descent at index 5
+  offsets[51] = offsets[50] - 1;  // and a later one at 50
+  std::vector<u64> data(400, 0);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::string msg = check_message([&] {
+      par::par_ind_chunks_mut(
+          std::span<u64>(data), std::span<const u32>(offsets),
+          [](std::size_t, std::span<u64>) {}, AccessMode::kChecked);
+    });
+    ASSERT_EQ(msg, "par_ind_chunks_mut: offsets not monotonic at index 5");
+  }
+}
+
+TEST(CheckKnobs, ModeAndThresholdRoundTrip) {
+  CheckModeGuard guard;
+  for (par::CheckMode mode :
+       {par::CheckMode::kBitmap, par::CheckMode::kSplit,
+        par::CheckMode::kFused}) {
+    par::set_check_mode(mode);
+    EXPECT_EQ(par::check_mode(), mode);
+  }
+  par::set_check_fuse_threshold(123);
+  EXPECT_EQ(par::check_fuse_threshold(), 123u);
+  par::set_check_fuse_threshold(0);
+  EXPECT_EQ(par::check_fuse_threshold(), 0u);
+}
+
+TEST(CheckModes, AllModesAgreeOnValidInput) {
+  CheckModeGuard guard;
+  const std::size_t n = 10000;
+  auto offsets = seq::random_permutation(n, 31);
+  for (par::CheckMode mode :
+       {par::CheckMode::kBitmap, par::CheckMode::kSplit,
+        par::CheckMode::kFused}) {
+    par::set_check_mode(mode);
+    std::vector<u64> out(n, 0);
+    par::par_ind_iter_mut(
+        std::span<u64>(out), std::span<const u32>(offsets),
+        [](std::size_t i, u64& slot) { slot = i + 1; }, AccessMode::kChecked);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[offsets[i]], i + 1) << "mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(CheckModes, FnVariantAgreesAndCatchesViolations) {
+  CheckModeGuard guard;
+  const std::size_t n = 10000;
+  auto perm = seq::random_permutation(n, 63);
+  for (par::CheckMode mode :
+       {par::CheckMode::kBitmap, par::CheckMode::kSplit,
+        par::CheckMode::kFused}) {
+    par::set_check_mode(mode);
+    std::vector<u64> out(n, 0);
+    par::par_ind_iter_mut_fn(
+        std::span<u64>(out), n, [&](std::size_t i) { return perm[i]; },
+        [](std::size_t i, u64& slot) { slot = i + 1; }, AccessMode::kChecked);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[perm[i]], i + 1);
+    // Constant index function: every task collides on 0.
+    EXPECT_THROW(par::par_ind_iter_mut_fn(
+                     std::span<u64>(out), n,
+                     [](std::size_t) { return std::size_t{0}; },
+                     [](std::size_t, u64&) {}, AccessMode::kChecked),
+                 CheckFailure);
+  }
+}
+
+}  // namespace
+}  // namespace rpb

@@ -98,6 +98,7 @@ TEST_P(HistogramModes, MatchesSerialCount) {
 
 INSTANTIATE_TEST_SUITE_P(Modes, HistogramModes,
                          ::testing::Values(AccessMode::kUnchecked,
+                                           AccessMode::kChecked,
                                            AccessMode::kAtomic,
                                            AccessMode::kLocked));
 
