@@ -1,0 +1,314 @@
+// Allocation/zero-init tax ablation (the workspace-arena counterpart of
+// the check-machinery harness in fig5a_indcheck.cpp). Safe Rust's
+// vec![0; n] pays a malloc round-trip plus an O(n) zero-fill for every
+// scratch buffer; PBBS-style C++ takes uninitialized memory and a
+// reused workspace. The RPB_ARENA knob exposes the spectrum:
+//
+//   malloc_zeroed  (RPB_ARENA=zeroed)  heap alloc + memset 0 per buffer
+//                                      — the safe-Rust baseline.
+//   malloc_uninit  (RPB_ARENA=off)     heap alloc, no fill — kills the
+//                                      zero-init tax only.
+//   arena_uninit   (RPB_ARENA=on)      pooled bump-pointer workspace,
+//                                      no fill — kills the malloc
+//                                      round-trip too (default).
+//
+// Usage:
+//   --json PATH [--smoke]  emit rpb-bench-v1 records (BENCH_alloc.json),
+//                          amortized per kernel invocation (many
+//                          invocations per timed sample, per repo
+//                          convention), and self-validate the file.
+//                          --smoke shrinks sizes so CI checks the
+//                          schema without gating on timing.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "core/uninit_buf.h"
+#include "sched/thread_pool.h"
+#include "seq/generators.h"
+#include "seq/histogram.h"
+#include "seq/integer_sort.h"
+#include "seq/sample_sort.h"
+#include "support/arena.h"
+#include "support/env.h"
+#include "text/bwt.h"
+#include "text/corpus.h"
+#include "text/suffix_array.h"
+
+using namespace rpb;
+
+namespace {
+
+struct AllocVariant {
+  const char* name;
+  support::ArenaMode mode;
+};
+
+constexpr AllocVariant kVariants[] = {
+    {"malloc_zeroed", support::ArenaMode::kZeroed},
+    {"malloc_uninit", support::ArenaMode::kOff},
+    {"arena_uninit", support::ArenaMode::kOn},
+};
+
+bench::BenchRecord make_record(std::string name, std::size_t threads,
+                               std::size_t n, std::size_t inner,
+                               bench::Measurement m) {
+  m.median_seconds /= static_cast<double>(inner);
+  m.p10_seconds /= static_cast<double>(inner);
+  m.p90_seconds /= static_cast<double>(inner);
+  m.mean_seconds /= static_cast<double>(inner);
+  bench::BenchRecord r;
+  r.name = std::move(name);
+  r.threads = threads;
+  r.n = n;
+  r.repeats = m.repeats;
+  r.median_s = m.median_seconds;
+  r.p10_s = m.p10_seconds;
+  r.p90_s = m.p90_seconds;
+  r.mean_s = m.mean_seconds;
+  return r;
+}
+
+int run_json_harness(const std::string& path, bool smoke) {
+  const std::size_t repeats = smoke ? 3 : 9;
+  // Small-to-mid inputs on purpose: the allocation tax is a per-call
+  // constant plus an O(n) fill, so it is proportionally largest exactly
+  // where the paper's inner-loop kernels live (per-round radix passes,
+  // per-level BFS frontiers), not on one giant buffer.
+  const std::size_t sort_n = smoke ? (std::size_t{1} << 14)
+                                   : (std::size_t{1} << 15);
+  const std::size_t sa_n = smoke ? 1024 : 4096;
+  const std::size_t small_n = 4096;
+  const std::size_t scratch_n = std::size_t{1} << 16;
+  const std::size_t inner_sort = smoke ? 2 : 20;
+  const std::size_t inner_sa = smoke ? 2 : 20;
+  const std::size_t inner_small = smoke ? 10 : 200;
+  const std::size_t inner_bwt = smoke ? 3 : 50;
+  const std::size_t hw = default_threads();
+  std::vector<std::size_t> thread_counts{1, 2, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  const support::ArenaMode saved_mode = support::arena_mode();
+  const bool saved_poison = buf_poison();
+  set_buf_poison(false);  // poison fills would masquerade as zero-fills
+
+  // Pristine inputs, regenerated per thread count is pointless — build
+  // once. Sorts copy from these inside the timed loop (the copy cost is
+  // identical across variants, so deltas attribute to allocation).
+  auto sort_input = seq::exponential_doubles(sort_n, 4.0, 0xa110c);
+  auto isort_input = seq::exponential_keys(small_n, u64{1} << 32, 0xa110c);
+  auto hist_input = seq::exponential_keys(small_n, 256, 0xa110c);
+  auto sa_text = text::make_corpus(sa_n, 55);
+  auto bwt_text = text::make_corpus(smoke ? 1024 : 2048, 56);
+  auto bwt = text::bwt_encode(bwt_text);
+
+  std::vector<bench::BenchRecord> records;
+  double sort_zeroed_hw = 0, sort_arena_hw = 0;
+  double sa_zeroed_hw = 0, sa_arena_hw = 0;
+
+  for (std::size_t threads : thread_counts) {
+    sched::ThreadPool::reset_global(threads);
+    for (const AllocVariant& v : kVariants) {
+      support::set_arena_mode(v.mode);
+      support::arena_pool_clear();  // each variant starts cold
+
+      // Raw lease+allocate+touch: the tax in isolation. One write per
+      // page so the work term stays negligible next to the fill.
+      {
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner_small; ++r) {
+                support::ArenaLease arena;
+                auto buf = uninit_buf<u64>(arena, scratch_n);
+                for (std::size_t i = 0; i < scratch_n; i += 512) buf[i] = i;
+              }
+            },
+            repeats);
+        records.push_back(make_record(
+            std::string("alloc/scratch_setup/") + v.name, threads, scratch_n,
+            inner_small, m));
+      }
+
+      {
+        std::vector<double> work(sort_n);
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner_sort; ++r) {
+                std::copy(sort_input.begin(), sort_input.end(), work.begin());
+                seq::sample_sort(work, std::less<double>(),
+                                 AccessMode::kChecked);
+              }
+            },
+            repeats);
+        records.push_back(make_record(std::string("alloc/sample_sort/") +
+                                          v.name,
+                                      threads, sort_n, inner_sort, m));
+      }
+
+      {
+        // All-equal keys ride the splitter-dedup fast path: no bucket
+        // sort, so the remaining work is classification plus copies and
+        // the scratch fill is a first-order cost — the regime where the
+        // zero-init tax actually bites a comparison sort.
+        std::vector<double> work(sort_n);
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner_sort; ++r) {
+                std::fill(work.begin(), work.end(), 3.14);
+                seq::sample_sort(work, std::less<double>(),
+                                 AccessMode::kChecked);
+              }
+            },
+            repeats);
+        records.push_back(make_record(std::string("alloc/sample_sort_equal/") +
+                                          v.name,
+                                      threads, sort_n, inner_sort, m));
+        if (threads == hw) {
+          if (v.mode == support::ArenaMode::kZeroed) {
+            sort_zeroed_hw = records.back().median_s;
+          }
+          if (v.mode == support::ArenaMode::kOn) {
+            sort_arena_hw = records.back().median_s;
+          }
+        }
+      }
+
+      {
+        // kChecked: the comfortable tier re-buys dest/cursors scratch
+        // every radix pass, so this is where the per-round allocation
+        // tax concentrates.
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner_sa; ++r) {
+                auto sa = text::suffix_array(sa_text, AccessMode::kChecked);
+                if (sa.size() != sa_text.size()) std::abort();
+              }
+            },
+            repeats);
+        records.push_back(make_record(std::string("alloc/suffix_array/") +
+                                          v.name,
+                                      threads, sa_n, inner_sa, m));
+        if (threads == hw) {
+          if (v.mode == support::ArenaMode::kZeroed) {
+            sa_zeroed_hw = records.back().median_s;
+          }
+          if (v.mode == support::ArenaMode::kOn) {
+            sa_arena_hw = records.back().median_s;
+          }
+        }
+      }
+
+      {
+        std::vector<u64> work(small_n);
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner_small; ++r) {
+                std::copy(isort_input.begin(), isort_input.end(), work.begin());
+                seq::integer_sort(work, 32, AccessMode::kUnchecked);
+              }
+            },
+            repeats);
+        records.push_back(make_record(std::string("alloc/integer_sort/") +
+                                          v.name,
+                                      threads, small_n, inner_small, m));
+      }
+
+      {
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner_small; ++r) {
+                auto counts =
+                    seq::histogram(hist_input, 256, AccessMode::kChecked);
+                if (counts.size() != 256) std::abort();
+              }
+            },
+            repeats);
+        records.push_back(make_record(std::string("alloc/histogram/") +
+                                          v.name,
+                                      threads, small_n, inner_small, m));
+      }
+
+      {
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner_bwt; ++r) {
+                auto text = text::bwt_decode(bwt, AccessMode::kUnchecked);
+                if (text.size() != bwt.size() - 1) std::abort();
+              }
+            },
+            repeats);
+        records.push_back(make_record(std::string("alloc/bwt_decode/") +
+                                          v.name,
+                                      threads, bwt.size(), inner_bwt, m));
+      }
+    }
+  }
+
+  support::set_arena_mode(saved_mode);
+  set_buf_poison(saved_poison);
+
+  if (!bench::write_bench_json(path, "alloc", records)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::string error;
+  if (!bench::validate_bench_json(path, &error)) {
+    std::fprintf(stderr, "error: %s fails schema validation: %s\n",
+                 path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records, schema ok)\n", path.c_str(),
+              records.size());
+  std::printf(
+      "per-invocation @%zu threads, malloc_zeroed vs arena_uninit:\n"
+      "  sample_sort_equal n=%zu: %s vs %s (%.2fx)\n"
+      "  suffix_array n=%zu: %s vs %s (%.2fx)\n",
+      hw, sort_n, bench::fmt_seconds(sort_zeroed_hw).c_str(),
+      bench::fmt_seconds(sort_arena_hw).c_str(),
+      sort_zeroed_hw / std::max(sort_arena_hw, 1e-9), sa_n,
+      bench::fmt_seconds(sa_zeroed_hw).c_str(),
+      bench::fmt_seconds(sa_arena_hw).c_str(),
+      sa_zeroed_hw / std::max(sa_arena_hw, 1e-9));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        std::fprintf(stderr, "error: --json requires an output path\n");
+        return 1;
+      }
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      if (json_path.empty()) {
+        std::fprintf(stderr, "error: --json requires an output path\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --json PATH [--smoke]\n"
+                   "(this harness has no table mode; see EXPERIMENTS.md)\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (json_path.empty()) {
+    std::fprintf(stderr, "usage: %s --json PATH [--smoke]\n", argv[0]);
+    return 1;
+  }
+  return run_json_harness(json_path, smoke);
+}

@@ -244,7 +244,8 @@ bench/CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o: \
  /root/repo/src/core/access_mode.h /root/repo/src/seq/integer_sort.h \
  /root/repo/src/core/census.h /root/repo/src/core/patterns.h \
  /root/repo/src/core/checks.h /root/repo/src/core/mark_table.h \
- /root/repo/src/support/error.h /root/repo/src/seq/sample_sort.h \
+ /root/repo/src/support/error.h /root/repo/src/core/uninit_buf.h \
+ /root/repo/src/support/arena.h /root/repo/src/seq/sample_sort.h \
  /root/repo/src/support/prng.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

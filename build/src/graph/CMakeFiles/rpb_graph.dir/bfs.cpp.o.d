@@ -181,9 +181,10 @@ src/graph/CMakeFiles/rpb_graph.dir/bfs.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/sched/parallel.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sched/thread_pool.h \
+ /root/repo/src/core/primitives.h /root/repo/src/sched/parallel.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
@@ -226,7 +227,9 @@ src/graph/CMakeFiles/rpb_graph.dir/bfs.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/sched/chase_lev_deque.h \
- /root/repo/src/sched/job.h /root/repo/src/sched/mq_executor.h \
+ /root/repo/src/sched/job.h /root/repo/src/core/uninit_buf.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/support/arena.h /root/repo/src/sched/mq_executor.h \
  /root/repo/src/sched/multiqueue.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

@@ -231,4 +231,6 @@ src/graph/CMakeFiles/rpb_graph.dir/forest.cpp.o: \
  /root/repo/src/sched/job.h /root/repo/src/graph/union_find.h \
  /root/repo/src/seq/integer_sort.h /root/repo/src/core/access_mode.h \
  /root/repo/src/core/patterns.h /root/repo/src/core/checks.h \
- /root/repo/src/core/mark_table.h /root/repo/src/support/error.h
+ /root/repo/src/core/mark_table.h /root/repo/src/support/error.h \
+ /root/repo/src/core/uninit_buf.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/support/arena.h

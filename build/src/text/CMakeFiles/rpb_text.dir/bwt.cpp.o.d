@@ -125,10 +125,13 @@ src/text/CMakeFiles/rpb_text.dir/bwt.cpp.o: /root/repo/src/text/bwt.cpp \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/core/census.h \
- /root/repo/src/support/defs.h /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/support/defs.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/atomics.h /usr/include/c++/12/atomic \
  /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
@@ -169,7 +172,6 @@ src/text/CMakeFiles/rpb_text.dir/bwt.cpp.o: /root/repo/src/text/bwt.cpp \
  /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
  /root/repo/src/core/patterns.h /root/repo/src/core/checks.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/core/mark_table.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -214,8 +216,7 @@ src/text/CMakeFiles/rpb_text.dir/bwt.cpp.o: /root/repo/src/text/bwt.cpp \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sched/parallel.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sched/parallel.h \
  /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
@@ -227,4 +228,6 @@ src/text/CMakeFiles/rpb_text.dir/bwt.cpp.o: /root/repo/src/text/bwt.cpp \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/sched/chase_lev_deque.h \
  /root/repo/src/sched/job.h /root/repo/src/support/error.h \
- /root/repo/src/core/primitives.h /root/repo/src/text/suffix_array.h
+ /root/repo/src/core/primitives.h /root/repo/src/core/uninit_buf.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/support/arena.h /root/repo/src/text/suffix_array.h

@@ -224,7 +224,9 @@ src/text/CMakeFiles/rpb_text.dir/suffix_array.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/sched/chase_lev_deque.h \
- /root/repo/src/sched/job.h /root/repo/src/seq/integer_sort.h \
+ /root/repo/src/sched/job.h /root/repo/src/core/uninit_buf.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/support/arena.h /root/repo/src/seq/integer_sort.h \
  /root/repo/src/core/atomics.h /root/repo/src/core/patterns.h \
  /root/repo/src/core/checks.h /root/repo/src/core/mark_table.h \
  /root/repo/src/support/error.h /root/repo/src/seq/mark_present.h

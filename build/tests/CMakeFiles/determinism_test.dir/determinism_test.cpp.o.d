@@ -310,17 +310,18 @@ tests/CMakeFiles/determinism_test.dir/determinism_test.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/sched/chase_lev_deque.h /root/repo/src/sched/job.h \
  /root/repo/src/seq/generators.h /root/repo/src/seq/histogram.h \
- /root/repo/src/seq/integer_sort.h /root/repo/src/core/atomics.h \
- /root/repo/src/core/patterns.h /root/repo/src/core/checks.h \
- /usr/include/c++/12/cstring /root/repo/src/core/mark_table.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/seq/integer_sort.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sched/parallel.h /root/repo/src/support/error.h \
- /root/repo/src/core/primitives.h /root/repo/src/seq/mark_present.h \
- /root/repo/src/seq/sample_sort.h /root/repo/src/support/prng.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/core/atomics.h /root/repo/src/core/patterns.h \
+ /root/repo/src/core/checks.h /usr/include/c++/12/cstring \
+ /root/repo/src/core/mark_table.h /root/repo/src/sched/parallel.h \
+ /root/repo/src/support/error.h /root/repo/src/core/primitives.h \
+ /root/repo/src/core/uninit_buf.h /root/repo/src/support/arena.h \
+ /root/repo/src/seq/mark_present.h /root/repo/src/seq/sample_sort.h \
+ /root/repo/src/support/prng.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

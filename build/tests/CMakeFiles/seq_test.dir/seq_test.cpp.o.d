@@ -319,6 +319,7 @@ tests/CMakeFiles/seq_test.dir/seq_test.cpp.o: \
  /root/repo/src/core/checks.h /usr/include/c++/12/cstring \
  /root/repo/src/core/mark_table.h /root/repo/src/sched/parallel.h \
  /root/repo/src/support/error.h /root/repo/src/core/primitives.h \
+ /root/repo/src/core/uninit_buf.h /root/repo/src/support/arena.h \
  /root/repo/src/seq/sample_sort.h /root/repo/src/support/prng.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \

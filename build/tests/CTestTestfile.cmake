@@ -8,6 +8,7 @@ include("/root/repo/build/tests/sched_test[1]_include.cmake")
 include("/root/repo/build/tests/sched_errors_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/mark_table_test[1]_include.cmake")
+include("/root/repo/build/tests/arena_test[1]_include.cmake")
 include("/root/repo/build/tests/seq_test[1]_include.cmake")
 include("/root/repo/build/tests/graph_test[1]_include.cmake")
 include("/root/repo/build/tests/text_test[1]_include.cmake")

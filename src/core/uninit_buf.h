@@ -1,0 +1,205 @@
+// Uninitialized scratch buffers over the workspace arena
+// (support/arena.h). A safe-Rust vec![0; n] zero-fills memory the
+// algorithm is about to overwrite anyway; PBBS's C++ kernels skip that
+// with uninitialized buffers (paper Sec. 5's MaybeUninit gap).
+// UninitBuf<T> is that uninitialized buffer for trivially-copyable
+// payloads: arena-backed under ArenaMode::kOn, a plain heap block in
+// the heap modes (zero-filled in kZeroed, reproducing the legacy
+// discipline for the ablation baseline). The contract is the same one
+// the kernels already satisfied with fresh vectors: every element is
+// written before it is read. A poison mode (RPB_POISON /
+// set_buf_poison, default on in debug builds) fills fresh buffers with
+// 0xA5 so a read-before-write shows up as deterministic garbage
+// instead of silently-correct zeros or stale prior contents.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/arena.h"
+#include "support/defs.h"
+
+namespace rpb {
+
+// The byte poisoned buffers are filled with: large enough that a u32 /
+// u64 / pointer read of poisoned memory is conspicuous (0xa5a5...).
+inline constexpr u8 kUninitPoisonByte = 0xA5;
+
+namespace detail {
+
+inline std::atomic<int> g_buf_poison{-1};  // -1: not yet resolved
+
+inline bool resolve_buf_poison() {
+  if (const char* env = std::getenv("RPB_POISON")) {
+    if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0) {
+      return true;
+    }
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+      return false;
+    }
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace detail
+
+inline bool buf_poison() {
+  int poison = detail::g_buf_poison.load(std::memory_order_relaxed);
+  if (poison < 0) {
+    poison = detail::resolve_buf_poison() ? 1 : 0;
+    detail::g_buf_poison.store(poison, std::memory_order_relaxed);
+  }
+  return poison != 0;
+}
+
+// Test/debug knob; safe to flip between (not during) allocations.
+inline void set_buf_poison(bool poison) {
+  detail::g_buf_poison.store(poison ? 1 : 0, std::memory_order_relaxed);
+}
+
+// A fixed-size buffer of trivially-copyable T whose contents start
+// uninitialized (or zeroed on request / in kZeroed mode). Arena-backed
+// storage is reclaimed by the owning lease (or an ArenaScope), not by
+// this object's destructor, so an UninitBuf must not outlive the lease
+// it was allocated from; heap-backed storage frees itself. Move-only.
+template <class T>
+class UninitBuf {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "UninitBuf skips construction: payloads must be "
+                "trivially copyable");
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "arena chunks only guarantee fundamental alignment");
+
+ public:
+  enum class Fill { kNone, kZero };
+
+  UninitBuf() = default;
+
+  UninitBuf(support::ArenaLease& lease, std::size_t n, Fill fill)
+      : size_(n) {
+    if (n == 0) return;
+    const std::size_t bytes = n * sizeof(T);
+    if (lease.mode() == support::ArenaMode::kOn) {
+      ptr_ = static_cast<T*>(lease.allocate(bytes, alignof(T)));
+    } else {
+      ptr_ = static_cast<T*>(::operator new(bytes));
+      heap_ = true;
+    }
+    if (fill == Fill::kZero || lease.mode() == support::ArenaMode::kZeroed) {
+      std::memset(ptr_, 0, bytes);
+    } else if (buf_poison()) {
+      std::memset(ptr_, kUninitPoisonByte, bytes);
+    }
+  }
+
+  UninitBuf(UninitBuf&& other) noexcept
+      : ptr_(std::exchange(other.ptr_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        heap_(std::exchange(other.heap_, false)) {}
+
+  UninitBuf& operator=(UninitBuf&& other) noexcept {
+    if (this != &other) {
+      release();
+      ptr_ = std::exchange(other.ptr_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      heap_ = std::exchange(other.heap_, false);
+    }
+    return *this;
+  }
+
+  UninitBuf(const UninitBuf&) = delete;
+  UninitBuf& operator=(const UninitBuf&) = delete;
+
+  ~UninitBuf() { release(); }
+
+  T* data() { return ptr_; }
+  const T* data() const { return ptr_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return ptr_[i]; }
+  const T& operator[](std::size_t i) const { return ptr_[i]; }
+  T* begin() { return ptr_; }
+  T* end() { return ptr_ + size_; }
+  const T* begin() const { return ptr_; }
+  const T* end() const { return ptr_ + size_; }
+  std::span<T> span() { return std::span<T>(ptr_, size_); }
+  std::span<const T> span() const { return std::span<const T>(ptr_, size_); }
+  // Deduction helper: pattern APIs take span<const Index>.
+  std::span<const T> cspan() const { return std::span<const T>(ptr_, size_); }
+
+ private:
+  void release() {
+    if (heap_) ::operator delete(ptr_);
+    ptr_ = nullptr;
+    size_ = 0;
+    heap_ = false;
+  }
+
+  T* ptr_ = nullptr;
+  std::size_t size_ = 0;
+  bool heap_ = false;
+};
+
+// Allocation entry points the kernels read naturally: uninit_buf for
+// scratch that is fully written before any read, zeroed_buf for
+// counter arrays whose algorithm genuinely needs the zeros.
+template <class T>
+UninitBuf<T> uninit_buf(support::ArenaLease& lease, std::size_t n) {
+  return UninitBuf<T>(lease, n, UninitBuf<T>::Fill::kNone);
+}
+
+template <class T>
+UninitBuf<T> zeroed_buf(support::ArenaLease& lease, std::size_t n) {
+  return UninitBuf<T>(lease, n, UninitBuf<T>::Fill::kZero);
+}
+
+// Generic-scratch counterpart for templated kernels (sample_sort's
+// element buffers): arena-backed and uninitialized when T qualifies,
+// a value-initialized std::vector otherwise — non-trivial payloads
+// keep the construction the language requires.
+template <class T>
+class ArenaVec {
+  static constexpr bool kArenaEligible =
+      std::is_trivially_copyable_v<T> &&
+      alignof(T) <= alignof(std::max_align_t);
+
+ public:
+  ArenaVec([[maybe_unused]] support::ArenaLease& lease, std::size_t n) {
+    if constexpr (kArenaEligible) {
+      storage_ = UninitBuf<T>(lease, n, UninitBuf<T>::Fill::kNone);
+    } else {
+      storage_.resize(n);
+    }
+  }
+
+  T* data() { return storage_.data(); }
+  const T* data() const { return storage_.data(); }
+  std::size_t size() const { return storage_.size(); }
+  T& operator[](std::size_t i) { return storage_[i]; }
+  const T& operator[](std::size_t i) const { return storage_[i]; }
+  T* begin() { return storage_.data(); }
+  T* end() { return storage_.data() + storage_.size(); }
+  std::span<T> span() { return std::span<T>(storage_.data(), storage_.size()); }
+  std::span<const T> span() const {
+    return std::span<const T>(storage_.data(), storage_.size());
+  }
+  std::span<const T> cspan() const {
+    return std::span<const T>(storage_.data(), storage_.size());
+  }
+
+ private:
+  std::conditional_t<kArenaEligible, UninitBuf<T>, std::vector<T>> storage_;
+};
+
+}  // namespace rpb

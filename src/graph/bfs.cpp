@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <deque>
+#include <span>
 
 #include "core/atomics.h"
+#include "core/primitives.h"
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
 #include "sched/mq_executor.h"
+#include "support/arena.h"
 #include "support/env.h"
 
 namespace rpb::graph {
@@ -46,33 +50,57 @@ std::vector<u32> bfs_multiqueue(const Graph& g, VertexId source,
 }
 
 std::vector<u32> bfs_level_sync(const Graph& g, VertexId source) {
-  std::vector<u32> dist(g.num_vertices(), kUnreached);
+  const std::size_t n = g.num_vertices();
+  std::vector<u32> dist(n, kUnreached);
   dist[source] = 0;
-  std::vector<VertexId> frontier{source};
+
+  // Frontier double buffer plus per-task offsets/counts, leased once
+  // for the whole traversal. The old code grew a vector<vector<>> of
+  // discoveries every level — one heap allocation per frontier vertex —
+  // and flattened it with a serial scan; here each task writes into its
+  // own slice of an edge-budget buffer and a parallel scan compacts.
+  support::ArenaLease arena;
+  auto frontier = uninit_buf<VertexId>(arena, n);
+  auto next = uninit_buf<VertexId>(arena, n);
+  auto offs = uninit_buf<u64>(arena, n + 1);
+  auto cnt = uninit_buf<u64>(arena, n);
+  frontier[0] = source;
+  std::size_t fs = 1;
   u32 depth = 0;
-  while (!frontier.empty()) {
+  while (fs > 0) {
     ++depth;
-    // Per-vertex claim via write_min on the distance: exactly one
-    // relaxer wins each newly discovered vertex.
-    std::vector<std::vector<VertexId>> found(frontier.size());
-    sched::parallel_for(0, frontier.size(), [&](std::size_t f) {
+    // Edge budget: exclusive scan of frontier degrees.
+    sched::parallel_for(0, fs, [&](std::size_t f) {
+      offs[f] = g.neighbors(frontier[f]).size();
+    });
+    u64 total_deg = par::scan_exclusive_sum(std::span<u64>(offs.data(), fs));
+    offs[fs] = total_deg;
+
+    // Claim pass: write_min wins exactly one relaxer per newly
+    // discovered vertex (same benign race as before). Each task records
+    // its wins in its private slice [offs[f], offs[f+1]).
+    support::ArenaScope level_scope(arena);
+    auto ebuf = uninit_buf<VertexId>(arena, total_deg);
+    sched::parallel_for(0, fs, [&](std::size_t f) {
+      VertexId* slot = ebuf.data() + offs[f];
+      u64 c = 0;
       for (VertexId w : g.neighbors(frontier[f])) {
         if (relaxed_load(&dist[w]) == kUnreached && write_min(&dist[w], depth)) {
-          found[f].push_back(w);
+          slot[c++] = w;
         }
       }
+      cnt[f] = c;
     });
-    // Flatten the per-task discoveries into the next frontier.
-    std::vector<std::size_t> offsets(frontier.size() + 1, 0);
-    for (std::size_t f = 0; f < frontier.size(); ++f) {
-      offsets[f + 1] = offsets[f] + found[f].size();
-    }
-    std::vector<VertexId> next(offsets.back());
-    sched::parallel_for(0, frontier.size(), [&](std::size_t f) {
-      std::copy(found[f].begin(), found[f].end(),
-                next.begin() + static_cast<std::ptrdiff_t>(offsets[f]));
+
+    // Compact the slices into the next frontier.
+    u64 next_size = par::scan_exclusive_sum(std::span<u64>(cnt.data(), fs));
+    sched::parallel_for(0, fs, [&](std::size_t f) {
+      u64 c = (f + 1 < fs ? cnt[f + 1] : next_size) - cnt[f];
+      std::copy(ebuf.data() + offs[f], ebuf.data() + offs[f] + c,
+                next.data() + cnt[f]);
     });
-    frontier = std::move(next);
+    std::swap(frontier, next);
+    fs = next_size;
   }
   return dist;
 }

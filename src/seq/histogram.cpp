@@ -6,7 +6,9 @@
 
 #include "core/patterns.h"
 #include "core/primitives.h"
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
+#include "support/arena.h"
 
 namespace rpb::seq {
 
@@ -30,6 +32,8 @@ namespace {
 
 // Private-copy strategy shared by both histogram flavors: per-block
 // local accumulation (Block pattern) then a per-bucket merge (Stride).
+// The per-block copies live in one flat arena slab (each task
+// value-initializes its own slice) instead of a heap vector per task.
 template <class Acc, class AddFn, class MergeFn>
 std::vector<Acc> histogram_private(std::span<const u64> keys,
                                    std::size_t num_buckets, AddFn add,
@@ -38,21 +42,22 @@ std::vector<Acc> histogram_private(std::span<const u64> keys,
   const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
   const std::size_t block =
       (keys.size() + num_blocks - 1) / std::max<std::size_t>(1, num_blocks);
-  std::vector<std::vector<Acc>> partial(num_blocks);
+  support::ArenaLease arena;
+  ArenaVec<Acc> partial(arena, num_blocks * num_buckets);
   sched::parallel_for(
       0, num_blocks,
       [&](std::size_t b) {
         std::size_t lo = b * block;
         std::size_t hi = std::min(keys.size(), lo + block);
-        auto& local = partial[b];
-        local.assign(num_buckets, Acc{});
+        Acc* local = partial.data() + b * num_buckets;
+        for (std::size_t k = 0; k < num_buckets; ++k) local[k] = Acc{};
         for (std::size_t i = lo; i < hi; ++i) add(local[keys[i]], keys[i]);
       },
       1);
   std::vector<Acc> out(num_buckets);
   sched::parallel_for(0, num_buckets, [&](std::size_t bucket) {
     for (std::size_t b = 0; b < num_blocks; ++b) {
-      merge(out[bucket], partial[b][bucket]);
+      merge(out[bucket], partial[b * num_buckets + bucket]);
     }
   });
   return out;
@@ -72,7 +77,8 @@ std::vector<u64> histogram_checked_scatter(std::span<const u64> keys,
   const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
   const std::size_t block = (n + num_blocks - 1) / std::max<std::size_t>(
                                                        1, num_blocks);
-  std::vector<u64> counts(num_buckets * num_blocks, 0);
+  support::ArenaLease arena;
+  auto counts = zeroed_buf<u64>(arena, num_buckets * num_blocks);
   sched::parallel_for(
       0, num_blocks,
       [&](std::size_t b) {
@@ -82,15 +88,15 @@ std::vector<u64> histogram_checked_scatter(std::span<const u64> keys,
         }
       },
       1);
-  par::scan_exclusive_sum(std::span<u64>(counts));
+  par::scan_exclusive_sum(counts.span());
 
-  std::vector<u64> bucket_starts(num_buckets + 1);
+  auto bucket_starts = uninit_buf<u64>(arena, num_buckets + 1);
   for (std::size_t bkt = 0; bkt < num_buckets; ++bkt) {
     bucket_starts[bkt] = counts[bkt * num_blocks];
   }
   bucket_starts[num_buckets] = n;
 
-  std::vector<u64> dest(n);
+  auto dest = uninit_buf<u64>(arena, n);
   sched::parallel_for(
       0, num_blocks,
       [&](std::size_t b) {
@@ -100,9 +106,9 @@ std::vector<u64> histogram_checked_scatter(std::span<const u64> keys,
         }
       },
       1);
-  std::vector<u64> grouped(n);
+  auto grouped = uninit_buf<u64>(arena, n);
   par::par_ind_iter_mut(
-      std::span<u64>(grouped), std::span<const u64>(dest),
+      grouped.span(), dest.cspan(),
       [&](std::size_t i, u64& slot) { slot = keys[i]; }, AccessMode::kChecked);
 
   std::vector<u64> out(num_buckets);

@@ -6,9 +6,13 @@
 // par_ind_iter_mut; under the default fused check mode the validation
 // and the scatter share one parallel region, and the epoch-table pool
 // amortizes the per-pass check setup this sort used to re-pay every
-// radix round (an O(n) bitmap alloc+memset per pass).
+// radix round (an O(n) bitmap alloc+memset per pass). Pass scratch
+// (digit counts, checked-mode destinations) is leased from the
+// workspace arena and rewound per pass, so the per-round allocation
+// tax is gone too (support/arena.h).
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -17,7 +21,9 @@
 #include "core/census.h"
 #include "core/patterns.h"
 #include "core/primitives.h"
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
+#include "support/arena.h"
 #include "support/defs.h"
 
 namespace rpb::seq {
@@ -30,15 +36,19 @@ namespace detail {
 // One stable counting pass on digit [shift, shift+8) from `in` to `out`.
 template <class T, class KeyFn>
 void radix_pass(std::span<const T> in, std::span<T> out, int shift, KeyFn key,
-                AccessMode mode) {
+                AccessMode mode, support::ArenaLease& arena) {
   const std::size_t n = in.size();
   const std::size_t threads = sched::ThreadPool::global().num_threads();
   const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
   const std::size_t block = (n + num_blocks - 1) / num_blocks;
 
+  // All pass-local scratch is rewound when the pass ends, so an 8-pass
+  // sort peaks at one pass's footprint.
+  support::ArenaScope pass_scope(arena);
+
   // counts[digit * num_blocks + block]: bucket-major so one scan yields
   // each block's cursor start for each digit.
-  std::vector<u64> counts(kRadix * num_blocks, 0);
+  auto counts = zeroed_buf<u64>(arena, kRadix * num_blocks);
   sched::parallel_for(
       0, num_blocks,
       [&](std::size_t b) {
@@ -49,15 +59,16 @@ void radix_pass(std::span<const T> in, std::span<T> out, int shift, KeyFn key,
         }
       },
       1);
-  par::scan_exclusive_sum(std::span<u64>(counts));
+  par::scan_exclusive_sum(counts.span());
 
   if (mode == AccessMode::kChecked) {
     // Materialize destinations (the per-block cursor walk is inherently
     // sequential per block, so no pure index function exists), then let
     // the checked pattern prove they are a permutation while doing the
     // scatter (paper Listing 6(f), fused check-and-write).
-    std::vector<u64> dest(n);
-    std::vector<u64> cursors(counts);
+    auto dest = uninit_buf<u64>(arena, n);
+    auto cursors = uninit_buf<u64>(arena, kRadix * num_blocks);
+    std::copy(counts.begin(), counts.end(), cursors.begin());
     sched::parallel_for(
         0, num_blocks,
         [&](std::size_t b) {
@@ -69,7 +80,7 @@ void radix_pass(std::span<const T> in, std::span<T> out, int shift, KeyFn key,
         },
         1);
     par::par_ind_iter_mut(
-        out, std::span<const u64>(dest),
+        out, dest.cspan(),
         [&](std::size_t i, T& slot) { slot = in[i]; }, AccessMode::kChecked);
     return;
   }
@@ -105,21 +116,30 @@ void radix_pass(std::span<const T> in, std::span<T> out, int shift, KeyFn key,
 }  // namespace detail
 
 // Stable sort of `items` by key(item), which must fit in key_bits bits.
+// Span form: works over any contiguous storage (arena buffers included).
 template <class T, class KeyFn>
-void integer_sort_by(std::vector<T>& items, int key_bits, KeyFn key,
+void integer_sort_by(std::span<T> items, int key_bits, KeyFn key,
                      AccessMode mode = AccessMode::kUnchecked) {
   if (items.size() < 2) return;
-  std::vector<T> buffer(items.size());
-  std::span<T> a(items), b(buffer);
+  support::ArenaLease arena;
+  ArenaVec<T> buffer(arena, items.size());
+  std::span<T> a(items), b(buffer.span());
   int passes = (key_bits + kRadixBits - 1) / kRadixBits;
   for (int p = 0; p < passes; ++p) {
-    detail::radix_pass(std::span<const T>(a), b, p * kRadixBits, key, mode);
+    detail::radix_pass(std::span<const T>(a), b, p * kRadixBits, key, mode,
+                       arena);
     std::swap(a, b);
   }
   if (passes % 2 == 1) {
     sched::parallel_for(0, items.size(),
                         [&](std::size_t i) { items[i] = buffer[i]; });
   }
+}
+
+template <class T, class KeyFn>
+void integer_sort_by(std::vector<T>& items, int key_bits, KeyFn key,
+                     AccessMode mode = AccessMode::kUnchecked) {
+  integer_sort_by(std::span<T>(items), key_bits, key, mode);
 }
 
 // The isort benchmark entry point: sort u64 keys.

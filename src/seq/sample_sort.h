@@ -3,7 +3,10 @@
 // scatter to bucket regions, then sort each bucket — the bucket-region
 // step is expressed through par_ind_chunks_mut (RngInd), whose cheap
 // monotonicity check is the "comfortable" expression the paper keeps
-// enabled even in the performance runs.
+// enabled even in the performance runs. All scratch is leased from the
+// workspace arena (support/arena.h) and left uninitialized — every
+// buffer is fully written before it is read, so the vec![0; n]
+// zero-fill the old code paid per invocation bought nothing.
 #pragma once
 
 #include <algorithm>
@@ -15,7 +18,9 @@
 #include "core/census.h"
 #include "core/patterns.h"
 #include "core/primitives.h"
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
+#include "support/arena.h"
 #include "support/defs.h"
 #include "support/prng.h"
 
@@ -37,26 +42,46 @@ void sample_sort(std::vector<T>& items, Less less = Less(),
   const std::size_t oversample = 32;
   const std::size_t sample_size = num_buckets * oversample;
 
+  support::ArenaLease arena;
+
   Rng rng(0x5a5a5a);
-  std::vector<T> sample(sample_size);
+  ArenaVec<T> sample(arena, sample_size);
   for (std::size_t i = 0; i < sample_size; ++i) sample[i] = items[rng.next(i, n)];
   std::sort(sample.begin(), sample.end(), less);
-  std::vector<T> splitters(num_buckets - 1);
-  for (std::size_t i = 0; i + 1 < num_buckets; ++i) {
-    splitters[i] = sample[(i + 1) * oversample];
-  }
 
-  // Classify per block; bucket of x = first splitter > x.
-  auto bucket_of = [&](const T& x) {
-    return static_cast<std::size_t>(
-        std::upper_bound(splitters.begin(), splitters.end(), x, less) -
-        splitters.begin());
+  // Dedupe the oversampled splitters: with heavy key repetition the raw
+  // picks contain runs of equal values, which previously funneled every
+  // element equal to (or beyond) the run into one giant bucket. The
+  // distinct splitters d_0 < ... < d_{m-1} define 2m+1 buckets: even
+  // bucket 2i holds keys strictly between d_{i-1} and d_i, odd bucket
+  // 2i+1 holds keys equal to d_i. Equal buckets are sorted by
+  // construction, so adversarial inputs (all-equal, few distinct keys)
+  // skip the per-bucket sort for their heavy values entirely.
+  ArenaVec<T> splitters(arena, num_buckets - 1);
+  std::size_t num_splitters = 0;
+  for (std::size_t i = 0; i + 1 < num_buckets; ++i) {
+    const T& v = sample[(i + 1) * oversample];
+    if (num_splitters == 0 || less(splitters[num_splitters - 1], v)) {
+      splitters[num_splitters++] = v;
+    }
+  }
+  const std::size_t total_buckets = 2 * num_splitters + 1;
+  const T* sp = splitters.data();
+  const std::size_t m = num_splitters;
+  auto bucket_of = [sp, m, &less](const T& x) {
+    std::size_t i =
+        static_cast<std::size_t>(std::lower_bound(sp, sp + m, x, less) - sp);
+    // lower_bound gives the first splitter !< x; equal iff also !(x < it).
+    bool equal = i < m && !less(x, sp[i]);
+    return 2 * i + (equal ? 1 : 0);
   };
+
+  // Classify per block.
   const std::size_t threads = sched::ThreadPool::global().num_threads();
   const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
   const std::size_t block = (n + num_blocks - 1) / num_blocks;
-  std::vector<u64> counts(num_buckets * num_blocks, 0);
-  std::vector<u32> bucket_ids(n);
+  auto counts = zeroed_buf<u64>(arena, total_buckets * num_blocks);
+  auto bucket_ids = uninit_buf<u32>(arena, n);
   sched::parallel_for(
       0, num_blocks,
       [&](std::size_t b) {
@@ -68,23 +93,25 @@ void sample_sort(std::vector<T>& items, Less less = Less(),
         }
       },
       1);
-  par::scan_exclusive_sum(std::span<u64>(counts));
+  par::scan_exclusive_sum(counts.span());
 
   // Bucket boundary offsets (monotone by construction of the scan).
-  std::vector<u64> bucket_offsets(num_buckets + 1);
-  for (std::size_t bkt = 0; bkt < num_buckets; ++bkt) {
+  auto bucket_offsets = uninit_buf<u64>(arena, total_buckets + 1);
+  for (std::size_t bkt = 0; bkt < total_buckets; ++bkt) {
     bucket_offsets[bkt] = counts[bkt * num_blocks];
   }
-  bucket_offsets[num_buckets] = n;
+  bucket_offsets[total_buckets] = n;
 
-  // Scatter into bucket regions.
-  std::vector<T> buffer(n);
+  // Scatter into bucket regions. Each block's cursors live in one flat
+  // arena slab instead of a per-task heap vector.
+  ArenaVec<T> buffer(arena, n);
+  auto cursors = uninit_buf<u64>(arena, total_buckets * num_blocks);
   sched::parallel_for(
       0, num_blocks,
       [&](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
-        std::vector<u64> cursor(num_buckets);
-        for (std::size_t bkt = 0; bkt < num_buckets; ++bkt) {
+        u64* cursor = cursors.data() + b * total_buckets;
+        for (std::size_t bkt = 0; bkt < total_buckets; ++bkt) {
           cursor[bkt] = counts[bkt * num_blocks + b];
         }
         for (std::size_t i = lo; i < hi; ++i) {
@@ -94,12 +121,13 @@ void sample_sort(std::vector<T>& items, Less less = Less(),
       1);
 
   // Sort each bucket region in place: RngInd over the bucket offsets.
-  // grain stays 1 — every bucket holds >= 2^13 elements here, so each
-  // chunk is worth its own task and stealing balances skewed buckets.
+  // grain stays 1 — buckets are coarse, so each chunk is worth its own
+  // task and stealing balances skewed buckets. Odd buckets hold runs of
+  // one value and need no sort.
   par::par_ind_chunks_mut(
-      std::span<T>(buffer), std::span<const u64>(bucket_offsets),
-      [&](std::size_t, std::span<T> chunk) {
-        std::sort(chunk.begin(), chunk.end(), less);
+      buffer.span(), bucket_offsets.cspan(),
+      [&](std::size_t bkt, std::span<T> chunk) {
+        if (bkt % 2 == 0) std::sort(chunk.begin(), chunk.end(), less);
       },
       mode == AccessMode::kChecked ? AccessMode::kChecked
                                    : AccessMode::kUnchecked,

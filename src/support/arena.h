@@ -1,0 +1,261 @@
+// Process-wide workspace arena for kernel scratch memory. Every hot
+// kernel used to allocate (and, via std::vector, zero-fill) fresh
+// scratch buffers on each invocation — the "zero-init tax" the paper's
+// Sec. 5 discusses for safe Rust's vec![0; n] versus PBBS's
+// uninitialized C++ buffers, plus a malloc round-trip per buffer. An
+// Arena instead retains geometrically-grown chunks across invocations
+// and hands out bump-pointer allocations, so the steady-state per-call
+// setup is a few pointer adjustments. Arenas are leased RAII-style
+// from a mutex-guarded pool (the core/mark_table.h design): each lease
+// is exclusive to one logical call chain, nested kernels lease their
+// own arena, and the mutex handoff plus the scheduler's fork/join
+// synchronization keep reuse TSAN-clean. The RPB_ARENA knob (mirrored
+// by set_arena_mode) selects the ablation spectrum: "on" (default,
+// arena-backed scratch), "off" (plain heap allocation per buffer, no
+// pooling), "zeroed" (heap allocation plus zero-fill — the legacy
+// vec![0; n] discipline, kept as the ablation baseline for
+// bench/ablation_alloc).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "support/defs.h"
+
+namespace rpb::support {
+
+// Scratch-allocation discipline (see file header). The enum order is
+// the ablation spectrum from most to least per-call work.
+enum class ArenaMode : int { kZeroed = 0, kOff = 1, kOn = 2 };
+
+namespace detail {
+
+inline std::atomic<int> g_arena_mode{-1};  // -1: not yet resolved
+
+inline ArenaMode resolve_arena_mode() {
+  if (const char* env = std::getenv("RPB_ARENA")) {
+    if (std::strcmp(env, "off") == 0) return ArenaMode::kOff;
+    if (std::strcmp(env, "zeroed") == 0) return ArenaMode::kZeroed;
+  }
+  return ArenaMode::kOn;
+}
+
+}  // namespace detail
+
+inline ArenaMode arena_mode() {
+  int mode = detail::g_arena_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    mode = static_cast<int>(detail::resolve_arena_mode());
+    detail::g_arena_mode.store(mode, std::memory_order_relaxed);
+  }
+  return static_cast<ArenaMode>(mode);
+}
+
+// Benchmark/test knob; safe to flip between (not during) leased
+// regions — mirrors par::set_check_mode for the RPB_CHECK_FUSE knob.
+inline void set_arena_mode(ArenaMode mode) {
+  detail::g_arena_mode.store(static_cast<int>(mode),
+                             std::memory_order_relaxed);
+}
+
+// Bump allocator over a list of retained chunks. Rewinding (to a
+// marker or fully) never releases memory: chunks survive to serve the
+// next lease, which is where the amortization comes from. Growth is
+// geometric in the retained footprint, so any allocation sequence
+// settles into O(1) chunks.
+class Arena {
+ public:
+  struct Marker {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+
+  // Bytes must be served with align <= alignof(std::max_align_t)
+  // (::operator new's guarantee for the chunk storage).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    assert(align != 0 && (align & (align - 1)) == 0 &&
+           align <= alignof(std::max_align_t));
+    for (;;) {
+      if (active_ < chunks_.size()) {
+        Chunk& c = chunks_[active_];
+        std::size_t off = (c.used + align - 1) & ~(align - 1);
+        if (off + bytes <= c.size) {
+          // The cache-line pad staggers consecutive buffers: kernels
+          // allocate several same-size (power-of-two-ish) arrays and
+          // stream them together, and packing them back to back maps
+          // the hot index of each onto the same L1/L2 sets. malloc's
+          // block headers break that alignment by accident; we do it on
+          // purpose.
+          c.used = off + bytes + kPadBytes;
+          return c.data.get() + off;
+        }
+        if (active_ + 1 < chunks_.size()) {
+          ++active_;
+          continue;
+        }
+      }
+      std::size_t want = std::max(bytes + align, kMinChunkBytes);
+      want = std::bit_ceil(std::max(want, retained_bytes_));
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(want), want, 0});
+      retained_bytes_ += want;
+      active_ = chunks_.size() - 1;
+    }
+  }
+
+  Marker mark() const {
+    if (chunks_.empty()) return Marker{};
+    return Marker{active_, chunks_[active_].used};
+  }
+
+  // Frees nothing: resets bump offsets so the marked position (and the
+  // chunks behind it) can be reused.
+  void rewind(Marker m) {
+    if (chunks_.empty()) return;
+    for (std::size_t c = m.chunk + 1; c < chunks_.size(); ++c) {
+      chunks_[c].used = 0;
+    }
+    chunks_[m.chunk].used = m.used;
+    active_ = m.chunk;
+  }
+
+  void rewind_all() { rewind(Marker{}); }
+
+  // Pool observability: total chunk bytes this arena holds on to.
+  std::size_t retained_bytes() const { return retained_bytes_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t kMinChunkBytes = std::size_t{1} << 16;
+  static constexpr std::size_t kPadBytes = 64;  // one cache line
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;
+  std::size_t retained_bytes_ = 0;
+};
+
+namespace detail {
+
+struct ArenaPool {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Arena>> idle;
+  std::size_t created = 0;
+  // Concurrent leases beyond this many come from plain construction
+  // and are dropped on release instead of retained forever.
+  static constexpr std::size_t kMaxIdle = 8;
+};
+
+inline ArenaPool& arena_pool() {
+  static ArenaPool pool;
+  return pool;
+}
+
+}  // namespace detail
+
+// Leases an arena from the pool in ArenaMode::kOn (constructing one
+// when every pooled arena is held by a concurrent call chain); in the
+// heap modes the lease holds no arena and buffers fall back to plain
+// allocation (core/uninit_buf.h consults mode()). The mode is captured
+// at construction so a lease is internally consistent even if the
+// knob flips mid-flight.
+class ArenaLease {
+ public:
+  ArenaLease() : mode_(support::arena_mode()) {
+    if (mode_ != ArenaMode::kOn) return;
+    auto& pool = detail::arena_pool();
+    {
+      std::lock_guard<std::mutex> guard(pool.mu);
+      if (!pool.idle.empty()) {
+        arena_ = std::move(pool.idle.back());
+        pool.idle.pop_back();
+        return;
+      }
+      ++pool.created;
+    }
+    arena_ = std::make_unique<Arena>();
+  }
+
+  ~ArenaLease() {
+    if (!arena_) return;
+    arena_->rewind_all();
+    auto& pool = detail::arena_pool();
+    std::lock_guard<std::mutex> guard(pool.mu);
+    if (pool.idle.size() < detail::ArenaPool::kMaxIdle) {
+      pool.idle.push_back(std::move(arena_));
+    }
+  }
+
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+
+  ArenaMode mode() const { return mode_; }
+
+  // Null in the heap modes.
+  Arena* arena() { return arena_.get(); }
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    assert(arena_ != nullptr);
+    return arena_->allocate(bytes, align);
+  }
+
+ private:
+  ArenaMode mode_;
+  std::unique_ptr<Arena> arena_;
+};
+
+// RAII sub-scope inside a lease: buffers allocated after the scope
+// opens are reclaimed (arena space rewound) when it closes. Use around
+// per-round scratch inside loops so the arena's high-water mark is one
+// round, not the sum of all rounds. No-op in the heap modes, where
+// each buffer frees itself on destruction.
+class ArenaScope {
+ public:
+  explicit ArenaScope(ArenaLease& lease) : arena_(lease.arena()) {
+    if (arena_) marker_ = arena_->mark();
+  }
+  ~ArenaScope() {
+    if (arena_) arena_->rewind(marker_);
+  }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* arena_;
+  Arena::Marker marker_;
+};
+
+// Pool observability for tests/benches: arenas sitting idle, and total
+// arenas ever constructed (steady-state reuse keeps the latter flat).
+inline std::size_t arena_pool_idle() {
+  auto& pool = detail::arena_pool();
+  std::lock_guard<std::mutex> guard(pool.mu);
+  return pool.idle.size();
+}
+
+inline std::size_t arena_pool_created() {
+  auto& pool = detail::arena_pool();
+  std::lock_guard<std::mutex> guard(pool.mu);
+  return pool.created;
+}
+
+// Test hook: drop every idle arena (e.g. to measure creation counts
+// from a clean slate). Leased arenas are unaffected.
+inline void arena_pool_clear() {
+  auto& pool = detail::arena_pool();
+  std::lock_guard<std::mutex> guard(pool.mu);
+  pool.idle.clear();
+}
+
+}  // namespace rpb::support

@@ -1,25 +1,30 @@
 #include "text/bwt.h"
 
+#include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "core/atomics.h"
 #include "core/patterns.h"
 #include "core/primitives.h"
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
+#include "support/arena.h"
 #include "text/suffix_array.h"
 
 namespace rpb::text {
 
 std::vector<u8> bwt_encode(std::span<const u8> text, AccessMode mode) {
   const std::size_t n = text.size();
-  std::vector<u8> with_sentinel(n + 1);
+  support::ArenaLease arena;
+  auto with_sentinel = uninit_buf<u8>(arena, n + 1);
   sched::parallel_for(0, n, [&](std::size_t i) {
     if (text[i] == 0) throw std::invalid_argument("text contains NUL");
     with_sentinel[i] = text[i];
   });
   with_sentinel[n] = 0;
 
-  std::vector<u32> sa = suffix_array(with_sentinel, mode);
+  std::vector<u32> sa = suffix_array(with_sentinel.cspan(), mode);
   std::vector<u8> bwt(n + 1);
   sched::parallel_for(0, n + 1, [&](std::size_t j) {
     u32 p = sa[j];
@@ -31,20 +36,23 @@ std::vector<u8> bwt_encode(std::span<const u8> text, AccessMode mode) {
 namespace {
 
 // Shared decode machinery: the psi permutation (forward-walk successor
-// rows) and the first column of the sorted rotation matrix.
+// rows) and the first column of the sorted rotation matrix. Both live
+// in the caller's arena lease, which must outlive the tables.
 struct DecodeTables {
-  std::vector<u64> psi;
-  std::vector<u8> first_col;
+  UninitBuf<u64> psi;
+  UninitBuf<u8> first_col;
 };
 
-DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode);
+DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode,
+                                 support::ArenaLease& arena);
 
 }  // namespace
 
 std::vector<u8> bwt_decode(std::span<const u8> bwt, AccessMode mode) {
   const std::size_t n = bwt.size();
   if (n == 0) return {};
-  DecodeTables tables = build_decode_tables(bwt, mode);
+  support::ArenaLease arena;
+  DecodeTables tables = build_decode_tables(bwt, mode, arena);
 
   // Serial cycle chase from the sentinel row (row 0): psi steps walk
   // the text forward.
@@ -63,7 +71,8 @@ std::vector<u8> bwt_decode_parallel_chase(std::span<const u8> bwt,
   const std::size_t n = bwt.size();
   if (n == 0) return {};
   const std::size_t out_len = n - 1;
-  DecodeTables tables = build_decode_tables(bwt, mode);
+  support::ArenaLease arena;
+  DecodeTables tables = build_decode_tables(bwt, mode, arena);
   if (num_segments == 0) {
     num_segments = 4 * sched::ThreadPool::global().num_threads();
   }
@@ -74,15 +83,16 @@ std::vector<u8> bwt_decode_parallel_chase(std::span<const u8> bwt,
   // row_t = psi^(t+1)(0). Find all entry rows at once by pointer
   // doubling: at level l we hold jump = psi^(2^l) and advance every
   // segment whose remaining step count has bit l set.
-  std::vector<u64> entry(num_segments, 0);
-  std::vector<u64> steps(num_segments);
+  auto entry = zeroed_buf<u64>(arena, num_segments);
+  auto steps = uninit_buf<u64>(arena, num_segments);
   u64 max_steps = 0;
   for (std::size_t j = 0; j < num_segments; ++j) {
     steps[j] = static_cast<u64>(j) * seg_len + 1;
     max_steps = std::max(max_steps, steps[j]);
   }
-  std::vector<u64> jump(tables.psi);
-  std::vector<u64> jump_next(n);
+  auto jump = uninit_buf<u64>(arena, n);
+  std::memcpy(jump.data(), tables.psi.data(), n * sizeof(u64));
+  auto jump_next = uninit_buf<u64>(arena, n);
   for (int level = 0; (u64{1} << level) <= max_steps; ++level) {
     for (std::size_t j = 0; j < num_segments; ++j) {
       if (steps[j] & (u64{1} << level)) entry[j] = jump[entry[j]];
@@ -112,7 +122,8 @@ std::vector<u8> bwt_decode_parallel_chase(std::span<const u8> bwt,
 
 namespace {
 
-DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode) {
+DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode,
+                                 support::ArenaLease& arena) {
   const std::size_t n = bwt.size();
   constexpr std::size_t kAlphabet = 256;
 
@@ -121,7 +132,7 @@ DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode) {
   const std::size_t threads = sched::ThreadPool::global().num_threads();
   const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
   const std::size_t block = (n + num_blocks - 1) / num_blocks;
-  std::vector<u64> counts(kAlphabet * num_blocks, 0);
+  auto counts = zeroed_buf<u64>(arena, kAlphabet * num_blocks);
   sched::parallel_for(
       0, num_blocks,
       [&](std::size_t b) {
@@ -131,10 +142,10 @@ DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode) {
         }
       },
       1);
-  par::scan_exclusive_sum(std::span<u64>(counts));
+  par::scan_exclusive_sum(counts.span());
 
   // First-column boundaries C[c] = start row of character c.
-  std::vector<u64> c_bounds(kAlphabet + 1);
+  auto c_bounds = uninit_buf<u64>(arena, kAlphabet + 1);
   for (std::size_t c = 0; c < kAlphabet; ++c) {
     c_bounds[c] = counts[c * num_blocks];
   }
@@ -142,7 +153,7 @@ DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode) {
 
   // LF mapping: lf[i] = C[bwt[i]] + occ(bwt[i], i). A permutation of
   // [0, n) by construction.
-  std::vector<u64> lf(n);
+  auto lf = uninit_buf<u64>(arena, n);
   sched::parallel_for(
       0, num_blocks,
       [&](std::size_t b) {
@@ -160,10 +171,10 @@ DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode) {
   // psi = LF^-1 via the SngInd scatter: kChecked validates lf is a
   // permutation (fused with the scatter under the default check mode);
   // kAtomic tags the stores Relaxed instead.
-  std::vector<u64> psi(n);
+  auto psi = uninit_buf<u64>(arena, n);
   const bool atomic_stores = mode == AccessMode::kAtomic;
   par::par_ind_iter_mut(
-      std::span<u64>(psi), std::span<const u64>(lf),
+      psi.span(), lf.cspan(),
       [atomic_stores](std::size_t i, u64& slot) {
         if (atomic_stores) {
           relaxed_store(&slot, static_cast<u64>(i));
@@ -177,9 +188,9 @@ DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode) {
   // alphabet chunks are mostly tiny (many characters never occur), so
   // grain 0 lets the scheduler batch consecutive chunks instead of
   // paying a fork per character.
-  std::vector<u8> first_col(n);
+  auto first_col = uninit_buf<u8>(arena, n);
   par::par_ind_chunks_mut(
-      std::span<u8>(first_col), std::span<const u64>(c_bounds),
+      first_col.span(), c_bounds.cspan(),
       [](std::size_t c, std::span<u8> chunk) {
         for (u8& v : chunk) v = static_cast<u8>(c);
       },

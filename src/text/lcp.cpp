@@ -1,6 +1,8 @@
 #include "text/lcp.h"
 
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
+#include "support/arena.h"
 #include "text/suffix_array.h"
 
 namespace rpb::text {
@@ -9,7 +11,11 @@ std::vector<u32> lcp_kasai(std::span<const u8> text, std::span<const u32> sa) {
   const std::size_t n = text.size();
   std::vector<u32> lcp(n, 0);
   if (n == 0) return lcp;
-  std::vector<u32> rank = inverse_permutation(sa);
+  // rank is scratch (every slot written by the inverse scatter), so it
+  // comes from the workspace arena rather than a zero-filled vector.
+  support::ArenaLease arena;
+  auto rank = uninit_buf<u32>(arena, n);
+  inverse_permutation_into(sa, rank.span());
   u32 h = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (rank[i] == 0) {

@@ -4,9 +4,11 @@
 #include <bit>
 
 #include "core/primitives.h"
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
 #include "seq/integer_sort.h"
 #include "seq/mark_present.h"
+#include "support/arena.h"
 
 namespace rpb::text {
 namespace {
@@ -28,18 +30,26 @@ std::vector<u32> suffix_array(std::span<const u8> text, AccessMode mode) {
   const int rank_bits = 64 - std::countl_zero(base - 1);
   const int key_bits = 2 * rank_bits;
 
-  std::vector<u32> rank(n), next_rank(n);
-  std::vector<Item> items(n);
+  // All rounds share one leased workspace: rank/next_rank/items are
+  // fully written before any read, and flags — previously a fresh
+  // std::vector<u64>(n) allocated inside every rank-doubling round —
+  // is hoisted here so each round reuses the same buffer in every
+  // arena mode.
+  support::ArenaLease arena;
+  auto rank = uninit_buf<u32>(arena, n);
+  auto next_rank = uninit_buf<u32>(arena, n);
+  auto items = uninit_buf<Item>(arena, n);
+  auto flags = uninit_buf<u64>(arena, n);
+
   // Derive dense ranks from the current sorted items (flag boundaries,
   // scan), returning the number of boundaries (= max dense rank).
   auto rebuild_ranks = [&] {
     // Rebuild ranks: flag key boundaries, scan for dense ranks.
-    std::vector<u64> flags(n);
     flags[0] = 0;
     sched::parallel_for(1, n, [&](std::size_t j) {
       flags[j] = items[j].key != items[j - 1].key ? 1 : 0;
     });
-    u64 max_rank = par::scan_exclusive_sum(std::span<u64>(flags));
+    u64 max_rank = par::scan_exclusive_sum(flags.span());
     // After the exclusive scan, flags[j] counts boundaries before j;
     // the dense rank also includes j's own (recomputed) boundary flag.
     sched::parallel_for(0, n, [&](std::size_t j) {
@@ -58,7 +68,7 @@ std::vector<u32> suffix_array(std::span<const u8> text, AccessMode mode) {
       items[i] = Item{static_cast<u64>(rank[i]) * base + r2,
                       static_cast<u32>(i)};
     });
-    seq::integer_sort_by(items, key_bits,
+    seq::integer_sort_by(items.span(), key_bits,
                          [](const Item& it) { return it.key; }, mode);
     return rebuild_ranks();
   };
@@ -81,7 +91,8 @@ std::vector<u32> suffix_array(std::span<const u8> text, AccessMode mode) {
   sched::parallel_for(0, n, [&](std::size_t i) {
     items[i] = Item{static_cast<u64>(char_rank[text[i]]), static_cast<u32>(i)};
   });
-  seq::integer_sort_by(items, 8, [](const Item& it) { return it.key; }, mode);
+  seq::integer_sort_by(items.span(), 8, [](const Item& it) { return it.key; },
+                       mode);
   u64 distinct = rebuild_ranks();
 
   std::size_t k = 1;
@@ -94,11 +105,15 @@ std::vector<u32> suffix_array(std::span<const u8> text, AccessMode mode) {
   return sa;
 }
 
+void inverse_permutation_into(std::span<const u32> sa, std::span<u32> out) {
+  sched::parallel_for(0, sa.size(), [&](std::size_t j) {
+    out[sa[j]] = static_cast<u32>(j);
+  });
+}
+
 std::vector<u32> inverse_permutation(std::span<const u32> sa) {
   std::vector<u32> inv(sa.size());
-  sched::parallel_for(0, sa.size(), [&](std::size_t j) {
-    inv[sa[j]] = static_cast<u32>(j);
-  });
+  inverse_permutation_into(sa, std::span<u32>(inv));
   return inv;
 }
 

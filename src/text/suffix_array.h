@@ -22,6 +22,11 @@ std::vector<u32> suffix_array(std::span<const u8> text,
 // Rank (inverse) array: rank[i] = position of suffix i in the SA.
 std::vector<u32> inverse_permutation(std::span<const u32> sa);
 
+// Allocation-free core of inverse_permutation: out[sa[j]] = j, for
+// callers that lease their own scratch (out.size() must equal
+// sa.size()).
+void inverse_permutation_into(std::span<const u32> sa, std::span<u32> out);
+
 const census::BenchmarkCensus& sa_census();
 
 }  // namespace rpb::text

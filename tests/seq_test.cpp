@@ -190,6 +190,53 @@ TEST(SampleSort, AllEqualKeys) {
                           [](double v) { return v == 3.14; }));
 }
 
+// Adversarial distributions for the splitter logic: duplicated sample
+// picks used to collapse the splitter set and funnel everything into
+// one bucket; the deduped 2m+1 bucket scheme must stay balanced (and
+// correct) on them.
+TEST(SampleSort, AlreadySortedInput) {
+  std::vector<double> values(120000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  auto expected = values;
+  sample_sort(values, std::less<double>(), AccessMode::kChecked);
+  EXPECT_EQ(values, expected);
+}
+
+TEST(SampleSort, ReverseSortedInput) {
+  std::vector<double> values(120000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(values.size() - i);
+  }
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  sample_sort(values, std::less<double>(), AccessMode::kChecked);
+  EXPECT_EQ(values, expected);
+}
+
+TEST(SampleSort, TwoDistinctValues) {
+  std::vector<double> values(100000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = (i * 2654435761u) % 3 == 0 ? 1.0 : 2.0;
+  }
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  sample_sort(values, std::less<double>(), AccessMode::kChecked);
+  EXPECT_EQ(values, expected);
+}
+
+TEST(SampleSort, FewDistinctValues) {
+  std::vector<u64> values(150000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = (i * 2654435761u) % 7;
+  }
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  sample_sort(values, std::less<u64>(), AccessMode::kChecked);
+  EXPECT_EQ(values, expected);
+}
+
 class DedupModes : public ::testing::TestWithParam<AccessMode> {};
 
 TEST_P(DedupModes, MatchesStdSet) {

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Diff two rpb-bench-v1 JSON files (see src/bench_util/harness.h).
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--tolerance PCT] [--allow-unmatched]
+
+Records are keyed by (name, threads, n). A record regresses when its
+current median exceeds the baseline median by more than --tolerance
+percent (one-sided: getting faster never fails). Records present in one
+file but not the other fail the run unless --allow-unmatched is given —
+a silently vanished record is how coverage rots.
+
+Exit codes: 0 ok, 1 regression or unmatched records, 2 bad input.
+Stdlib only, so the ctest step needs nothing beyond a Python 3
+interpreter.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "rpb-bench-v1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"error: {path}: schema is {doc.get('schema')!r}, "
+                 f"expected {SCHEMA!r}")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        sys.exit(f"error: {path}: no records")
+    table = {}
+    for r in records:
+        try:
+            key = (r["name"], int(r["threads"]), int(r["n"]))
+            median = float(r["median_s"])
+        except (KeyError, TypeError, ValueError) as e:
+            sys.exit(f"error: {path}: malformed record {r!r}: {e}")
+        if not math.isfinite(median) or median < 0:
+            sys.exit(f"error: {path}: bad median in {r!r}")
+        if key in table:
+            sys.exit(f"error: {path}: duplicate record key {key}")
+        table[key] = median
+    return doc.get("suite", "?"), table
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=40.0,
+                    help="allowed median slowdown in percent (default 40)")
+    ap.add_argument("--allow-unmatched", action="store_true",
+                    help="ignore records present in only one file")
+    args = ap.parse_args()
+    if args.tolerance < 0:
+        sys.exit("error: --tolerance must be >= 0")
+
+    base_suite, base = load(args.baseline)
+    cur_suite, cur = load(args.current)
+    if base_suite != cur_suite:
+        sys.exit(f"error: suite mismatch: {base_suite!r} vs {cur_suite!r}")
+
+    failures = []
+    ratios = []
+    for key in sorted(base.keys() & cur.keys()):
+        b, c = base[key], cur[key]
+        ratio = c / b if b > 0 else math.inf if c > 0 else 1.0
+        ratios.append(ratio)
+        limit = 1.0 + args.tolerance / 100.0
+        name = "{} t={} n={}".format(*key)
+        if ratio > limit:
+            failures.append(f"REGRESSION {name}: {b:.3e}s -> {c:.3e}s "
+                            f"({ratio:.2f}x > {limit:.2f}x)")
+
+    for key in sorted(base.keys() - cur.keys()):
+        msg = "MISSING {} t={} n={} (in baseline only)".format(*key)
+        if args.allow_unmatched:
+            print(f"note: {msg}")
+        else:
+            failures.append(msg)
+    for key in sorted(cur.keys() - base.keys()):
+        msg = "NEW {} t={} n={} (in current only)".format(*key)
+        if args.allow_unmatched:
+            print(f"note: {msg}")
+        else:
+            failures.append(msg)
+
+    matched = len(base.keys() & cur.keys())
+    finite = [r for r in ratios if math.isfinite(r) and r > 0]
+    if finite:
+        g = math.exp(sum(math.log(r) for r in finite) / len(finite))
+        print(f"{matched} matched records, gmean current/baseline = {g:.3f}x "
+              f"(tolerance {args.tolerance:.0f}%)")
+    for f in failures:
+        print(f)
+    if failures:
+        print(f"FAIL: {len(failures)} problem(s)")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
