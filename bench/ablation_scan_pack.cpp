@@ -1,0 +1,452 @@
+// Multi-pass memory-tax ablation for the scan/pack primitive family.
+// The fused primitives (core/primitives.h) collapse "write flags, count
+// them, scan the counts, gather the survivors" — four passes over
+// memory plus two zero-initialized heap vectors — into two passes over
+// arena scratch with the predicate evaluated exactly once per element.
+// The arms isolate where the win comes from:
+//
+//   naive  heap-allocated, zero-initialized scratch, four-pass pack /
+//          three-pass pack_index / write-then-scan — a faithful local
+//          copy of the pre-fusion primitives.
+//   arena  the same multi-pass structure, but scratch leased
+//          uninitialized from the workspace arena: kills the
+//          malloc+memset tax only.
+//   fused  the shipped primitives: pred/map evaluated once, staged in
+//          block-local scratch, two passes total.
+//   bits   the bit-packed flag path (64 flags per u64 word, popcount
+//          counting) for index packs that materialize a mask anyway.
+//
+// Kernel rows time dedup / MIS / BFS end to end under RPB_ARENA=zeroed
+// (the safe-Rust-style baseline: every scratch buffer heap-allocated
+// and zero-filled) vs the default arena mode, both running the fused
+// primitives underneath.
+//
+// Usage:
+//   --json PATH [--smoke]  emit rpb-bench-v1 records (BENCH_scanpack)
+//                          amortized per invocation, self-validated.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "core/primitives.h"
+#include "core/uninit_buf.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "graph/mis.h"
+#include "sched/parallel.h"
+#include "sched/thread_pool.h"
+#include "seq/dedup.h"
+#include "seq/generators.h"
+#include "support/arena.h"
+#include "support/env.h"
+#include "support/hash.h"
+
+using namespace rpb;
+
+namespace {
+
+volatile u64 g_sink;  // defeats dead-code elimination of timed results
+template <class T>
+void keep(T v) {
+  g_sink = static_cast<u64>(v);
+}
+
+// --- Faithful local copies of the pre-fusion primitives (naive arm) ---
+
+u64 naive_scan_exclusive_sum(std::span<u64> data) {
+  const std::size_t n = data.size();
+  if (n == 0) return 0;
+  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t block = sched::detail::default_block(n, threads);
+  const std::size_t num_blocks = (n + block - 1) / block;
+  std::vector<u64> sums(num_blocks);  // heap + zero-init, per call
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        u64 acc = 0;
+        for (std::size_t i = lo; i < hi; ++i) acc += data[i];
+        sums[b] = acc;
+      },
+      1);
+  u64 total = 0;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    u64 c = sums[b];
+    sums[b] = total;
+    total += c;
+  }
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        u64 acc = sums[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          u64 next = acc + data[i];
+          data[i] = acc;
+          acc = next;
+        }
+      },
+      1);
+  return total;
+}
+
+std::vector<std::size_t> naive_pack_index(std::span<const u8> flags) {
+  const std::size_t n = flags.size();
+  std::vector<u64> counts(n);  // heap + zero-init
+  sched::parallel_for(0, n,
+                      [&](std::size_t i) { counts[i] = flags[i] ? 1 : 0; });
+  u64 total = naive_scan_exclusive_sum(std::span<u64>(counts));
+  std::vector<std::size_t> out(total);  // zero-init before overwrite
+  sched::parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[counts[i]] = i;
+  });
+  return out;
+}
+
+template <class Pred>
+std::vector<u64> naive_pack(std::span<const u64> in, Pred pred) {
+  std::vector<u8> flags(in.size());  // heap + zero-init
+  sched::parallel_for(0, in.size(),
+                      [&](std::size_t i) { flags[i] = pred(in[i]) ? 1 : 0; });
+  std::vector<std::size_t> idx = naive_pack_index(flags);
+  std::vector<u64> out(idx.size());  // zero-init before overwrite
+  sched::parallel_for(0, idx.size(),
+                      [&](std::size_t i) { out[i] = in[idx[i]]; });
+  return out;
+}
+
+// --- Multi-pass structure on arena scratch (arena arm) ---
+
+template <class Pred>
+std::size_t arena_pack(std::span<const u64> in, Pred pred,
+                       std::span<u64> dst) {
+  support::ArenaLease arena;
+  auto flags = uninit_buf<u8>(arena, in.size());
+  sched::parallel_for(0, in.size(),
+                      [&](std::size_t i) { flags[i] = pred(in[i]) ? 1 : 0; });
+  auto counts = uninit_buf<u64>(arena, in.size());
+  sched::parallel_for(0, in.size(),
+                      [&](std::size_t i) { counts[i] = flags[i] ? 1 : 0; });
+  u64 total = par::scan_exclusive_sum(counts.span());
+  sched::parallel_for(0, in.size(), [&](std::size_t i) {
+    if (flags[i]) dst[counts[i]] = in[i];
+  });
+  return total;
+}
+
+bench::BenchRecord make_record(std::string name, std::size_t threads,
+                               std::size_t n, std::size_t inner,
+                               bench::Measurement m) {
+  m.median_seconds /= static_cast<double>(inner);
+  m.p10_seconds /= static_cast<double>(inner);
+  m.p90_seconds /= static_cast<double>(inner);
+  m.mean_seconds /= static_cast<double>(inner);
+  bench::BenchRecord r;
+  r.name = std::move(name);
+  r.threads = threads;
+  r.n = n;
+  r.repeats = m.repeats;
+  r.median_s = m.median_seconds;
+  r.p10_s = m.p10_seconds;
+  r.p90_s = m.p90_seconds;
+  r.mean_s = m.mean_seconds;
+  return r;
+}
+
+int run_json_harness(const std::string& path, bool smoke) {
+  const std::size_t repeats = smoke ? 3 : 9;
+  const std::size_t n = smoke ? (std::size_t{1} << 14)
+                              : (std::size_t{1} << 20);
+  const std::size_t inner = smoke ? 4 : 8;
+  const std::size_t inner_kernel = smoke ? 2 : 4;
+  const int rmat_scale = smoke ? 10 : 14;
+  const std::size_t dedup_n = smoke ? (std::size_t{1} << 12)
+                                    : (std::size_t{1} << 16);
+  const std::size_t hw = default_threads();
+  std::vector<std::size_t> thread_counts{1, 2, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  const support::ArenaMode saved_mode = support::arena_mode();
+  const bool saved_poison = buf_poison();
+  set_buf_poison(false);  // poison fills would masquerade as work
+
+  // 50% survivors: the frontier/keep regime every kernel lives in.
+  // Sparse (1%) stresses the counting passes relative to the output.
+  std::vector<u64> values(n);
+  std::vector<u8> flags_dense(n), flags_sparse(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = hash64(i);
+    flags_dense[i] = values[i] & 1;
+    flags_sparse[i] = values[i] % 100 == 0;
+  }
+  auto pred_dense = [](u64 x) { return (x & 1) != 0; };
+  auto keys = seq::exponential_keys(dedup_n, dedup_n / 2, 0x5ca9);
+  auto g = graph::make_rmat(rmat_scale, 0x5ca9);
+
+  std::vector<bench::BenchRecord> records;
+  double pack_naive_1t = 0, pack_fused_1t = 0;
+
+  for (std::size_t threads : thread_counts) {
+    sched::ThreadPool::reset_global(threads);
+    support::set_arena_mode(support::ArenaMode::kOn);
+    support::arena_pool_clear();
+
+    // -- scan: write values then scan them, vs one fused map_scan.
+    {
+      std::vector<u64> work(n);
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              sched::parallel_for(0, n, [&](std::size_t i) {
+                work[i] = values[i] & 7;
+              });
+              keep(naive_scan_exclusive_sum(std::span<u64>(work)));
+            }
+          },
+          repeats);
+      records.push_back(make_record("scanpack/scan/naive", threads, n,
+                                    inner, m));
+    }
+    {
+      support::ArenaLease arena;
+      auto work = uninit_buf<u64>(arena, n);
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              sched::parallel_for(0, n, [&](std::size_t i) {
+                work[i] = values[i] & 7;
+              });
+              keep(par::scan_exclusive_sum(work.span()));
+            }
+          },
+          repeats);
+      records.push_back(make_record("scanpack/scan/arena", threads, n,
+                                    inner, m));
+    }
+    {
+      support::ArenaLease arena;
+      auto work = uninit_buf<u64>(arena, n);
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              keep(par::map_scan_exclusive_sum(
+                  n, [&](std::size_t i) { return values[i] & 7; },
+                  work.span()));
+            }
+          },
+          repeats);
+      records.push_back(make_record("scanpack/scan/fused", threads, n,
+                                    inner, m));
+    }
+
+    // -- pack: 50% survivors by value.
+    {
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              auto out = naive_pack(std::span<const u64>(values), pred_dense);
+              keep(out.size());
+            }
+          },
+          repeats);
+      records.push_back(make_record("scanpack/pack/naive", threads, n,
+                                    inner, m));
+      if (threads == 1) pack_naive_1t = records.back().median_s;
+    }
+    {
+      support::ArenaLease arena;
+      auto dst = uninit_buf<u64>(arena, n);
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              keep(arena_pack(std::span<const u64>(values), pred_dense,
+                                     dst.span()));
+            }
+          },
+          repeats);
+      records.push_back(make_record("scanpack/pack/arena", threads, n,
+                                    inner, m));
+    }
+    {
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              support::ArenaLease lease;
+              auto out =
+                  par::pack(lease, std::span<const u64>(values), pred_dense);
+              keep(out.size());
+            }
+          },
+          repeats);
+      records.push_back(make_record("scanpack/pack/fused", threads, n,
+                                    inner, m));
+      if (threads == 1) pack_fused_1t = records.back().median_s;
+    }
+
+    // -- pack_index over dense (50%) and sparse (1%) masks.
+    for (const auto& [label, flags] :
+         {std::pair<const char*, const std::vector<u8>*>{"dense",
+                                                         &flags_dense},
+          {"sparse", &flags_sparse}}) {
+      std::string base = std::string("scanpack/pack_index_") + label + "/";
+      {
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner; ++r) {
+                auto idx = naive_pack_index(std::span<const u8>(*flags));
+                keep(idx.size());
+              }
+            },
+            repeats);
+        records.push_back(make_record(base + "naive", threads, n, inner, m));
+      }
+      {
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner; ++r) {
+                support::ArenaLease lease;
+                auto idx =
+                    par::pack_index(lease, std::span<const u8>(*flags));
+                keep(idx.size());
+              }
+            },
+            repeats);
+        records.push_back(make_record(base + "fused", threads, n, inner, m));
+      }
+      {
+        // The mask-producing pass is part of this arm on purpose: the
+        // bit path's contract is "you were going to materialize a mask
+        // anyway — make it 8x smaller".
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner; ++r) {
+                support::ArenaLease lease;
+                auto words = uninit_buf<u64>(lease, par::bit_words(n));
+                par::fill_bit_flags(words.span(), n, [&](std::size_t i) {
+                  return (*flags)[i] != 0;
+                });
+                auto idx =
+                    par::pack_index_bits<u32>(lease, words.cspan(), n);
+                keep(idx.size());
+              }
+            },
+            repeats);
+        records.push_back(make_record(base + "bits", threads, n, inner, m));
+      }
+    }
+
+    // -- Kernel rows: fused primitives underneath in both arms; the arm
+    // is the arena mode (zeroed = heap + memset for every scratch
+    // buffer, the safe-Rust shape; arena = the default).
+    for (const auto& [label, mode] :
+         {std::pair<const char*, support::ArenaMode>{
+              "zeroed", support::ArenaMode::kZeroed},
+          {"arena", support::ArenaMode::kOn}}) {
+      support::set_arena_mode(mode);
+      support::arena_pool_clear();
+      {
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner_kernel; ++r) {
+                auto uniq = seq::dedup(keys, AccessMode::kAtomic);
+                keep(uniq.size());
+              }
+            },
+            repeats);
+        records.push_back(make_record(std::string("scanpack/dedup/") + label,
+                                      threads, dedup_n, inner_kernel, m));
+      }
+      {
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner_kernel; ++r) {
+                auto state =
+                    graph::maximal_independent_set(g, AccessMode::kAtomic);
+                keep(state.size());
+              }
+            },
+            repeats);
+        records.push_back(make_record(std::string("scanpack/mis/") + label,
+                                      threads, g.num_vertices(),
+                                      inner_kernel, m));
+      }
+      {
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner_kernel; ++r) {
+                auto levels = graph::bfs_level_sync(g, 0);
+                keep(levels.size());
+              }
+            },
+            repeats);
+        records.push_back(make_record(std::string("scanpack/bfs/") + label,
+                                      threads, g.num_vertices(),
+                                      inner_kernel, m));
+      }
+    }
+    support::set_arena_mode(support::ArenaMode::kOn);
+  }
+
+  support::set_arena_mode(saved_mode);
+  set_buf_poison(saved_poison);
+
+  if (!bench::write_bench_json(path, "scanpack", records)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::string error;
+  if (!bench::validate_bench_json(path, &error)) {
+    std::fprintf(stderr, "error: %s fails schema validation: %s\n",
+                 path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records, schema ok)\n", path.c_str(),
+              records.size());
+  std::printf("pack n=%zu @1 thread, naive four-pass vs fused: %s vs %s "
+              "(%.2fx)\n",
+              n, bench::fmt_seconds(pack_naive_1t).c_str(),
+              bench::fmt_seconds(pack_fused_1t).c_str(),
+              pack_naive_1t / std::max(pack_fused_1t, 1e-9));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        std::fprintf(stderr, "error: --json requires an output path\n");
+        return 1;
+      }
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      if (json_path.empty()) {
+        std::fprintf(stderr, "error: --json requires an output path\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --json PATH [--smoke]\n"
+                   "(this harness has no table mode; see EXPERIMENTS.md)\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (json_path.empty()) {
+    std::fprintf(stderr, "usage: %s --json PATH [--smoke]\n", argv[0]);
+    return 1;
+  }
+  return run_json_harness(json_path, smoke);
+}

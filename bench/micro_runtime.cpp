@@ -33,6 +33,7 @@
 #include "seq/hash_table.h"
 #include "seq/integer_sort.h"
 #include "seq/sample_sort.h"
+#include "support/arena.h"
 #include "support/env.h"
 #include "support/hash.h"
 
@@ -93,7 +94,9 @@ void BM_PackIndex(benchmark::State& state) {
   std::vector<u8> flags(n);
   for (std::size_t i = 0; i < n; ++i) flags[i] = hash64(i) & 1;
   for (auto _ : state) {
-    auto idx = par::pack_index(std::span<const u8>(flags));
+    // Lease per call: the realistic per-call cost of the primitive.
+    support::ArenaLease lease;
+    auto idx = par::pack_index(lease, std::span<const u8>(flags));
     benchmark::DoNotOptimize(idx.data());
   }
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
@@ -379,7 +382,8 @@ int run_json_harness(const std::string& path, bool smoke) {
     for (std::size_t i = 0; i < n; ++i) flags[i] = hash64(i) & 1;
     auto pk = bench::measure(
         [&] {
-          auto idx = par::pack_index(std::span<const u8>(flags));
+          support::ArenaLease lease;
+          auto idx = par::pack_index(lease, std::span<const u8>(flags));
           benchmark::DoNotOptimize(idx.data());
         },
         repeats);

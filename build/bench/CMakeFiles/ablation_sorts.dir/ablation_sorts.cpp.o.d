@@ -237,8 +237,8 @@ bench/CMakeFiles/ablation_sorts.dir/ablation_sorts.cpp.o: \
  /root/repo/src/core/patterns.h /root/repo/src/core/checks.h \
  /root/repo/src/core/atomics.h /root/repo/src/core/mark_table.h \
  /root/repo/src/support/error.h /root/repo/src/core/primitives.h \
- /root/repo/src/core/uninit_buf.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/support/arena.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/core/uninit_buf.h /root/repo/src/support/arena.h \
  /root/repo/src/support/prng.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

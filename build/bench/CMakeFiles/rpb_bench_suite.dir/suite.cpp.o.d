@@ -263,8 +263,8 @@ bench/CMakeFiles/rpb_bench_suite.dir/suite.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/sched/chase_lev_deque.h \
  /root/repo/src/sched/job.h /root/repo/src/support/error.h \
- /root/repo/src/core/primitives.h /root/repo/src/core/uninit_buf.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/core/primitives.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/core/uninit_buf.h \
  /root/repo/src/support/arena.h /root/repo/src/seq/sample_sort.h \
  /root/repo/src/support/prng.h /root/repo/src/support/hash.h \
  /root/repo/src/support/env.h /root/repo/src/text/bwt.h \

@@ -5,14 +5,18 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(bench_sched_json_smoke "/root/repo/build/bench/micro_runtime" "--json" "/root/repo/build/BENCH_sched_smoke.json" "--smoke")
-set_tests_properties(bench_sched_json_smoke PROPERTIES  FIXTURES_SETUP "bench_sched_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_sched_json_smoke PROPERTIES  FIXTURES_SETUP "bench_sched_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_indcheck_json_smoke "/root/repo/build/bench/fig5a_indcheck" "--json" "/root/repo/build/BENCH_indcheck_smoke.json" "--smoke")
-set_tests_properties(bench_indcheck_json_smoke PROPERTIES  FIXTURES_SETUP "bench_indcheck_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_indcheck_json_smoke PROPERTIES  FIXTURES_SETUP "bench_indcheck_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_alloc_json_smoke "/root/repo/build/bench/ablation_alloc" "--json" "/root/repo/build/BENCH_alloc_smoke.json" "--smoke")
-set_tests_properties(bench_alloc_json_smoke PROPERTIES  FIXTURES_SETUP "bench_alloc_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_alloc_json_smoke PROPERTIES  FIXTURES_SETUP "bench_alloc_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_scanpack_json_smoke "/root/repo/build/bench/ablation_scan_pack" "--json" "/root/repo/build/BENCH_scanpack_smoke.json" "--smoke")
+set_tests_properties(bench_scanpack_json_smoke PROPERTIES  FIXTURES_SETUP "bench_scanpack_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_sched_json_compare "/root/.pyenv/shims/python3" "/root/repo/tools/bench_compare.py" "/root/repo/bench/baselines/BENCH_sched_smoke.json" "/root/repo/build/BENCH_sched_smoke.json" "--tolerance" "150")
-set_tests_properties(bench_sched_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_sched_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;62;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_sched_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_sched_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;69;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_indcheck_json_compare "/root/.pyenv/shims/python3" "/root/repo/tools/bench_compare.py" "/root/repo/bench/baselines/BENCH_indcheck_smoke.json" "/root/repo/build/BENCH_indcheck_smoke.json" "--tolerance" "150")
-set_tests_properties(bench_indcheck_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_indcheck_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;62;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_indcheck_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_indcheck_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;69;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_alloc_json_compare "/root/.pyenv/shims/python3" "/root/repo/tools/bench_compare.py" "/root/repo/bench/baselines/BENCH_alloc_smoke.json" "/root/repo/build/BENCH_alloc_smoke.json" "--tolerance" "150")
-set_tests_properties(bench_alloc_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_alloc_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;62;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_alloc_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_alloc_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;69;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_scanpack_json_compare "/root/.pyenv/shims/python3" "/root/repo/tools/bench_compare.py" "/root/repo/bench/baselines/BENCH_scanpack_smoke.json" "/root/repo/build/BENCH_scanpack_smoke.json" "--tolerance" "150")
+set_tests_properties(bench_scanpack_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_scanpack_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;69;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -225,6 +225,6 @@ src/seq/CMakeFiles/rpb_seq.dir/integer_sort.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/sched/chase_lev_deque.h \
  /root/repo/src/sched/job.h /root/repo/src/support/error.h \
- /root/repo/src/core/primitives.h /root/repo/src/core/uninit_buf.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/core/primitives.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/core/uninit_buf.h \
  /root/repo/src/support/arena.h

@@ -233,8 +233,8 @@ src/seq/CMakeFiles/rpb_seq.dir/sample_sort_census.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/sched/chase_lev_deque.h \
  /root/repo/src/sched/job.h /root/repo/src/support/error.h \
- /root/repo/src/core/primitives.h /root/repo/src/core/uninit_buf.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/core/primitives.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/core/uninit_buf.h \
  /root/repo/src/support/arena.h /root/repo/src/support/prng.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -315,7 +315,8 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/sched/chase_lev_deque.h \
  /root/repo/src/sched/job.h /root/repo/src/support/error.h \
- /root/repo/src/core/primitives.h /root/repo/src/core/reservation.h \
+ /root/repo/src/core/primitives.h /root/repo/src/core/uninit_buf.h \
+ /root/repo/src/support/arena.h /root/repo/src/core/reservation.h \
  /root/repo/src/core/spec_for.h /root/repo/src/support/hash.h \
  /root/repo/src/support/prng.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -7,6 +7,8 @@
 include("/root/repo/build/tests/sched_test[1]_include.cmake")
 include("/root/repo/build/tests/sched_errors_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/primitives_test[1]_include.cmake")
+include("/root/repo/build/tests/primitives_alloc_test[1]_include.cmake")
 include("/root/repo/build/tests/mark_table_test[1]_include.cmake")
 include("/root/repo/build/tests/arena_test[1]_include.cmake")
 include("/root/repo/build/tests/seq_test[1]_include.cmake")

@@ -2,30 +2,72 @@
 // pattern library and every benchmark build on. These correspond to the
 // "scan" and "pack" algorithmic patterns the paper inventories from
 // Structured Parallel Programming (Sec. 7.1).
+//
+// The family is fused, arena-backed, and allocation-free in steady
+// state (DESIGN.md "Fused scan/pack primitives"):
+//
+//   * Scans lease their block-sums array from the workspace arena pool
+//     (support/arena.h) instead of heap-allocating it per call.
+//   * map_scan_* fuses the value-producing pass with the scan: the map
+//     functional is invoked exactly once per index (side effects are
+//     allowed) inside the upsweep, so "write values, then scan them"
+//     collapses from three passes over memory to two.
+//   * pack evaluates its predicate exactly once per element, staging
+//     survivors in block-local arena scratch during the count pass and
+//     concatenating with a parallel copy — two passes over the input
+//     instead of the naive four (flags, counts, scan, gather), with the
+//     intermediate u8 flags array gone entirely.
+//   * Pack results are returned through UninitBuf storage allocated
+//     from a caller-provided lease (never zero-initialized, valid while
+//     the lease lives), or written into caller spans via *_into forms.
+//   * The bit-flag path (fill_bit_flags / pack_index_bits) stores 64
+//     flags per u64 word and scans them with popcount, for kernels that
+//     materialize a frontier/keep mask anyway.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstddef>
+#include <cstring>
 #include <span>
 #include <vector>
 
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
+#include "support/arena.h"
 #include "support/defs.h"
 
 namespace rpb::par {
 
+namespace detail {
+
+struct BlockGeom {
+  std::size_t block = 0;
+  std::size_t num_blocks = 0;
+};
+
+inline BlockGeom block_geom(std::size_t n) {
+  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t block = sched::detail::default_block(n, threads);
+  return BlockGeom{block, (n + block - 1) / block};
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Scans. All blocked forms use the classic two-pass work-efficient
+// formulation (per-block reduce, serial scan of the few block sums,
+// per-block local scan with offset); the sums array is arena-leased, so
+// a steady-state call performs no heap allocation.
+// ---------------------------------------------------------------------------
+
 // Exclusive in-place prefix scan under op (associative, identity id).
 // Returns the total reduction of the original contents.
-//
-// Two-pass blocked algorithm: per-block reduce, serial scan of the
-// (few) block sums, then per-block local scan with offset — the
-// classic work-efficient formulation.
 template <class T, class Op>
 T scan_exclusive(std::span<T> data, T identity, Op op) {
   const std::size_t n = data.size();
   if (n == 0) return identity;
-  const std::size_t threads = sched::ThreadPool::global().num_threads();
-  const std::size_t block = sched::detail::default_block(n, threads);
-  const std::size_t num_blocks = (n + block - 1) / block;
+  const auto [block, num_blocks] = detail::block_geom(n);
 
   if (num_blocks == 1) {
     T acc = identity;
@@ -37,10 +79,11 @@ T scan_exclusive(std::span<T> data, T identity, Op op) {
     return acc;
   }
 
-  std::vector<T> sums(num_blocks, identity);
+  support::ArenaLease scratch;
+  ArenaVec<T> sums(scratch, num_blocks);
   sched::parallel_for(
       0, num_blocks,
-      [&](std::size_t b) {
+      [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
         T acc = identity;
         for (std::size_t i = lo; i < hi; ++i) acc = op(acc, data[i]);
@@ -57,7 +100,7 @@ T scan_exclusive(std::span<T> data, T identity, Op op) {
 
   sched::parallel_for(
       0, num_blocks,
-      [&](std::size_t b) {
+      [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
         T acc = sums[b];
         for (std::size_t i = lo; i < hi; ++i) {
@@ -76,50 +119,492 @@ T scan_exclusive_sum(std::span<T> data) {
   return scan_exclusive(data, T{}, [](T a, T b) { return a + b; });
 }
 
-// Indices i in [0, flags.size()) with flags[i] != 0, in order.
-template <class Index = std::size_t>
-std::vector<Index> pack_index(std::span<const u8> flags) {
-  const std::size_t n = flags.size();
-  std::vector<std::size_t> counts;
-  const std::size_t threads = sched::ThreadPool::global().num_threads();
-  const std::size_t block = sched::detail::default_block(n, threads);
-  const std::size_t num_blocks = (n + block - 1) / block;
-  counts.assign(num_blocks, 0);
+// Inclusive in-place prefix scan; returns the total reduction.
+template <class T, class Op>
+T scan_inclusive(std::span<T> data, T identity, Op op) {
+  const std::size_t n = data.size();
+  if (n == 0) return identity;
+  const auto [block, num_blocks] = detail::block_geom(n);
+
+  if (num_blocks == 1) {
+    T acc = identity;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = op(acc, data[i]);
+      data[i] = acc;
+    }
+    return acc;
+  }
+
+  support::ArenaLease scratch;
+  ArenaVec<T> sums(scratch, num_blocks);
   sched::parallel_for(
       0, num_blocks,
-      [&](std::size_t b) {
+      [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = identity;
+        for (std::size_t i = lo; i < hi; ++i) acc = op(acc, data[i]);
+        sums[b] = acc;
+      },
+      1);
+
+  T total = identity;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    T next = op(total, sums[b]);
+    sums[b] = total;
+    total = next;
+  }
+
+  sched::parallel_for(
+      0, num_blocks,
+      [&, block = block](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = sums[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          acc = op(acc, data[i]);
+          data[i] = acc;
+        }
+      },
+      1);
+  return total;
+}
+
+template <class T>
+T scan_inclusive_sum(std::span<T> data) {
+  return scan_inclusive(data, T{}, [](T a, T b) { return a + b; });
+}
+
+// Out-of-place exclusive scan: out[i] = op-reduction of in[0..i), in is
+// untouched. Fuses what used to be "scan in place, then copy to the
+// destination" (e.g. CSR offsets) into the scan's own two passes.
+template <class T, class Op>
+T scan_exclusive_into(std::span<const T> in, std::span<T> out, T identity,
+                      Op op) {
+  const std::size_t n = in.size();
+  assert(out.size() >= n);
+  if (n == 0) return identity;
+  const auto [block, num_blocks] = detail::block_geom(n);
+
+  if (num_blocks == 1) {
+    T acc = identity;
+    for (std::size_t i = 0; i < n; ++i) {
+      T next = op(acc, in[i]);
+      out[i] = acc;
+      acc = next;
+    }
+    return acc;
+  }
+
+  support::ArenaLease scratch;
+  ArenaVec<T> sums(scratch, num_blocks);
+  sched::parallel_for(
+      0, num_blocks,
+      [&, block = block](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = identity;
+        for (std::size_t i = lo; i < hi; ++i) acc = op(acc, in[i]);
+        sums[b] = acc;
+      },
+      1);
+
+  T total = identity;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    T next = op(total, sums[b]);
+    sums[b] = total;
+    total = next;
+  }
+
+  sched::parallel_for(
+      0, num_blocks,
+      [&, block = block](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = sums[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          T next = op(acc, in[i]);
+          out[i] = acc;
+          acc = next;
+        }
+      },
+      1);
+  return total;
+}
+
+template <class T>
+T scan_exclusive_sum_into(std::span<const T> in, std::span<T> out) {
+  return scan_exclusive_into(in, out, T{}, [](T a, T b) { return a + b; });
+}
+
+// ---------------------------------------------------------------------------
+// Fused map + scan: out[i] = scan of map(0), ..., map(i-1) (exclusive)
+// or ..., map(i) (inclusive). map is invoked EXACTLY ONCE per index, in
+// index order within each block — so it may carry side effects (e.g.
+// BFS's claim pass records discoveries while returning its count). The
+// mapped values are staged into `out` during the upsweep and replaced
+// by prefixes in the downsweep: two passes over memory instead of the
+// three that "parallel_for writing values, then scan" costs.
+// ---------------------------------------------------------------------------
+
+template <class T, class Map, class Op>
+T map_scan_exclusive(std::size_t n, Map map, std::span<T> out, T identity,
+                     Op op) {
+  assert(out.size() >= n);
+  if (n == 0) return identity;
+  const auto [block, num_blocks] = detail::block_geom(n);
+
+  if (num_blocks == 1) {
+    T acc = identity;
+    for (std::size_t i = 0; i < n; ++i) {
+      T value = map(i);
+      out[i] = acc;
+      acc = op(acc, value);
+    }
+    return acc;
+  }
+
+  support::ArenaLease scratch;
+  ArenaVec<T> sums(scratch, num_blocks);
+  sched::parallel_for(
+      0, num_blocks,
+      [&, block = block](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = identity;
+        for (std::size_t i = lo; i < hi; ++i) {
+          T value = map(i);
+          out[i] = value;
+          acc = op(acc, value);
+        }
+        sums[b] = acc;
+      },
+      1);
+
+  T total = identity;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    T next = op(total, sums[b]);
+    sums[b] = total;
+    total = next;
+  }
+
+  sched::parallel_for(
+      0, num_blocks,
+      [&, block = block](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = sums[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          T next = op(acc, out[i]);
+          out[i] = acc;
+          acc = next;
+        }
+      },
+      1);
+  return total;
+}
+
+template <class T, class Map>
+T map_scan_exclusive_sum(std::size_t n, Map map, std::span<T> out) {
+  return map_scan_exclusive(
+      n, map, out, T{}, [](T a, T b) { return a + b; });
+}
+
+// Inclusive variant: out[i] includes map(i).
+template <class T, class Map, class Op>
+T map_scan_inclusive(std::size_t n, Map map, std::span<T> out, T identity,
+                     Op op) {
+  assert(out.size() >= n);
+  if (n == 0) return identity;
+  const auto [block, num_blocks] = detail::block_geom(n);
+
+  if (num_blocks == 1) {
+    T acc = identity;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = op(acc, map(i));
+      out[i] = acc;
+    }
+    return acc;
+  }
+
+  support::ArenaLease scratch;
+  ArenaVec<T> sums(scratch, num_blocks);
+  sched::parallel_for(
+      0, num_blocks,
+      [&, block = block](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = identity;
+        for (std::size_t i = lo; i < hi; ++i) {
+          T value = map(i);
+          out[i] = value;
+          acc = op(acc, value);
+        }
+        sums[b] = acc;
+      },
+      1);
+
+  T total = identity;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    T next = op(total, sums[b]);
+    sums[b] = total;
+    total = next;
+  }
+
+  sched::parallel_for(
+      0, num_blocks,
+      [&, block = block](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = sums[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          acc = op(acc, out[i]);
+          out[i] = acc;
+        }
+      },
+      1);
+  return total;
+}
+
+template <class T, class Map>
+T map_scan_inclusive_sum(std::size_t n, Map map, std::span<T> out) {
+  return map_scan_inclusive(
+      n, map, out, T{}, [](T a, T b) { return a + b; });
+}
+
+// ---------------------------------------------------------------------------
+// Pack family. Fused pred-once staging (see DESIGN.md for why this is
+// safe under work stealing): pass 1 evaluates value(i) once per index —
+// in index order within each block — and stages survivors into
+// block-local scratch slices; after a serial scan of the (few) block
+// counts, pass 2 concatenates the slices. Stability follows from
+// blocks covering index ranges in order.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+// Core of every pack: value(i) returns (keep, staged_value). sink is
+// called once with the survivor total and must return the destination
+// pointer; returns the total. Stage scratch and block counts come from
+// an internal lease, so the caller's arena receives only what sink
+// allocates from it.
+template <class V, class ValueFn, class Sink>
+std::size_t fused_pack(std::size_t n, ValueFn value, Sink sink) {
+  if (n == 0) {
+    sink(std::size_t{0});
+    return 0;
+  }
+  const auto [block, num_blocks] = block_geom(n);
+
+  support::ArenaLease scratch;
+  auto stage = uninit_buf<V>(scratch, n);
+  auto counts = uninit_buf<std::size_t>(scratch, num_blocks);
+  sched::parallel_for(
+      0, num_blocks,
+      [&, block = block](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        V* slot = stage.data() + lo;
         std::size_t c = 0;
-        for (std::size_t i = lo; i < hi; ++i) c += flags[i] != 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          auto [keep, v] = value(i);
+          if (keep) slot[c++] = v;
+        }
         counts[b] = c;
       },
       1);
-  std::size_t total = scan_exclusive_sum(std::span<std::size_t>(counts));
-  std::vector<Index> out(total);
+
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    std::size_t c = counts[b];
+    counts[b] = total;
+    total += c;
+  }
+
+  V* dst = sink(total);
+  if (total != 0) {
+    sched::parallel_for(
+        0, num_blocks,
+        [&, block = block](std::size_t b) {
+          std::size_t lo = b * block;
+          std::size_t next = b + 1 < num_blocks ? counts[b + 1] : total;
+          std::size_t c = next - counts[b];
+          if (c != 0) {
+            std::memcpy(dst + counts[b], stage.data() + lo, c * sizeof(V));
+          }
+        },
+        1);
+  }
+  return total;
+}
+
+}  // namespace detail
+
+// Stable parallel filter: elements of `in` whose predicate holds, in an
+// arena buffer from `lease` (valid while the lease lives). pred is
+// invoked exactly once per element, in index order within each block,
+// so side-effecting predicates (hash-set inserts, claim attempts) are
+// well-defined.
+template <class T, class Pred>
+UninitBuf<T> pack(support::ArenaLease& lease, std::span<const T> in,
+                  Pred pred) {
+  UninitBuf<T> out;
+  detail::fused_pack<T>(
+      in.size(),
+      [&](std::size_t i) { return std::pair<bool, T>(pred(in[i]), in[i]); },
+      [&](std::size_t total) {
+        out = uninit_buf<T>(lease, total);
+        return out.data();
+      });
+  return out;
+}
+
+// pack with an index-aware predicate pred(i, elem).
+template <class T, class Pred>
+UninitBuf<T> pack_indexed(support::ArenaLease& lease, std::span<const T> in,
+                          Pred pred) {
+  UninitBuf<T> out;
+  detail::fused_pack<T>(
+      in.size(),
+      [&](std::size_t i) { return std::pair<bool, T>(pred(i, in[i]), in[i]); },
+      [&](std::size_t total) {
+        out = uninit_buf<T>(lease, total);
+        return out.data();
+      });
+  return out;
+}
+
+// Filter into caller storage (for ping-pong buffers reused across
+// rounds, e.g. frontiers): returns the survivor count; dst must have
+// room for every survivor (dst.size() >= in.size() always suffices).
+template <class T, class Pred>
+std::size_t pack_into(std::span<const T> in, Pred pred, std::span<T> dst) {
+  return detail::fused_pack<T>(
+      in.size(),
+      [&](std::size_t i) { return std::pair<bool, T>(pred(in[i]), in[i]); },
+      [&](std::size_t total) {
+        assert(dst.size() >= total);
+        (void)total;
+        return dst.data();
+      });
+}
+
+// Indices i in [0, n) whose pred(i) holds, in order; pred invoked
+// exactly once per index. The fused form of "write flags, pack_index".
+template <class Index = std::size_t, class Pred>
+UninitBuf<Index> pack_index_if(support::ArenaLease& lease, std::size_t n,
+                               Pred pred) {
+  UninitBuf<Index> out;
+  detail::fused_pack<Index>(
+      n,
+      [&](std::size_t i) {
+        return std::pair<bool, Index>(pred(i), static_cast<Index>(i));
+      },
+      [&](std::size_t total) {
+        out = uninit_buf<Index>(lease, total);
+        return out.data();
+      });
+  return out;
+}
+
+// Indices i in [0, flags.size()) with flags[i] != 0, in order.
+template <class Index = std::size_t>
+UninitBuf<Index> pack_index(support::ArenaLease& lease,
+                            std::span<const u8> flags) {
+  return pack_index_if<Index>(lease, flags.size(),
+                              [&](std::size_t i) { return flags[i] != 0; });
+}
+
+// ---------------------------------------------------------------------------
+// Bit-packed flags: 64 flags per u64 word, counted with popcount. For
+// kernels that materialize a frontier/keep mask, this shrinks the mask
+// (and the counting pass's memory traffic) 8x versus u8 flags.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t bit_words(std::size_t n) {
+  return (n + 63) / 64;
+}
+
+inline bool test_bit(std::span<const u64> words, std::size_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1;
+}
+
+// words[w] bit (i & 63) = pred(i) for i in [0, n); pred is invoked
+// exactly once per index. Each task owns whole words, so there are no
+// sub-word write races; bits past n in the tail word are zero.
+template <class Pred>
+void fill_bit_flags(std::span<u64> words, std::size_t n, Pred pred) {
+  const std::size_t nw = bit_words(n);
+  assert(words.size() >= nw);
+  sched::parallel_for(0, nw, [&](std::size_t w) {
+    const std::size_t lo = w * 64;
+    const std::size_t hi = std::min(n, lo + 64);
+    u64 bits = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      bits |= static_cast<u64>(pred(i) ? 1 : 0) << (i - lo);
+    }
+    words[w] = bits;
+  });
+}
+
+// Indices of set bits in [0, n), in order. The counting pass reads one
+// word (64 flags) per popcount; the emit pass walks set bits with
+// countr_zero.
+template <class Index = std::size_t>
+UninitBuf<Index> pack_index_bits(support::ArenaLease& lease,
+                                 std::span<const u64> words, std::size_t n) {
+  const std::size_t nw = bit_words(n);
+  assert(words.size() >= nw);
+  if (n == 0) return uninit_buf<Index>(lease, 0);
+  // Mask for the (possibly partial) tail word.
+  const u64 tail_mask =
+      (n & 63) != 0 ? (u64{1} << (n & 63)) - 1 : ~u64{0};
+  auto word_at = [&](std::size_t w) {
+    u64 bits = words[w];
+    return w + 1 == nw ? bits & tail_mask : bits;
+  };
+
+  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  // Word-granular blocks: the same leaves-per-worker target as
+  // default_block, but the floor is in words (64 flags each).
+  const std::size_t block =
+      std::max<std::size_t>(64, nw / (8 * threads) + 1);
+  const std::size_t num_blocks = (nw + block - 1) / block;
+
+  support::ArenaLease scratch;
+  auto counts = uninit_buf<std::size_t>(scratch, num_blocks);
   sched::parallel_for(
       0, num_blocks,
       [&](std::size_t b) {
-        std::size_t lo = b * block, hi = std::min(n, lo + block);
+        std::size_t lo = b * block, hi = std::min(nw, lo + block);
+        std::size_t c = 0;
+        for (std::size_t w = lo; w < hi; ++w) {
+          c += static_cast<std::size_t>(std::popcount(word_at(w)));
+        }
+        counts[b] = c;
+      },
+      1);
+
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    std::size_t c = counts[b];
+    counts[b] = total;
+    total += c;
+  }
+
+  auto out = uninit_buf<Index>(lease, total);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * block, hi = std::min(nw, lo + block);
         std::size_t pos = counts[b];
-        for (std::size_t i = lo; i < hi; ++i) {
-          if (flags[i] != 0) out[pos++] = static_cast<Index>(i);
+        for (std::size_t w = lo; w < hi; ++w) {
+          u64 bits = word_at(w);
+          while (bits != 0) {
+            std::size_t bit = static_cast<std::size_t>(std::countr_zero(bits));
+            out[pos++] = static_cast<Index>(w * 64 + bit);
+            bits &= bits - 1;
+          }
         }
       },
       1);
   return out;
 }
 
-// Stable parallel filter: elements of `in` whose predicate holds.
-template <class T, class Pred>
-std::vector<T> pack(std::span<const T> in, Pred pred) {
-  const std::size_t n = in.size();
-  std::vector<u8> flags(n);
-  sched::parallel_for(0, n, [&](std::size_t i) { flags[i] = pred(in[i]) ? 1 : 0; });
-  std::vector<std::size_t> idx = pack_index(std::span<const u8>(flags));
-  std::vector<T> out(idx.size());
-  sched::parallel_for(0, idx.size(), [&](std::size_t i) { out[i] = in[idx[i]]; });
-  return out;
-}
+// ---------------------------------------------------------------------------
+// Counting.
+// ---------------------------------------------------------------------------
 
 // Parallel count of positions satisfying pred.
 template <class Pred>
@@ -129,6 +614,27 @@ std::size_t count_if(std::size_t begin, std::size_t end, Pred pred) {
       [&](std::size_t lo, std::size_t hi) {
         std::size_t c = 0;
         for (std::size_t i = lo; i < hi; ++i) c += pred(i) ? 1 : 0;
+        return c;
+      },
+      [](std::size_t a, std::size_t b) { return a + b; });
+}
+
+// Popcount over a bit-flag mask covering [0, n).
+inline std::size_t count_bits(std::span<const u64> words, std::size_t n) {
+  const std::size_t nw = bit_words(n);
+  assert(words.size() >= nw);
+  if (n == 0) return 0;
+  const u64 tail_mask =
+      (n & 63) != 0 ? (u64{1} << (n & 63)) - 1 : ~u64{0};
+  return sched::parallel_reduce_range(
+      0, nw, std::size_t{0},
+      [&](std::size_t lo, std::size_t hi) {
+        std::size_t c = 0;
+        for (std::size_t w = lo; w < hi; ++w) {
+          u64 bits = words[w];
+          if (w + 1 == nw) bits &= tail_mask;
+          c += static_cast<std::size_t>(std::popcount(bits));
+        }
         return c;
       },
       [](std::size_t a, std::size_t b) { return a + b; });

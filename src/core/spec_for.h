@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "core/primitives.h"
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
+#include "support/arena.h"
 #include "support/defs.h"
 
 namespace rpb::par {
@@ -32,6 +34,14 @@ struct SpecForStats {
 
 // RoundEnd is called (serially) after each round's commits — e.g. to
 // grow per-resource reservation state that commits allocated.
+//
+// Round bookkeeping (reserved/retry masks, the packed failure list) is
+// bit-packed and leased from the workspace arena, rewound per round;
+// the old code heap-allocated and zero-filled two u8 arrays plus two
+// index vectors every round. reserve()/commit() run under
+// fill_bit_flags, whose tasks own whole mask words — each index is
+// visited exactly once, so the phase semantics match the old
+// parallel_for exactly.
 template <class Step, class RoundEnd>
 SpecForStats speculative_for(Step& step, std::size_t begin, std::size_t end,
                              std::size_t round_size, RoundEnd round_end) {
@@ -39,8 +49,9 @@ SpecForStats speculative_for(Step& step, std::size_t begin, std::size_t end,
   if (round_size == 0) round_size = 1;
   std::vector<std::size_t> active;
   active.reserve(round_size);
-  std::vector<u8> retry_flags;
+  std::vector<std::size_t> carried;  // reused across rounds
   std::size_t next = begin;
+  support::ArenaLease arena;
 
   while (next < end || !active.empty()) {
     // Top up the round with fresh iterations after the carried-over
@@ -49,30 +60,29 @@ SpecForStats speculative_for(Step& step, std::size_t begin, std::size_t end,
       active.push_back(next++);
     }
     const std::size_t m = active.size();
-    retry_flags.assign(m, 0);
+    support::ArenaScope round(arena);
 
     // Phase 1: all reservations, in parallel. write_min makes the
     // lowest index win every contested cell.
-    std::vector<u8> reserved(m, 0);
-    sched::parallel_for(0, m, [&](std::size_t i) {
-      reserved[i] = step.reserve(active[i]) ? 1 : 0;
-    });
+    auto reserved = uninit_buf<u64>(arena, bit_words(m));
+    fill_bit_flags(reserved.span(), m,
+                   [&](std::size_t i) { return step.reserve(active[i]); });
 
     // Phase 2: commits. A task that reserved but no longer holds all
     // its cells failed to a higher-priority task and retries.
-    sched::parallel_for(0, m, [&](std::size_t i) {
-      if (reserved[i] != 0 && !step.commit(active[i])) retry_flags[i] = 1;
+    auto retry = uninit_buf<u64>(arena, bit_words(m));
+    fill_bit_flags(retry.span(), m, [&](std::size_t i) {
+      return test_bit(reserved.cspan(), i) && !step.commit(active[i]);
     });
 
     // Pack the failures, preserving order (= priority).
-    std::vector<std::size_t> failed_positions =
-        pack_index(std::span<const u8>(retry_flags));
-    std::vector<std::size_t> carried(failed_positions.size());
-    sched::parallel_for(0, failed_positions.size(), [&](std::size_t i) {
-      carried[i] = active[failed_positions[i]];
+    auto failed = pack_index_bits<std::size_t>(arena, retry.cspan(), m);
+    carried.resize(failed.size());
+    sched::parallel_for(0, failed.size(), [&](std::size_t i) {
+      carried[i] = active[failed[i]];
     });
     stats.retries += carried.size();
-    active = std::move(carried);
+    std::swap(active, carried);
     ++stats.rounds;
     round_end();
   }

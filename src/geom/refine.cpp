@@ -7,7 +7,9 @@
 #include "core/primitives.h"
 #include "core/reservation.h"
 #include "core/spec_for.h"
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
+#include "support/arena.h"
 
 namespace rpb::geom {
 namespace {
@@ -131,19 +133,30 @@ RefineStats refine(Mesh& mesh, const RefineConfig& config) {
   std::vector<par::Reservation> reservations(mesh.arena_capacity());
   std::vector<u8> given_up(mesh.arena_capacity(), 0);
 
+  // Round scratch (the bad lists) leases from the workspace arena and
+  // rewinds each round. When the loop breaks the mesh is unchanged
+  // since the last pack, so bad_all.size() IS the remaining-bad count —
+  // the old code re-ran the geometric predicate over every slot a
+  // second time just to count.
+  support::ArenaLease arena;
+  bool remaining_counted = false;
+
   while (stats.inserted < config.max_insertions) {
-    // Collect the current bad set.
+    // Collect the current bad set: one fused pack evaluates the
+    // geometric predicate exactly once per slot; the actionable subset
+    // then just filters the (much shorter) list against given_up.
     const std::size_t slots = mesh.num_triangle_slots();
-    std::vector<u8> flags(slots, 0);
-    sched::parallel_for(0, slots, [&](std::size_t t) {
-      flags[t] = given_up[t] == 0 &&
-                         is_bad_triangle(mesh, static_cast<i64>(t),
-                                         config.max_ratio)
-                     ? 1
-                     : 0;
+    support::ArenaScope round(arena);
+    auto bad_all = par::pack_index_if<std::size_t>(arena, slots, [&](std::size_t t) {
+      return is_bad_triangle(mesh, static_cast<i64>(t), config.max_ratio);
     });
-    std::vector<std::size_t> bad = par::pack_index(std::span<const u8>(flags));
-    if (bad.empty()) break;
+    auto bad = par::pack(arena, bad_all.cspan(),
+                         [&](std::size_t t) { return given_up[t] == 0; });
+    if (bad.empty()) {
+      stats.bad_remaining = bad_all.size();
+      remaining_counted = true;
+      break;
+    }
 
     // Triangle *slots* are assigned by a racing counter, so slot order
     // is not schedule-independent. Batch selection keys on the
@@ -180,18 +193,28 @@ RefineStats refine(Mesh& mesh, const RefineConfig& config) {
                       cavities, centers, given_up, inserted,   skipped};
       par::speculative_for(step, 0, batch, batch);
     } catch (const std::length_error&) {
-      break;  // arena exhausted: stop refining with what we have
+      // Arena exhausted before any mutation this round: stop refining
+      // with what we have.
+      stats.bad_remaining = bad_all.size();
+      remaining_counted = true;
+      break;
     }
     stats.inserted += inserted.load();
     stats.skipped += skipped.load();
     ++stats.rounds;
     if (inserted.load() == 0 && skipped.load() == 0) {
-      // Every batch member found its triangle already dead; loop again
-      // with a fresh bad set. Guard against no-progress spins.
+      // Every batch member found its triangle already dead; the mesh is
+      // exactly as packed. Guard against no-progress spins.
+      stats.bad_remaining = bad_all.size();
+      remaining_counted = true;
       break;
     }
   }
-  stats.bad_remaining = count_bad_triangles(mesh, config.max_ratio);
+  if (!remaining_counted) {
+    // Exited on the insertion budget: the mesh changed after the last
+    // pack, so this one recount is genuinely needed.
+    stats.bad_remaining = count_bad_triangles(mesh, config.max_ratio);
+  }
   return stats;
 }
 
@@ -202,7 +225,7 @@ const census::BenchmarkCensus& dr_census() {
       census::Dispatch::kStatic,
       {
           {Pattern::kRO, 3, "locate walk + cavity conflict tests"},
-          {Pattern::kStride, 2, "bad-triangle flags + pack"},
+          {Pattern::kStride, 2, "fused bad-triangle pack (pred once per slot)"},
           {Pattern::kDC, 1, "batch split"},
           {Pattern::kSngInd, 1, "gather batch targets"},
           {Pattern::kAW, 3, "cavity reservations + mesh mutation + arenas"},

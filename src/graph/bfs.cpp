@@ -58,7 +58,11 @@ std::vector<u32> bfs_level_sync(const Graph& g, VertexId source) {
   // for the whole traversal. The old code grew a vector<vector<>> of
   // discoveries every level — one heap allocation per frontier vertex —
   // and flattened it with a serial scan; here each task writes into its
-  // own slice of an edge-budget buffer and a parallel scan compacts.
+  // own slice of an edge-budget buffer. Both per-level scans are fused
+  // map_scans: the degree pass and the claim pass each run inside their
+  // scan's upsweep (the map is invoked exactly once per frontier slot),
+  // so a level costs two passes over the frontier arrays instead of the
+  // old "write values, then two-pass scan" three.
   support::ArenaLease arena;
   auto frontier = uninit_buf<VertexId>(arena, n);
   auto next = uninit_buf<VertexId>(arena, n);
@@ -69,31 +73,37 @@ std::vector<u32> bfs_level_sync(const Graph& g, VertexId source) {
   u32 depth = 0;
   while (fs > 0) {
     ++depth;
-    // Edge budget: exclusive scan of frontier degrees.
-    sched::parallel_for(0, fs, [&](std::size_t f) {
-      offs[f] = g.neighbors(frontier[f]).size();
-    });
-    u64 total_deg = par::scan_exclusive_sum(std::span<u64>(offs.data(), fs));
+    // Edge budget: exclusive scan of frontier degrees, degrees computed
+    // in the scan's own upsweep.
+    u64 total_deg = par::map_scan_exclusive_sum(
+        fs,
+        [&](std::size_t f) {
+          return static_cast<u64>(g.neighbors(frontier[f]).size());
+        },
+        std::span<u64>(offs.data(), fs));
     offs[fs] = total_deg;
 
-    // Claim pass: write_min wins exactly one relaxer per newly
-    // discovered vertex (same benign race as before). Each task records
-    // its wins in its private slice [offs[f], offs[f+1]).
+    // Claim pass, fused with the next-frontier size scan: write_min
+    // wins exactly one relaxer per newly discovered vertex (same benign
+    // race as before). Each slot records its wins in its private slice
+    // [offs[f], offs[f+1]) and returns the win count to the scan, which
+    // turns cnt into exclusive output offsets in its downsweep.
     support::ArenaScope level_scope(arena);
     auto ebuf = uninit_buf<VertexId>(arena, total_deg);
-    sched::parallel_for(0, fs, [&](std::size_t f) {
-      VertexId* slot = ebuf.data() + offs[f];
-      u64 c = 0;
-      for (VertexId w : g.neighbors(frontier[f])) {
-        if (relaxed_load(&dist[w]) == kUnreached && write_min(&dist[w], depth)) {
-          slot[c++] = w;
-        }
-      }
-      cnt[f] = c;
-    });
-
-    // Compact the slices into the next frontier.
-    u64 next_size = par::scan_exclusive_sum(std::span<u64>(cnt.data(), fs));
+    u64 next_size = par::map_scan_exclusive_sum(
+        fs,
+        [&](std::size_t f) {
+          VertexId* slot = ebuf.data() + offs[f];
+          u64 c = 0;
+          for (VertexId w : g.neighbors(frontier[f])) {
+            if (relaxed_load(&dist[w]) == kUnreached &&
+                write_min(&dist[w], depth)) {
+              slot[c++] = w;
+            }
+          }
+          return c;
+        },
+        std::span<u64>(cnt.data(), fs));
     sched::parallel_for(0, fs, [&](std::size_t f) {
       u64 c = (f + 1 < fs ? cnt[f + 1] : next_size) - cnt[f];
       std::copy(ebuf.data() + offs[f], ebuf.data() + offs[f] + c,

@@ -3,7 +3,9 @@
 #include <atomic>
 
 #include "core/primitives.h"
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
+#include "support/arena.h"
 
 namespace rpb::graph {
 
@@ -24,16 +26,20 @@ Graph Graph::from_edges(std::size_t num_vertices, std::span<const Edge> edges,
     }
   });
 
-  u64 total = par::scan_exclusive_sum(std::span<u64>(degree));
-  sched::parallel_for(0, num_vertices,
-                      [&](std::size_t v) { g.offsets_[v] = degree[v]; });
+  // Out-of-place scan straight into the CSR offsets array: the old
+  // in-place scan plus copy-to-offsets pass is one fused primitive now,
+  // and degree keeps the raw counts.
+  u64 total = par::scan_exclusive_sum_into(std::span<const u64>(degree),
+                                           std::span<u64>(g.offsets_));
   g.offsets_[num_vertices] = total;
 
   g.targets_.resize(total);
   if (weighted) g.weights_.resize(total);
 
-  // Scatter with per-vertex atomic cursors.
-  std::vector<u64> cursor(degree);  // degree now holds start offsets
+  // Scatter with per-vertex atomic cursors, starting at the offsets.
+  std::vector<u64> cursor(g.offsets_.begin(),
+                          g.offsets_.begin() +
+                              static_cast<std::ptrdiff_t>(num_vertices));
   sched::parallel_for(0, edges.size(), [&](std::size_t i) {
     const Edge& e = edges[i];
     if (e.u == e.v || e.u >= num_vertices || e.v >= num_vertices) return;
@@ -66,15 +72,20 @@ Graph Graph::from_csr(std::vector<u64> offsets, std::vector<VertexId> targets,
 
 std::vector<Edge> Graph::undirected_edges() const {
   const std::size_t n = num_vertices();
-  // Count each edge once from its smaller endpoint.
-  std::vector<u64> counts(n, 0);
-  sched::parallel_for(0, n, [&](std::size_t u) {
-    auto nbrs = neighbors(static_cast<VertexId>(u));
-    u64 c = 0;
-    for (VertexId v : nbrs) c += v > u;
-    counts[u] = c;
-  });
-  u64 total = par::scan_exclusive_sum(std::span<u64>(counts));
+  // Count each edge once from its smaller endpoint; the counting pass
+  // runs inside the offset scan's upsweep (fused map_scan), and the
+  // offsets live in arena scratch instead of a zero-filled heap vector.
+  support::ArenaLease arena;
+  auto counts = uninit_buf<u64>(arena, n);
+  u64 total = par::map_scan_exclusive_sum(
+      n,
+      [&](std::size_t u) {
+        auto nbrs = neighbors(static_cast<VertexId>(u));
+        u64 c = 0;
+        for (VertexId v : nbrs) c += v > u;
+        return c;
+      },
+      counts.span());
   std::vector<Edge> out(total);
   sched::parallel_for(0, n, [&](std::size_t u) {
     auto nbrs = neighbors(static_cast<VertexId>(u));

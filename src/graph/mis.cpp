@@ -2,7 +2,9 @@
 
 #include "core/atomics.h"
 #include "core/primitives.h"
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
+#include "support/arena.h"
 #include "support/hash.h"
 
 namespace rpb::graph {
@@ -34,32 +36,44 @@ inline void store_state(std::vector<MisState>& state, VertexId v, MisState s,
 std::vector<MisState> maximal_independent_set(const Graph& g, AccessMode mode) {
   const std::size_t n = g.num_vertices();
   std::vector<MisState> state(n, MisState::kUndecided);
-  std::vector<u32> frontier(n);
-  for (std::size_t i = 0; i < n; ++i) frontier[i] = static_cast<u32>(i);
 
-  while (!frontier.empty()) {
+  // Frontier ping-pong buffers live in one leased workspace for the
+  // whole run; the winner mask is bit-packed (64 flags per word) and
+  // leased per round. The old code heap-allocated and zero-filled a u8
+  // winner array, a u8 keep array, a pack_index result, and a fresh
+  // frontier vector on every round.
+  support::ArenaLease arena;
+  auto frontier = uninit_buf<u32>(arena, n);
+  auto next = uninit_buf<u32>(arena, n);
+  sched::parallel_for(0, n,
+                      [&](std::size_t i) { frontier[i] = static_cast<u32>(i); });
+  std::size_t fs = n;
+
+  while (fs > 0) {
+    support::ArenaScope round(arena);
     // Phase 1 (read-only on state): v is a winner if every undecided
     // neighbor has a larger priority. Winners form an independent set
     // because the smaller-priority endpoint of any edge blocks the
-    // other.
-    std::vector<u8> winner(frontier.size(), 0);
-    sched::parallel_for(0, frontier.size(), [&](std::size_t i) {
+    // other. Each task owns whole mask words, so the writes are
+    // race-free by construction.
+    auto winner = uninit_buf<u64>(arena, par::bit_words(fs));
+    par::fill_bit_flags(winner.span(), fs, [&](std::size_t i) {
       VertexId v = frontier[i];
       u64 pv = priority(v);
       for (VertexId w : g.neighbors(v)) {
         if (load_state(state, w, mode) == MisState::kUndecided &&
             (priority(w) < pv || (priority(w) == pv && w < v))) {
-          return;
+          return false;
         }
       }
-      winner[i] = 1;
+      return true;
     });
 
     // Phase 2: winners join the MIS and knock out their neighbors.
     // Multiple winners may write kOut to a shared non-winner neighbor —
     // same value, expressed per the selected mode.
-    sched::parallel_for(0, frontier.size(), [&](std::size_t i) {
-      if (winner[i] == 0) return;
+    sched::parallel_for(0, fs, [&](std::size_t i) {
+      if (!par::test_bit(winner.cspan(), i)) return;
       VertexId v = frontier[i];
       store_state(state, v, MisState::kIn, mode);
       for (VertexId w : g.neighbors(v)) {
@@ -67,16 +81,14 @@ std::vector<MisState> maximal_independent_set(const Graph& g, AccessMode mode) {
       }
     });
 
-    // Phase 3: keep the still-undecided frontier.
-    std::vector<u8> keep(frontier.size(), 0);
-    sched::parallel_for(0, frontier.size(), [&](std::size_t i) {
-      keep[i] = state[frontier[i]] == MisState::kUndecided ? 1 : 0;
-    });
-    auto kept = par::pack_index(std::span<const u8>(keep));
-    std::vector<u32> next(kept.size());
-    sched::parallel_for(0, kept.size(),
-                        [&](std::size_t i) { next[i] = frontier[kept[i]]; });
-    frontier = std::move(next);
+    // Phase 3: keep the still-undecided frontier — one fused pack
+    // (predicate evaluated once per vertex, survivors staged straight
+    // into the other ping-pong buffer) instead of flags + pack_index +
+    // gather.
+    fs = par::pack_into(
+        std::span<const u32>(frontier.data(), fs),
+        [&](u32 v) { return state[v] == MisState::kUndecided; }, next.span());
+    std::swap(frontier, next);
   }
   return state;
 }

@@ -4,8 +4,10 @@
 
 #include "core/atomics.h"
 #include "core/primitives.h"
+#include "core/uninit_buf.h"
 #include "sched/mq_executor.h"
 #include "sched/parallel.h"
+#include "support/arena.h"
 #include "support/env.h"
 
 namespace rpb::graph {
@@ -73,6 +75,10 @@ std::vector<u64> sssp_delta_stepping(const Graph& g, VertexId source,
   // the current bucket; `in_frontier` dedupes within a sub-round.
   std::vector<u8> in_frontier(n, 0);
   in_frontier[source] = 1;
+  // Bucket-membership mask scratch: bit-packed (64 vertices per word)
+  // and leased once, rewound per bucket advance — replaces the fresh
+  // zero-filled vector<u8>(n) the old code allocated per bucket.
+  support::ArenaLease arena;
   for (;;) {
     // Process the current bucket to fixpoint (light edges can reinsert
     // vertices into the same bucket).
@@ -120,17 +126,17 @@ std::vector<u64> sssp_delta_stepping(const Graph& g, VertexId source,
         [](u64 a, u64 b) { return std::min(a, b); });
     if (best == kInfDist) break;
     bucket = best / delta;
-    // Gather everything settled-into-or-pending in the new bucket.
-    std::vector<u8> flags(n, 0);
-    sched::parallel_for(0, n, [&](std::size_t v) {
-      flags[v] = dist[v] != kInfDist && dist[v] / delta == bucket ? 1 : 0;
+    // Gather everything settled-into-or-pending in the new bucket:
+    // bit-packed membership mask, popcount-scanned into the frontier.
+    support::ArenaScope advance(arena);
+    auto words = uninit_buf<u64>(arena, par::bit_words(n));
+    par::fill_bit_flags(words.span(), n, [&](std::size_t v) {
+      return dist[v] != kInfDist && dist[v] / delta == bucket;
     });
-    auto members = par::pack_index(std::span<const u8>(flags));
-    frontier.assign(members.size(), 0);
-    sched::parallel_for(0, members.size(), [&](std::size_t i) {
-      frontier[i] = static_cast<VertexId>(members[i]);
-      in_frontier[members[i]] = 1;
-    });
+    auto members = par::pack_index_bits<VertexId>(arena, words.cspan(), n);
+    frontier.assign(members.begin(), members.end());
+    sched::parallel_for(0, members.size(),
+                        [&](std::size_t i) { in_frontier[members[i]] = 1; });
   }
   return dist;
 }

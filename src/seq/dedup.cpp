@@ -3,8 +3,10 @@
 #include <stdexcept>
 
 #include "core/primitives.h"
+#include "core/uninit_buf.h"
 #include "sched/parallel.h"
 #include "seq/hash_table.h"
+#include "support/arena.h"
 
 namespace rpb::seq {
 
@@ -15,15 +17,14 @@ std::vector<u64> dedup(std::span<const u64> keys, AccessMode mode) {
     throw std::invalid_argument("dedup requires kAtomic or kLocked");
   }
   ConcurrentHashSet set(keys.size(), mode);
-  std::vector<u8> first(keys.size(), 0);
-  sched::parallel_for(0, keys.size(), [&](std::size_t i) {
-    first[i] = set.insert(keys[i]) ? 1 : 0;
-  });
-  std::vector<std::size_t> winners = par::pack_index(std::span<const u8>(first));
-  std::vector<u64> out(winners.size());
-  sched::parallel_for(0, winners.size(),
-                      [&](std::size_t i) { out[i] = keys[winners[i]]; });
-  return out;
+  // One fused pack: the hash-set insert IS the predicate, invoked
+  // exactly once per key (the pred-once staging contract), and the
+  // first-inserter keys land directly in the output — the old
+  // first-flags array, pack_index pass, and gather pass are gone.
+  support::ArenaLease arena;
+  auto winners =
+      par::pack(arena, keys, [&](u64 key) { return set.insert(key); });
+  return std::vector<u64>(winners.begin(), winners.end());
 }
 
 const census::BenchmarkCensus& dedup_census() {
@@ -33,7 +34,7 @@ const census::BenchmarkCensus& dedup_census() {
       census::Dispatch::kStatic,
       {
           {Pattern::kRO, 1, "read keys"},
-          {Pattern::kStride, 2, "first-inserter flags + output gather"},
+          {Pattern::kStride, 2, "fused first-inserter pack (stage + concat)"},
           {Pattern::kAW, 2, "hash-set probe loads + CAS inserts"},
       }};
   return c;

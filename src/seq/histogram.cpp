@@ -88,6 +88,7 @@ std::vector<u64> histogram_checked_scatter(std::span<const u64> keys,
         }
       },
       1);
+  // Allocation-free scan: block sums lease from the arena pool.
   par::scan_exclusive_sum(counts.span());
 
   auto bucket_starts = uninit_buf<u64>(arena, num_buckets + 1);

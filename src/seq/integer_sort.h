@@ -59,6 +59,7 @@ void radix_pass(std::span<const T> in, std::span<T> out, int shift, KeyFn key,
         }
       },
       1);
+  // Allocation-free scan: block sums lease from the arena pool.
   par::scan_exclusive_sum(counts.span());
 
   if (mode == AccessMode::kChecked) {

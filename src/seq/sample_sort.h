@@ -93,6 +93,7 @@ void sample_sort(std::vector<T>& items, Less less = Less(),
         }
       },
       1);
+  // Allocation-free scan: block sums lease from the arena pool.
   par::scan_exclusive_sum(counts.span());
 
   // Bucket boundary offsets (monotone by construction of the scan).

@@ -142,6 +142,7 @@ DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode,
         }
       },
       1);
+  // Allocation-free scan: block sums lease from the arena pool.
   par::scan_exclusive_sum(counts.span());
 
   // First-column boundaries C[c] = start row of character c.

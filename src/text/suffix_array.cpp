@@ -44,12 +44,14 @@ std::vector<u32> suffix_array(std::span<const u8> text, AccessMode mode) {
   // Derive dense ranks from the current sorted items (flag boundaries,
   // scan), returning the number of boundaries (= max dense rank).
   auto rebuild_ranks = [&] {
-    // Rebuild ranks: flag key boundaries, scan for dense ranks.
-    flags[0] = 0;
-    sched::parallel_for(1, n, [&](std::size_t j) {
-      flags[j] = items[j].key != items[j - 1].key ? 1 : 0;
-    });
-    u64 max_rank = par::scan_exclusive_sum(flags.span());
+    // Rebuild ranks: the boundary test runs inside the scan's upsweep
+    // (fused map_scan), so the separate flag-writing pass is gone.
+    u64 max_rank = par::map_scan_exclusive_sum(
+        n,
+        [&](std::size_t j) -> u64 {
+          return j > 0 && items[j].key != items[j - 1].key ? 1 : 0;
+        },
+        flags.span());
     // After the exclusive scan, flags[j] counts boundaries before j;
     // the dense rank also includes j's own (recomputed) boundary flag.
     sched::parallel_for(0, n, [&](std::size_t j) {
@@ -124,7 +126,7 @@ const census::BenchmarkCensus& sa_census() {
       census::Dispatch::kStatic,
       {
           {Pattern::kRO, 1, "initial character reads"},
-          {Pattern::kStride, 5, "key build (rank pair reads), boundary flags, rank write, sa copy"},
+          {Pattern::kStride, 5, "key build (rank pair reads), fused boundary scan, rank write, sa copy"},
           {Pattern::kBlock, 2, "radix digit counts + cursors"},
           {Pattern::kDC, 1, "sort recursion"},
           {Pattern::kSngInd, 2, "radix scatter + rank scatter by suffix"},

@@ -14,6 +14,7 @@
 #include "core/reservation.h"
 #include "core/spec_for.h"
 #include "sched/thread_pool.h"
+#include "support/arena.h"
 #include "support/error.h"
 #include "support/hash.h"
 #include "support/prng.h"
@@ -32,8 +33,6 @@ class CoreEnv : public ::testing::Environment {
 const ::testing::Environment* const kCoreEnv =
     ::testing::AddGlobalTestEnvironment(new CoreEnv);
 
-using par::pack;
-using par::pack_index;
 using par::scan_exclusive_sum;
 
 class CoreSizes : public ::testing::TestWithParam<std::size_t> {};
@@ -58,12 +57,13 @@ TEST_P(CoreSizes, PackIndexFindsExactlyTheFlagged) {
   Rng rng(7);
   std::vector<u8> flags(n);
   for (std::size_t i = 0; i < n; ++i) flags[i] = rng.next(i, 3) == 0 ? 1 : 0;
-  auto idx = pack_index(std::span<const u8>(flags));
+  support::ArenaLease lease;
+  auto idx = par::pack_index(lease, std::span<const u8>(flags));
   std::vector<std::size_t> expected;
   for (std::size_t i = 0; i < n; ++i) {
     if (flags[i]) expected.push_back(i);
   }
-  EXPECT_EQ(idx, expected);
+  EXPECT_EQ(std::vector<std::size_t>(idx.begin(), idx.end()), expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CoreSizes,
@@ -79,8 +79,11 @@ TEST(Primitives, ScanGenericOpMax) {
 
 TEST(Primitives, PackPredicate) {
   std::vector<int> in{5, 2, 8, 1, 9, 4};
-  auto evens = pack(std::span<const int>(in), [](int x) { return x % 2 == 0; });
-  EXPECT_EQ(evens, (std::vector<int>{2, 8, 4}));
+  support::ArenaLease lease;
+  auto evens =
+      par::pack(lease, std::span<const int>(in), [](int x) { return x % 2 == 0; });
+  EXPECT_EQ(std::vector<int>(evens.begin(), evens.end()),
+            (std::vector<int>{2, 8, 4}));
 }
 
 TEST(Primitives, CountIf) {

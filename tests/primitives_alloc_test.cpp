@@ -1,0 +1,144 @@
+// Pins the acceptance claim that the fused primitives are
+// allocation-free in steady state: with the arena pool warm, pack /
+// pack_index / scan_exclusive / map_scan / pack_index_bits perform
+// ZERO heap allocations per call. The global operator new/delete pair
+// is replaced with a counting shim (arena chunks come from
+// make_unique<std::byte[]>, i.e. operator new[], so chunk growth is
+// visible to it too). Kept out of the sanitize label: TSAN interposes
+// operator new itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/primitives.h"
+#include "core/uninit_buf.h"
+#include "sched/thread_pool.h"
+#include "support/arena.h"
+#include "support/defs.h"
+#include "support/hash.h"
+
+namespace {
+
+std::atomic<std::size_t> g_news{0};
+
+void* counted_alloc(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rpb {
+namespace {
+
+class AllocEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    // One thread: the lazy-split scheduler inlines parallel_for without
+    // touching the heap, so any surviving allocation is the
+    // primitive's own.
+    sched::ThreadPool::reset_global(1);
+    support::set_arena_mode(support::ArenaMode::kOn);
+    support::arena_pool_clear();
+  }
+  void TearDown() override { sched::ThreadPool::reset_global(1); }
+};
+const ::testing::Environment* const kAllocEnv =
+    ::testing::AddGlobalTestEnvironment(new AllocEnv);
+
+constexpr std::size_t kN = 100001;  // several blocks even at 1 thread
+
+std::vector<u64> inputs() {
+  std::vector<u64> v(kN);
+  for (std::size_t i = 0; i < kN; ++i) v[i] = hash64(i) % 1000;
+  return v;
+}
+
+// Run `body` once to warm the arena pool (growing chunks to their
+// steady-state footprint), then re-run it counting heap allocations.
+template <class Body>
+std::size_t steady_state_allocs(Body body) {
+  body();
+  body();  // second warm-up pass: chunk growth is geometric, settle it
+  std::size_t before = g_news.load(std::memory_order_relaxed);
+  body();
+  return g_news.load(std::memory_order_relaxed) - before;
+}
+
+TEST(PrimitivesAlloc, ScanExclusiveSumIsAllocationFree) {
+  std::vector<u64> data = inputs();
+  EXPECT_EQ(steady_state_allocs([&] {
+              par::scan_exclusive_sum(std::span<u64>(data));
+            }),
+            0u);
+}
+
+TEST(PrimitivesAlloc, ScanExclusiveIntoIsAllocationFree) {
+  std::vector<u64> in = inputs();
+  std::vector<u64> out(kN);
+  EXPECT_EQ(steady_state_allocs([&] {
+              par::scan_exclusive_sum_into(std::span<const u64>(in),
+                                           std::span<u64>(out));
+            }),
+            0u);
+}
+
+TEST(PrimitivesAlloc, MapScanExclusiveIsAllocationFree) {
+  std::vector<u64> out(kN);
+  EXPECT_EQ(steady_state_allocs([&] {
+              par::map_scan_exclusive_sum(
+                  kN, [](std::size_t i) { return u64{i & 7}; },
+                  std::span<u64>(out));
+            }),
+            0u);
+}
+
+TEST(PrimitivesAlloc, PackIsAllocationFree) {
+  std::vector<u64> in = inputs();
+  EXPECT_EQ(steady_state_allocs([&] {
+              support::ArenaLease lease;
+              auto kept = par::pack(lease, std::span<const u64>(in),
+                                    [](u64 x) { return (x & 1) == 0; });
+              ASSERT_GT(kept.size(), 0u);
+            }),
+            0u);
+}
+
+TEST(PrimitivesAlloc, PackIndexIsAllocationFree) {
+  std::vector<u8> flags(kN);
+  for (std::size_t i = 0; i < kN; ++i) flags[i] = hash64(i) & 1;
+  EXPECT_EQ(steady_state_allocs([&] {
+              support::ArenaLease lease;
+              auto idx = par::pack_index(lease, std::span<const u8>(flags));
+              ASSERT_GT(idx.size(), 0u);
+            }),
+            0u);
+}
+
+TEST(PrimitivesAlloc, BitFlagPackIsAllocationFree) {
+  EXPECT_EQ(steady_state_allocs([&] {
+              support::ArenaLease lease;
+              auto words = uninit_buf<u64>(lease, par::bit_words(kN));
+              par::fill_bit_flags(words.span(), kN, [](std::size_t i) {
+                return (hash64(i) & 3) == 0;
+              });
+              auto idx =
+                  par::pack_index_bits<u32>(lease, words.cspan(), kN);
+              ASSERT_GT(idx.size(), 0u);
+            }),
+            0u);
+}
+
+}  // namespace
+}  // namespace rpb

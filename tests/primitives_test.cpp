@@ -1,0 +1,312 @@
+// Differential tests for the fused scan/pack primitive family against
+// the std:: serial references: scans vs std::exclusive_scan /
+// std::inclusive_scan (including a non-commutative op), packs vs
+// std::copy_if, bit-flag packs vs a serial bit walk. Each suite runs
+// across every arena mode (on / off / zeroed), and the exactly-once
+// contract of map_scan / pack predicates is pinned with counters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <iterator>
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/primitives.h"
+#include "core/uninit_buf.h"
+#include "sched/thread_pool.h"
+#include "support/arena.h"
+#include "support/defs.h"
+#include "support/prng.h"
+
+namespace rpb {
+namespace {
+
+class PrimEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { sched::ThreadPool::reset_global(4); }
+  void TearDown() override { sched::ThreadPool::reset_global(1); }
+};
+const ::testing::Environment* const kPrimEnv =
+    ::testing::AddGlobalTestEnvironment(new PrimEnv);
+
+// An associative but NON-commutative monoid: affine maps x -> mul*x +
+// add under composition. Catches any implementation that reorders or
+// re-associates operands incorrectly.
+struct Affine {
+  u64 mul, add;
+  bool operator==(const Affine&) const = default;
+};
+constexpr Affine kAffineId{1, 0};
+
+Affine compose(Affine a, Affine b) {
+  // Apply a first, then b: b(a(x)) = b.mul*a.mul*x + b.mul*a.add + b.add.
+  return Affine{a.mul * b.mul, a.add * b.mul + b.add};
+}
+
+// Sizes straddle the serial cutoff and block boundaries at 4 threads
+// (default_block(n, 4) = max(2048, n/32 + 1)).
+constexpr std::size_t kSizes[] = {0, 1, 2, 63, 64, 65, 2048, 2049, 100001};
+
+struct ModeCase {
+  support::ArenaMode mode;
+  const char* name;
+};
+constexpr ModeCase kModes[] = {
+    {support::ArenaMode::kOn, "on"},
+    {support::ArenaMode::kOff, "off"},
+    {support::ArenaMode::kZeroed, "zeroed"},
+};
+
+class PrimModes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {
+ protected:
+  void SetUp() override {
+    saved_ = support::arena_mode();
+    support::set_arena_mode(kModes[std::get<1>(GetParam())].mode);
+  }
+  void TearDown() override {
+    support::set_arena_mode(saved_);
+    support::arena_pool_clear();
+  }
+  std::size_t size() const { return std::get<0>(GetParam()); }
+
+ private:
+  support::ArenaMode saved_;
+};
+
+std::string mode_name(
+    const ::testing::TestParamInfo<std::tuple<std::size_t, int>>& info) {
+  return std::to_string(std::get<0>(info.param)) + "_" +
+         kModes[std::get<1>(info.param)].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesByMode, PrimModes,
+                         ::testing::Combine(::testing::ValuesIn(kSizes),
+                                            ::testing::Range(0, 3)),
+                         mode_name);
+
+std::vector<u64> random_u64(std::size_t n, u64 seed, u64 bound) {
+  Rng rng(seed);
+  std::vector<u64> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.next(i, bound);
+  return v;
+}
+
+TEST_P(PrimModes, ScanExclusiveSumMatchesStd) {
+  const std::size_t n = size();
+  std::vector<u64> data = random_u64(n, 11, 1000);
+  std::vector<u64> expected(n);
+  std::exclusive_scan(data.begin(), data.end(), expected.begin(), u64{0});
+  u64 expected_total = std::reduce(data.begin(), data.end(), u64{0});
+  u64 total = par::scan_exclusive_sum(std::span<u64>(data));
+  EXPECT_EQ(total, expected_total);
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(PrimModes, ScanInclusiveSumMatchesStd) {
+  const std::size_t n = size();
+  std::vector<u64> data = random_u64(n, 12, 1000);
+  std::vector<u64> expected(n);
+  std::inclusive_scan(data.begin(), data.end(), expected.begin());
+  u64 expected_total = std::reduce(data.begin(), data.end(), u64{0});
+  u64 total = par::scan_inclusive_sum(std::span<u64>(data));
+  EXPECT_EQ(total, expected_total);
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(PrimModes, ScanExclusiveNonCommutativeOp) {
+  const std::size_t n = size();
+  Rng rng(13);
+  std::vector<Affine> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Wrap-around multiplication is fine: u64 arithmetic mod 2^64 is
+    // still an associative, non-commutative monoid.
+    data[i] = Affine{rng.next(i, 7) + 1, rng.next(i + n, 100)};
+  }
+  std::vector<Affine> expected(n, kAffineId);
+  Affine acc = kAffineId;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = acc;
+    acc = compose(acc, data[i]);
+  }
+  Affine total = par::scan_exclusive(std::span<Affine>(data), kAffineId,
+                                     [](Affine a, Affine b) {
+                                       return compose(a, b);
+                                     });
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(PrimModes, ScanExclusiveIntoMatchesInPlaceAndPreservesInput) {
+  const std::size_t n = size();
+  std::vector<u64> in = random_u64(n, 14, 1000);
+  const std::vector<u64> snapshot = in;
+  std::vector<u64> out(n, 0xDEADBEEF);
+  std::vector<u64> expected(n);
+  std::exclusive_scan(in.begin(), in.end(), expected.begin(), u64{0});
+  u64 total = par::scan_exclusive_sum_into(std::span<const u64>(in),
+                                           std::span<u64>(out));
+  EXPECT_EQ(total, std::reduce(in.begin(), in.end(), u64{0}));
+  EXPECT_EQ(out, expected);
+  EXPECT_EQ(in, snapshot);  // input untouched
+}
+
+TEST_P(PrimModes, MapScanExclusiveInvokesMapOncePerIndex) {
+  const std::size_t n = size();
+  std::vector<u64> values = random_u64(n, 15, 1000);
+  std::vector<u64> out(n, 0);
+  std::vector<std::atomic<u32>> calls(n);
+  u64 total = par::map_scan_exclusive_sum(
+      n,
+      [&](std::size_t i) {
+        calls[i].fetch_add(1, std::memory_order_relaxed);
+        return values[i];
+      },
+      std::span<u64>(out));
+  std::vector<u64> expected(n);
+  std::exclusive_scan(values.begin(), values.end(), expected.begin(), u64{0});
+  EXPECT_EQ(total, std::reduce(values.begin(), values.end(), u64{0}));
+  EXPECT_EQ(out, expected);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(calls[i].load(), 1u) << "map called " << calls[i].load()
+                                   << " times at index " << i;
+  }
+}
+
+TEST_P(PrimModes, MapScanInclusiveMatchesStd) {
+  const std::size_t n = size();
+  std::vector<u64> values = random_u64(n, 16, 1000);
+  std::vector<u64> out(n, 0);
+  u64 total = par::map_scan_inclusive_sum(
+      n, [&](std::size_t i) { return values[i]; }, std::span<u64>(out));
+  std::vector<u64> expected(n);
+  std::inclusive_scan(values.begin(), values.end(), expected.begin());
+  EXPECT_EQ(total, std::reduce(values.begin(), values.end(), u64{0}));
+  EXPECT_EQ(out, expected);
+}
+
+TEST_P(PrimModes, PackMatchesStdCopyIf) {
+  const std::size_t n = size();
+  std::vector<u64> in = random_u64(n, 17, 1000);
+  auto keep = [](u64 x) { return x % 3 == 0; };
+  std::vector<u64> expected;
+  std::copy_if(in.begin(), in.end(), std::back_inserter(expected), keep);
+  support::ArenaLease lease;
+  auto got = par::pack(lease, std::span<const u64>(in), keep);
+  EXPECT_EQ(std::vector<u64>(got.begin(), got.end()), expected);
+}
+
+TEST_P(PrimModes, PackPredicateCalledOncePerElementInOrderWithinBlocks) {
+  const std::size_t n = size();
+  std::vector<u64> in = random_u64(n, 18, 1000);
+  std::vector<std::atomic<u32>> calls(n);
+  support::ArenaLease lease;
+  auto got = par::pack_indexed(lease, std::span<const u64>(in),
+                               [&](std::size_t i, u64 x) {
+                                 calls[i].fetch_add(1,
+                                                    std::memory_order_relaxed);
+                                 return x % 2 == 0;
+                               });
+  std::vector<u64> expected;
+  std::copy_if(in.begin(), in.end(), std::back_inserter(expected),
+               [](u64 x) { return x % 2 == 0; });
+  EXPECT_EQ(std::vector<u64>(got.begin(), got.end()), expected);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(calls[i].load(), 1u) << "pred called " << calls[i].load()
+                                   << " times at index " << i;
+  }
+}
+
+TEST_P(PrimModes, PackIntoMatchesAndCountsSurvivors) {
+  const std::size_t n = size();
+  std::vector<u64> in = random_u64(n, 19, 7);
+  std::vector<u64> dst(n, 0xABAD1DEA);
+  auto keep = [](u64 x) { return x < 3; };
+  std::size_t cnt =
+      par::pack_into(std::span<const u64>(in), keep, std::span<u64>(dst));
+  std::vector<u64> expected;
+  std::copy_if(in.begin(), in.end(), std::back_inserter(expected), keep);
+  EXPECT_EQ(cnt, expected.size());
+  EXPECT_EQ(std::vector<u64>(dst.begin(),
+                             dst.begin() + static_cast<std::ptrdiff_t>(cnt)),
+            expected);
+}
+
+TEST_P(PrimModes, PackAllTrueAndAllFalse) {
+  const std::size_t n = size();
+  std::vector<u64> in = random_u64(n, 20, 1000);
+  support::ArenaLease lease;
+  auto everything =
+      par::pack(lease, std::span<const u64>(in), [](u64) { return true; });
+  EXPECT_EQ(std::vector<u64>(everything.begin(), everything.end()), in);
+  auto nothing =
+      par::pack(lease, std::span<const u64>(in), [](u64) { return false; });
+  EXPECT_EQ(nothing.size(), 0u);
+}
+
+TEST_P(PrimModes, PackIndexIfMatchesSerial) {
+  const std::size_t n = size();
+  support::ArenaLease lease;
+  auto pred = [](std::size_t i) { return i % 5 == 2; };
+  auto got = par::pack_index_if<std::size_t>(lease, n, pred);
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred(i)) expected.push_back(i);
+  }
+  EXPECT_EQ(std::vector<std::size_t>(got.begin(), got.end()), expected);
+}
+
+TEST_P(PrimModes, BitFlagsRoundTripThroughPackIndexBits) {
+  const std::size_t n = size();
+  Rng rng(21);
+  std::vector<u8> ref(n);
+  for (std::size_t i = 0; i < n; ++i) ref[i] = rng.next(i, 4) == 0 ? 1 : 0;
+
+  support::ArenaLease lease;
+  auto words = uninit_buf<u64>(lease, par::bit_words(n));
+  par::fill_bit_flags(words.span(), n,
+                      [&](std::size_t i) { return ref[i] != 0; });
+
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ref[i]) expected.push_back(i);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(par::test_bit(words.cspan(), i), ref[i] != 0);
+  }
+  EXPECT_EQ(par::count_bits(words.cspan(), n), expected.size());
+  auto got = par::pack_index_bits<std::size_t>(lease, words.cspan(), n);
+  EXPECT_EQ(std::vector<std::size_t>(got.begin(), got.end()), expected);
+}
+
+TEST_P(PrimModes, BitFlagTailWordBitsAreZero) {
+  const std::size_t n = size();
+  if (n == 0) return;
+  support::ArenaLease lease;
+  auto words = uninit_buf<u64>(lease, par::bit_words(n));
+  par::fill_bit_flags(words.span(), n, [](std::size_t) { return true; });
+  if ((n & 63) != 0) {
+    u64 tail = words[par::bit_words(n) - 1];
+    EXPECT_EQ(tail, (u64{1} << (n & 63)) - 1);
+  }
+  EXPECT_EQ(par::count_bits(words.cspan(), n), n);
+}
+
+// A dense all-true pack whose output straddles every block boundary:
+// any off-by-one in the concat offsets shows up as a permuted output.
+TEST_P(PrimModes, PackIndexIfDenseIsExactlyIota) {
+  const std::size_t n = size();
+  support::ArenaLease lease;
+  auto got =
+      par::pack_index_if<u32>(lease, n, [](std::size_t) { return true; });
+  ASSERT_EQ(got.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(got[i], static_cast<u32>(i));
+  }
+}
+
+}  // namespace
+}  // namespace rpb
