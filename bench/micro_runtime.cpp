@@ -2,7 +2,7 @@
 // overhead, scan/pack/reduce primitives, sorting kernels, MultiQueue
 // operations, and concurrent hash-set inserts.
 //
-// Two modes:
+// Three modes:
 //   (default)              the google-benchmark suite below.
 //   --json PATH [--smoke]  the perf-regression harness: measures the
 //                          scheduler primitives per thread count with
@@ -10,7 +10,13 @@
 //                          rpb-bench-v1 schema (BENCH_sched.json), and
 //                          self-validates it. --smoke shrinks sizes so
 //                          CI can check the schema without gating on
-//                          timing.
+//                          timing. --require-obs additionally fails
+//                          unless the file carries the "obs" stats block
+//                          (run with RPB_OBS=counters).
+//   --trace PATH           traced sample_sort run: forces RPB_OBS=trace,
+//                          sorts 1M doubles, writes the Chrome trace to
+//                          PATH, and prints work/span plus a counter
+//                          summary (steal success, lazy split decisions).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -21,6 +27,8 @@
 
 #include "bench_util/harness.h"
 #include "core/primitives.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "seq/stencil.h"
 #include "seq/hash_map.h"
 #include "core/spec_for.h"
@@ -36,6 +44,7 @@
 #include "support/arena.h"
 #include "support/env.h"
 #include "support/hash.h"
+#include "support/timer.h"
 
 using namespace rpb;
 
@@ -251,7 +260,7 @@ bench::BenchRecord make_record(std::string name, std::size_t threads,
   return r;
 }
 
-int run_json_harness(const std::string& path, bool smoke) {
+int run_json_harness(const std::string& path, bool smoke, bool require_obs) {
   const std::size_t n = smoke ? (std::size_t{1} << 16) : 10'000'000;
   const std::size_t repeats = smoke ? 3 : 9;
   // Region-overhead metric: many parallel regions over a small array per
@@ -400,6 +409,13 @@ int run_json_harness(const std::string& path, bool smoke) {
                  path.c_str(), error.c_str());
     return 1;
   }
+  if (require_obs && !bench::bench_json_has_obs_block(path)) {
+    std::fprintf(stderr,
+                 "error: %s has no obs stats block (run with "
+                 "RPB_OBS=counters)\n",
+                 path.c_str());
+    return 1;
+  }
   std::printf("wrote %s (%zu records, schema ok)\n", path.c_str(),
               records.size());
   // Floor at 10ns so a fully-inlined lazy region (overhead below timer
@@ -414,11 +430,70 @@ int run_json_harness(const std::string& path, bool smoke) {
   return 0;
 }
 
+// Traced sample_sort run: the source of the EXPERIMENTS.md trace-derived
+// findings and the input for tools/trace_summary.py. Respects RPB_SPLIT
+// and RPB_THREADS so split strategies can be compared under the trace.
+int run_trace_harness(const std::string& path) {
+  obs::set_mode(obs::ObsMode::kTrace);
+  sched::ThreadPool::reset_global(default_threads());
+  const std::size_t n = std::size_t{1} << 20;
+  auto input = seq::exponential_doubles(n, 1.0, 9);
+
+  // Warmup: populate arena/mark-table pools and spin the workers up so
+  // the recorded trace shows steady-state behavior.
+  std::vector<double> values = input;
+  seq::sample_sort(values, std::less<double>(), AccessMode::kChecked);
+
+  obs::reset_counters();
+  obs::clear_trace();
+  values = input;
+  Timer timer;
+  seq::sample_sort(values, std::less<double>(), AccessMode::kChecked);
+  double elapsed = timer.elapsed();
+
+  if (!obs::write_trace(path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  obs::WorkSpan ws = obs::work_span();
+  obs::StatsSnapshot snap = obs::snapshot_counters();
+  u64 attempted = snap.total(obs::Counter::kStealsAttempted);
+  u64 succeeded = snap.total(obs::Counter::kStealsSucceeded);
+  u64 taken = snap.total(obs::Counter::kLazySplitsTaken);
+  u64 elided = snap.total(obs::Counter::kLazySplitsElided);
+  std::printf("wrote %s (%zu events, %zu dropped)\n", path.c_str(),
+              obs::trace_event_count(), obs::trace_dropped_count());
+  std::printf(
+      "sample_sort n=%zu threads=%zu split=%s: %s wall, work %s, span %s, "
+      "W/S %.2f over %zu scopes\n",
+      n, sched::ThreadPool::global().num_threads(),
+      mode_name(sched::split_mode()), bench::fmt_seconds(elapsed).c_str(),
+      bench::fmt_seconds(ws.work_seconds).c_str(),
+      bench::fmt_seconds(ws.span_seconds).c_str(), ws.parallelism(),
+      ws.scopes);
+  std::printf(
+      "steals: %llu/%llu succeeded (%.1f%%); lazy splits: %llu taken, "
+      "%llu elided; spawns %llu, injected %llu\n",
+      static_cast<unsigned long long>(succeeded),
+      static_cast<unsigned long long>(attempted),
+      attempted > 0 ? 100.0 * static_cast<double>(succeeded) /
+                          static_cast<double>(attempted)
+                    : 0.0,
+      static_cast<unsigned long long>(taken),
+      static_cast<unsigned long long>(elided),
+      static_cast<unsigned long long>(snap.total(obs::Counter::kSpawns)),
+      static_cast<unsigned long long>(
+          snap.total(obs::Counter::kInjectedJobs)));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string trace_path;
   bool smoke = false;
+  bool require_obs = false;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -433,13 +508,28 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --json requires an output path\n");
         return 1;
       }
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --trace requires an output path\n");
+        return 1;
+      }
+      trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "error: --trace requires an output path\n");
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--require-obs") == 0) {
+      require_obs = true;
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  if (!json_path.empty()) return run_json_harness(json_path, smoke);
+  if (!trace_path.empty()) return run_trace_harness(trace_path);
+  if (!json_path.empty()) return run_json_harness(json_path, smoke, require_obs);
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());
   if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {

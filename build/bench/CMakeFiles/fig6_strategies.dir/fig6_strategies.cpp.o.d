@@ -214,7 +214,12 @@ bench/CMakeFiles/fig6_strategies.dir/fig6_strategies.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sched/thread_pool.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/counters.h \
+ /root/repo/src/obs/obs.h /root/repo/src/support/defs.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
@@ -230,8 +235,7 @@ bench/CMakeFiles/fig6_strategies.dir/fig6_strategies.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/sched/chase_lev_deque.h /root/repo/src/sched/job.h \
- /root/repo/src/support/defs.h /root/repo/src/support/cli.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/support/cli.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/env.h \
  /root/repo/src/support/hash.h

@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/geom/CMakeFiles/rpb_geom.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/rpb_core.dir/DependInfo.cmake"
   "/root/repo/build/src/sched/CMakeFiles/rpb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/rpb_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/rpb_support.dir/DependInfo.cmake"
   )
 

@@ -251,8 +251,12 @@ bench/CMakeFiles/rpb_bench_suite.dir/suite.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sched/parallel.h \
- /root/repo/src/sched/thread_pool.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/counters.h \
+ /root/repo/src/obs/obs.h /root/repo/src/sched/parallel.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/support/CMakeFiles/rpb_support.dir/DependInfo.cmake"
   "/root/repo/build/src/sched/CMakeFiles/rpb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/rpb_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/support/CMakeFiles/rpb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/rpb_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

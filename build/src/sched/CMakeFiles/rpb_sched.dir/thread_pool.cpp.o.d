@@ -221,4 +221,7 @@ src/sched/CMakeFiles/rpb_sched.dir/thread_pool.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/obs/counters.h /usr/include/c++/12/array \
+ /root/repo/src/obs/obs.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/support/env.h /root/repo/src/support/hash.h

@@ -335,4 +335,6 @@ tests/CMakeFiles/algorithms_test.dir/algorithms_test.cpp.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/sched/chase_lev_deque.h /root/repo/src/sched/job.h \
  /root/repo/src/seq/generators.h /root/repo/src/seq/merge_sort.h \
- /root/repo/src/sched/parallel.h /usr/include/c++/12/cstring
+ /root/repo/src/sched/parallel.h /usr/include/c++/12/cstring \
+ /root/repo/src/obs/counters.h /root/repo/src/obs/obs.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono

@@ -316,7 +316,9 @@ tests/CMakeFiles/determinism_test.dir/determinism_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/atomics.h /root/repo/src/core/patterns.h \
  /root/repo/src/core/checks.h /usr/include/c++/12/cstring \
- /root/repo/src/core/mark_table.h /root/repo/src/sched/parallel.h \
+ /root/repo/src/core/mark_table.h /root/repo/src/obs/counters.h \
+ /root/repo/src/obs/obs.h /root/repo/src/sched/parallel.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
  /root/repo/src/support/error.h /root/repo/src/core/primitives.h \
  /root/repo/src/core/uninit_buf.h /root/repo/src/support/arena.h \
  /root/repo/src/seq/mark_present.h /root/repo/src/seq/sample_sort.h \

@@ -301,10 +301,12 @@ tests/CMakeFiles/differential_test.dir/differential_test.cpp.o: \
  /root/repo/src/support/defs.h /root/repo/src/sched/multiqueue.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/support/hash.h /root/repo/src/seq/hash_map.h \
- /root/repo/src/seq/hash_table.h /root/repo/src/core/access_mode.h \
- /root/repo/src/support/prng.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/obs/counters.h /root/repo/src/obs/obs.h \
+ /usr/include/c++/12/cstring /root/repo/src/support/hash.h \
+ /root/repo/src/seq/hash_map.h /root/repo/src/seq/hash_table.h \
+ /root/repo/src/core/access_mode.h /root/repo/src/support/prng.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -303,8 +303,10 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/support/defs.h \
- /root/repo/src/sched/parallel.h /root/repo/src/sched/thread_pool.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/counters.h \
+ /root/repo/src/obs/obs.h /root/repo/src/support/defs.h \
+ /root/repo/src/sched/parallel.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

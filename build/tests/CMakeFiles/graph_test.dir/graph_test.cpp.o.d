@@ -312,9 +312,10 @@ tests/CMakeFiles/graph_test.dir/graph_test.cpp.o: \
  /root/repo/src/graph/mis.h /root/repo/src/graph/sssp.h \
  /root/repo/src/graph/union_find.h /root/repo/src/core/atomics.h \
  /root/repo/src/sched/parallel.h /usr/include/c++/12/cstring \
+ /root/repo/src/obs/counters.h /root/repo/src/obs/obs.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
  /root/repo/src/sched/thread_pool.h \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/sched/chase_lev_deque.h \
- /root/repo/src/sched/job.h
+ /root/repo/src/sched/chase_lev_deque.h /root/repo/src/sched/job.h

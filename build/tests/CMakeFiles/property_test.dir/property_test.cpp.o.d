@@ -299,10 +299,12 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/core/uninit_buf.h \
  /root/repo/src/support/arena.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sched/parallel.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/counters.h \
+ /root/repo/src/obs/obs.h /root/repo/src/sched/parallel.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
  /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \

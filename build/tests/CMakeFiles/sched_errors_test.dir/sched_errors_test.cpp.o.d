@@ -302,14 +302,17 @@ tests/CMakeFiles/sched_errors_test.dir/sched_errors_test.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
+ /root/repo/src/obs/counters.h /root/repo/src/obs/obs.h \
+ /usr/include/c++/12/cstring /root/repo/src/support/defs.h \
  /root/repo/src/sched/multiqueue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/support/defs.h /root/repo/src/support/hash.h \
- /root/repo/src/sched/parallel.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/support/hash.h /root/repo/src/sched/parallel.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/cstring /root/repo/src/sched/thread_pool.h \
+ /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable \
- /root/repo/src/sched/chase_lev_deque.h /root/repo/src/sched/job.h
+ /root/repo/src/sched/chase_lev_deque.h /root/repo/src/sched/job.h \
+ /root/repo/tests/test_guards.h

@@ -317,7 +317,9 @@ tests/CMakeFiles/seq_test.dir/seq_test.cpp.o: \
  /root/repo/src/seq/histogram.h /root/repo/src/seq/integer_sort.h \
  /root/repo/src/core/atomics.h /root/repo/src/core/patterns.h \
  /root/repo/src/core/checks.h /usr/include/c++/12/cstring \
- /root/repo/src/core/mark_table.h /root/repo/src/sched/parallel.h \
+ /root/repo/src/core/mark_table.h /root/repo/src/obs/counters.h \
+ /root/repo/src/obs/obs.h /root/repo/src/sched/parallel.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
  /root/repo/src/support/error.h /root/repo/src/core/primitives.h \
  /root/repo/src/core/uninit_buf.h /root/repo/src/support/arena.h \
  /root/repo/src/seq/sample_sort.h /root/repo/src/support/prng.h \

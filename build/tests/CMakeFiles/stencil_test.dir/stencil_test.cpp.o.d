@@ -332,5 +332,7 @@ tests/CMakeFiles/stencil_test.dir/stencil_test.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/cstring /root/repo/src/support/prng.h \
+ /usr/include/c++/12/cstring /root/repo/src/obs/counters.h \
+ /root/repo/src/obs/obs.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /root/repo/src/support/prng.h \
  /root/repo/src/support/hash.h

@@ -4,6 +4,7 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
 include("/root/repo/build/tests/sched_test[1]_include.cmake")
 include("/root/repo/build/tests/sched_errors_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")

@@ -8,6 +8,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/counters.h"
 #include "support/timer.h"
 
 namespace rpb::bench {
@@ -162,6 +163,12 @@ bool write_bench_json(const std::string& path, const std::string& suite,
   if (f == nullptr) return false;
   std::fprintf(f, "{\n  \"schema\": \"rpb-bench-v1\",\n  \"suite\": \"%s\",\n",
                json_escape(suite).c_str());
+  if (obs::counters_enabled()) {
+    // Before the records array on purpose: validate_bench_json treats
+    // every object after "records": [ as a record.
+    std::fprintf(f, "  \"obs\": %s,\n",
+                 obs::snapshot_counters().to_json().c_str());
+  }
   std::fprintf(f, "  \"records\": [\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
@@ -216,6 +223,22 @@ bool validate_bench_json(const std::string& path, std::string* error) {
     return fail(error, "missing records array");
   }
 
+  // Optional obs stats block (RPB_OBS runs): written before the records
+  // array, so the record scan below never sees its nested objects.
+  std::size_t obs_pos = text.find("\"obs\": {");
+  if (obs_pos != std::string::npos) {
+    if (obs_pos > records_pos) {
+      return fail(error, "obs block must precede records array");
+    }
+    std::string head = text.substr(obs_pos, records_pos - obs_pos);
+    if (head.find("\"counters\": {") == std::string::npos) {
+      return fail(error, "obs block missing counters object");
+    }
+    if (head.find("\"per_worker\": [") == std::string::npos) {
+      return fail(error, "obs block missing per_worker array");
+    }
+  }
+
   std::size_t record_count = 0;
   std::size_t cursor = records_pos;
   for (;;) {
@@ -239,6 +262,17 @@ bool validate_bench_json(const std::string& path, std::string* error) {
   }
   if (record_count == 0) return fail(error, "no records");
   return true;
+}
+
+bool bench_json_has_obs_block(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  std::size_t obs_pos = text.find("\"obs\": {");
+  if (obs_pos == std::string::npos) return false;
+  return text.find("\"counters\": {", obs_pos) != std::string::npos;
 }
 
 }  // namespace rpb::bench

@@ -62,14 +62,21 @@ struct BenchRecord {
 };
 
 // Writes {"schema":"rpb-bench-v1","suite":...,"records":[...]} to path.
-// Returns false on I/O failure.
+// When RPB_OBS is active (obs::counters_enabled()), an "obs" object with
+// the counter snapshot is emitted between the suite tag and the records
+// array. Returns false on I/O failure.
 bool write_bench_json(const std::string& path, const std::string& suite,
                       const std::vector<BenchRecord>& records);
 
 // Structural check of a file produced by write_bench_json: schema tag,
 // balanced nesting, at least one record, and every record carrying all
-// required fields with finite non-negative timings. On failure returns
+// required fields with finite non-negative timings. An "obs" block, if
+// present, must carry the counter totals object. On failure returns
 // false and describes the problem in *error (if non-null).
 bool validate_bench_json(const std::string& path, std::string* error);
+
+// True when the file carries the optional "obs" stats block (with its
+// counters object) — what the RPB_OBS=counters smoke test asserts.
+bool bench_json_has_obs_block(const std::string& path);
 
 }  // namespace rpb::bench

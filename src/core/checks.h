@@ -38,6 +38,7 @@
 
 #include "core/atomics.h"
 #include "core/mark_table.h"
+#include "obs/counters.h"
 #include "sched/parallel.h"
 #include "support/defs.h"
 #include "support/error.h"
@@ -167,11 +168,15 @@ void fused_check_apply(std::size_t count, std::size_t bound,
     // found is already the canonical one, and no later write lands.
     for (std::size_t i = 0; i < count; ++i) {
       auto off = static_cast<std::size_t>(index_of(i));
-      if (off >= bound) throw CheckFailure(detail::oob_message(i));
-      if (slots[off] == stamp) throw CheckFailure(detail::dup_message(off, i));
+      if (off >= bound || slots[off] == stamp) {
+        obs::bump(obs::Counter::kCheckedFailed);
+        if (off >= bound) throw CheckFailure(detail::oob_message(i));
+        throw CheckFailure(detail::dup_message(off, i));
+      }
       slots[off] = stamp;
       apply(i, off);
     }
+    obs::bump(obs::Counter::kCheckedPassed);
     return;
   }
 
@@ -198,8 +203,10 @@ void fused_check_apply(std::size_t count, std::size_t bound,
       },
       grain);
   if (relaxed_load(&first_bad) != detail::kNoBadIndex) {
+    obs::bump(obs::Counter::kCheckedFailed);
     detail::throw_first_unique_violation(count, bound, index_of, *lease);
   }
+  obs::bump(obs::Counter::kCheckedPassed);
 }
 
 // Legacy bitmap expression, kept callable as the Fig. 5(a) ablation
@@ -222,12 +229,14 @@ void check_unique_offsets_bitmap(std::span<const Index> offsets,
     }
   });
   if (relaxed_load(&first_bad) != detail::kNoBadIndex) {
+    obs::bump(obs::Counter::kCheckedFailed);
     MarkTableLease lease;
     detail::throw_first_unique_violation(
         offsets.size(), bound,
         [&](std::size_t i) { return static_cast<std::size_t>(offsets[i]); },
         *lease);
   }
+  obs::bump(obs::Counter::kCheckedPassed);
 }
 
 // Verifies every offsets[i] is in [0, bound) and no two are equal;
@@ -263,12 +272,15 @@ void check_monotonic_offsets(std::span<const Index> offsets,
   });
   u64 bad = relaxed_load(&first_bad);
   if (bad != detail::kNoBadIndex) {
+    obs::bump(obs::Counter::kCheckedFailed);
     throw CheckFailure("par_ind_chunks_mut: offsets not monotonic at index " +
                        std::to_string(bad));
   }
   if (static_cast<std::size_t>(offsets.back()) > bound) {
+    obs::bump(obs::Counter::kCheckedFailed);
     throw CheckFailure("par_ind_chunks_mut: final offset exceeds data size");
   }
+  obs::bump(obs::Counter::kCheckedPassed);
 }
 
 }  // namespace rpb::par

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/counters.h"
 #include "support/defs.h"
 
 namespace rpb::par {
@@ -80,6 +81,7 @@ inline MarkTablePool& mark_table_pool() {
 class MarkTableLease {
  public:
   MarkTableLease() {
+    obs::bump(obs::Counter::kMarkTableLeases);
     auto& pool = detail::mark_table_pool();
     {
       std::lock_guard<std::mutex> guard(pool.mu);

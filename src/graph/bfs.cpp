@@ -7,6 +7,7 @@
 #include "core/atomics.h"
 #include "core/primitives.h"
 #include "core/uninit_buf.h"
+#include "obs/trace.h"
 #include "sched/parallel.h"
 #include "sched/mq_executor.h"
 #include "support/arena.h"
@@ -30,6 +31,7 @@ std::vector<u32> bfs_multiqueue(const Graph& g, VertexId source,
                                 std::size_t num_threads,
                                 std::size_t queue_multiplier) {
   if (num_threads == 0) num_threads = default_threads();
+  OBS_SCOPE("bfs.multiqueue");
   std::vector<u32> dist(g.num_vertices(), kUnreached);
   dist[source] = 0;
 
@@ -50,6 +52,7 @@ std::vector<u32> bfs_multiqueue(const Graph& g, VertexId source,
 }
 
 std::vector<u32> bfs_level_sync(const Graph& g, VertexId source) {
+  OBS_SCOPE("bfs.level_sync");
   const std::size_t n = g.num_vertices();
   std::vector<u32> dist(n, kUnreached);
   dist[source] = 0;

@@ -3,6 +3,7 @@
 #include "core/atomics.h"
 #include "core/primitives.h"
 #include "core/uninit_buf.h"
+#include "obs/trace.h"
 #include "sched/parallel.h"
 #include "support/arena.h"
 #include "support/hash.h"
@@ -34,6 +35,7 @@ inline void store_state(std::vector<MisState>& state, VertexId v, MisState s,
 }  // namespace
 
 std::vector<MisState> maximal_independent_set(const Graph& g, AccessMode mode) {
+  OBS_SCOPE("mis");
   const std::size_t n = g.num_vertices();
   std::vector<MisState> state(n, MisState::kUndecided);
 

@@ -1,0 +1,105 @@
+// Per-worker scheduler counters (obs layer 1). Each slot owns a
+// cache-line-aligned block of relaxed atomic u64s — observability must
+// not create sharing between workers, so blocks never straddle a line
+// boundary; within a block only the owning thread writes, so the
+// counters of one worker may share lines with each other freely.
+// Writes are plain relaxed fetch_adds (TSAN-clean by construction; no
+// fences involved). Aggregation (snapshot_counters) reads relaxed too:
+// totals taken mid-flight are advisory, exact once quiescent.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "support/defs.h"
+
+namespace rpb::obs {
+
+// One slot per instrumented scheduler/runtime event family. Keep
+// kCounterNames below in sync — it provides the JSON keys.
+enum class Counter : u32 {
+  kJobsExecuted = 0,    // pool: deque pops + steals + injected roots run
+  kSpawns,              // pool: jobs pushed to a worker deque (forks)
+  kInjectedJobs,        // pool: external run() roots injected
+  kStealsAttempted,     // pool: steal sweeps started by an idle worker
+  kStealsSucceeded,     // pool: jobs actually taken from a victim
+  kDeepestVictimPicks,  // pool: sweeps that found a deepest-deque victim
+  kBackoffRounds,       // pool: idle spin/yield backoff rounds
+  kLazySplitsTaken,     // splitter: forks taken on observed demand
+  kLazySplitsElided,    // splitter: grain chunks run without forking
+  kMqPushes,            // MultiQueue: elements pushed
+  kMqPops,              // MultiQueue: elements popped
+  kArenaChunkAllocs,    // arena: fresh chunks allocated (growth events)
+  kArenaLeaseReuses,    // arena: leases served from the idle pool
+  kArenaLeaseCreates,   // arena: leases that built a new arena
+  kMarkTableLeases,     // mark tables leased (one per checked-tier check)
+  kCheckedPassed,       // checked-tier validations that passed
+  kCheckedFailed,       // checked-tier validations that threw
+  kTraceDropsObserved,  // trace scopes not recorded (overflow slot)
+  kCount
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kCount);
+
+inline constexpr const char* kCounterNames[kNumCounters] = {
+    "jobs_executed",      "spawns",
+    "injected_jobs",      "steals_attempted",
+    "steals_succeeded",   "deepest_victim_picks",
+    "backoff_rounds",     "lazy_splits_taken",
+    "lazy_splits_elided", "mq_pushes",
+    "mq_pops",            "arena_chunk_allocs",
+    "arena_lease_reuses", "arena_lease_creates",
+    "mark_table_leases",  "checked_passed",
+    "checked_failed",     "trace_drops_observed"};
+
+inline constexpr const char* counter_name(Counter c) {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+namespace detail {
+
+struct alignas(kCacheLineBytes) CounterBlock {
+  std::array<std::atomic<u64>, kNumCounters> c{};
+};
+
+inline CounterBlock g_counters[kNumSlots];
+
+}  // namespace detail
+
+// The hot-path increment. Off mode: one relaxed load + untaken branch.
+inline void bump(Counter which, u64 n = 1) {
+  if (!counters_enabled()) [[likely]] return;
+  detail::g_counters[thread_slot()]
+      .c[static_cast<std::size_t>(which)]
+      .fetch_add(n, std::memory_order_relaxed);
+}
+
+// On-demand aggregation of the per-worker blocks. per_worker carries
+// one row per slot with any activity; totals sums every slot
+// (including overflow). Exact when taken between parallel regions.
+struct StatsSnapshot {
+  struct Row {
+    u32 slot = 0;
+    std::array<u64, kNumCounters> c{};
+  };
+  std::vector<Row> per_worker;
+  std::array<u64, kNumCounters> totals{};
+
+  u64 total(Counter which) const {
+    return totals[static_cast<std::size_t>(which)];
+  }
+  // {"counters":{name:total,...},"per_worker":[{"slot":s,name:v,...},...]}
+  std::string to_json() const;
+};
+
+StatsSnapshot snapshot_counters();
+
+// Zeroes every slot's counters. Quiescent use only (between regions).
+void reset_counters();
+
+}  // namespace rpb::obs

@@ -1,0 +1,193 @@
+// Aggregation, drain, and serialization for the observability
+// subsystem. Everything here is cold-path: snapshots, ring drains,
+// Chrome trace export, and the work/span walk. The hot-path inline
+// machinery (bump, ScopedRegion) lives in the headers.
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rpb::obs {
+
+namespace {
+
+void append_counter_fields(std::string& out,
+                           const std::array<u64, kNumCounters>& c) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    out += "\"";
+    out += kCounterNames[i];
+    out += "\": ";
+    out += std::to_string(c[i]);
+    if (i + 1 < kNumCounters) out += ", ";
+  }
+}
+
+}  // namespace
+
+StatsSnapshot snapshot_counters() {
+  StatsSnapshot snap;
+  for (std::size_t slot = 0; slot < kNumSlots; ++slot) {
+    StatsSnapshot::Row row;
+    row.slot = static_cast<u32>(slot);
+    bool any = false;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      u64 v = detail::g_counters[slot].c[i].load(std::memory_order_relaxed);
+      row.c[i] = v;
+      snap.totals[i] += v;
+      any |= v != 0;
+    }
+    if (any) snap.per_worker.push_back(row);
+  }
+  return snap;
+}
+
+void reset_counters() {
+  for (std::size_t slot = 0; slot < kNumSlots; ++slot) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      detail::g_counters[slot].c[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string StatsSnapshot::to_json() const {
+  std::string out = "{\"counters\": {";
+  append_counter_fields(out, totals);
+  out += "}, \"per_worker\": [";
+  for (std::size_t r = 0; r < per_worker.size(); ++r) {
+    out += "{\"slot\": " + std::to_string(per_worker[r].slot) + ", ";
+    append_counter_fields(out, per_worker[r].c);
+    out += "}";
+    if (r + 1 < per_worker.size()) out += ", ";
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+// Per-slot live window, oldest first. Acquire on head pairs with the
+// producer's release so the events below it are visible.
+void drain_slot(std::size_t slot, std::vector<DrainedEvent>& out) {
+  detail::TraceRing& ring = detail::g_rings[slot];
+  u64 head = ring.head.load(std::memory_order_acquire);
+  u64 count = std::min<u64>(head, kTraceRingCapacity);
+  for (u64 i = head - count; i < head; ++i) {
+    const TraceEvent& ev = ring.events[i & (kTraceRingCapacity - 1)];
+    out.push_back(DrainedEvent{ev.name, ev.ts_ns, static_cast<u32>(slot),
+                               ev.depth, ev.phase});
+  }
+}
+
+}  // namespace
+
+std::vector<DrainedEvent> drain_trace_events() {
+  std::vector<DrainedEvent> events;
+  for (std::size_t slot = 0; slot < kNumSlots; ++slot) {
+    drain_slot(slot, events);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const DrainedEvent& a, const DrainedEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return events;
+}
+
+std::size_t trace_event_count() {
+  std::size_t total = 0;
+  for (std::size_t slot = 0; slot < kNumSlots; ++slot) {
+    u64 head = detail::g_rings[slot].head.load(std::memory_order_acquire);
+    total += static_cast<std::size_t>(std::min<u64>(head, kTraceRingCapacity));
+  }
+  return total;
+}
+
+std::size_t trace_dropped_count() {
+  std::size_t dropped = 0;
+  for (std::size_t slot = 0; slot < kNumSlots; ++slot) {
+    u64 head = detail::g_rings[slot].head.load(std::memory_order_acquire);
+    if (head > kTraceRingCapacity) {
+      dropped += static_cast<std::size_t>(head - kTraceRingCapacity);
+    }
+  }
+  return dropped;
+}
+
+void clear_trace() {
+  for (std::size_t slot = 0; slot < kNumSlots; ++slot) {
+    detail::g_rings[slot].head.store(0, std::memory_order_release);
+  }
+}
+
+bool write_trace(const std::string& path) {
+  std::vector<DrainedEvent> events = drain_trace_events();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"displayTimeUnit\": \"ms\",\n");
+  std::fprintf(f, "  \"otherData\": {\"schema\": \"rpb-trace-v1\", "
+                  "\"dropped_events\": %zu},\n",
+               trace_dropped_count());
+  std::fprintf(f, "  \"traceEvents\": [\n");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const DrainedEvent& ev = events[i];
+    // Names are static string literals from OBS_SCOPE sites; no quotes
+    // or backslashes to escape.
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"cat\": \"rpb\", \"ph\": \"%c\", "
+                 "\"pid\": 0, \"tid\": %u, \"ts\": %.3f, "
+                 "\"args\": {\"depth\": %u}}%s\n",
+                 ev.name, ev.phase, ev.slot,
+                 static_cast<double>(ev.ts_ns) / 1e3, ev.depth,
+                 i + 1 < events.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
+WorkSpan work_span() {
+  WorkSpan out;
+  struct Frame {
+    const char* name;
+    u64 begin;
+    u64 child_ns = 0;    // total duration of same-worker children
+    u64 child_span = 0;  // deepest same-worker child chain
+    u32 depth;
+  };
+  for (std::size_t slot = 0; slot < kNumSlots; ++slot) {
+    std::vector<DrainedEvent> events;
+    drain_slot(slot, events);
+    std::vector<Frame> stack;
+    for (const DrainedEvent& ev : events) {
+      if (ev.phase == 'B') {
+        stack.push_back(Frame{ev.name, ev.ts_ns, 0, 0, ev.depth});
+        continue;
+      }
+      if (stack.empty()) continue;  // begin overwritten by ring wrap
+      Frame top = stack.back();
+      if (top.depth != ev.depth || top.name != ev.name) {
+        // Wraparound ate part of the nesting; the reconstructed stack
+        // no longer matches. Discard the broken lineage and resync.
+        stack.clear();
+        continue;
+      }
+      stack.pop_back();
+      u64 dur = ev.ts_ns >= top.begin ? ev.ts_ns - top.begin : 0;
+      u64 self = dur >= top.child_ns ? dur - top.child_ns : 0;
+      u64 span = self + top.child_span;
+      out.work_seconds += static_cast<double>(self) * 1e-9;
+      ++out.scopes;
+      if (!stack.empty()) {
+        stack.back().child_ns += dur;
+        stack.back().child_span = std::max(stack.back().child_span, span);
+      } else {
+        out.span_seconds =
+            std::max(out.span_seconds, static_cast<double>(span) * 1e-9);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rpb::obs

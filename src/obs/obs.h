@@ -1,0 +1,158 @@
+// Scheduler observability: the mode knob and per-thread slot identity
+// shared by the counter (obs/counters.h) and tracing (obs/trace.h)
+// layers. Four PRs of scheduler/arena/primitives work were tuned from
+// end-to-end medians alone; this subsystem exposes *why* a run is fast
+// or slow — steal success rates, split decisions, lease churn, per-phase
+// spans — as first-class data, while costing the off path nothing but a
+// relaxed load and a predictable branch per instrumentation site.
+//
+// The RPB_OBS knob (mirrored by set_mode, like RPB_SPLIT/RPB_ARENA):
+//   off      — default. Every instrumentation site compiles to a relaxed
+//              atomic load plus an untaken branch; no TLS access, no
+//              stores, no allocation.
+//   counters — per-worker cache-line-padded relaxed-atomic counters
+//              (spawns, steals, splits, leases, check verdicts ...),
+//              aggregated on demand into a StatsSnapshot.
+//   trace    — counters plus scoped region tracing into per-worker
+//              lock-free ring buffers, drained post-run into Chrome
+//              trace-event JSON (obs::write_trace) with work/span
+//              accounting (obs::work_span).
+//
+// Slot identity: pool workers bind slot = worker index (stable across
+// ThreadPool::reset_global generations, since the old workers are
+// joined before the new ones start); every other thread leases a
+// dynamic slot from a free list and returns it at thread exit. When the
+// dynamic range is exhausted, threads share the overflow slot, which
+// accepts counter bumps (atomics tolerate sharing) but records no trace
+// events (the rings are single-producer).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "support/defs.h"
+
+namespace rpb::obs {
+
+// Observability level; ordering matters (trace implies counters).
+enum class ObsMode : int { kOff = 0, kCounters = 1, kTrace = 2 };
+
+// Slot layout: [0, kMaxWorkerSlots) pool workers, then the dynamic
+// range for non-pool threads (main thread, MqExecutor workers), then
+// one shared overflow slot.
+inline constexpr std::size_t kMaxWorkerSlots = 32;
+inline constexpr std::size_t kDynamicSlots = 31;
+inline constexpr std::size_t kNumSlots = kMaxWorkerSlots + kDynamicSlots + 1;
+inline constexpr std::size_t kOverflowSlot = kNumSlots - 1;
+
+namespace detail {
+
+inline std::atomic<int> g_obs_mode{-1};  // -1: not yet resolved
+
+inline ObsMode resolve_obs_mode() {
+  if (const char* env = std::getenv("RPB_OBS")) {
+    if (std::strcmp(env, "counters") == 0) return ObsMode::kCounters;
+    if (std::strcmp(env, "trace") == 0) return ObsMode::kTrace;
+  }
+  return ObsMode::kOff;
+}
+
+}  // namespace detail
+
+inline ObsMode mode() {
+  int m = detail::g_obs_mode.load(std::memory_order_relaxed);
+  if (m < 0) [[unlikely]] {
+    m = static_cast<int>(detail::resolve_obs_mode());
+    detail::g_obs_mode.store(m, std::memory_order_relaxed);
+  }
+  return static_cast<ObsMode>(m);
+}
+
+// Benchmark/test knob; safe to flip between (not during) parallel
+// regions — mirrors sched::set_split_mode / support::set_arena_mode.
+inline void set_mode(ObsMode m) {
+  detail::g_obs_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+// The off-path fast checks: one relaxed load + compare each.
+inline bool counters_enabled() { return mode() != ObsMode::kOff; }
+inline bool trace_enabled() { return mode() == ObsMode::kTrace; }
+
+namespace detail {
+
+inline constexpr u32 kInvalidSlot = 0xffffffffu;
+
+inline std::mutex& slot_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Leaked on purpose: non-main threads run their thread_local
+// destructors (which push into this list) during process teardown,
+// after static destructors may have started on some platforms.
+inline std::vector<u32>& free_dynamic_slots() {
+  static std::vector<u32>* slots = [] {
+    auto* v = new std::vector<u32>();
+    v->reserve(kDynamicSlots);
+    for (std::size_t i = kDynamicSlots; i-- > 0;) {
+      v->push_back(static_cast<u32>(kMaxWorkerSlots + i));
+    }
+    return v;
+  }();
+  return *slots;
+}
+
+struct ThreadSlotHolder {
+  u32 slot = kInvalidSlot;
+  bool dynamic = false;
+  ~ThreadSlotHolder() {
+    if (!dynamic) return;
+    std::lock_guard<std::mutex> guard(slot_mutex());
+    free_dynamic_slots().push_back(slot);
+  }
+};
+
+inline thread_local ThreadSlotHolder tl_slot;
+
+}  // namespace detail
+
+// The calling thread's observability slot. Only reached from enabled
+// paths, so the off mode never touches TLS. First use from a non-pool
+// thread leases a dynamic slot (returned at thread exit).
+inline u32 thread_slot() {
+  detail::ThreadSlotHolder& holder = detail::tl_slot;
+  if (holder.slot == detail::kInvalidSlot) [[unlikely]] {
+    std::lock_guard<std::mutex> guard(detail::slot_mutex());
+    auto& free_slots = detail::free_dynamic_slots();
+    if (free_slots.empty()) {
+      holder.slot = static_cast<u32>(kOverflowSlot);
+    } else {
+      holder.slot = free_slots.back();
+      free_slots.pop_back();
+      holder.dynamic = true;
+    }
+  }
+  return holder.slot;
+}
+
+// Called by ThreadPool::worker_loop at thread start: pins this thread
+// to the stable per-worker slot so counters and trace lanes line up
+// with worker indices. Unconditional (not mode-gated) — it runs once
+// per worker thread, and binding eagerly lets the mode flip on later.
+inline void bind_worker_slot(std::size_t worker_index) {
+  detail::ThreadSlotHolder& holder = detail::tl_slot;
+  if (holder.dynamic) {
+    std::lock_guard<std::mutex> guard(detail::slot_mutex());
+    detail::free_dynamic_slots().push_back(holder.slot);
+    holder.dynamic = false;
+  }
+  holder.slot = worker_index < kMaxWorkerSlots
+                    ? static_cast<u32>(worker_index)
+                    : static_cast<u32>(kOverflowSlot);
+}
+
+}  // namespace rpb::obs

@@ -1,0 +1,203 @@
+// Scoped region tracing (obs layer 2) and work/span accounting (layer
+// 3). Each slot owns a fixed-capacity ring of begin/end events; the
+// owning thread is the only producer, so a record is one array store
+// plus a release store of the head index (release pairs with the
+// drain's acquire — the same payload-publication discipline the
+// Chase-Lev deque uses, expressed with per-operation orderings so it is
+// TSAN-modelable without standalone fences). A full ring overwrites its
+// oldest events — tracing never blocks and never allocates.
+//
+// Draining (write_trace / work_span / drain_trace_events) is
+// quiescent-only: call it after the traced parallel regions have
+// joined. Producers that raced past the ring capacity simply lose their
+// oldest events; the drain reports how many were overwritten.
+//
+// Phase labels: OBS_SCOPE("sample_sort.classify") names a region and
+// publishes the name as the current phase label; the scheduler's leaf
+// tasks (ScopedLeaf) inherit the label, so events recorded on stealing
+// workers aggregate under the kernel phase that spawned them. The label
+// is a single global — concurrent *distinct* kernels can mislabel each
+// other's leaves (it is a hint, not a causal link); benchmarks run one
+// kernel at a time, which is the case this subsystem serves.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/obs.h"
+#include "support/defs.h"
+
+namespace rpb::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  // static string (macro literal)
+  u64 ts_ns = 0;               // nanoseconds since the process trace epoch
+  u32 depth = 0;               // fork-join nesting depth on this thread
+  char phase = 0;              // 'B' or 'E'
+};
+
+inline constexpr std::size_t kTraceRingCapacity = 1 << 12;  // per slot
+
+namespace detail {
+
+struct alignas(kCacheLineBytes) TraceRing {
+  std::array<TraceEvent, kTraceRingCapacity> events;
+  // Monotonic event count; the live window is [head - min(head, cap),
+  // head). Store-release publishes the slot write above it.
+  std::atomic<u64> head{0};
+};
+
+inline TraceRing g_rings[kNumSlots];
+inline std::atomic<u64> g_trace_epoch_ns{0};
+inline std::atomic<const char*> g_phase_label{nullptr};
+inline thread_local u32 tl_scope_depth = 0;
+
+inline u64 now_ns() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline u64 trace_now() {
+  u64 epoch = g_trace_epoch_ns.load(std::memory_order_relaxed);
+  u64 now = now_ns();
+  if (epoch == 0) [[unlikely]] {
+    u64 expected = 0;
+    g_trace_epoch_ns.compare_exchange_strong(expected, now,
+                                             std::memory_order_relaxed);
+    epoch = g_trace_epoch_ns.load(std::memory_order_relaxed);
+  }
+  return now >= epoch ? now - epoch : 0;
+}
+
+inline void record(const char* name, char phase, u32 depth) {
+  u32 slot = thread_slot();
+  if (slot == kOverflowSlot) [[unlikely]] {
+    // Shared slot: rings are single-producer, so overflow threads count
+    // the drop instead of racing on the array.
+    bump(Counter::kTraceDropsObserved);
+    return;
+  }
+  TraceRing& ring = g_rings[slot];
+  u64 h = ring.head.load(std::memory_order_relaxed);
+  ring.events[h & (kTraceRingCapacity - 1)] =
+      TraceEvent{name, trace_now(), depth, phase};
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+// RAII region scope: records begin/end events and publishes the region
+// name as the current phase label for leaf tasks spawned underneath.
+// Off/counters mode: constructor is one relaxed load + untaken branch.
+class ScopedRegion {
+ public:
+  explicit ScopedRegion(const char* name) {
+    if (!trace_enabled()) [[likely]] return;
+    name_ = name;
+    prev_label_ = detail::g_phase_label.exchange(name,
+                                                 std::memory_order_relaxed);
+    depth_ = detail::tl_scope_depth++;
+    detail::record(name, 'B', depth_);
+  }
+  ~ScopedRegion() {
+    if (name_ == nullptr) return;
+    --detail::tl_scope_depth;
+    detail::record(name_, 'E', depth_);
+    detail::g_phase_label.store(prev_label_, std::memory_order_relaxed);
+  }
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* prev_label_ = nullptr;
+  u32 depth_ = 0;
+};
+
+// RAII leaf scope used by the scheduler's split/chunk paths and the
+// MultiQueue executor: same events as ScopedRegion but named after the
+// inherited phase label, so stolen work shows up under the kernel phase
+// that forked it. Does not publish a label of its own.
+class ScopedLeaf {
+ public:
+  ScopedLeaf() {
+    if (!trace_enabled()) [[likely]] return;
+    name_ = detail::g_phase_label.load(std::memory_order_relaxed);
+    if (name_ == nullptr) name_ = "leaf";
+    depth_ = detail::tl_scope_depth++;
+    detail::record(name_, 'B', depth_);
+  }
+  ~ScopedLeaf() {
+    if (name_ == nullptr) return;
+    --detail::tl_scope_depth;
+    detail::record(name_, 'E', depth_);
+  }
+  ScopedLeaf(const ScopedLeaf&) = delete;
+  ScopedLeaf& operator=(const ScopedLeaf&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  u32 depth_ = 0;
+};
+
+#define RPB_OBS_CONCAT2(a, b) a##b
+#define RPB_OBS_CONCAT(a, b) RPB_OBS_CONCAT2(a, b)
+// Named region scope: OBS_SCOPE("sample_sort.partition");
+#define OBS_SCOPE(name) \
+  ::rpb::obs::ScopedRegion RPB_OBS_CONCAT(rpb_obs_scope_, __LINE__)(name)
+
+// ---- quiescent-only drain API (implemented in obs.cpp) --------------
+
+struct DrainedEvent {
+  const char* name;
+  u64 ts_ns;
+  u32 slot;
+  u32 depth;
+  char phase;
+};
+
+// Snapshot of every ring's live window, merged and sorted by timestamp.
+// Non-destructive (clear_trace resets).
+std::vector<DrainedEvent> drain_trace_events();
+
+// Events currently held across all rings / events overwritten by ring
+// wraparound (drop-oldest) plus overflow-slot drops.
+std::size_t trace_event_count();
+std::size_t trace_dropped_count();
+
+// Resets every ring (and the dropped tally). Quiescent use only.
+void clear_trace();
+
+// Writes the current trace as Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto; tools/trace_summary.py renders a
+// per-phase/per-worker table from it). Returns false on I/O failure.
+bool write_trace(const std::string& path);
+
+// Work/span accounting over the current trace. Work W sums the self
+// time (duration minus same-worker child time) of every completed
+// scope; span S is the longest root-to-leaf chain of self times,
+// where parent/child links are per-worker scope nesting. Cross-worker
+// children are not subtracted from their forking scope's self time
+// (the trace records no causal steal edges), so W counts a forking
+// scope's wait time as work — treat W/S as the measured parallelism of
+// what the trace saw, an estimate, not a Cilkview-exact bound. W >= S
+// holds by construction (the chain's self times are a subset of W).
+struct WorkSpan {
+  double work_seconds = 0;
+  double span_seconds = 0;
+  std::size_t scopes = 0;  // completed scopes accounted
+  double parallelism() const {
+    return span_seconds > 0 ? work_seconds / span_seconds : 0;
+  }
+};
+
+WorkSpan work_span();
+
+}  // namespace rpb::obs

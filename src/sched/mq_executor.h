@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sched/multiqueue.h"
 #include "support/hash.h"
 
@@ -68,6 +69,7 @@ class MqExecutor {
             continue;
           }
           try {
+            obs::ScopedLeaf leaf_scope;
             process(*item, handle);
           } catch (...) {
             {

@@ -24,6 +24,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/counters.h"
 #include "support/defs.h"
 #include "support/hash.h"
 
@@ -52,6 +53,7 @@ class MultiQueue {
       q.heap.push(Entry{key_(value), value});
       q.top_key.store(q.heap.top().key, std::memory_order_release);
       size_.fetch_add(1, std::memory_order_relaxed);
+      obs::bump(obs::Counter::kMqPushes);
       return;
     }
   }
@@ -115,6 +117,7 @@ class MultiQueue {
     q.top_key.store(q.heap.empty() ? kEmptyKey : q.heap.top().key,
                     std::memory_order_release);
     size_.fetch_sub(1, std::memory_order_relaxed);
+    obs::bump(obs::Counter::kMqPops);
     return out;
   }
 

@@ -19,6 +19,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "sched/thread_pool.h"
 
 namespace rpb::sched {
@@ -92,6 +94,7 @@ void parallel_for_range(std::size_t begin, std::size_t end, const F& body,
       auto split = [&pool, grain, &body](auto&& self, std::size_t lo,
                                          std::size_t hi) -> void {
         if (hi - lo <= grain) {
+          obs::ScopedLeaf leaf_scope;
           body(lo, hi);
           return;
         }
@@ -116,14 +119,20 @@ void parallel_for_range(std::size_t begin, std::size_t end, const F& body,
                                       std::size_t hi) -> void {
       while (hi - lo > grain) {
         if (pool.should_split()) {
+          obs::bump(obs::Counter::kLazySplitsTaken);
           std::size_t mid = lo + (hi - lo) / 2;
           pool.join([&] { self(self, lo, mid); }, [&] { self(self, mid, hi); });
           return;
         }
+        obs::bump(obs::Counter::kLazySplitsElided);
         std::size_t next = lo + grain;
-        body(lo, next);
+        {
+          obs::ScopedLeaf leaf_scope;
+          body(lo, next);
+        }
         lo = next;
       }
+      obs::ScopedLeaf leaf_scope;
       body(lo, hi);
     };
     work(work, begin, end);
@@ -177,6 +186,7 @@ T parallel_reduce_range(std::size_t begin, std::size_t end, T identity,
       T acc(identity);
       while (hi - lo > grain) {
         if (pool.should_split()) {
+          obs::bump(obs::Counter::kLazySplitsTaken);
           std::size_t mid = lo + (hi - lo) / 2;
           T left(identity), right(identity);
           pool.join([&] { left = self(self, lo, mid); },
@@ -184,6 +194,7 @@ T parallel_reduce_range(std::size_t begin, std::size_t end, T identity,
           return combine(std::move(acc),
                          combine(std::move(left), std::move(right)));
         }
+        obs::bump(obs::Counter::kLazySplitsElided);
         std::size_t next = lo + grain;
         acc = combine(std::move(acc), leaf(lo, next));
         lo = next;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/counters.h"
 #include "support/env.h"
 #include "support/hash.h"
 
@@ -33,6 +34,7 @@ inline void cpu_relax() {
 }
 
 inline void idle_backoff(int round) {
+  obs::bump(obs::Counter::kBackoffRounds);
   if (round < kSpinRounds) {
     for (int i = 0; i < (1 << round); ++i) cpu_relax();
   } else {
@@ -81,10 +83,12 @@ void ThreadPool::inject(Job* job) {
     injected_pending_.fetch_add(1, std::memory_order_release);
   }
   injected_.fetch_add(1, std::memory_order_relaxed);
+  obs::bump(obs::Counter::kInjectedJobs);
   wake_workers(1);
 }
 
 void ThreadPool::push_local(Job* job) {
+  obs::bump(obs::Counter::kSpawns);
   workers_[tl_worker_index]->deque.push(job);
   // Only pay the notify cost when someone is actually asleep.
   if (sleepers_.load(std::memory_order_relaxed) > 0) wake_workers(1);
@@ -109,6 +113,7 @@ Job* ThreadPool::take_injected() {
 Job* ThreadPool::steal_from_anyone(std::size_t self, std::uint64_t& rng_state) {
   const std::size_t n = workers_.size();
   if (n <= 1) return take_injected();
+  obs::bump(obs::Counter::kStealsAttempted);
   rng_state = hash64(rng_state + 0x9e3779b97f4a7c15ull);
   const std::size_t start = rng_state % n;
   // First choice: the victim advertising the deepest deque (random tie
@@ -127,14 +132,17 @@ Job* ThreadPool::steal_from_anyone(std::size_t self, std::uint64_t& rng_state) {
     }
   }
   if (best != n) {
+    obs::bump(obs::Counter::kDeepestVictimPicks);
     if (Job* job = workers_[best]->deque.steal()) {
       workers_[self]->stolen.fetch_add(1, std::memory_order_relaxed);
+      obs::bump(obs::Counter::kStealsSucceeded);
       // Batch: if the victim still has depth to spare, take one more and
       // park it on our own deque — it is runnable by us (pop-first loops
       // and the join pop-loop) and stealable by anyone else.
       if (best_size >= 2 && tl_pool == this && tl_worker_index == self) {
         if (Job* extra = workers_[best]->deque.steal()) {
           workers_[self]->stolen.fetch_add(1, std::memory_order_relaxed);
+          obs::bump(obs::Counter::kStealsSucceeded);
           push_local(extra);
         }
       }
@@ -148,6 +156,7 @@ Job* ThreadPool::steal_from_anyone(std::size_t self, std::uint64_t& rng_state) {
     if (victim == self) continue;
     if (Job* job = workers_[victim]->deque.steal()) {
       workers_[self]->stolen.fetch_add(1, std::memory_order_relaxed);
+      obs::bump(obs::Counter::kStealsSucceeded);
       return job;
     }
   }
@@ -166,6 +175,7 @@ void ThreadPool::wait_while_helping(Job& until_done) {
     if (job != nullptr) {
       workers_[tl_worker_index]->executed.fetch_add(1,
                                                     std::memory_order_relaxed);
+      obs::bump(obs::Counter::kJobsExecuted);
       job->run_claimed();
       idle_rounds = 0;
       continue;
@@ -195,6 +205,7 @@ void ThreadPool::wake_workers(std::size_t count) {
 void ThreadPool::worker_loop(std::size_t index) {
   tl_pool = this;
   tl_worker_index = index;
+  obs::bind_worker_slot(index);
   std::uint64_t rng_state = hash64(index + 0x1234);
   int idle_rounds = 0;
   for (;;) {
@@ -203,6 +214,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     if (job == nullptr) job = steal_from_anyone(index, rng_state);
     if (job != nullptr) {
       workers_[index]->executed.fetch_add(1, std::memory_order_relaxed);
+      obs::bump(obs::Counter::kJobsExecuted);
       job->run_claimed();
       idle_rounds = 0;
       continue;
@@ -220,6 +232,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     if (Job* late = take_injected()) {
       lock.unlock();
       workers_[index]->executed.fetch_add(1, std::memory_order_relaxed);
+      obs::bump(obs::Counter::kJobsExecuted);
       late->run_claimed();
       idle_rounds = 0;
       continue;

@@ -7,6 +7,7 @@
 #include "core/patterns.h"
 #include "core/primitives.h"
 #include "core/uninit_buf.h"
+#include "obs/trace.h"
 #include "sched/parallel.h"
 #include "support/arena.h"
 
@@ -38,6 +39,7 @@ template <class Acc, class AddFn, class MergeFn>
 std::vector<Acc> histogram_private(std::span<const u64> keys,
                                    std::size_t num_buckets, AddFn add,
                                    MergeFn merge) {
+  OBS_SCOPE("histogram");
   const std::size_t threads = sched::ThreadPool::global().num_threads();
   const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
   const std::size_t block =

@@ -22,6 +22,7 @@
 #include "core/patterns.h"
 #include "core/primitives.h"
 #include "core/uninit_buf.h"
+#include "obs/trace.h"
 #include "sched/parallel.h"
 #include "support/arena.h"
 #include "support/defs.h"
@@ -122,6 +123,7 @@ template <class T, class KeyFn>
 void integer_sort_by(std::span<T> items, int key_bits, KeyFn key,
                      AccessMode mode = AccessMode::kUnchecked) {
   if (items.size() < 2) return;
+  OBS_SCOPE("integer_sort");
   support::ArenaLease arena;
   ArenaVec<T> buffer(arena, items.size());
   std::span<T> a(items), b(buffer.span());

@@ -19,6 +19,7 @@
 #include "core/patterns.h"
 #include "core/primitives.h"
 #include "core/uninit_buf.h"
+#include "obs/trace.h"
 #include "sched/parallel.h"
 #include "support/arena.h"
 #include "support/defs.h"
@@ -35,6 +36,7 @@ void sample_sort(std::vector<T>& items, Less less = Less(),
     std::sort(items.begin(), items.end(), less);
     return;
   }
+  OBS_SCOPE("sample_sort");
 
   // Bucket count ~ sqrt-ish scaling, capped; oversampling factor 32.
   const std::size_t num_buckets =
@@ -46,8 +48,13 @@ void sample_sort(std::vector<T>& items, Less less = Less(),
 
   Rng rng(0x5a5a5a);
   ArenaVec<T> sample(arena, sample_size);
-  for (std::size_t i = 0; i < sample_size; ++i) sample[i] = items[rng.next(i, n)];
-  std::sort(sample.begin(), sample.end(), less);
+  {
+    OBS_SCOPE("sample_sort.sample");
+    for (std::size_t i = 0; i < sample_size; ++i) {
+      sample[i] = items[rng.next(i, n)];
+    }
+    std::sort(sample.begin(), sample.end(), less);
+  }
 
   // Dedupe the oversampled splitters: with heavy key repetition the raw
   // picks contain runs of equal values, which previously funneled every
@@ -82,19 +89,22 @@ void sample_sort(std::vector<T>& items, Less less = Less(),
   const std::size_t block = (n + num_blocks - 1) / num_blocks;
   auto counts = zeroed_buf<u64>(arena, total_buckets * num_blocks);
   auto bucket_ids = uninit_buf<u32>(arena, n);
-  sched::parallel_for(
-      0, num_blocks,
-      [&](std::size_t b) {
-        std::size_t lo = b * block, hi = std::min(n, lo + block);
-        for (std::size_t i = lo; i < hi; ++i) {
-          std::size_t bkt = bucket_of(items[i]);
-          bucket_ids[i] = static_cast<u32>(bkt);
-          ++counts[bkt * num_blocks + b];
-        }
-      },
-      1);
-  // Allocation-free scan: block sums lease from the arena pool.
-  par::scan_exclusive_sum(counts.span());
+  {
+    OBS_SCOPE("sample_sort.classify");
+    sched::parallel_for(
+        0, num_blocks,
+        [&](std::size_t b) {
+          std::size_t lo = b * block, hi = std::min(n, lo + block);
+          for (std::size_t i = lo; i < hi; ++i) {
+            std::size_t bkt = bucket_of(items[i]);
+            bucket_ids[i] = static_cast<u32>(bkt);
+            ++counts[bkt * num_blocks + b];
+          }
+        },
+        1);
+    // Allocation-free scan: block sums lease from the arena pool.
+    par::scan_exclusive_sum(counts.span());
+  }
 
   // Bucket boundary offsets (monotone by construction of the scan).
   auto bucket_offsets = uninit_buf<u64>(arena, total_buckets + 1);
@@ -107,34 +117,43 @@ void sample_sort(std::vector<T>& items, Less less = Less(),
   // arena slab instead of a per-task heap vector.
   ArenaVec<T> buffer(arena, n);
   auto cursors = uninit_buf<u64>(arena, total_buckets * num_blocks);
-  sched::parallel_for(
-      0, num_blocks,
-      [&](std::size_t b) {
-        std::size_t lo = b * block, hi = std::min(n, lo + block);
-        u64* cursor = cursors.data() + b * total_buckets;
-        for (std::size_t bkt = 0; bkt < total_buckets; ++bkt) {
-          cursor[bkt] = counts[bkt * num_blocks + b];
-        }
-        for (std::size_t i = lo; i < hi; ++i) {
-          buffer[cursor[bucket_ids[i]]++] = items[i];
-        }
-      },
-      1);
+  {
+    OBS_SCOPE("sample_sort.scatter");
+    sched::parallel_for(
+        0, num_blocks,
+        [&](std::size_t b) {
+          std::size_t lo = b * block, hi = std::min(n, lo + block);
+          u64* cursor = cursors.data() + b * total_buckets;
+          for (std::size_t bkt = 0; bkt < total_buckets; ++bkt) {
+            cursor[bkt] = counts[bkt * num_blocks + b];
+          }
+          for (std::size_t i = lo; i < hi; ++i) {
+            buffer[cursor[bucket_ids[i]]++] = items[i];
+          }
+        },
+        1);
+  }
 
   // Sort each bucket region in place: RngInd over the bucket offsets.
   // grain stays 1 — buckets are coarse, so each chunk is worth its own
   // task and stealing balances skewed buckets. Odd buckets hold runs of
   // one value and need no sort.
-  par::par_ind_chunks_mut(
-      buffer.span(), bucket_offsets.cspan(),
-      [&](std::size_t bkt, std::span<T> chunk) {
-        if (bkt % 2 == 0) std::sort(chunk.begin(), chunk.end(), less);
-      },
-      mode == AccessMode::kChecked ? AccessMode::kChecked
-                                   : AccessMode::kUnchecked,
-      /*grain=*/1);
+  {
+    OBS_SCOPE("sample_sort.bucket_sort");
+    par::par_ind_chunks_mut(
+        buffer.span(), bucket_offsets.cspan(),
+        [&](std::size_t bkt, std::span<T> chunk) {
+          if (bkt % 2 == 0) std::sort(chunk.begin(), chunk.end(), less);
+        },
+        mode == AccessMode::kChecked ? AccessMode::kChecked
+                                     : AccessMode::kUnchecked,
+        /*grain=*/1);
+  }
 
-  sched::parallel_for(0, n, [&](std::size_t i) { items[i] = buffer[i]; });
+  {
+    OBS_SCOPE("sample_sort.copy_back");
+    sched::parallel_for(0, n, [&](std::size_t i) { items[i] = buffer[i]; });
+  }
 }
 
 const census::BenchmarkCensus& sort_census();

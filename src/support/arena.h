@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/counters.h"
 #include "support/defs.h"
 
 namespace rpb::support {
@@ -104,6 +105,7 @@ class Arena {
       }
       std::size_t want = std::max(bytes + align, kMinChunkBytes);
       want = std::bit_ceil(std::max(want, retained_bytes_));
+      obs::bump(obs::Counter::kArenaChunkAllocs);
       chunks_.push_back(Chunk{std::make_unique<std::byte[]>(want), want, 0});
       retained_bytes_ += want;
       active_ = chunks_.size() - 1;
@@ -180,10 +182,12 @@ class ArenaLease {
       if (!pool.idle.empty()) {
         arena_ = std::move(pool.idle.back());
         pool.idle.pop_back();
+        obs::bump(obs::Counter::kArenaLeaseReuses);
         return;
       }
       ++pool.created;
     }
+    obs::bump(obs::Counter::kArenaLeaseCreates);
     arena_ = std::make_unique<Arena>();
   }
 

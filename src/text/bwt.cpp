@@ -8,6 +8,7 @@
 #include "core/patterns.h"
 #include "core/primitives.h"
 #include "core/uninit_buf.h"
+#include "obs/trace.h"
 #include "sched/parallel.h"
 #include "support/arena.h"
 #include "text/suffix_array.h"
@@ -15,6 +16,7 @@
 namespace rpb::text {
 
 std::vector<u8> bwt_encode(std::span<const u8> text, AccessMode mode) {
+  OBS_SCOPE("bwt.encode");
   const std::size_t n = text.size();
   support::ArenaLease arena;
   auto with_sentinel = uninit_buf<u8>(arena, n + 1);
@@ -70,6 +72,7 @@ std::vector<u8> bwt_decode_parallel_chase(std::span<const u8> bwt,
                                           std::size_t num_segments) {
   const std::size_t n = bwt.size();
   if (n == 0) return {};
+  OBS_SCOPE("bwt.decode_chase");
   const std::size_t out_len = n - 1;
   support::ArenaLease arena;
   DecodeTables tables = build_decode_tables(bwt, mode, arena);

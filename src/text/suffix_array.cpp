@@ -5,6 +5,7 @@
 
 #include "core/primitives.h"
 #include "core/uninit_buf.h"
+#include "obs/trace.h"
 #include "sched/parallel.h"
 #include "seq/integer_sort.h"
 #include "seq/mark_present.h"
@@ -24,6 +25,7 @@ std::vector<u32> suffix_array(std::span<const u8> text, AccessMode mode) {
   const std::size_t n = text.size();
   std::vector<u32> sa(n);
   if (n == 0) return sa;
+  OBS_SCOPE("suffix_array");
 
   // rank values stay < n + 2 throughout; keys pack two of them.
   const u64 base = static_cast<u64>(n) + 2;
@@ -63,6 +65,7 @@ std::vector<u32> suffix_array(std::span<const u8> text, AccessMode mode) {
   };
 
   auto sort_round = [&](std::size_t k) {
+    OBS_SCOPE("suffix_array.round");
     // Ranks are dense (< n) after the initial round, so the base-(n+2)
     // packing is collision-free.
     sched::parallel_for(0, n, [&](std::size_t i) {

@@ -1,0 +1,203 @@
+// Observability subsystem tests: counter aggregation across workers,
+// ring-buffer wraparound semantics (drop oldest, never block), Chrome
+// trace JSON shape, work/span sanity, and the zero-cost-off contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/counters.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "sched/parallel.h"
+#include "sched/thread_pool.h"
+#include "test_guards.h"
+
+namespace rpb::obs {
+namespace {
+
+// Counts brace/bracket balance outside strings — the same structural
+// check bench_util's validator applies.
+bool balanced_json(const std::string& text) {
+  int obj = 0, arr = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++obj;
+    if (c == '}') --obj;
+    if (c == '[') ++arr;
+    if (c == ']') --arr;
+    if (obj < 0 || arr < 0) return false;
+  }
+  return obj == 0 && arr == 0 && !in_string;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ObsMode, OffModeEmitsNothing) {
+  ObsModeGuard guard(ObsMode::kOff);
+  reset_counters();
+  clear_trace();
+  sched::ThreadPool::reset_global(2);
+  std::atomic<u64> total{0};
+  sched::parallel_for(0, 10000, [&](std::size_t i) {
+    total.fetch_add(i, std::memory_order_relaxed);
+  }, 1);
+  sched::ThreadPool::reset_global(1);
+  EXPECT_EQ(total.load(), u64{10000} * 9999 / 2);
+  StatsSnapshot snap = snapshot_counters();
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    EXPECT_EQ(snap.totals[i], 0u) << kCounterNames[i];
+  }
+  EXPECT_TRUE(snap.per_worker.empty());
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST(ObsCounters, AggregationAcrossWorkers) {
+  ObsModeGuard guard(ObsMode::kCounters);
+  reset_counters();
+  sched::ThreadPool::reset_global(4);
+  std::atomic<u64> total{0};
+  // grain 1 forces real forking, so spawns/jobs land on several slots.
+  sched::parallel_for(0, 100000, [&](std::size_t i) {
+    total.fetch_add(i, std::memory_order_relaxed);
+  }, 1);
+  StatsSnapshot snap = snapshot_counters();
+  sched::ThreadPool::reset_global(1);
+  EXPECT_EQ(total.load(), u64{100000} * 99999 / 2);
+  EXPECT_GT(snap.total(Counter::kSpawns), 0u);
+  EXPECT_GE(snap.total(Counter::kInjectedJobs), 1u);
+  EXPECT_GT(snap.total(Counter::kJobsExecuted), 0u);
+  EXPECT_FALSE(snap.per_worker.empty());
+  // Rows must sum to the totals (snapshot taken at quiescence).
+  for (std::size_t c = 0; c < kNumCounters; ++c) {
+    u64 sum = 0;
+    for (const auto& row : snap.per_worker) sum += row.c[c];
+    EXPECT_EQ(sum, snap.totals[c]) << kCounterNames[c];
+  }
+}
+
+TEST(ObsCounters, SnapshotJsonWellFormed) {
+  ObsModeGuard guard(ObsMode::kCounters);
+  reset_counters();
+  bump(Counter::kSpawns, 3);
+  bump(Counter::kStealsAttempted);
+  StatsSnapshot snap = snapshot_counters();
+  std::string json = snap.to_json();
+  EXPECT_TRUE(balanced_json(json)) << json;
+  EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"per_worker\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"spawns\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"steals_attempted\": 1"), std::string::npos);
+  reset_counters();
+  EXPECT_EQ(snapshot_counters().total(Counter::kSpawns), 0u);
+}
+
+TEST(ObsTrace, RingWraparoundDropsOldestNeverBlocks) {
+  ObsModeGuard guard(ObsMode::kTrace);
+  clear_trace();
+  // Single-threaded: everything lands in this thread's one ring.
+  // 5000 scopes = 10000 events > 4096 capacity.
+  constexpr std::size_t kScopes = 5000;
+  for (std::size_t i = 0; i < kScopes; ++i) {
+    OBS_SCOPE("wrap_test");
+  }
+  EXPECT_EQ(trace_event_count(), kTraceRingCapacity);
+  EXPECT_EQ(trace_dropped_count(), 2 * kScopes - kTraceRingCapacity);
+  // The live window holds the newest events in order.
+  auto events = drain_trace_events();
+  ASSERT_EQ(events.size(), kTraceRingCapacity);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+  clear_trace();
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_EQ(trace_dropped_count(), 0u);
+}
+
+TEST(ObsTrace, WriteTraceProducesValidChromeJson) {
+  ObsModeGuard guard(ObsMode::kTrace);
+  clear_trace();
+  sched::ThreadPool::reset_global(4);
+  {
+    OBS_SCOPE("obs_test.region");
+    std::atomic<u64> total{0};
+    sched::parallel_for(0, 50000, [&](std::size_t i) {
+      total.fetch_add(i, std::memory_order_relaxed);
+    }, 1);
+  }
+  sched::ThreadPool::reset_global(1);
+  ASSERT_GT(trace_event_count(), 0u);
+
+  std::string path =
+      std::string(::testing::TempDir()) + "rpb_obs_test_trace.json";
+  ASSERT_TRUE(write_trace(path));
+  std::string text = slurp(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(balanced_json(text));
+  EXPECT_NE(text.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"obs_test.region\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(text.find("\"tid\": "), std::string::npos);
+  EXPECT_NE(text.find("\"ts\": "), std::string::npos);
+  clear_trace();
+}
+
+TEST(ObsTrace, WorkSpanSanity) {
+  ObsModeGuard guard(ObsMode::kTrace);
+  clear_trace();
+  sched::ThreadPool::reset_global(4);
+  {
+    OBS_SCOPE("obs_test.workspan");
+    std::atomic<u64> sink{0};
+    sched::parallel_for(0, 200000, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    }, 1);
+  }
+  sched::ThreadPool::reset_global(1);
+  WorkSpan ws = work_span();
+  EXPECT_GT(ws.scopes, 0u);
+  EXPECT_GT(ws.work_seconds, 0.0);
+  EXPECT_GT(ws.span_seconds, 0.0);
+  EXPECT_GE(ws.work_seconds, ws.span_seconds);
+  EXPECT_GE(ws.parallelism(), 1.0);
+  clear_trace();
+}
+
+TEST(ObsMode, GuardRestoresPriorMode) {
+  ObsMode before = mode();
+  {
+    ObsModeGuard outer(ObsMode::kCounters);
+    EXPECT_EQ(mode(), ObsMode::kCounters);
+    EXPECT_TRUE(counters_enabled());
+    EXPECT_FALSE(trace_enabled());
+    {
+      ObsModeGuard inner(ObsMode::kTrace);
+      EXPECT_TRUE(trace_enabled());
+    }
+    EXPECT_EQ(mode(), ObsMode::kCounters);
+  }
+  EXPECT_EQ(mode(), before);
+}
+
+}  // namespace
+}  // namespace rpb::obs

@@ -9,6 +9,7 @@
 #include "sched/mq_executor.h"
 #include "sched/parallel.h"
 #include "sched/thread_pool.h"
+#include "test_guards.h"
 
 namespace rpb::sched {
 namespace {
@@ -120,13 +121,6 @@ TEST(MqExecutorErrors, TaskExceptionCancelsAndRethrows) {
   // Cancellation means we stop early; no hang, no terminate.
   EXPECT_LT(processed.load(), 10000);
 }
-
-// Restores the default splitting strategy even if a test body throws.
-class SplitModeGuard {
- public:
-  explicit SplitModeGuard(SplitMode mode) { set_split_mode(mode); }
-  ~SplitModeGuard() { set_split_mode(SplitMode::kLazy); }
-};
 
 // A throw from the middle of an adaptive leaf's chunk walk must unwind
 // through any forks the splitter made and reach the caller, leaving the

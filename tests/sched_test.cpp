@@ -13,6 +13,7 @@
 #include "sched/multiqueue.h"
 #include "sched/parallel.h"
 #include "sched/thread_pool.h"
+#include "test_guards.h"
 
 namespace rpb::sched {
 namespace {
@@ -245,13 +246,6 @@ TEST(ThreadPoolGlobal, ConcurrentExternalCallersSharePool) {
   EXPECT_EQ(total.load(), u64{kCallers} * kRounds * (kN * (kN - 1) / 2));
   ThreadPool::reset_global(1);
 }
-
-// Restores the default splitting strategy even if a test body throws.
-class SplitModeGuard {
- public:
-  explicit SplitModeGuard(SplitMode mode) { set_split_mode(mode); }
-  ~SplitModeGuard() { set_split_mode(SplitMode::kLazy); }
-};
 
 // Tiny grain + oversubscribed pool force the adaptive splitter through
 // its fork-on-demand path constantly; every index must still be covered

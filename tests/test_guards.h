@@ -1,0 +1,38 @@
+// RAII knob guards shared by the test binaries: restore the default
+// (or prior) state even if a test body throws. Declared in namespace
+// rpb so `SplitModeGuard` resolves unqualified from any rpb::* test
+// namespace via enclosing-namespace lookup.
+#pragma once
+
+#include "obs/obs.h"
+#include "sched/parallel.h"
+
+namespace rpb {
+
+// Restores the default splitting strategy even if a test body throws.
+class SplitModeGuard {
+ public:
+  explicit SplitModeGuard(sched::SplitMode mode) {
+    sched::set_split_mode(mode);
+  }
+  ~SplitModeGuard() { sched::set_split_mode(sched::SplitMode::kLazy); }
+  SplitModeGuard(const SplitModeGuard&) = delete;
+  SplitModeGuard& operator=(const SplitModeGuard&) = delete;
+};
+
+// Restores the prior observability mode (not a hardcoded default: obs
+// tests nest guards to layer counters under trace).
+class ObsModeGuard {
+ public:
+  explicit ObsModeGuard(obs::ObsMode mode) : prev_(obs::mode()) {
+    obs::set_mode(mode);
+  }
+  ~ObsModeGuard() { obs::set_mode(prev_); }
+  ObsModeGuard(const ObsModeGuard&) = delete;
+  ObsModeGuard& operator=(const ObsModeGuard&) = delete;
+
+ private:
+  obs::ObsMode prev_;
+};
+
+}  // namespace rpb

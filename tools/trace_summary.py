@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Summarize an rpb Chrome trace-event JSON (obs::write_trace output).
+
+Usage:
+    trace_summary.py TRACE.json
+    trace_summary.py --check
+
+Renders a per-phase/per-worker self-time table from the B/E event
+stream, then a work/span summary (the same estimator obs::work_span
+implements in C++: self time = duration minus same-worker child time,
+span = deepest self-time chain through per-worker scope nesting, so
+W >= S and W/S is the measured parallelism of what the trace saw).
+
+--check runs the parser against an embedded two-worker sample and
+verifies the table and W/S invariants — the ctest self-test.
+
+Exit codes: 0 ok, 1 check failure, 2 bad input. Stdlib only, so the
+ctest step needs nothing beyond a Python 3 interpreter.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(doc):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        sys.exit("error: no traceEvents array")
+    for ev in events:
+        for key in ("name", "ph", "tid", "ts"):
+            if key not in ev:
+                sys.exit(f"error: event missing {key!r}: {ev}")
+        if ev["ph"] not in ("B", "E"):
+            sys.exit(f"error: unexpected phase {ev['ph']!r}")
+    return events
+
+
+def analyze(events):
+    """Per-(phase, worker) self time + work/span, via stack simulation.
+
+    Returns (self_us[(name, tid)], scope_counts[(name, tid)], work_us,
+    span_us, scopes). Events must be time-ordered per tid (write_trace
+    emits a globally sorted merge, which is enough).
+    """
+    self_us = defaultdict(float)
+    scope_counts = defaultdict(int)
+    stacks = defaultdict(list)  # tid -> [[name, begin_ts, child_us, child_span]]
+    work_us = 0.0
+    span_us = 0.0
+    scopes = 0
+    for ev in events:
+        tid = ev["tid"]
+        stack = stacks[tid]
+        if ev["ph"] == "B":
+            stack.append([ev["name"], float(ev["ts"]), 0.0, 0.0])
+            continue
+        if not stack:
+            continue  # begin lost to ring wraparound
+        name, begin, child_us, child_span = stack.pop()
+        if name != ev["name"]:
+            # Wraparound broke the nesting reconstruction; drop lineage.
+            stack.clear()
+            continue
+        dur = max(0.0, float(ev["ts"]) - begin)
+        self_time = max(0.0, dur - child_us)
+        span_through = self_time + child_span
+        key = (name, tid)
+        self_us[key] += self_time
+        scope_counts[key] += 1
+        work_us += self_time
+        scopes += 1
+        if stack:
+            stack[-1][2] += dur
+            stack[-1][3] = max(stack[-1][3], span_through)
+        else:
+            span_us = max(span_us, span_through)
+    return self_us, scope_counts, work_us, span_us, scopes
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return f"{us / 1e6:.3f} s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f} ms"
+    return f"{us:.1f} us"
+
+
+def print_summary(self_us, scope_counts, work_us, span_us, scopes):
+    phases = sorted({name for name, _ in self_us})
+    workers = sorted({tid for _, tid in self_us})
+    header = ["phase"] + [f"w{tid}" for tid in workers] + ["total", "scopes"]
+    rows = [header]
+    for name in phases:
+        cells = [name]
+        total = 0.0
+        count = 0
+        for tid in workers:
+            us = self_us.get((name, tid), 0.0)
+            total += us
+            count += scope_counts.get((name, tid), 0)
+            cells.append(fmt_us(us) if us > 0 else "-")
+        cells.append(fmt_us(total))
+        cells.append(str(count))
+        rows.append(cells)
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    for i, row in enumerate(rows):
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+        if i == 0:
+            print("  ".join("-" * w for w in widths))
+    parallelism = work_us / span_us if span_us > 0 else 0.0
+    print(f"\nwork W = {fmt_us(work_us)}, span S = {fmt_us(span_us)}, "
+          f"W/S = {parallelism:.2f} over {scopes} scopes "
+          f"across {len(workers)} workers")
+
+
+# Two workers: w0 runs a root phase with a nested leaf, w1 runs a stolen
+# leaf concurrently. Self times: root 60us (100 - 40 child), w0 leaf
+# 40us, w1 leaf 50us -> W = 150us; span = root self + deepest same-
+# worker child chain = 60 + 40 = 100us.
+CHECK_SAMPLE = {
+    "traceEvents": [
+        {"name": "sort", "ph": "B", "tid": 0, "ts": 0.0},
+        {"name": "sort", "ph": "B", "tid": 1, "ts": 10.0},
+        {"name": "sort", "ph": "B", "tid": 0, "ts": 30.0},
+        {"name": "sort", "ph": "E", "tid": 1, "ts": 60.0},
+        {"name": "sort", "ph": "E", "tid": 0, "ts": 70.0},
+        {"name": "sort", "ph": "E", "tid": 0, "ts": 100.0},
+    ]
+}
+
+
+def run_check():
+    events = load_events(CHECK_SAMPLE)
+    self_us, scope_counts, work_us, span_us, scopes = analyze(events)
+    failures = []
+    if scopes != 3:
+        failures.append(f"expected 3 scopes, got {scopes}")
+    if abs(work_us - 150.0) > 1e-9:
+        failures.append(f"expected W=150us, got {work_us}")
+    if abs(span_us - 100.0) > 1e-9:
+        failures.append(f"expected S=100us, got {span_us}")
+    if work_us < span_us:
+        failures.append("W < S")
+    if abs(self_us[("sort", 0)] - 100.0) > 1e-9:
+        failures.append(f"w0 self {self_us[('sort', 0)]} != 100")
+    if abs(self_us[("sort", 1)] - 50.0) > 1e-9:
+        failures.append(f"w1 self {self_us[('sort', 1)]} != 50")
+    # An unmatched E (wraparound casualty) must not crash or count.
+    _, _, w2, _, s2 = analyze(
+        [{"name": "x", "ph": "E", "tid": 0, "ts": 5.0}])
+    if s2 != 0 or w2 != 0.0:
+        failures.append("orphan end event was counted")
+    if failures:
+        for f in failures:
+            print(f"check FAILED: {f}", file=sys.stderr)
+        return 1
+    print_summary(self_us, scope_counts, work_us, span_us, scopes)
+    print("check ok")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if argv[1] == "--check":
+        return run_check()
+    try:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {argv[1]}: {e}")
+    events = load_events(doc)
+    if not events:
+        sys.exit("error: empty trace")
+    dropped = doc.get("otherData", {}).get("dropped_events", 0)
+    print(f"{argv[1]}: {len(events)} events, {dropped} dropped\n")
+    print_summary(*analyze(events))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
