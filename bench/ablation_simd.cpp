@@ -1,0 +1,349 @@
+// Vector-vs-scalar ablation for the RPB_SIMD layer (support/simd.h).
+// One arm per dispatch level (scalar, sse2, avx2 — clamped to what the
+// box actually supports), pinned via support::set_simd_level, all at a
+// single thread so the arms differ only in the inner-loop bodies.
+//
+// Loop rows time the five converted inner loops directly through the
+// public simd:: entry points, at cache-resident sizes so compute (not
+// memory bandwidth) dominates:
+//
+//   scan_upsweep     block reduction (sum_u64) under every scan
+//   scan_downsweep   exclusive prefix sum (prefix_exclusive_sum_into)
+//   histogram_bin    bounded-key binning with lane-private tables
+//   radix_digit      digit extraction + per-digit counting (radix sort)
+//   boundary_flag    adjacent-rank compare over stride-2 records (SA)
+//   check_engine     epoch-compare mark-table scan (fused_check_apply)
+//
+// Kernel rows run the shipped kernels end to end under each level for
+// context: the loop wins diluted by the scalar phases around them.
+//
+// Usage:
+//   --json PATH [--smoke]  emit rpb-bench-v1 records (BENCH_simd),
+//                          amortized per invocation, self-validated.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "core/checks.h"
+#include "core/primitives.h"
+#include "core/uninit_buf.h"
+#include "sched/parallel.h"
+#include "sched/thread_pool.h"
+#include "seq/histogram.h"
+#include "seq/integer_sort.h"
+#include "support/arena.h"
+#include "support/env.h"
+#include "support/hash.h"
+#include "support/simd.h"
+#include "text/suffix_array.h"
+
+using namespace rpb;
+
+namespace {
+
+volatile u64 g_sink;  // defeats dead-code elimination of timed results
+template <class T>
+void keep(T v) {
+  g_sink = static_cast<u64>(v);
+}
+
+bench::BenchRecord make_record(std::string name, std::size_t threads,
+                               std::size_t n, std::size_t inner,
+                               bench::Measurement m) {
+  m.median_seconds /= static_cast<double>(inner);
+  m.p10_seconds /= static_cast<double>(inner);
+  m.p90_seconds /= static_cast<double>(inner);
+  m.mean_seconds /= static_cast<double>(inner);
+  bench::BenchRecord r;
+  r.name = std::move(name);
+  r.threads = threads;
+  r.n = n;
+  r.repeats = m.repeats;
+  r.median_s = m.median_seconds;
+  r.p10_s = m.p10_seconds;
+  r.p90_s = m.p90_seconds;
+  r.mean_s = m.mean_seconds;
+  return r;
+}
+
+int run_json_harness(const std::string& path, bool smoke) {
+  const std::size_t repeats = smoke ? 3 : 9;
+  const std::size_t n = smoke ? (std::size_t{1} << 13)   // loop rows:
+                              : (std::size_t{1} << 14);  // L1/L2-resident
+  const std::size_t inner = smoke ? 8 : 32;
+  const std::size_t inner_kernel = smoke ? 2 : 4;
+  const std::size_t check_count = smoke ? 1024 : 4096;
+  const std::size_t sa_n = smoke ? (std::size_t{1} << 11)
+                                 : (std::size_t{1} << 13);
+  const std::size_t kBuckets = 256;
+
+  // One thread: the arms must differ only in the vector bodies, not in
+  // scheduling noise. (The blocked structure above the loops is
+  // identical either way.)
+  sched::ThreadPool::reset_global(1);
+  const support::SimdLevel saved_level = support::simd_level();
+  const std::size_t saved_fuse = par::check_fuse_threshold();
+  const bool saved_poison = buf_poison();
+  set_buf_poison(false);  // poison fills would masquerade as work
+
+  std::vector<support::SimdLevel> levels{support::SimdLevel::kScalar};
+  if (support::simd_detected() >= support::SimdLevel::kSse2) {
+    levels.push_back(support::SimdLevel::kSse2);
+  }
+  if (support::simd_detected() >= support::SimdLevel::kAvx2) {
+    levels.push_back(support::SimdLevel::kAvx2);
+  }
+
+  // Inputs shared by every arm.
+  std::vector<u64> values(n);
+  std::vector<u64> keys(n);           // < kBuckets, for binning
+  std::vector<u64> ranks(2 * n);      // stride-2 {key, payload} records
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = hash64(i) & 0xff;
+    keys[i] = hash64(i) % kBuckets;
+    ranks[2 * i] = hash64(i / 3);     // runs of equal keys, like SA rounds
+    ranks[2 * i + 1] = i;
+  }
+  std::vector<u64> offsets(check_count);  // a permutation: always passes
+  std::iota(offsets.begin(), offsets.end(), u64{0});
+  for (std::size_t i = check_count; i > 1; --i) {
+    std::swap(offsets[i - 1], offsets[hash64(i) % i]);
+  }
+  std::vector<u8> text(sa_n);
+  for (std::size_t i = 0; i < sa_n; ++i) {
+    text[i] = static_cast<u8>('a' + hash64(i) % 4);
+  }
+  auto sort_keys = [&] {
+    std::vector<u64> k(n);
+    for (std::size_t i = 0; i < n; ++i) k[i] = hash64(i);
+    return k;
+  }();
+
+  std::vector<bench::BenchRecord> records;
+  // median per (row, level) for the printed speedup summary
+  std::vector<std::pair<std::string, double>> loop_medians;
+
+  for (support::SimdLevel level : levels) {
+    support::set_simd_level(level);
+    const std::string tag = support::simd_level_name(level);
+    auto add = [&](const std::string& row, std::size_t row_n,
+                   std::size_t row_inner, bench::Measurement m, bool loop) {
+      records.push_back(
+          make_record("simd/" + row + "/" + tag, 1, row_n, row_inner, m));
+      if (loop) loop_medians.emplace_back(row + "/" + tag,
+                                          records.back().median_s);
+    };
+
+    // -- Loop rows: the five converted inner loops, measured directly.
+    {
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              keep(simd::sum_u64(values.data(), n));
+            }
+          },
+          repeats);
+      add("scan_upsweep", n, inner, m, true);
+    }
+    {
+      std::vector<u64> out(n);
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              keep(simd::prefix_exclusive_sum_into_u64(values.data(),
+                                                       out.data(), n, 0));
+            }
+          },
+          repeats);
+      add("scan_downsweep", n, inner, m, true);
+    }
+    {
+      // Scratch sized for the widest dispatch (3 extra AVX2 lanes); the
+      // zeroing is part of the kernel (histogram_binned zeroes its
+      // block-local tables the same way).
+      std::vector<u64> counts(kBuckets);
+      std::vector<u64> scratch(3 * kBuckets);
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              std::memset(counts.data(), 0, kBuckets * sizeof(u64));
+              std::memset(scratch.data(), 0,
+                          simd::bin_count_extra_lanes() * kBuckets *
+                              sizeof(u64));
+              simd::bin_count_u64(keys.data(), n, counts.data(),
+                                  scratch.data(), kBuckets);
+              keep(counts[0]);
+            }
+          },
+          repeats);
+      add("histogram_bin", n, inner, m, true);
+    }
+    {
+      alignas(32) u64 counts[seq::kRadix];
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              std::memset(counts, 0, sizeof(counts));
+              simd::digit_count_u64(sort_keys.data(), 1, n, 8, counts);
+              keep(counts[0]);
+            }
+          },
+          repeats);
+      add("radix_digit", n, inner, m, true);
+    }
+    {
+      std::vector<u64> flags(n);
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              keep(simd::flag_adjacent_neq_u64(ranks.data(), 2, 0, n,
+                                               flags.data()));
+            }
+          },
+          repeats);
+      add("boundary_flag", n, inner, m, true);
+    }
+    {
+      // Raise the fuse threshold so the sequential lane-parallel engine
+      // (not the parallel claim path) is what gets timed.
+      par::set_check_fuse_threshold(check_count);
+      std::vector<u64> cells(check_count);
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner; ++r) {
+              par::fused_check_apply(
+                  std::span<const u64>(offsets), check_count,
+                  [&](std::size_t i, std::size_t off) { cells[off] = i; });
+              keep(cells[0]);
+            }
+          },
+          repeats);
+      par::set_check_fuse_threshold(saved_fuse);
+      add("check_engine", check_count, inner, m, true);
+    }
+
+    // -- Kernel rows: shipped kernels end to end under this level.
+    {
+      support::ArenaLease arena;
+      auto work = uninit_buf<u64>(arena, n);
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner_kernel; ++r) {
+              std::memcpy(work.data(), values.data(), n * sizeof(u64));
+              keep(par::scan_exclusive_sum(work.span()));
+            }
+          },
+          repeats);
+      add("kernel_scan", n, inner_kernel, m, false);
+    }
+    {
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner_kernel; ++r) {
+              auto h = seq::histogram(keys, kBuckets, AccessMode::kUnchecked);
+              keep(h[0]);
+            }
+          },
+          repeats);
+      add("kernel_histogram", n, inner_kernel, m, false);
+    }
+    {
+      std::vector<u64> work(n);
+      auto m = bench::measure_with_setup(
+          [&] { work = sort_keys; },
+          [&] {
+            seq::integer_sort(work, 64, AccessMode::kUnchecked);
+            keep(work[0]);
+          },
+          repeats);
+      add("kernel_integer_sort", n, 1, m, false);
+    }
+    {
+      auto m = bench::measure(
+          [&] {
+            auto sa = text::suffix_array(std::span<const u8>(text),
+                                         AccessMode::kUnchecked);
+            keep(sa[0]);
+          },
+          repeats);
+      add("kernel_suffix_array", sa_n, 1, m, false);
+    }
+  }
+
+  support::set_simd_level(saved_level);
+  par::set_check_fuse_threshold(saved_fuse);
+  set_buf_poison(saved_poison);
+
+  if (!bench::write_bench_json(path, "simd", records)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::string error;
+  if (!bench::validate_bench_json(path, &error)) {
+    std::fprintf(stderr, "error: %s fails schema validation: %s\n",
+                 path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records, schema ok)\n", path.c_str(),
+              records.size());
+
+  // Speedup summary: scalar arm vs best vector arm, per loop row.
+  for (const char* row : {"scan_upsweep", "scan_downsweep", "histogram_bin",
+                          "radix_digit", "boundary_flag", "check_engine"}) {
+    double scalar = 0, best = 1e300;
+    for (const auto& [name, median] : loop_medians) {
+      if (name.rfind(std::string(row) + "/", 0) != 0) continue;
+      if (name == std::string(row) + "/scalar") {
+        scalar = median;
+      } else {
+        best = std::min(best, median);
+      }
+    }
+    if (scalar > 0 && best < 1e300) {
+      std::printf("%-16s scalar %s, best vector %s (%.2fx)\n", row,
+                  bench::fmt_seconds(scalar).c_str(),
+                  bench::fmt_seconds(best).c_str(),
+                  scalar / std::max(best, 1e-12));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        std::fprintf(stderr, "error: --json requires an output path\n");
+        return 1;
+      }
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      if (json_path.empty()) {
+        std::fprintf(stderr, "error: --json requires an output path\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --json PATH [--smoke]\n"
+                   "(this harness has no table mode; see EXPERIMENTS.md)\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (json_path.empty()) {
+    std::fprintf(stderr, "usage: %s --json PATH [--smoke]\n", argv[0]);
+    return 1;
+  }
+  return run_json_harness(json_path, smoke);
+}

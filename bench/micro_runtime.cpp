@@ -7,7 +7,8 @@
 //   --json PATH [--smoke]  the perf-regression harness: measures the
 //                          scheduler primitives per thread count with
 //                          median/p10/p90 stats, emits PATH in the
-//                          rpb-bench-v1 schema (BENCH_sched.json), and
+//                          rpb-bench-v1 schema (bench_out/BENCH_sched_*
+//                          by convention; baselines in bench/), and
 //                          self-validates it. --smoke shrinks sizes so
 //                          CI can check the schema without gating on
 //                          timing. --require-obs additionally fails

@@ -5,26 +5,30 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(bench_sched_json_smoke "/root/repo/build/bench/micro_runtime" "--json" "/root/repo/build/bench_out/BENCH_sched_smoke.json" "--smoke")
-set_tests_properties(bench_sched_json_smoke PROPERTIES  FIXTURES_SETUP "bench_sched_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_sched_json_smoke PROPERTIES  FIXTURES_SETUP "bench_sched_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;42;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_indcheck_json_smoke "/root/repo/build/bench/fig5a_indcheck" "--json" "/root/repo/build/bench_out/BENCH_indcheck_smoke.json" "--smoke")
-set_tests_properties(bench_indcheck_json_smoke PROPERTIES  FIXTURES_SETUP "bench_indcheck_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_indcheck_json_smoke PROPERTIES  FIXTURES_SETUP "bench_indcheck_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;48;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_alloc_json_smoke "/root/repo/build/bench/ablation_alloc" "--json" "/root/repo/build/bench_out/BENCH_alloc_smoke.json" "--smoke")
-set_tests_properties(bench_alloc_json_smoke PROPERTIES  FIXTURES_SETUP "bench_alloc_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_alloc_json_smoke PROPERTIES  FIXTURES_SETUP "bench_alloc_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;54;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_scanpack_json_smoke "/root/repo/build/bench/ablation_scan_pack" "--json" "/root/repo/build/bench_out/BENCH_scanpack_smoke.json" "--smoke")
-set_tests_properties(bench_scanpack_json_smoke PROPERTIES  FIXTURES_SETUP "bench_scanpack_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;59;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_scanpack_json_smoke PROPERTIES  FIXTURES_SETUP "bench_scanpack_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;60;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_simd_json_smoke "/root/repo/build/bench/ablation_simd" "--json" "/root/repo/build/bench_out/BENCH_simd_smoke.json" "--smoke")
+set_tests_properties(bench_simd_json_smoke PROPERTIES  FIXTURES_SETUP "bench_simd_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;66;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_obs_counters_smoke "/root/repo/build/bench/micro_runtime" "--json" "/root/repo/build/bench_out/BENCH_obs_smoke.json" "--smoke" "--require-obs")
-set_tests_properties(bench_obs_counters_smoke PROPERTIES  ENVIRONMENT "RPB_OBS=counters" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;68;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_obs_counters_smoke PROPERTIES  ENVIRONMENT "RPB_OBS=counters" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;75;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_obs_trace_smoke "/root/repo/build/bench/micro_runtime" "--trace" "/root/repo/build/bench_out/TRACE_sample_sort.json")
-set_tests_properties(bench_obs_trace_smoke PROPERTIES  ENVIRONMENT "RPB_OBS=trace;RPB_THREADS=4" FIXTURES_SETUP "obs_trace" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;77;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_obs_trace_smoke PROPERTIES  ENVIRONMENT "RPB_OBS=trace;RPB_THREADS=4" FIXTURES_SETUP "obs_trace" LABELS "bench_smoke;bench-smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;84;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_sched_json_compare "/root/.pyenv/shims/python3" "/root/repo/tools/bench_compare.py" "/root/repo/bench/baselines/BENCH_sched_smoke.json" "/root/repo/build/bench_out/BENCH_sched_smoke.json" "--tolerance" "150")
-set_tests_properties(bench_sched_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_sched_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;94;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_sched_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_sched_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;108;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_indcheck_json_compare "/root/.pyenv/shims/python3" "/root/repo/tools/bench_compare.py" "/root/repo/bench/baselines/BENCH_indcheck_smoke.json" "/root/repo/build/bench_out/BENCH_indcheck_smoke.json" "--tolerance" "150")
-set_tests_properties(bench_indcheck_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_indcheck_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;94;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_indcheck_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_indcheck_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;108;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_alloc_json_compare "/root/.pyenv/shims/python3" "/root/repo/tools/bench_compare.py" "/root/repo/bench/baselines/BENCH_alloc_smoke.json" "/root/repo/build/bench_out/BENCH_alloc_smoke.json" "--tolerance" "150")
-set_tests_properties(bench_alloc_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_alloc_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;94;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_alloc_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_alloc_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;108;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_scanpack_json_compare "/root/.pyenv/shims/python3" "/root/repo/tools/bench_compare.py" "/root/repo/bench/baselines/BENCH_scanpack_smoke.json" "/root/repo/build/bench_out/BENCH_scanpack_smoke.json" "--tolerance" "150")
-set_tests_properties(bench_scanpack_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_scanpack_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;94;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_scanpack_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_scanpack_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;108;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_simd_json_compare "/root/.pyenv/shims/python3" "/root/repo/tools/bench_compare.py" "/root/repo/bench/baselines/BENCH_simd_smoke.json" "/root/repo/build/bench_out/BENCH_simd_smoke.json" "--tolerance" "150")
+set_tests_properties(bench_simd_json_compare PROPERTIES  FIXTURES_REQUIRED "bench_simd_json" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;108;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(obs_trace_summary "/root/.pyenv/shims/python3" "/root/repo/tools/trace_summary.py" "/root/repo/build/bench_out/TRACE_sample_sort.json")
-set_tests_properties(obs_trace_summary PROPERTIES  FIXTURES_REQUIRED "obs_trace" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;106;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(obs_trace_summary PROPERTIES  FIXTURES_REQUIRED "obs_trace" LABELS "bench_smoke;bench-smoke" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;120;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(obs_trace_summary_selftest "/root/.pyenv/shims/python3" "/root/repo/tools/trace_summary.py" "--check")
-set_tests_properties(obs_trace_summary_selftest PROPERTIES  LABELS "bench_smoke;bench-smoke" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;115;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(obs_trace_summary_selftest PROPERTIES  LABELS "bench_smoke;bench-smoke" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;129;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "obs/counters.h"
+#include "support/simd.h"
 #include "support/timer.h"
 
 namespace rpb::bench {
@@ -163,6 +164,16 @@ bool write_bench_json(const std::string& path, const std::string& suite,
   if (f == nullptr) return false;
   std::fprintf(f, "{\n  \"schema\": \"rpb-bench-v1\",\n  \"suite\": \"%s\",\n",
                json_escape(suite).c_str());
+  // Detected features vs active mode: a diff tool needs both to tell a
+  // code regression apart from "this box dispatches different bodies".
+  const support::SimdLevel detected = support::simd_detected();
+  std::fprintf(f,
+               "  \"env\": {\"simd\": \"%s\", \"cpu_sse2\": %s, "
+               "\"cpu_avx2\": %s, \"cpu_popcnt\": %s},\n",
+               support::simd_level_name(support::simd_level()),
+               detected >= support::SimdLevel::kSse2 ? "true" : "false",
+               detected >= support::SimdLevel::kAvx2 ? "true" : "false",
+               support::simd_has_popcnt() ? "true" : "false");
   if (obs::counters_enabled()) {
     // Before the records array on purpose: validate_bench_json treats
     // every object after "records": [ as a record.
@@ -221,6 +232,20 @@ bool validate_bench_json(const std::string& path, std::string* error) {
   std::size_t records_pos = text.find("\"records\": [");
   if (records_pos == std::string::npos) {
     return fail(error, "missing records array");
+  }
+
+  // The env feature block is mandatory (and must precede the records
+  // array so the record scan below never walks into it).
+  std::size_t env_pos = text.find("\"env\": {");
+  if (env_pos == std::string::npos || env_pos > records_pos) {
+    return fail(error, "missing env block before records array");
+  }
+  std::string env_head = text.substr(env_pos, records_pos - env_pos);
+  for (const char* key :
+       {"\"simd\": \"", "\"cpu_sse2\": ", "\"cpu_avx2\": ", "\"cpu_popcnt\": "}) {
+    if (env_head.find(key) == std::string::npos) {
+      return fail(error, std::string("env block missing field ") + key);
+    }
   }
 
   // Optional obs stats block (RPB_OBS runs): written before the records

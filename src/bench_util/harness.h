@@ -62,17 +62,22 @@ struct BenchRecord {
 };
 
 // Writes {"schema":"rpb-bench-v1","suite":...,"records":[...]} to path.
-// When RPB_OBS is active (obs::counters_enabled()), an "obs" object with
-// the counter snapshot is emitted between the suite tag and the records
-// array. Returns false on I/O failure.
+// Every file carries an "env" object recording the detected CPU vector
+// features (sse2/avx2/popcnt) and the active RPB_SIMD mode at write
+// time, so a baseline diff can tell "code got slower" apart from "this
+// box dispatches different bodies" (bench_compare.py warns on feature
+// mismatch). When RPB_OBS is active (obs::counters_enabled()), an "obs"
+// object with the counter snapshot is emitted between the env block and
+// the records array. Returns false on I/O failure.
 bool write_bench_json(const std::string& path, const std::string& suite,
                       const std::vector<BenchRecord>& records);
 
 // Structural check of a file produced by write_bench_json: schema tag,
-// balanced nesting, at least one record, and every record carrying all
-// required fields with finite non-negative timings. An "obs" block, if
-// present, must carry the counter totals object. On failure returns
-// false and describes the problem in *error (if non-null).
+// balanced nesting, the env feature block, at least one record, and
+// every record carrying all required fields with finite non-negative
+// timings. An "obs" block, if present, must carry the counter totals
+// object. On failure returns false and describes the problem in *error
+// (if non-null).
 bool validate_bench_json(const std::string& path, std::string* error);
 
 // True when the file carries the optional "obs" stats block (with its

@@ -34,6 +34,7 @@
 #include <cstring>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/atomics.h"
@@ -42,6 +43,7 @@
 #include "sched/parallel.h"
 #include "support/defs.h"
 #include "support/error.h"
+#include "support/simd.h"
 
 namespace rpb::par {
 
@@ -209,6 +211,48 @@ void fused_check_apply(std::size_t count, std::size_t bound,
   obs::bump(obs::Counter::kCheckedPassed);
 }
 
+// Span form of the fused engine, for callers whose offsets are already
+// materialized (par_ind_iter_mut, check_unique_offsets — i.e. all of
+// them today). Semantically identical to the IndexFn form; the u64-
+// offset sequential fallback additionally runs the lane-parallel
+// candidate scan (support/simd.h unique_stamp_apply_u64): vector
+// bounds/duplicate/epoch compares stamp-and-apply provably-clean
+// 4-offset chunks, and the serial ascending loop resumes at the first
+// candidate chunk, so it still decides the reported index — failure
+// messages are byte-identical to RPB_SIMD=off. The parallel path above
+// the fuse threshold is untouched (its claims must stay atomic; a
+// vector gather of the epoch slots would be a racy plain read there).
+template <class Index, class Apply>
+void fused_check_apply(std::span<const Index> offsets, std::size_t bound,
+                       const Apply& apply, std::size_t grain = 0) {
+  const std::size_t count = offsets.size();
+  if constexpr (std::is_same_v<Index, u64>) {
+    if (count <= check_fuse_threshold()) {
+      MarkTableLease lease;
+      const u32 stamp = lease->begin_check(bound);
+      u32* slots = lease->slots();
+      const std::size_t done = simd::unique_stamp_apply_u64(
+          offsets.data(), count, bound, slots, stamp, apply);
+      for (std::size_t i = done; i < count; ++i) {
+        auto off = static_cast<std::size_t>(offsets[i]);
+        if (off >= bound || slots[off] == stamp) {
+          obs::bump(obs::Counter::kCheckedFailed);
+          if (off >= bound) throw CheckFailure(detail::oob_message(i));
+          throw CheckFailure(detail::dup_message(off, i));
+        }
+        slots[off] = stamp;
+        apply(i, off);
+      }
+      obs::bump(obs::Counter::kCheckedPassed);
+      return;
+    }
+  }
+  fused_check_apply(
+      count, bound,
+      [&](std::size_t i) { return static_cast<std::size_t>(offsets[i]); },
+      apply, grain);
+}
+
 // Legacy bitmap expression, kept callable as the Fig. 5(a) ablation
 // baseline: the O(bound) std::vector<u8> allocation + zero-fill is part
 // of the measured per-call cost.
@@ -249,10 +293,7 @@ void check_unique_offsets(std::span<const Index> offsets, std::size_t bound) {
     check_unique_offsets_bitmap(offsets, bound);
     return;
   }
-  fused_check_apply(
-      offsets.size(), bound,
-      [&](std::size_t i) { return static_cast<std::size_t>(offsets[i]); },
-      [](std::size_t, std::size_t) {});
+  fused_check_apply(offsets, bound, [](std::size_t, std::size_t) {});
 }
 
 // Verifies offsets is monotonically non-decreasing with offsets.back()

@@ -64,9 +64,10 @@ void par_ind_iter_mut(std::span<T> data, std::span<const Index> offsets,
                       std::size_t grain = 0) {
   if (mode == AccessMode::kChecked) {
     if (check_mode() == CheckMode::kFused) {
+      // Span form: small counts take the lane-parallel candidate scan
+      // over the materialized offsets (checks.h).
       fused_check_apply(
-          offsets.size(), data.size(),
-          [&](std::size_t i) { return static_cast<std::size_t>(offsets[i]); },
+          offsets, data.size(),
           [&](std::size_t i, std::size_t off) { body(i, data[off]); }, grain);
       return;
     }

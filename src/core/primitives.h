@@ -30,12 +30,14 @@
 #include <cstddef>
 #include <cstring>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "core/uninit_buf.h"
 #include "sched/parallel.h"
 #include "support/arena.h"
 #include "support/defs.h"
+#include "support/simd.h"
 
 namespace rpb::par {
 
@@ -50,6 +52,100 @@ inline BlockGeom block_geom(std::size_t n) {
   const std::size_t threads = sched::ThreadPool::global().num_threads();
   const std::size_t block = sched::detail::default_block(n, threads);
   return BlockGeom{block, (n + block - 1) / block};
+}
+
+// The *_sum wrappers use this named op (not an anonymous lambda) so the
+// blocked scans can recognize "u64 prefix sum" — the pervasive case: all
+// scan-sum call sites in the repo are u64 spans — and route each block's
+// upsweep reduce and downsweep prefix through support/simd.h. A generic
+// Op stays on the scalar bodies.
+struct SumOp {
+  template <class T>
+  T operator()(T a, T b) const {
+    return a + b;
+  }
+};
+
+template <class T, class Op>
+inline constexpr bool kSimdSum =
+    std::is_same_v<T, u64> && std::is_same_v<std::remove_cvref_t<Op>, SumOp>;
+
+// Per-block inner loops of the two-pass scans, constexpr-dispatched so
+// the u64-sum instantiations become vector loops (simd.h dispatches
+// again on the active RPB_SIMD level; its scalar fallback is the exact
+// loop in the else branch).
+
+template <class T, class Op>
+T block_reduce(const T* data, std::size_t lo, std::size_t hi, T acc, Op op) {
+  if constexpr (kSimdSum<T, Op>) {
+    return acc + simd::sum_u64(data + lo, hi - lo);
+  } else {
+    for (std::size_t i = lo; i < hi; ++i) acc = op(acc, data[i]);
+    return acc;
+  }
+}
+
+template <class T, class Op>
+T block_scan_exclusive(T* data, std::size_t lo, std::size_t hi, T acc, Op op) {
+  if constexpr (kSimdSum<T, Op>) {
+    return simd::prefix_exclusive_sum_u64(data + lo, hi - lo, acc);
+  } else {
+    for (std::size_t i = lo; i < hi; ++i) {
+      T next = op(acc, data[i]);
+      data[i] = acc;
+      acc = next;
+    }
+    return acc;
+  }
+}
+
+template <class T, class Op>
+T block_scan_inclusive(T* data, std::size_t lo, std::size_t hi, T acc, Op op) {
+  if constexpr (kSimdSum<T, Op>) {
+    return simd::prefix_inclusive_sum_u64(data + lo, hi - lo, acc);
+  } else {
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc = op(acc, data[i]);
+      data[i] = acc;
+    }
+    return acc;
+  }
+}
+
+template <class T, class Op>
+T block_scan_exclusive_into(const T* in, T* out, std::size_t lo,
+                            std::size_t hi, T acc, Op op) {
+  if constexpr (kSimdSum<T, Op>) {
+    return simd::prefix_exclusive_sum_into_u64(in + lo, out + lo, hi - lo,
+                                               acc);
+  } else {
+    for (std::size_t i = lo; i < hi; ++i) {
+      T next = op(acc, in[i]);
+      out[i] = acc;
+      acc = next;
+    }
+    return acc;
+  }
+}
+
+// map-scan upsweep: stage map(i) into out (exactly once, in index
+// order) and return the block reduction. The u64-sum form stages first
+// and vector-sums the staged (cache-resident) block, trading a second
+// read of the block for breaking the one-add-per-cycle carry chain.
+template <class T, class Map, class Op>
+T block_map_stage(Map& map, T* out, std::size_t lo, std::size_t hi, T acc,
+                  Op op) {
+  if constexpr (kSimdSum<T, Op>) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = map(i);
+    return acc + simd::sum_u64(out + lo, hi - lo);
+  } else {
+    for (std::size_t i = lo; i < hi; ++i) {
+      T value = map(i);
+      out[i] = value;
+      acc = op(acc, value);
+    }
+    return acc;
+  }
 }
 
 }  // namespace detail
@@ -70,13 +166,7 @@ T scan_exclusive(std::span<T> data, T identity, Op op) {
   const auto [block, num_blocks] = detail::block_geom(n);
 
   if (num_blocks == 1) {
-    T acc = identity;
-    for (std::size_t i = 0; i < n; ++i) {
-      T next = op(acc, data[i]);
-      data[i] = acc;
-      acc = next;
-    }
-    return acc;
+    return detail::block_scan_exclusive(data.data(), 0, n, identity, op);
   }
 
   support::ArenaLease scratch;
@@ -85,9 +175,7 @@ T scan_exclusive(std::span<T> data, T identity, Op op) {
       0, num_blocks,
       [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
-        T acc = identity;
-        for (std::size_t i = lo; i < hi; ++i) acc = op(acc, data[i]);
-        sums[b] = acc;
+        sums[b] = detail::block_reduce(data.data(), lo, hi, identity, op);
       },
       1);
 
@@ -102,12 +190,7 @@ T scan_exclusive(std::span<T> data, T identity, Op op) {
       0, num_blocks,
       [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
-        T acc = sums[b];
-        for (std::size_t i = lo; i < hi; ++i) {
-          T next = op(acc, data[i]);
-          data[i] = acc;
-          acc = next;
-        }
+        detail::block_scan_exclusive(data.data(), lo, hi, sums[b], op);
       },
       1);
   return total;
@@ -116,7 +199,7 @@ T scan_exclusive(std::span<T> data, T identity, Op op) {
 // Exclusive prefix-sum specialization (the pervasive case).
 template <class T>
 T scan_exclusive_sum(std::span<T> data) {
-  return scan_exclusive(data, T{}, [](T a, T b) { return a + b; });
+  return scan_exclusive(data, T{}, detail::SumOp{});
 }
 
 // Inclusive in-place prefix scan; returns the total reduction.
@@ -127,12 +210,7 @@ T scan_inclusive(std::span<T> data, T identity, Op op) {
   const auto [block, num_blocks] = detail::block_geom(n);
 
   if (num_blocks == 1) {
-    T acc = identity;
-    for (std::size_t i = 0; i < n; ++i) {
-      acc = op(acc, data[i]);
-      data[i] = acc;
-    }
-    return acc;
+    return detail::block_scan_inclusive(data.data(), 0, n, identity, op);
   }
 
   support::ArenaLease scratch;
@@ -141,9 +219,7 @@ T scan_inclusive(std::span<T> data, T identity, Op op) {
       0, num_blocks,
       [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
-        T acc = identity;
-        for (std::size_t i = lo; i < hi; ++i) acc = op(acc, data[i]);
-        sums[b] = acc;
+        sums[b] = detail::block_reduce(data.data(), lo, hi, identity, op);
       },
       1);
 
@@ -158,11 +234,7 @@ T scan_inclusive(std::span<T> data, T identity, Op op) {
       0, num_blocks,
       [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
-        T acc = sums[b];
-        for (std::size_t i = lo; i < hi; ++i) {
-          acc = op(acc, data[i]);
-          data[i] = acc;
-        }
+        detail::block_scan_inclusive(data.data(), lo, hi, sums[b], op);
       },
       1);
   return total;
@@ -170,7 +242,7 @@ T scan_inclusive(std::span<T> data, T identity, Op op) {
 
 template <class T>
 T scan_inclusive_sum(std::span<T> data) {
-  return scan_inclusive(data, T{}, [](T a, T b) { return a + b; });
+  return scan_inclusive(data, T{}, detail::SumOp{});
 }
 
 // Out-of-place exclusive scan: out[i] = op-reduction of in[0..i), in is
@@ -185,13 +257,8 @@ T scan_exclusive_into(std::span<const T> in, std::span<T> out, T identity,
   const auto [block, num_blocks] = detail::block_geom(n);
 
   if (num_blocks == 1) {
-    T acc = identity;
-    for (std::size_t i = 0; i < n; ++i) {
-      T next = op(acc, in[i]);
-      out[i] = acc;
-      acc = next;
-    }
-    return acc;
+    return detail::block_scan_exclusive_into(in.data(), out.data(), 0, n,
+                                             identity, op);
   }
 
   support::ArenaLease scratch;
@@ -200,9 +267,7 @@ T scan_exclusive_into(std::span<const T> in, std::span<T> out, T identity,
       0, num_blocks,
       [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
-        T acc = identity;
-        for (std::size_t i = lo; i < hi; ++i) acc = op(acc, in[i]);
-        sums[b] = acc;
+        sums[b] = detail::block_reduce(in.data(), lo, hi, identity, op);
       },
       1);
 
@@ -217,12 +282,8 @@ T scan_exclusive_into(std::span<const T> in, std::span<T> out, T identity,
       0, num_blocks,
       [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
-        T acc = sums[b];
-        for (std::size_t i = lo; i < hi; ++i) {
-          T next = op(acc, in[i]);
-          out[i] = acc;
-          acc = next;
-        }
+        detail::block_scan_exclusive_into(in.data(), out.data(), lo, hi,
+                                          sums[b], op);
       },
       1);
   return total;
@@ -230,7 +291,7 @@ T scan_exclusive_into(std::span<const T> in, std::span<T> out, T identity,
 
 template <class T>
 T scan_exclusive_sum_into(std::span<const T> in, std::span<T> out) {
-  return scan_exclusive_into(in, out, T{}, [](T a, T b) { return a + b; });
+  return scan_exclusive_into(in, out, T{}, detail::SumOp{});
 }
 
 // ---------------------------------------------------------------------------
@@ -251,13 +312,11 @@ T map_scan_exclusive(std::size_t n, Map map, std::span<T> out, T identity,
   const auto [block, num_blocks] = detail::block_geom(n);
 
   if (num_blocks == 1) {
-    T acc = identity;
-    for (std::size_t i = 0; i < n; ++i) {
-      T value = map(i);
-      out[i] = acc;
-      acc = op(acc, value);
-    }
-    return acc;
+    // Stage map(i) (once, in order), then scan the staged block — the
+    // same shape as the blocked path so the u64-sum form vectorizes.
+    T staged = detail::block_map_stage(map, out.data(), 0, n, identity, op);
+    detail::block_scan_exclusive(out.data(), 0, n, identity, op);
+    return staged;
   }
 
   support::ArenaLease scratch;
@@ -266,13 +325,8 @@ T map_scan_exclusive(std::size_t n, Map map, std::span<T> out, T identity,
       0, num_blocks,
       [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
-        T acc = identity;
-        for (std::size_t i = lo; i < hi; ++i) {
-          T value = map(i);
-          out[i] = value;
-          acc = op(acc, value);
-        }
-        sums[b] = acc;
+        sums[b] = detail::block_map_stage(map, out.data(), lo, hi, identity,
+                                          op);
       },
       1);
 
@@ -287,12 +341,7 @@ T map_scan_exclusive(std::size_t n, Map map, std::span<T> out, T identity,
       0, num_blocks,
       [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
-        T acc = sums[b];
-        for (std::size_t i = lo; i < hi; ++i) {
-          T next = op(acc, out[i]);
-          out[i] = acc;
-          acc = next;
-        }
+        detail::block_scan_exclusive(out.data(), lo, hi, sums[b], op);
       },
       1);
   return total;
@@ -300,8 +349,7 @@ T map_scan_exclusive(std::size_t n, Map map, std::span<T> out, T identity,
 
 template <class T, class Map>
 T map_scan_exclusive_sum(std::size_t n, Map map, std::span<T> out) {
-  return map_scan_exclusive(
-      n, map, out, T{}, [](T a, T b) { return a + b; });
+  return map_scan_exclusive(n, map, out, T{}, detail::SumOp{});
 }
 
 // Inclusive variant: out[i] includes map(i).
@@ -313,12 +361,9 @@ T map_scan_inclusive(std::size_t n, Map map, std::span<T> out, T identity,
   const auto [block, num_blocks] = detail::block_geom(n);
 
   if (num_blocks == 1) {
-    T acc = identity;
-    for (std::size_t i = 0; i < n; ++i) {
-      acc = op(acc, map(i));
-      out[i] = acc;
-    }
-    return acc;
+    T staged = detail::block_map_stage(map, out.data(), 0, n, identity, op);
+    detail::block_scan_inclusive(out.data(), 0, n, identity, op);
+    return staged;
   }
 
   support::ArenaLease scratch;
@@ -327,13 +372,8 @@ T map_scan_inclusive(std::size_t n, Map map, std::span<T> out, T identity,
       0, num_blocks,
       [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
-        T acc = identity;
-        for (std::size_t i = lo; i < hi; ++i) {
-          T value = map(i);
-          out[i] = value;
-          acc = op(acc, value);
-        }
-        sums[b] = acc;
+        sums[b] = detail::block_map_stage(map, out.data(), lo, hi, identity,
+                                          op);
       },
       1);
 
@@ -348,11 +388,7 @@ T map_scan_inclusive(std::size_t n, Map map, std::span<T> out, T identity,
       0, num_blocks,
       [&, block = block](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(n, lo + block);
-        T acc = sums[b];
-        for (std::size_t i = lo; i < hi; ++i) {
-          acc = op(acc, out[i]);
-          out[i] = acc;
-        }
+        detail::block_scan_inclusive(out.data(), lo, hi, sums[b], op);
       },
       1);
   return total;
@@ -360,8 +396,7 @@ T map_scan_inclusive(std::size_t n, Map map, std::span<T> out, T identity,
 
 template <class T, class Map>
 T map_scan_inclusive_sum(std::size_t n, Map map, std::span<T> out) {
-  return map_scan_inclusive(
-      n, map, out, T{}, [](T a, T b) { return a + b; });
+  return map_scan_inclusive(n, map, out, T{}, detail::SumOp{});
 }
 
 // ---------------------------------------------------------------------------
@@ -548,8 +583,7 @@ UninitBuf<Index> pack_index_bits(support::ArenaLease& lease,
   assert(words.size() >= nw);
   if (n == 0) return uninit_buf<Index>(lease, 0);
   // Mask for the (possibly partial) tail word.
-  const u64 tail_mask =
-      (n & 63) != 0 ? (u64{1} << (n & 63)) - 1 : ~u64{0};
+  const u64 tail_mask = simd::tail_word_mask(n);
   auto word_at = [&](std::size_t w) {
     u64 bits = words[w];
     return w + 1 == nw ? bits & tail_mask : bits;
@@ -568,9 +602,15 @@ UninitBuf<Index> pack_index_bits(support::ArenaLease& lease,
       0, num_blocks,
       [&](std::size_t b) {
         std::size_t lo = b * block, hi = std::min(nw, lo + block);
-        std::size_t c = 0;
-        for (std::size_t w = lo; w < hi; ++w) {
-          c += static_cast<std::size_t>(std::popcount(word_at(w)));
+        // Whole words vector-popcount; the (masked) tail word, if this
+        // block owns it, is counted separately.
+        std::size_t whole = hi == nw ? hi - 1 : hi;
+        std::size_t c = whole > lo
+                            ? simd::popcount_words(words.data() + lo,
+                                                   whole - lo)
+                            : 0;
+        if (hi == nw) {
+          c += static_cast<std::size_t>(std::popcount(word_at(nw - 1)));
         }
         counts[b] = c;
       },
@@ -590,12 +630,9 @@ UninitBuf<Index> pack_index_bits(support::ArenaLease& lease,
         std::size_t lo = b * block, hi = std::min(nw, lo + block);
         std::size_t pos = counts[b];
         for (std::size_t w = lo; w < hi; ++w) {
-          u64 bits = word_at(w);
-          while (bits != 0) {
-            std::size_t bit = static_cast<std::size_t>(std::countr_zero(bits));
-            out[pos++] = static_cast<Index>(w * 64 + bit);
-            bits &= bits - 1;
-          }
+          simd::visit_set_bits(word_at(w), w * 64, [&](std::size_t i) {
+            out[pos++] = static_cast<Index>(i);
+          });
         }
       },
       1);
@@ -624,16 +661,17 @@ inline std::size_t count_bits(std::span<const u64> words, std::size_t n) {
   const std::size_t nw = bit_words(n);
   assert(words.size() >= nw);
   if (n == 0) return 0;
-  const u64 tail_mask =
-      (n & 63) != 0 ? (u64{1} << (n & 63)) - 1 : ~u64{0};
+  const u64 tail_mask = simd::tail_word_mask(n);
   return sched::parallel_reduce_range(
       0, nw, std::size_t{0},
       [&](std::size_t lo, std::size_t hi) {
-        std::size_t c = 0;
-        for (std::size_t w = lo; w < hi; ++w) {
-          u64 bits = words[w];
-          if (w + 1 == nw) bits &= tail_mask;
-          c += static_cast<std::size_t>(std::popcount(bits));
+        std::size_t whole = hi == nw ? hi - 1 : hi;
+        std::size_t c =
+            whole > lo ? simd::popcount_words(words.data() + lo, whole - lo)
+                       : 0;
+        if (hi == nw) {
+          c += static_cast<std::size_t>(
+              std::popcount(words[nw - 1] & tail_mask));
         }
         return c;
       },

@@ -24,6 +24,7 @@
 #include "sched/parallel.h"
 #include "support/arena.h"
 #include "support/defs.h"
+#include "support/simd.h"
 
 namespace rpb::par {
 
@@ -69,10 +70,20 @@ SpecForStats speculative_for(Step& step, std::size_t begin, std::size_t end,
                    [&](std::size_t i) { return step.reserve(active[i]); });
 
     // Phase 2: commits. A task that reserved but no longer holds all
-    // its cells failed to a higher-priority task and retries.
+    // its cells failed to a higher-priority task and retries. Walk the
+    // reserved mask's set bits per word (the shared simd.h idiom,
+    // replacing this file's test-every-index probe): commit runs once
+    // per reserved index, in order, and each task still owns whole
+    // retry words.
     auto retry = uninit_buf<u64>(arena, bit_words(m));
-    fill_bit_flags(retry.span(), m, [&](std::size_t i) {
-      return test_bit(reserved.cspan(), i) && !step.commit(active[i]);
+    const std::size_t nw = bit_words(m);
+    sched::parallel_for(0, nw, [&](std::size_t w) {
+      // fill_bit_flags zeroed reserved bits past m, so no tail mask.
+      u64 bits = 0;
+      simd::visit_set_bits(reserved[w], w * 64, [&](std::size_t i) {
+        if (!step.commit(active[i])) bits |= u64{1} << (i & 63);
+      });
+      retry[w] = bits;
     });
 
     // Pack the failures, preserving order (= priority).

@@ -7,6 +7,7 @@
 #include "sched/parallel.h"
 #include "support/arena.h"
 #include "support/hash.h"
+#include "support/simd.h"
 
 namespace rpb::graph {
 namespace {
@@ -73,14 +74,20 @@ std::vector<MisState> maximal_independent_set(const Graph& g, AccessMode mode) {
 
     // Phase 2: winners join the MIS and knock out their neighbors.
     // Multiple winners may write kOut to a shared non-winner neighbor —
-    // same value, expressed per the selected mode.
-    sched::parallel_for(0, fs, [&](std::size_t i) {
-      if (!par::test_bit(winner.cspan(), i)) return;
-      VertexId v = frontier[i];
-      store_state(state, v, MisState::kIn, mode);
-      for (VertexId w : g.neighbors(v)) {
-        if (w != v) store_state(state, w, MisState::kOut, mode);
-      }
+    // same value, expressed per the selected mode. Walk the winner
+    // mask's set bits per word (the shared simd.h idiom, replacing this
+    // file's test-every-index loop): rounds where winners are sparse
+    // touch 64 frontier entries per mask word instead of probing each.
+    const std::size_t winner_words = par::bit_words(fs);
+    sched::parallel_for(0, winner_words, [&](std::size_t w) {
+      // fill_bit_flags zeroes bits past fs, so no tail mask is needed.
+      simd::visit_set_bits(winner[w], w * 64, [&](std::size_t i) {
+        VertexId v = frontier[i];
+        store_state(state, v, MisState::kIn, mode);
+        for (VertexId u : g.neighbors(v)) {
+          if (u != v) store_state(state, u, MisState::kOut, mode);
+        }
+      });
     });
 
     // Phase 3: keep the still-undecided frontier — one fused pack

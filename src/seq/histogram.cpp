@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "sched/parallel.h"
 #include "support/arena.h"
+#include "support/simd.h"
 
 namespace rpb::seq {
 
@@ -61,6 +62,49 @@ std::vector<Acc> histogram_private(std::span<const u64> keys,
     for (std::size_t b = 0; b < num_blocks; ++b) {
       merge(out[bucket], partial[b * num_buckets + bucket]);
     }
+  });
+  return out;
+}
+
+// Plain-count specialization of the private-copy strategy: the binning
+// loop `++local[keys[i]]` serializes on store-to-load forwarding
+// whenever a key repeats, so the vector path (simd::bin_count_u64)
+// spreads consecutive keys across lane-private sub-tables and merges
+// them with vector adds. Sub-tables ride in the same arena slab as the
+// per-block partials; scalar mode needs none and counts directly.
+std::vector<u64> histogram_binned(std::span<const u64> keys,
+                                  std::size_t num_buckets) {
+  OBS_SCOPE("histogram");
+  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
+  const std::size_t block =
+      (keys.size() + num_blocks - 1) / std::max<std::size_t>(1, num_blocks);
+  const std::size_t lanes = simd::bin_count_extra_lanes();
+  support::ArenaLease arena;
+  ArenaVec<u64> partial(arena, num_blocks * num_buckets);
+  ArenaVec<u64> lane_scratch(arena, num_blocks * lanes * num_buckets);
+  sched::parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        // min() also clamps lo: small inputs leave trailing blocks
+        // empty, and the vector call's length must not underflow.
+        std::size_t lo = std::min(keys.size(), b * block);
+        std::size_t hi = std::min(keys.size(), lo + block);
+        u64* local = partial.data() + b * num_buckets;
+        u64* scratch = lane_scratch.data() + b * lanes * num_buckets;
+        for (std::size_t k = 0; k < num_buckets; ++k) local[k] = 0;
+        for (std::size_t k = 0; k < lanes * num_buckets; ++k) scratch[k] = 0;
+        simd::bin_count_u64(keys.data() + lo, hi - lo, local, scratch,
+                            num_buckets);
+      },
+      1);
+  std::vector<u64> out(num_buckets);
+  sched::parallel_for(0, num_buckets, [&](std::size_t bucket) {
+    u64 total = 0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      total += partial[b * num_buckets + bucket];
+    }
+    out[bucket] = total;
   });
   return out;
 }
@@ -127,9 +171,7 @@ std::vector<u64> histogram(std::span<const u64> keys, std::size_t num_buckets,
                            AccessMode mode) {
   switch (mode) {
     case AccessMode::kUnchecked:
-      return histogram_private<u64>(
-          keys, num_buckets, [](u64& slot, u64) { ++slot; },
-          [](u64& into, u64 from) { into += from; });
+      return histogram_binned(keys, num_buckets);
     case AccessMode::kChecked:
       return histogram_checked_scatter(keys, num_buckets);
     case AccessMode::kAtomic: {

@@ -3,7 +3,9 @@
 namespace rpb::seq {
 
 void integer_sort(std::vector<u64>& keys, int key_bits, AccessMode mode) {
-  integer_sort_by(keys, key_bits, [](u64 k) { return k; }, mode);
+  // IdentityKey (not a lambda) so the counting pass sees the layout
+  // contract and takes the vector digit-extraction path.
+  integer_sort_by(keys, key_bits, IdentityKey{}, mode);
 }
 
 const census::BenchmarkCensus& isort_census() {

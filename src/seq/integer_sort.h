@@ -13,7 +13,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cstring>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "core/access_mode.h"
@@ -26,13 +28,47 @@
 #include "sched/parallel.h"
 #include "support/arena.h"
 #include "support/defs.h"
+#include "support/simd.h"
 
 namespace rpb::seq {
 
 inline constexpr int kRadixBits = 8;
 inline constexpr std::size_t kRadix = 1u << kRadixBits;
 
+// Named key functors that declare a memory layout, so the counting pass
+// can extract digits vector-wide (support/simd.h digit_count_u64). An
+// arbitrary KeyFn lambda computes anything and stays on the scalar
+// loop; these two promise the key is a u64 sitting in the record:
+
+// The whole element IS the key (plain u64 sorts).
+struct IdentityKey {
+  u64 operator()(u64 k) const { return k; }
+};
+
+// The key is the u64 at byte offset 0 of a trivially-copyable record
+// whose size is a multiple of 8 (e.g. suffix array's {key, suffix}
+// items) — a strided-word view for the vector digit counter.
+struct Word0Key {
+  template <class T>
+  u64 operator()(const T& item) const {
+    u64 k;
+    std::memcpy(&k, &item, sizeof(u64));
+    return k;
+  }
+};
+
 namespace detail {
+
+// Words between consecutive keys when (T, KeyFn) has a vectorizable
+// layout; 0 means "no layout contract, use the scalar counting loop".
+template <class T, class KeyFn>
+inline constexpr std::size_t kRadixKeyStrideWords =
+    std::is_same_v<KeyFn, IdentityKey> && std::is_same_v<T, u64> ? 1
+    : std::is_same_v<KeyFn, Word0Key> &&
+            std::is_trivially_copyable_v<T> &&
+            sizeof(T) % sizeof(u64) == 0
+        ? sizeof(T) / sizeof(u64)
+        : 0;
 
 // One stable counting pass on digit [shift, shift+8) from `in` to `out`.
 template <class T, class KeyFn>
@@ -53,10 +89,25 @@ void radix_pass(std::span<const T> in, std::span<T> out, int shift, KeyFn key,
   sched::parallel_for(
       0, num_blocks,
       [&](std::size_t b) {
-        std::size_t lo = b * block, hi = std::min(n, lo + block);
-        for (std::size_t i = lo; i < hi; ++i) {
-          u64 digit = (key(in[i]) >> shift) & (kRadix - 1);
-          ++counts[digit * num_blocks + b];
+        // Small inputs leave trailing blocks empty (lo past n) — the
+        // min keeps the vector call's length from underflowing.
+        std::size_t lo = std::min(n, b * block), hi = std::min(n, lo + block);
+        if constexpr (kRadixKeyStrideWords<T, KeyFn> != 0) {
+          // Layout-declared keys: extract digits vector-wide into a
+          // dense block-local table (2 KiB of stack), then place the
+          // 256 totals into the bucket-major strided layout.
+          alignas(32) u64 local[kRadix] = {};
+          simd::digit_count_u64(
+              reinterpret_cast<const u64*>(in.data() + lo),
+              kRadixKeyStrideWords<T, KeyFn>, hi - lo, shift, local);
+          for (std::size_t d = 0; d < kRadix; ++d) {
+            counts[d * num_blocks + b] = local[d];
+          }
+        } else {
+          for (std::size_t i = lo; i < hi; ++i) {
+            u64 digit = (key(in[i]) >> shift) & (kRadix - 1);
+            ++counts[digit * num_blocks + b];
+          }
         }
       },
       1);

@@ -1,0 +1,937 @@
+// Portable explicit-SIMD layer for the kernel inner loops. PRs 1-4
+// removed the runtime taxes (region overhead, check setup, allocation,
+// multi-pass traffic); what remains on one core is the scalar inner
+// loop itself, so this header gives every kernel family an explicit
+// vector path behind the repo's knob convention:
+//
+//   * Dispatch. The SSE2 tier is compile-time on x86-64 (the baseline
+//     ISA guarantees it); the AVX2/POPCNT tiers are compiled with GCC
+//     `target` attributes — no global -march flag, so one binary runs
+//     everywhere — and selected once from CPUID. `RPB_SIMD=on|off`
+//     (mirrored by support::set_simd_mode, default on) matches the
+//     RPB_SPLIT/RPB_ARENA/RPB_OBS convention, so every ablation
+//     harness gets a scalar arm for free; set_simd_level pins a
+//     specific tier (clamped to what the CPU offers) for the
+//     scalar/sse2/avx2 arms of bench/ablation_simd.
+//   * Mandatory scalar fallback. Every entry point has a scalar body
+//     that is the semantic definition; vector bodies must match it
+//     bit-for-bit (tests/simd_test.cpp runs the differential suite).
+//     Building with -DRPB_FORCE_SCALAR=ON compiles the vector bodies
+//     out entirely, which is how CI keeps the fallback from rotting.
+//   * Tails and alignment. Arena buffers carry no alignment promise
+//     beyond alignof(std::max_align_t) and arbitrary lengths, so every
+//     loop uses unaligned loads and handles the sub-width tail with a
+//     scalar epilogue — the degenerate mask that never reads or writes
+//     a byte past n (a masked vector tail would over-read the exact-
+//     size heap blocks RPB_ARENA=off hands out). DESIGN.md "Masked
+//     tails" discusses the trade.
+//
+// The loop inventory (who calls what) lives with the call sites:
+// core/primitives.h (scan upsweep/downsweep, popcount), seq/histogram
+// (binning), seq/integer_sort.h (digit extraction + counting),
+// text/suffix_array.cpp (rank-boundary flagging), core/checks.h
+// (epoch-compare candidate scan).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/defs.h"
+
+#if defined(__x86_64__) && !defined(RPB_FORCE_SCALAR)
+#define RPB_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define RPB_SIMD_X86 0
+#endif
+
+namespace rpb::support {
+
+// Vector tiers, ordered: selection clamps to the detected maximum.
+enum class SimdLevel : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+inline const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSse2: return "sse2";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+namespace detail {
+
+inline std::atomic<int> g_simd_level{-1};  // -1: not yet resolved
+
+#if RPB_SIMD_X86
+inline bool cpuid_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+inline bool cpuid_popcnt() { return __builtin_cpu_supports("popcnt") != 0; }
+#else
+inline bool cpuid_avx2() { return false; }
+inline bool cpuid_popcnt() { return false; }
+#endif
+
+}  // namespace detail
+
+// Highest tier this build + CPU can execute: the compile-time baseline
+// (SSE2 is architectural on x86-64) raised by runtime CPUID for AVX2.
+inline SimdLevel simd_detected() {
+#if RPB_SIMD_X86
+  static const SimdLevel detected =
+      detail::cpuid_avx2() ? SimdLevel::kAvx2 : SimdLevel::kSse2;
+  return detected;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+// Whether the scalar popcount fallback can be upgraded to the hardware
+// instruction (emitted via a target("popcnt") body, CPUID-gated — the
+// plain build targets baseline x86-64, where std::popcount lowers to
+// the SWAR sequence).
+inline bool simd_has_popcnt() {
+#if RPB_SIMD_X86
+  static const bool has = detail::cpuid_popcnt();
+  return has;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+
+// RPB_SIMD: "off" forces scalar everywhere; "on" (or unset) uses the
+// detected maximum; a tier name pins that tier (clamped to detected) —
+// the env-var form of the ablation arms.
+inline SimdLevel resolve_simd_level() {
+  if (const char* env = std::getenv("RPB_SIMD")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0 ||
+        std::strcmp(env, "0") == 0) {
+      return SimdLevel::kScalar;
+    }
+    if (std::strcmp(env, "sse2") == 0) {
+      return std::min(SimdLevel::kSse2, simd_detected());
+    }
+    if (std::strcmp(env, "avx2") == 0) {
+      return std::min(SimdLevel::kAvx2, simd_detected());
+    }
+  }
+  return simd_detected();
+}
+
+}  // namespace detail
+
+// The active tier every dispatching loop reads: one relaxed load plus
+// a predictable branch, the same off-path cost model as RPB_OBS.
+inline SimdLevel simd_level() {
+  int level = detail::g_simd_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(detail::resolve_simd_level());
+    detail::g_simd_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+// Pin a tier (bench arms); clamped to what this build/CPU supports.
+// Safe to flip between (not during) parallel regions — mirrors
+// set_arena_mode / set_check_mode.
+inline void set_simd_level(SimdLevel level) {
+  detail::g_simd_level.store(
+      static_cast<int>(std::min(level, simd_detected())),
+      std::memory_order_relaxed);
+}
+
+// The RPB_SIMD=on|off knob as a setter: on restores the detected
+// maximum, off forces the scalar fallback.
+inline void set_simd_mode(bool on) {
+  set_simd_level(on ? simd_detected() : SimdLevel::kScalar);
+}
+
+inline bool simd_enabled() { return simd_level() != SimdLevel::kScalar; }
+
+}  // namespace rpb::support
+
+namespace rpb::simd {
+
+using support::SimdLevel;
+
+// ---------------------------------------------------------------------------
+// Shared bit-mask word helpers (the word-iteration idiom PR 4 grew three
+// private copies of — primitives.h, mis, spec_for all route here now).
+// ---------------------------------------------------------------------------
+
+// Mask selecting the live bits of the tail word of an n-bit mask: all
+// ones when n is a multiple of 64.
+inline constexpr u64 tail_word_mask(std::size_t n) {
+  return (n & 63) != 0 ? (u64{1} << (n & 63)) - 1 : ~u64{0};
+}
+
+// Calls fn(base + bit_position) for every set bit, ascending — the
+// countr_zero/clear-lowest walk every emit loop used to hand-roll.
+template <class Fn>
+inline void visit_set_bits(u64 word, std::size_t base, Fn&& fn) {
+  while (word != 0) {
+    fn(base + static_cast<std::size_t>(std::countr_zero(word)));
+    word &= word - 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Vector bodies. Each op is a scalar definition plus per-tier bodies
+// compiled with target attributes; the public entry dispatches once on
+// support::simd_level(). All loads are unaligned; all tails are scalar.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+// ---- sum of u64 (scan upsweep / block reduce) ----
+
+inline u64 sum_u64_scalar(const u64* p, std::size_t n) {
+  u64 acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += p[i];
+  return acc;
+}
+
+#if RPB_SIMD_X86
+
+inline u64 sum_u64_sse2(const u64* p, std::size_t n) {
+  __m128i acc0 = _mm_setzero_si128(), acc1 = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm_add_epi64(
+        acc0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i)));
+    acc1 = _mm_add_epi64(
+        acc1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i + 2)));
+  }
+  acc0 = _mm_add_epi64(acc0, acc1);
+  alignas(16) u64 lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc0);
+  u64 acc = lanes[0] + lanes[1];
+  for (; i < n; ++i) acc += p[i];
+  return acc;
+}
+
+__attribute__((target("avx2"))) inline u64 sum_u64_avx2(const u64* p,
+                                                        std::size_t n) {
+  __m256i acc0 = _mm256_setzero_si256(), acc1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_epi64(
+        acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)));
+    acc1 = _mm256_add_epi64(
+        acc1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 4)));
+  }
+  acc0 = _mm256_add_epi64(acc0, acc1);
+  alignas(32) u64 lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc0);
+  u64 acc = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) acc += p[i];
+  return acc;
+}
+
+#endif  // RPB_SIMD_X86
+
+// ---- prefix sums of u64 (scan downsweep) ----
+//
+// The in-register formulation: within a vector of 4 lanes, two
+// shift-and-add rounds turn [a b c d] into [a a+b a+b+c a+b+c+d]; the
+// running total is broadcast in, and the last lane becomes the next
+// vector's carry. The loop-carried dependency is one broadcast per 4
+// elements instead of one add per element.
+
+inline u64 prefix_ex_u64_scalar(u64* p, std::size_t n, u64 acc) {
+  for (std::size_t i = 0; i < n; ++i) {
+    u64 next = acc + p[i];
+    p[i] = acc;
+    acc = next;
+  }
+  return acc;
+}
+
+inline u64 prefix_in_u64_scalar(u64* p, std::size_t n, u64 acc) {
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += p[i];
+    p[i] = acc;
+  }
+  return acc;
+}
+
+inline u64 prefix_ex_into_u64_scalar(const u64* in, u64* out, std::size_t n,
+                                     u64 acc) {
+  for (std::size_t i = 0; i < n; ++i) {
+    u64 next = acc + in[i];
+    out[i] = acc;
+    acc = next;
+  }
+  return acc;
+}
+
+// There is deliberately no SSE2 tier for the prefix family: with two
+// 64-bit lanes, every iteration keeps a shuffle on the carry chain and
+// only retires two elements for it, which measures ~1.8x SLOWER than
+// the scalar one-add-per-element chain. The SSE2 dispatch falls through
+// to the scalar body (same pattern as flag_adjacent_neq_u64).
+
+#if RPB_SIMD_X86
+
+// One 4-lane inclusive step: [a b c d] -> [a a+b a+b+c a+b+c+d].
+// 64-bit lanes cross the 128-bit boundary, so the two rounds are a
+// 128-bit in-lane shift plus a lane permute.
+__attribute__((target("avx2"))) inline __m256i incl4_avx2(__m256i v) {
+  v = _mm256_add_epi64(v, _mm256_slli_si256(v, 8));  // [a a+b c c+d]
+  // +2 lanes: broadcast the low half's total (lane 1 = a+b) into the
+  // high half only -> add [0 0 a+b a+b].
+  __m256i bcast = _mm256_permute4x64_epi64(v, _MM_SHUFFLE(1, 1, 1, 1));
+  __m256i two = _mm256_blend_epi32(_mm256_setzero_si256(), bcast, 0xF0);
+  return _mm256_add_epi64(v, two);
+}
+
+// All-lanes broadcast of the vector's running total (lane 3 of an
+// inclusive prefix). Off the carry chain: depends only on the in-lane
+// prefix, so it pipelines with the next iteration's loads.
+__attribute__((target("avx2"))) inline __m256i total4_avx2(__m256i inc) {
+  return _mm256_permute4x64_epi64(inc, _MM_SHUFFLE(3, 3, 3, 3));
+}
+
+// Exclusive shift with a zero in lane 0 (carry-free local form; the
+// caller adds the broadcast carry afterwards).
+__attribute__((target("avx2"))) inline __m256i excl4_local_avx2(__m256i inc) {
+  __m256i shifted = _mm256_permute4x64_epi64(inc, _MM_SHUFFLE(2, 1, 0, 0));
+  return _mm256_blend_epi32(shifted, _mm256_setzero_si256(), 0x03);
+}
+
+// The prefix bodies process two vectors per iteration on purpose: the
+// single-vector form keeps a permute (3-cycle latency) on the carry
+// chain, which loses to the scalar loop's one-add-per-element chain.
+// With carry-free local prefixes/totals computed off-chain, the only
+// serialized work per 8 elements is one vector add.
+__attribute__((target("avx2"))) inline u64 prefix_in_u64_avx2(u64* p,
+                                                              std::size_t n,
+                                                              u64 acc) {
+  std::size_t i = 0;
+  __m256i carry = _mm256_set1_epi64x(static_cast<long long>(acc));
+  for (; i + 8 <= n; i += 8) {
+    __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 4));
+    __m256i inc0 = incl4_avx2(v0);
+    __m256i inc1 = incl4_avx2(v1);
+    __m256i t0 = total4_avx2(inc0);
+    __m256i t01 = _mm256_add_epi64(t0, total4_avx2(inc1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + i),
+                        _mm256_add_epi64(inc0, carry));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + i + 4),
+                        _mm256_add_epi64(inc1, _mm256_add_epi64(carry, t0)));
+    carry = _mm256_add_epi64(carry, t01);
+  }
+  u64 a = static_cast<u64>(_mm256_extract_epi64(carry, 3));
+  for (; i < n; ++i) {
+    a += p[i];
+    p[i] = a;
+  }
+  return a;
+}
+
+__attribute__((target("avx2"))) inline u64 prefix_ex_u64_avx2(u64* p,
+                                                              std::size_t n,
+                                                              u64 acc) {
+  std::size_t i = 0;
+  __m256i carry = _mm256_set1_epi64x(static_cast<long long>(acc));
+  for (; i + 8 <= n; i += 8) {
+    __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 4));
+    __m256i inc0 = incl4_avx2(v0);
+    __m256i inc1 = incl4_avx2(v1);
+    __m256i t0 = total4_avx2(inc0);
+    __m256i t01 = _mm256_add_epi64(t0, total4_avx2(inc1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + i),
+                        _mm256_add_epi64(excl4_local_avx2(inc0), carry));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(p + i + 4),
+        _mm256_add_epi64(excl4_local_avx2(inc1),
+                         _mm256_add_epi64(carry, t0)));
+    carry = _mm256_add_epi64(carry, t01);
+  }
+  u64 a = static_cast<u64>(_mm256_extract_epi64(carry, 3));
+  for (; i < n; ++i) {
+    u64 next = a + p[i];
+    p[i] = a;
+    a = next;
+  }
+  return a;
+}
+
+__attribute__((target("avx2"))) inline u64 prefix_ex_into_u64_avx2(
+    const u64* in, u64* out, std::size_t n, u64 acc) {
+  std::size_t i = 0;
+  __m256i carry = _mm256_set1_epi64x(static_cast<long long>(acc));
+  for (; i + 8 <= n; i += 8) {
+    __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i + 4));
+    __m256i inc0 = incl4_avx2(v0);
+    __m256i inc1 = incl4_avx2(v1);
+    __m256i t0 = total4_avx2(inc0);
+    __m256i t01 = _mm256_add_epi64(t0, total4_avx2(inc1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi64(excl4_local_avx2(inc0), carry));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i + 4),
+        _mm256_add_epi64(excl4_local_avx2(inc1),
+                         _mm256_add_epi64(carry, t0)));
+    carry = _mm256_add_epi64(carry, t01);
+  }
+  u64 a = static_cast<u64>(_mm256_extract_epi64(carry, 3));
+  for (; i < n; ++i) {
+    u64 next = a + in[i];
+    out[i] = a;
+    a = next;
+  }
+  return a;
+}
+
+#endif  // RPB_SIMD_X86
+
+// ---- popcount over u64 words (bit-flag counting) ----
+
+inline std::size_t popcount_words_scalar(const u64* words, std::size_t nw) {
+  std::size_t c = 0;
+  for (std::size_t w = 0; w < nw; ++w) {
+    c += static_cast<std::size_t>(std::popcount(words[w]));
+  }
+  return c;
+}
+
+#if RPB_SIMD_X86
+
+// Baseline x86-64 lowers std::popcount to the SWAR sequence; the
+// hardware instruction is CPUID-gated, so it gets its own tier body.
+__attribute__((target("popcnt"))) inline std::size_t popcount_words_hw(
+    const u64* words, std::size_t nw) {
+  std::size_t c0 = 0, c1 = 0;
+  std::size_t w = 0;
+  for (; w + 2 <= nw; w += 2) {
+    c0 += static_cast<std::size_t>(std::popcount(words[w]));
+    c1 += static_cast<std::size_t>(std::popcount(words[w + 1]));
+  }
+  if (w < nw) c0 += static_cast<std::size_t>(std::popcount(words[w]));
+  return c0 + c1;
+}
+
+// Nibble-LUT popcount (Mula): per-byte counts via pshufb on the two
+// nibbles, horizontally accumulated with sad_epu8.
+__attribute__((target("avx2"))) inline std::size_t popcount_words_avx2(
+    const u64* words, std::size_t nw) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + 4 <= nw; w += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w));
+    __m256i lo = _mm256_and_si256(v, low_mask);
+    __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+    __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                  _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+  }
+  alignas(32) u64 lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t c = static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] +
+                                           lanes[3]);
+  for (; w < nw; ++w) c += static_cast<std::size_t>(std::popcount(words[w]));
+  return c;
+}
+
+#endif  // RPB_SIMD_X86
+
+// ---- radix digit extraction + per-digit counting ----
+//
+// Digits are extracted vector-wide (shift + mask over 4 keys at a
+// time); the increments stay scalar but land in lane-private tables,
+// which breaks the store-to-load dependence a run of equal digits
+// creates in the single-table loop. stride_words lets the same body
+// walk plain u64 arrays (stride 1) and the key word of wider records
+// (suffix array's {key, suffix} items, stride 2).
+
+inline void digit_count_u64_scalar(const u64* keys, std::size_t stride_words,
+                                   std::size_t n, int shift,
+                                   u64* counts /* 256, zeroed */) {
+  for (std::size_t i = 0; i < n; ++i) {
+    ++counts[(keys[i * stride_words] >> shift) & 255];
+  }
+}
+
+#if RPB_SIMD_X86
+
+inline void digit_count_u64_sse2(const u64* keys, std::size_t stride_words,
+                                 std::size_t n, int shift, u64* counts) {
+  alignas(16) u64 lane1[256] = {};
+  const __m128i mask = _mm_set1_epi64x(255);
+  std::size_t i = 0;
+  if (stride_words == 1) {
+    for (; i + 2 <= n; i += 2) {
+      __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+      __m128i d = _mm_and_si128(_mm_srli_epi64(v, shift), mask);
+      // movq extracts, not a store/reload: a 16-byte store feeding two
+      // 8-byte loads stalls store-forwarding on every iteration.
+      ++counts[static_cast<u64>(_mm_cvtsi128_si64(d))];
+      ++lane1[static_cast<u64>(_mm_cvtsi128_si64(_mm_unpackhi_epi64(d, d)))];
+    }
+  } else {
+    for (; i + 2 <= n; i += 2) {
+      ++counts[(keys[i * stride_words] >> shift) & 255];
+      ++lane1[(keys[(i + 1) * stride_words] >> shift) & 255];
+    }
+  }
+  for (; i < n; ++i) ++counts[(keys[i * stride_words] >> shift) & 255];
+  for (std::size_t d = 0; d < 256; d += 2) {
+    __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(counts + d));
+    __m128i b = _mm_load_si128(reinterpret_cast<const __m128i*>(lane1 + d));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(counts + d),
+                     _mm_add_epi64(a, b));
+  }
+}
+
+__attribute__((target("avx2"))) inline void digit_count_u64_avx2(
+    const u64* keys, std::size_t stride_words, std::size_t n, int shift,
+    u64* counts) {
+  // Lanes 1-3 count privately; lane 0 counts straight into the output
+  // table, so the merge only has three addends.
+  alignas(32) u64 lanes[3][256] = {};
+  const __m256i mask = _mm256_set1_epi64x(255);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v;
+    if (stride_words == 1) {
+      v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    } else if (stride_words == 2) {
+      // Two vectors of {key, payload} pairs -> one vector of keys.
+      __m256i v0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(keys + i * 2));
+      __m256i v1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(keys + i * 2 + 4));
+      __m256i k0 = _mm256_permute4x64_epi64(v0, _MM_SHUFFLE(3, 1, 2, 0));
+      __m256i k1 = _mm256_permute4x64_epi64(v1, _MM_SHUFFLE(3, 1, 2, 0));
+      v = _mm256_permute2x128_si256(k0, k1, 0x20);
+    } else {
+      v = _mm256_set_epi64x(
+          static_cast<long long>(keys[(i + 3) * stride_words]),
+          static_cast<long long>(keys[(i + 2) * stride_words]),
+          static_cast<long long>(keys[(i + 1) * stride_words]),
+          static_cast<long long>(keys[i * stride_words]));
+    }
+    __m256i d = _mm256_and_si256(_mm256_srli_epi64(v, shift), mask);
+    // Register extracts, not a store/reload: a 32-byte store feeding
+    // four 8-byte loads stalls store-forwarding on every iteration.
+    __m128i lo = _mm256_castsi256_si128(d);
+    __m128i hi = _mm256_extracti128_si256(d, 1);
+    ++counts[static_cast<u64>(_mm_cvtsi128_si64(lo))];
+    ++lanes[0][static_cast<u64>(_mm_extract_epi64(lo, 1))];
+    ++lanes[1][static_cast<u64>(_mm_cvtsi128_si64(hi))];
+    ++lanes[2][static_cast<u64>(_mm_extract_epi64(hi, 1))];
+  }
+  for (; i < n; ++i) ++counts[(keys[i * stride_words] >> shift) & 255];
+  for (std::size_t d = 0; d < 256; d += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(counts + d));
+    __m256i b0 = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(&lanes[0][d]));
+    __m256i b1 = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(&lanes[1][d]));
+    __m256i b2 = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(&lanes[2][d]));
+    __m256i s = _mm256_add_epi64(_mm256_add_epi64(a, b0),
+                                 _mm256_add_epi64(b1, b2));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(counts + d), s);
+  }
+}
+
+#endif  // RPB_SIMD_X86
+
+// ---- histogram binning (keys are bucket indices, bounded by
+// num_buckets) ----
+//
+// Same lane-privatization idea as the digit counter, but the table size
+// is a runtime num_buckets, so the extra lanes come from caller scratch
+// (zeroed, kLanes-1 tables of num_buckets each).
+
+inline constexpr std::size_t kBinLanes = 4;
+
+inline void bin_count_u64_scalar(const u64* keys, std::size_t n, u64* counts) {
+  for (std::size_t i = 0; i < n; ++i) ++counts[keys[i]];
+}
+
+#if RPB_SIMD_X86
+
+inline void bin_count_u64_sse2(const u64* keys, std::size_t n, u64* counts,
+                               u64* lane_scratch, std::size_t num_buckets) {
+  u64* t1 = lane_scratch;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    ++counts[keys[i]];
+    ++t1[keys[i + 1]];
+  }
+  for (; i < n; ++i) ++counts[keys[i]];
+  // Split at an explicit whole-vector bound (not a running cursor): the
+  // optimizer can then prove both trip counts and unroll cleanly.
+  const std::size_t dw = num_buckets & ~std::size_t{1};
+  for (std::size_t d = 0; d < dw; d += 2) {
+    __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(counts + d));
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t1 + d));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(counts + d),
+                     _mm_add_epi64(a, b));
+  }
+  for (std::size_t d = dw; d < num_buckets; ++d) counts[d] += t1[d];
+}
+
+__attribute__((target("avx2"))) inline void bin_count_u64_avx2(
+    const u64* keys, std::size_t n, u64* counts, u64* lane_scratch,
+    std::size_t num_buckets) {
+  u64* t1 = lane_scratch;
+  u64* t2 = lane_scratch + num_buckets;
+  u64* t3 = lane_scratch + 2 * num_buckets;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    // Register extracts, not a store/reload (store-forwarding stall).
+    __m128i lo = _mm256_castsi256_si128(v);
+    __m128i hi = _mm256_extracti128_si256(v, 1);
+    ++counts[static_cast<u64>(_mm_cvtsi128_si64(lo))];
+    ++t1[static_cast<u64>(_mm_extract_epi64(lo, 1))];
+    ++t2[static_cast<u64>(_mm_cvtsi128_si64(hi))];
+    ++t3[static_cast<u64>(_mm_extract_epi64(hi, 1))];
+  }
+  for (; i < n; ++i) ++counts[keys[i]];
+  // Explicit whole-vector bound, same reasoning as the SSE2 body.
+  const std::size_t dw = num_buckets & ~std::size_t{3};
+  for (std::size_t d = 0; d < dw; d += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(counts + d));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t1 + d));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t2 + d));
+    __m256i b2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t3 + d));
+    __m256i s = _mm256_add_epi64(_mm256_add_epi64(a, b0),
+                                 _mm256_add_epi64(b1, b2));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(counts + d), s);
+  }
+  for (std::size_t d = dw; d < num_buckets; ++d) {
+    counts[d] += t1[d] + t2[d] + t3[d];
+  }
+}
+
+#endif  // RPB_SIMD_X86
+
+// ---- suffix-array rank-comparison boundary flagging ----
+//
+// flags[j] = (j > 0 && key(j) != key(j-1)) for j in [lo, hi), key(j) =
+// base[j * stride_words]; returns the block's flag sum. The unaligned
+// load at j-1 makes the "previous" vector free — no shuffle chain.
+
+inline u64 flag_neq_u64_scalar(const u64* base, std::size_t stride_words,
+                               std::size_t lo, std::size_t hi, u64* flags) {
+  u64 acc = 0;
+  for (std::size_t j = lo; j < hi; ++j) {
+    u64 f = j > 0 && base[j * stride_words] != base[(j - 1) * stride_words]
+                ? 1
+                : 0;
+    flags[j] = f;
+    acc += f;
+  }
+  return acc;
+}
+
+#if RPB_SIMD_X86
+
+__attribute__((target("avx2"))) inline u64 flag_neq_u64_avx2(
+    const u64* base, std::size_t stride_words, std::size_t lo, std::size_t hi,
+    u64* flags) {
+  u64 acc = 0;
+  std::size_t j = lo;
+  // Peel j == 0 (defined as 0) and keep the vector body off the j-1
+  // underread.
+  if (j == 0 && j < hi) {
+    flags[0] = 0;
+    ++j;
+  }
+  __m256i vacc = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi64x(1);
+  if (stride_words == 1) {
+    for (; j + 4 <= hi; j += 4) {
+      __m256i cur =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + j));
+      __m256i prev =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + j - 1));
+      __m256i eq = _mm256_cmpeq_epi64(cur, prev);
+      __m256i f = _mm256_andnot_si256(eq, ones);  // 1 where different
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(flags + j), f);
+      vacc = _mm256_add_epi64(vacc, f);
+    }
+  } else if (stride_words == 2) {
+    for (; j + 4 <= hi; j += 4) {
+      // Gather the key words of records j-1..j+3 (stride 16 bytes).
+      __m256i v0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + (j - 1) * 2));
+      __m256i v1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + (j + 1) * 2));
+      __m256i k0 = _mm256_permute4x64_epi64(v0, _MM_SHUFFLE(3, 1, 2, 0));
+      __m256i k1 = _mm256_permute4x64_epi64(v1, _MM_SHUFFLE(3, 1, 2, 0));
+      __m256i prev = _mm256_permute2x128_si256(k0, k1, 0x20);  // j-1..j+2
+      __m256i cur = _mm256_alignr_epi8(
+          _mm256_permute2x128_si256(prev, prev, 0x81),
+          prev, 8);  // j..j+2 plus key[j+3] patched below
+      cur = _mm256_insert_epi64(
+          cur, static_cast<long long>(base[(j + 3) * 2]), 3);
+      __m256i eq = _mm256_cmpeq_epi64(cur, prev);
+      __m256i f = _mm256_andnot_si256(eq, ones);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(flags + j), f);
+      vacc = _mm256_add_epi64(vacc, f);
+    }
+  }
+  alignas(32) u64 lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vacc);
+  acc += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; j < hi; ++j) {
+    u64 f =
+        base[j * stride_words] != base[(j - 1) * stride_words] ? 1 : 0;
+    flags[j] = f;
+    acc += f;
+  }
+  return acc;
+}
+
+#endif  // RPB_SIMD_X86
+
+// ---- epoch-compare unique-offset engine (checked tier, sequential
+// fallback only) ----
+//
+// Lane-parallel candidate scan for the mark-table uniqueness check:
+// per 4-offset chunk, (1) unsigned bounds compare (sign-flip trick —
+// AVX2 only has signed 64-bit compares), (2) intra-chunk duplicate
+// test via two rotated self-compares (rot1 + rot2 cover all 6 lane
+// pairs), (3) gather of the four u32 epoch slots vs the broadcast
+// stamp. A chunk that passes all three is PROVEN clean — everything
+// before it is stamped, so a gather hit is a genuine duplicate, not a
+// maybe — and its lanes are stamped + applied in ascending order. The
+// first chunk with any candidate stops the walk; the caller's serial
+// ascending loop resumes there and decides the reported index, which
+// is what keeps failure messages byte-identical to RPB_SIMD=off
+// (DESIGN.md "Lane-parallel checks stay deterministic"). The gather is
+// a plain (non-atomic) read, which is exactly why this engine is only
+// called from the single-threaded sequential fallback, never from the
+// parallel claim path.
+
+#if RPB_SIMD_X86
+
+template <class Apply>
+__attribute__((target("avx2"))) std::size_t unique_stamp_apply_u64_avx2(
+    const u64* offsets, std::size_t count, std::size_t bound, u32* slots,
+    u32 stamp, const Apply& apply) {
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(u64{1} << 63));
+  const __m256i bound_x =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<long long>(bound)),
+                       sign);
+  const __m128i stamp4 = _mm_set1_epi32(static_cast<int>(stamp));
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(offsets + i));
+    __m256i in_bounds =
+        _mm256_cmpgt_epi64(bound_x, _mm256_xor_si256(v, sign));
+    if (_mm256_movemask_epi8(in_bounds) != -1) break;
+    __m256i rot1 = _mm256_permute4x64_epi64(v, _MM_SHUFFLE(0, 3, 2, 1));
+    __m256i rot2 = _mm256_permute4x64_epi64(v, _MM_SHUFFLE(1, 0, 3, 2));
+    __m256i dup = _mm256_or_si256(_mm256_cmpeq_epi64(v, rot1),
+                                  _mm256_cmpeq_epi64(v, rot2));
+    if (_mm256_movemask_epi8(dup) != 0) break;
+    // All lanes in bounds, so the gather cannot fault.
+    __m128i g = _mm256_i64gather_epi32(reinterpret_cast<const int*>(slots),
+                                       v, 4);
+    if (_mm_movemask_epi8(_mm_cmpeq_epi32(g, stamp4)) != 0) break;
+    for (std::size_t k = 0; k < 4; ++k) {
+      std::size_t off = static_cast<std::size_t>(offsets[i + k]);
+      slots[off] = stamp;
+      apply(i + k, off);
+    }
+  }
+  return i;
+}
+
+#endif  // RPB_SIMD_X86
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Dispatching entry points (the API the kernels call).
+// ---------------------------------------------------------------------------
+
+// Stamp-and-apply the longest provably-clean prefix of offsets (see the
+// engine comment above); returns how many offsets were consumed. The
+// caller runs its serial ascending check loop from the returned
+// position — from 0 in scalar/SSE2 mode (the rotated-compare + gather
+// combination only pays on AVX2), so the scalar loop IS the semantics.
+template <class Apply>
+std::size_t unique_stamp_apply_u64(const u64* offsets, std::size_t count,
+                                   std::size_t bound, u32* slots, u32 stamp,
+                                   const Apply& apply) {
+#if RPB_SIMD_X86
+  if (support::simd_level() == SimdLevel::kAvx2) {
+    return detail::unique_stamp_apply_u64_avx2(offsets, count, bound, slots,
+                                               stamp, apply);
+  }
+#else
+  (void)offsets;
+  (void)count;
+  (void)bound;
+  (void)slots;
+  (void)stamp;
+  (void)apply;
+#endif
+  return 0;
+}
+
+inline u64 sum_u64(const u64* p, std::size_t n) {
+#if RPB_SIMD_X86
+  switch (support::simd_level()) {
+    case SimdLevel::kAvx2:
+      return detail::sum_u64_avx2(p, n);
+    case SimdLevel::kSse2:
+      return detail::sum_u64_sse2(p, n);
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return detail::sum_u64_scalar(p, n);
+}
+
+// In-place exclusive prefix sum seeded with acc; returns the total.
+// AVX2-only: the SSE2 tier takes the scalar body (see the note above
+// the detail implementations).
+inline u64 prefix_exclusive_sum_u64(u64* p, std::size_t n, u64 acc) {
+#if RPB_SIMD_X86
+  if (support::simd_level() == SimdLevel::kAvx2) {
+    return detail::prefix_ex_u64_avx2(p, n, acc);
+  }
+#endif
+  return detail::prefix_ex_u64_scalar(p, n, acc);
+}
+
+inline u64 prefix_inclusive_sum_u64(u64* p, std::size_t n, u64 acc) {
+#if RPB_SIMD_X86
+  if (support::simd_level() == SimdLevel::kAvx2) {
+    return detail::prefix_in_u64_avx2(p, n, acc);
+  }
+#endif
+  return detail::prefix_in_u64_scalar(p, n, acc);
+}
+
+inline u64 prefix_exclusive_sum_into_u64(const u64* in, u64* out,
+                                         std::size_t n, u64 acc) {
+#if RPB_SIMD_X86
+  if (support::simd_level() == SimdLevel::kAvx2) {
+    return detail::prefix_ex_into_u64_avx2(in, out, n, acc);
+  }
+#endif
+  return detail::prefix_ex_into_u64_scalar(in, out, n, acc);
+}
+
+// Popcount of nw whole words (callers mask the tail word themselves —
+// see tail_word_mask). The SSE2 tier upgrades to the hardware popcnt
+// when CPUID offers it; AVX2 uses the nibble-LUT formulation.
+inline std::size_t popcount_words(const u64* words, std::size_t nw) {
+#if RPB_SIMD_X86
+  switch (support::simd_level()) {
+    case SimdLevel::kAvx2:
+      return detail::popcount_words_avx2(words, nw);
+    case SimdLevel::kSse2:
+      if (support::simd_has_popcnt()) {
+        return detail::popcount_words_hw(words, nw);
+      }
+      break;
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return detail::popcount_words_scalar(words, nw);
+}
+
+// Adds 256 8-bit-digit counts of key words at the given stride/shift
+// into counts[256] (not zeroed here: callers may accumulate).
+inline void digit_count_u64(const u64* keys, std::size_t stride_words,
+                            std::size_t n, int shift, u64* counts) {
+#if RPB_SIMD_X86
+  switch (support::simd_level()) {
+    case SimdLevel::kAvx2:
+      detail::digit_count_u64_avx2(keys, stride_words, n, shift, counts);
+      return;
+    case SimdLevel::kSse2:
+      detail::digit_count_u64_sse2(keys, stride_words, n, shift, counts);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  detail::digit_count_u64_scalar(keys, stride_words, n, shift, counts);
+}
+
+// Number of private lane tables bin_count_u64 needs beyond the output
+// table itself (each num_buckets wide, zeroed by the caller). Zero in
+// scalar mode: the fallback counts straight into `counts`.
+inline std::size_t bin_count_extra_lanes() {
+#if RPB_SIMD_X86
+  switch (support::simd_level()) {
+    case SimdLevel::kAvx2:
+      return detail::kBinLanes - 1;
+    case SimdLevel::kSse2:
+      return 1;
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return 0;
+}
+
+// Histogram binning: adds each keys[i] (already a bucket index <
+// num_buckets) into counts[num_buckets]. lane_scratch must hold
+// bin_count_extra_lanes() * num_buckets zeroed u64s.
+inline void bin_count_u64(const u64* keys, std::size_t n, u64* counts,
+                          u64* lane_scratch, std::size_t num_buckets) {
+#if RPB_SIMD_X86
+  switch (support::simd_level()) {
+    case SimdLevel::kAvx2:
+      detail::bin_count_u64_avx2(keys, n, counts, lane_scratch, num_buckets);
+      return;
+    case SimdLevel::kSse2:
+      detail::bin_count_u64_sse2(keys, n, counts, lane_scratch, num_buckets);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)lane_scratch;
+  (void)num_buckets;
+#endif
+  detail::bin_count_u64_scalar(keys, n, counts);
+}
+
+// Boundary flags for the suffix array's rank rebuild: flags[j] =
+// (j > 0 && key(j) != key(j-1)) over [lo, hi); returns the block sum.
+// The AVX2 tier covers strides 1 and 2; anything else (and SSE2, where
+// the shuffle chain eats the win) takes the scalar body.
+inline u64 flag_adjacent_neq_u64(const u64* base, std::size_t stride_words,
+                                 std::size_t lo, std::size_t hi, u64* flags) {
+#if RPB_SIMD_X86
+  if (support::simd_level() == SimdLevel::kAvx2 &&
+      (stride_words == 1 || stride_words == 2)) {
+    return detail::flag_neq_u64_avx2(base, stride_words, lo, hi, flags);
+  }
+#endif
+  return detail::flag_neq_u64_scalar(base, stride_words, lo, hi, flags);
+}
+
+}  // namespace rpb::simd

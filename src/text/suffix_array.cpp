@@ -10,6 +10,7 @@
 #include "seq/integer_sort.h"
 #include "seq/mark_present.h"
 #include "support/arena.h"
+#include "support/simd.h"
 
 namespace rpb::text {
 namespace {
@@ -46,20 +47,41 @@ std::vector<u32> suffix_array(std::span<const u8> text, AccessMode mode) {
   // Derive dense ranks from the current sorted items (flag boundaries,
   // scan), returning the number of boundaries (= max dense rank).
   auto rebuild_ranks = [&] {
-    // Rebuild ranks: the boundary test runs inside the scan's upsweep
-    // (fused map_scan), so the separate flag-writing pass is gone.
-    u64 max_rank = par::map_scan_exclusive_sum(
-        n,
-        [&](std::size_t j) -> u64 {
-          return j > 0 && items[j].key != items[j - 1].key ? 1 : 0;
+    // Vector-compare adjacent keys into boundary flags (stride-2 word
+    // view of the Item array: the key is word 0 of each 16-byte
+    // record), then a blocked scan turns flags into dense ranks. The
+    // downsweep consumes flags[j] as "j's own boundary" while it
+    // accumulates, so the old second recompare of the key array — and
+    // the prefix writeback into flags — are both gone.
+    const u64* base = reinterpret_cast<const u64*>(items.data());
+    const auto [block, num_blocks] = par::detail::block_geom(n);
+    support::ArenaScope scope(arena);
+    ArenaVec<u64> sums(arena, num_blocks);
+    sched::parallel_for(
+        0, num_blocks,
+        [&, block = block](std::size_t b) {
+          std::size_t lo = b * block, hi = std::min(n, lo + block);
+          sums[b] =
+              simd::flag_adjacent_neq_u64(base, 2, lo, hi, flags.data());
         },
-        flags.span());
-    // After the exclusive scan, flags[j] counts boundaries before j;
-    // the dense rank also includes j's own (recomputed) boundary flag.
-    sched::parallel_for(0, n, [&](std::size_t j) {
-      u64 own = j > 0 && items[j].key != items[j - 1].key ? 1 : 0;
-      next_rank[items[j].suffix] = static_cast<u32>(flags[j] + own);
-    });
+        1);
+    u64 max_rank = 0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      u64 c = sums[b];
+      sums[b] = max_rank;
+      max_rank += c;
+    }
+    sched::parallel_for(
+        0, num_blocks,
+        [&, block = block](std::size_t b) {
+          std::size_t lo = b * block, hi = std::min(n, lo + block);
+          u64 acc = sums[b];
+          for (std::size_t j = lo; j < hi; ++j) {
+            acc += flags[j];
+            next_rank[items[j].suffix] = static_cast<u32>(acc);
+          }
+        },
+        1);
     std::swap(rank, next_rank);
     return max_rank;  // number of boundaries = max dense rank
   };
@@ -73,8 +95,9 @@ std::vector<u32> suffix_array(std::span<const u8> text, AccessMode mode) {
       items[i] = Item{static_cast<u64>(rank[i]) * base + r2,
                       static_cast<u32>(i)};
     });
-    seq::integer_sort_by(items.span(), key_bits,
-                         [](const Item& it) { return it.key; }, mode);
+    // Word0Key declares the "u64 key at byte 0" layout, so the radix
+    // counting pass extracts digits vector-wide (stride-2 word view).
+    seq::integer_sort_by(items.span(), key_bits, seq::Word0Key{}, mode);
     return rebuild_ranks();
   };
 
@@ -96,8 +119,7 @@ std::vector<u32> suffix_array(std::span<const u8> text, AccessMode mode) {
   sched::parallel_for(0, n, [&](std::size_t i) {
     items[i] = Item{static_cast<u64>(char_rank[text[i]]), static_cast<u32>(i)};
   });
-  seq::integer_sort_by(items.span(), 8, [](const Item& it) { return it.key; },
-                       mode);
+  seq::integer_sort_by(items.span(), 8, seq::Word0Key{}, mode);
   u64 distinct = rebuild_ranks();
 
   std::size_t k = 1;

@@ -6,6 +6,7 @@
 
 #include "obs/obs.h"
 #include "sched/parallel.h"
+#include "support/simd.h"
 
 namespace rpb {
 
@@ -33,6 +34,23 @@ class ObsModeGuard {
 
  private:
   obs::ObsMode prev_;
+};
+
+// Pins the SIMD dispatch level (clamped to what the box supports) and
+// restores the prior level — not a hardcoded default, so tests nest
+// correctly inside an RPB_SIMD=off environment.
+class SimdModeGuard {
+ public:
+  explicit SimdModeGuard(support::SimdLevel level)
+      : prev_(support::simd_level()) {
+    support::set_simd_level(level);
+  }
+  ~SimdModeGuard() { support::set_simd_level(prev_); }
+  SimdModeGuard(const SimdModeGuard&) = delete;
+  SimdModeGuard& operator=(const SimdModeGuard&) = delete;
+
+ private:
+  support::SimdLevel prev_;
 };
 
 }  // namespace rpb

@@ -10,6 +10,13 @@ percent (one-sided: getting faster never fails). Records present in one
 file but not the other fail the run unless --allow-unmatched is given —
 a silently vanished record is how coverage rots.
 
+Every record must carry the full rpb-bench-v1 field set (repeats,
+median_s, p10_s, p90_s, mean_s) with finite non-negative values — a
+record that drops a field is a writer bug, not a benchmark result. The
+files' "env" blocks (detected CPU features + active RPB_SIMD mode) are
+compared and a mismatch prints a warning, never a failure: different
+vector dispatch explains a timing delta but does not excuse schema rot.
+
 Exit codes: 0 ok, 1 regression or unmatched records, 2 bad input.
 Stdlib only, so the ctest step needs nothing beyond a Python 3
 interpreter.
@@ -39,15 +46,23 @@ def load(path):
     for r in records:
         try:
             key = (r["name"], int(r["threads"]), int(r["n"]))
-            median = float(r["median_s"])
         except (KeyError, TypeError, ValueError) as e:
             sys.exit(f"error: {path}: malformed record {r!r}: {e}")
-        if not math.isfinite(median) or median < 0:
-            sys.exit(f"error: {path}: bad median in {r!r}")
+        for field in ("repeats", "median_s", "p10_s", "p90_s", "mean_s"):
+            try:
+                v = float(r[field])
+            except (KeyError, TypeError, ValueError) as e:
+                sys.exit(f"error: {path}: record {key} missing/invalid "
+                         f"field {field!r}: {e}")
+            if not math.isfinite(v) or v < 0:
+                sys.exit(f"error: {path}: record {key} has bad {field}: {v!r}")
         if key in table:
             sys.exit(f"error: {path}: duplicate record key {key}")
-        table[key] = median
-    return doc.get("suite", "?"), table
+        table[key] = float(r["median_s"])
+    env = doc.get("env")
+    if env is not None and not isinstance(env, dict):
+        sys.exit(f"error: {path}: env block is not an object")
+    return doc.get("suite", "?"), table, env
 
 
 def main():
@@ -62,10 +77,27 @@ def main():
     if args.tolerance < 0:
         sys.exit("error: --tolerance must be >= 0")
 
-    base_suite, base = load(args.baseline)
-    cur_suite, cur = load(args.current)
+    base_suite, base, base_env = load(args.baseline)
+    cur_suite, cur, cur_env = load(args.current)
     if base_suite != cur_suite:
         sys.exit(f"error: suite mismatch: {base_suite!r} vs {cur_suite!r}")
+
+    # Feature drift is informative, not fatal: a baseline recorded on an
+    # AVX2 box compared on an SSE2-only box (or under RPB_SIMD=off) will
+    # time different code — flag it so a regression reads correctly.
+    if base_env is not None and cur_env is not None:
+        keys = sorted(set(base_env) | set(cur_env))
+        drift = [k for k in keys if base_env.get(k) != cur_env.get(k)]
+        if drift:
+            for k in drift:
+                print(f"warning: env mismatch on {k!r}: baseline "
+                      f"{base_env.get(k)!r} vs current {cur_env.get(k)!r}")
+            print("warning: timings below compare different vector "
+                  "dispatch; regressions may be environmental")
+    elif (base_env is None) != (cur_env is None):
+        which = "baseline" if base_env is None else "current"
+        print(f"warning: {which} file has no env block; cannot compare "
+              "CPU feature dispatch")
 
     failures = []
     ratios = []
