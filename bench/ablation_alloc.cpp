@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench_util/harness.h"
+#include "common.h"
 #include "core/uninit_buf.h"
 #include "sched/thread_pool.h"
 #include "seq/generators.h"
@@ -253,18 +254,7 @@ int run_json_harness(const std::string& path, bool smoke) {
   support::set_arena_mode(saved_mode);
   set_buf_poison(saved_poison);
 
-  if (!bench::write_bench_json(path, "alloc", records)) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    return 1;
-  }
-  std::string error;
-  if (!bench::validate_bench_json(path, &error)) {
-    std::fprintf(stderr, "error: %s fails schema validation: %s\n",
-                 path.c_str(), error.c_str());
-    return 1;
-  }
-  std::printf("wrote %s (%zu records, schema ok)\n", path.c_str(),
-              records.size());
+  if (int rc = bench::emit_bench_json(path, "alloc", records)) return rc;
   std::printf(
       "per-invocation @%zu threads, malloc_zeroed vs arena_uninit:\n"
       "  sample_sort_equal n=%zu: %s vs %s (%.2fx)\n"
@@ -281,34 +271,7 @@ int run_json_harness(const std::string& path, bool smoke) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
-        std::fprintf(stderr, "error: --json requires an output path\n");
-        return 1;
-      }
-      json_path = argv[++i];
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-      if (json_path.empty()) {
-        std::fprintf(stderr, "error: --json requires an output path\n");
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s --json PATH [--smoke]\n"
-                   "(this harness has no table mode; see EXPERIMENTS.md)\n",
-                   argv[0]);
-      return 1;
-    }
-  }
-  if (json_path.empty()) {
-    std::fprintf(stderr, "usage: %s --json PATH [--smoke]\n", argv[0]);
-    return 1;
-  }
-  return run_json_harness(json_path, smoke);
+  bench::JsonCli cli = bench::parse_json_cli(argc, argv);
+  if (int rc = bench::require_json_only(cli, argv[0])) return rc;
+  return run_json_harness(cli.json_path, cli.smoke);
 }

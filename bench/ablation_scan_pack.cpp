@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench_util/harness.h"
+#include "common.h"
 #include "core/primitives.h"
 #include "core/uninit_buf.h"
 #include "graph/bfs.h"
@@ -396,18 +397,7 @@ int run_json_harness(const std::string& path, bool smoke) {
   support::set_arena_mode(saved_mode);
   set_buf_poison(saved_poison);
 
-  if (!bench::write_bench_json(path, "scanpack", records)) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    return 1;
-  }
-  std::string error;
-  if (!bench::validate_bench_json(path, &error)) {
-    std::fprintf(stderr, "error: %s fails schema validation: %s\n",
-                 path.c_str(), error.c_str());
-    return 1;
-  }
-  std::printf("wrote %s (%zu records, schema ok)\n", path.c_str(),
-              records.size());
+  if (int rc = bench::emit_bench_json(path, "scanpack", records)) return rc;
   std::printf("pack n=%zu @1 thread, naive four-pass vs fused: %s vs %s "
               "(%.2fx)\n",
               n, bench::fmt_seconds(pack_naive_1t).c_str(),
@@ -419,34 +409,7 @@ int run_json_harness(const std::string& path, bool smoke) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
-        std::fprintf(stderr, "error: --json requires an output path\n");
-        return 1;
-      }
-      json_path = argv[++i];
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-      if (json_path.empty()) {
-        std::fprintf(stderr, "error: --json requires an output path\n");
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s --json PATH [--smoke]\n"
-                   "(this harness has no table mode; see EXPERIMENTS.md)\n",
-                   argv[0]);
-      return 1;
-    }
-  }
-  if (json_path.empty()) {
-    std::fprintf(stderr, "usage: %s --json PATH [--smoke]\n", argv[0]);
-    return 1;
-  }
-  return run_json_harness(json_path, smoke);
+  bench::JsonCli cli = bench::parse_json_cli(argc, argv);
+  if (int rc = bench::require_json_only(cli, argv[0])) return rc;
+  return run_json_harness(cli.json_path, cli.smoke);
 }

@@ -1,0 +1,268 @@
+// Load-balance ablation for the sparse kernel suite (src/sparse): the
+// naive one-task-per-row RngInd expression of SpMV against the
+// merge-path decomposition, on a uniform R-MAT and a skewed power-law
+// R-MAT, in both access tiers. The naive arm (`rowpar`) is exactly the
+// shape par_ind_chunks_mut defaults to — grain=1, so the scheduler
+// fields one stealable task per row and pays fork/steal churn
+// proportional to rows; `rowpar_grained` is the honest middle arm at
+// the scheduler's amortized default grain; `mergepath` fields
+// O((rows+nnz)/grain) equal tasks regardless of the degree
+// distribution. SpMM (k=8 dense columns) and SpGEMM rows give the rest
+// of the suite a perf trajectory in the same file.
+//
+// Box caveat (EXPERIMENTS.md "SpMV load balancing"): on a single
+// hardware core, oversubscribed workers timeshare, so skew shows up as
+// per-row scheduling overhead rather than idle-worker wall-clock; the
+// rowpar-vs-mergepath gap here measures task-granularity overhead, the
+// component of the merge-path win that survives serialization.
+//
+// Usage:
+//   --json PATH [--smoke]  emit rpb-bench-v1 records (BENCH_spmv),
+//                          amortized per invocation, self-validated.
+// Threads come from RPB_THREADS (the smoke gate pins 4).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common.h"
+#include "graph/generators.h"
+#include "obs/counters.h"
+#include "sched/thread_pool.h"
+#include "sparse/sparse.h"
+#include "support/env.h"
+#include "support/hash.h"
+
+using namespace rpb;
+
+namespace {
+
+volatile u64 g_sink;  // defeats dead-code elimination of timed results
+void keep(f64 v) { g_sink = static_cast<u64>(v); }
+
+bench::BenchRecord make_record(std::string name, std::size_t threads,
+                               std::size_t n, std::size_t inner,
+                               bench::Measurement m) {
+  m.median_seconds /= static_cast<double>(inner);
+  m.p10_seconds /= static_cast<double>(inner);
+  m.p90_seconds /= static_cast<double>(inner);
+  m.mean_seconds /= static_cast<double>(inner);
+  bench::BenchRecord r;
+  r.name = std::move(name);
+  r.threads = threads;
+  r.n = n;
+  r.repeats = m.repeats;
+  r.median_s = m.median_seconds;
+  r.p10_s = m.p10_seconds;
+  r.p90_s = m.p90_seconds;
+  r.mean_s = m.mean_seconds;
+  return r;
+}
+
+// p-th percentile (nearest-rank) of rows-owned-per-task, from the same
+// input-pure partition the kernel executes.
+std::size_t rows_per_task_pct(const std::vector<std::size_t>& sorted,
+                              double p) {
+  if (sorted.empty()) return 0;
+  std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct Input {
+  const char* label;
+  graph::Graph graph;
+  sparse::CsrMatrix<f64> mat;
+};
+
+int run_json_harness(const std::string& path, bool smoke) {
+  const std::size_t repeats = smoke ? 3 : 9;
+  const int scale = smoke ? 12 : 15;
+  const std::size_t inner = smoke ? 4 : 8;
+  const double avg_degree = 8.0;
+
+  const std::size_t threads = default_threads();
+  sched::ThreadPool::reset_global(threads);
+  std::printf("# threads=%zu repeats=%zu scale=%d\n", threads, repeats, scale);
+
+  // Uniform: all four R-MAT quadrants equal — degrees concentrate near
+  // the mean. Skew: the paper generators' power-law regime pushed
+  // harder (a=0.60), giving a heavy tail the naive row mapping cannot
+  // balance.
+  std::vector<Input> inputs;
+  {
+    const std::size_t n = std::size_t{1} << scale;
+    auto uni = graph::rmat_edges(scale, avg_degree, 0.25, 0.25, 0.25, 17);
+    auto skw = graph::rmat_edges(scale, avg_degree, 0.60, 0.19, 0.19, 17);
+    Input u{"uniform", graph::Graph::from_edges(n, uni, false, false), {}};
+    u.mat = sparse::CsrMatrix<f64>::from_graph(u.graph);
+    inputs.push_back(std::move(u));
+    Input s{"skew", graph::Graph::from_edges(n, skw, false, false), {}};
+    s.mat = sparse::CsrMatrix<f64>::from_graph(s.graph);
+    inputs.push_back(std::move(s));
+  }
+
+  std::vector<bench::BenchRecord> records;
+  // (matrix, policy) -> unchecked median, for the printed summary
+  std::vector<std::pair<std::string, double>> medians;
+
+  for (Input& in : inputs) {
+    const sparse::CsrView<f64> a = in.mat.view();
+    const std::size_t num_rows = a.num_rows();
+    std::vector<f64> x(a.num_cols);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = static_cast<f64>(hash64(i) & 0xff) * (1.0 / 256.0);
+    }
+    std::vector<f64> y(num_rows);
+
+    struct Arm {
+      const char* name;
+      sparse::SpmvPolicy policy;
+      std::size_t grain;  // 0 = the policy's / scheduler's default
+    };
+    const Arm arms[] = {
+        {"rowpar", sparse::SpmvPolicy::kRowPar, 1},
+        {"rowpar_grained", sparse::SpmvPolicy::kRowPar, 0},
+        {"mergepath", sparse::SpmvPolicy::kMergePath, 0},
+    };
+    for (const Arm& arm : arms) {
+      for (AccessMode mode : {AccessMode::kUnchecked, AccessMode::kChecked}) {
+        const char* tier =
+            mode == AccessMode::kChecked ? "checked" : "unchecked";
+        auto m = bench::measure(
+            [&] {
+              for (std::size_t r = 0; r < inner; ++r) {
+                if (arm.policy == sparse::SpmvPolicy::kRowPar) {
+                  if (mode == AccessMode::kChecked) {
+                    sparse::spmv(a, std::span<const f64>(x), std::span<f64>(y),
+                                 mode, arm.policy, arm.grain);
+                  } else {
+                    sparse::spmv_row_par(a, std::span<const f64>(x),
+                                         std::span<f64>(y), arm.grain);
+                  }
+                } else {
+                  sparse::spmv(a, std::span<const f64>(x), std::span<f64>(y),
+                               mode, arm.policy, arm.grain);
+                }
+                keep(y[0]);
+              }
+            },
+            repeats);
+        std::string name = std::string("spmv/") + in.label + "/" + arm.name +
+                           "/" + tier;
+        records.push_back(make_record(name, threads, num_rows, inner, m));
+        if (mode == AccessMode::kUnchecked) {
+          medians.emplace_back(std::string(in.label) + "/" + arm.name,
+                               records.back().median_s);
+        }
+      }
+    }
+
+    // SpMM context row: the same traversal amortized over 8 dense
+    // columns (unchecked; the checked delta is spmv's).
+    {
+      const std::size_t k = 8;
+      std::vector<f64> xm(a.num_cols * k);
+      for (std::size_t i = 0; i < xm.size(); ++i) {
+        xm[i] = static_cast<f64>(hash64(i) & 0xff) * (1.0 / 256.0);
+      }
+      std::vector<f64> ym(num_rows * k);
+      const std::size_t inner_mm = std::max<std::size_t>(1, inner / 4);
+      auto m = bench::measure(
+          [&] {
+            for (std::size_t r = 0; r < inner_mm; ++r) {
+              sparse::spmm(a, std::span<const f64>(xm), std::span<f64>(ym), k,
+                           AccessMode::kUnchecked);
+              keep(ym[0]);
+            }
+          },
+          repeats);
+      records.push_back(make_record(std::string("spmm/") + in.label + "/k8",
+                                    threads, num_rows, inner_mm, m));
+    }
+  }
+
+  // SpGEMM context row: A·A on a smaller uniform R-MAT (output nnz
+  // grows ~degree^2, so the operand is scaled down to keep the smoke
+  // run bounded).
+  {
+    const int gscale = scale - 3;
+    const std::size_t n = std::size_t{1} << gscale;
+    auto edges = graph::rmat_edges(gscale, avg_degree, 0.25, 0.25, 0.25, 17);
+    auto g = graph::Graph::from_edges(n, edges, false, false);
+    auto mat = sparse::CsrMatrix<f64>::from_graph(g);
+    const sparse::CsrView<f64> a = mat.view();
+    auto m = bench::measure(
+        [&] {
+          auto c = sparse::spgemm(a, a, AccessMode::kUnchecked);
+          keep(static_cast<f64>(c.nnz()));
+        },
+        repeats);
+    records.push_back(make_record("spgemm/uniform/aa", threads, n, 1, m));
+  }
+
+  if (int rc = bench::emit_bench_json(path, "spmv", records)) return rc;
+
+  // Partition + instrumentation summary for the skewed input: the
+  // merge-path task count, how many carries the fix-up applied, and the
+  // rows-per-task spread (p50/p99) that quantifies how unequal the
+  // naive row mapping's tasks were.
+  for (const Input& in : inputs) {
+    const sparse::CsrView<f64> a = in.mat.view();
+    const std::size_t items = a.num_rows() + a.nnz();
+    const std::size_t ntasks = sparse::merge_path_tasks(a.num_rows(), a.nnz());
+    std::vector<std::size_t> rows_per_task(ntasks);
+    for (std::size_t t = 0; t < ntasks; ++t) {
+      auto b = sparse::merge_path_search(
+          a.offsets, std::min(t * sparse::kMergePathGrain, items));
+      auto e = sparse::merge_path_search(
+          a.offsets, std::min((t + 1) * sparse::kMergePathGrain, items));
+      rows_per_task[t] = e.row - b.row;
+    }
+    std::sort(rows_per_task.begin(), rows_per_task.end());
+
+    const obs::ObsMode saved_obs = obs::mode();
+    obs::set_mode(obs::ObsMode::kCounters);
+    obs::reset_counters();
+    std::vector<f64> x(a.num_cols, 1.0), y(a.num_rows());
+    sparse::spmv(a, std::span<const f64>(x), std::span<f64>(y),
+                 AccessMode::kUnchecked, sparse::SpmvPolicy::kMergePath);
+    auto snap = obs::snapshot_counters();
+    obs::set_mode(saved_obs);
+
+    std::printf(
+        "%-8s rows=%zu nnz=%zu max_degree=%zu | mergepath tasks=%llu "
+        "carry_fixups=%llu rows/task p50=%zu p99=%zu\n",
+        in.label, a.num_rows(), a.nnz(), in.graph.max_degree(),
+        static_cast<unsigned long long>(
+            snap.total(obs::Counter::kSparseMergeTasks)),
+        static_cast<unsigned long long>(
+            snap.total(obs::Counter::kSparseCarryFixups)),
+        rows_per_task_pct(rows_per_task, 0.50),
+        rows_per_task_pct(rows_per_task, 0.99));
+  }
+
+  for (const char* label : {"uniform", "skew"}) {
+    double rowpar = 0, merge = 0;
+    for (const auto& [name, median] : medians) {
+      if (name == std::string(label) + "/rowpar") rowpar = median;
+      if (name == std::string(label) + "/mergepath") merge = median;
+    }
+    if (rowpar > 0 && merge > 0) {
+      std::printf("%-8s rowpar %s vs mergepath %s: %.2fx\n", label,
+                  bench::fmt_seconds(rowpar).c_str(),
+                  bench::fmt_seconds(merge).c_str(),
+                  rowpar / std::max(merge, 1e-12));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonCli cli = bench::parse_json_cli(argc, argv);
+  if (int rc = bench::require_json_only(cli, argv[0])) return rc;
+  return run_json_harness(cli.json_path, cli.smoke);
+}

@@ -1,11 +1,17 @@
 // Shared CLI handling for the table/figure harnesses: --threads,
-// --repeats, --scale, --split.
+// --repeats, --scale, --split — plus the rpb-bench-v1 front end
+// (--json/--trace/--smoke/--require-obs parsing and the write-validate-
+// report epilogue) that every ablation harness used to carry a private
+// copy of.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "bench_util/harness.h"
 #include "sched/parallel.h"
 #include "sched/thread_pool.h"
 #include "support/cli.h"
@@ -47,6 +53,113 @@ inline Options parse_options(int argc, char** argv) {
               opt.repeats, opt.scale,
               opt.split == sched::SplitMode::kLazy ? "lazy" : "eager");
   return opt;
+}
+
+// The rpb-bench-v1 flags shared by the ablation/regression harnesses.
+// Unrecognized arguments land in `passthrough` (argv[0] first) for
+// harnesses with a table or google-benchmark mode behind the JSON one;
+// json-only harnesses reject them via require_json_only below.
+struct JsonCli {
+  std::string json_path;
+  std::string trace_path;
+  bool smoke = false;
+  bool require_obs = false;
+  bool error = false;  // malformed flag; message already on stderr
+  std::vector<char*> passthrough;
+};
+
+namespace detail {
+
+// --flag PATH and --flag=PATH forms; returns true when argv[i] was this
+// flag (consumed, possibly advancing i), setting cli.error on a missing
+// or empty path.
+inline bool parse_path_flag(JsonCli& cli, const char* flag, int argc,
+                            char** argv, int& i, std::string* out) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strcmp(argv[i], flag) == 0) {
+    if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+      std::fprintf(stderr, "error: %s requires an output path\n", flag);
+      cli.error = true;
+    } else {
+      *out = argv[++i];
+    }
+    return true;
+  }
+  if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+    *out = argv[i] + len + 1;
+    if (out->empty()) {
+      std::fprintf(stderr, "error: %s requires an output path\n", flag);
+      cli.error = true;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+inline JsonCli parse_json_cli(int argc, char** argv) {
+  JsonCli cli;
+  cli.passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (detail::parse_path_flag(cli, "--json", argc, argv, i,
+                                &cli.json_path) ||
+        detail::parse_path_flag(cli, "--trace", argc, argv, i,
+                                &cli.trace_path)) {
+      if (cli.error) return cli;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      cli.smoke = true;
+    } else if (std::strcmp(argv[i], "--require-obs") == 0) {
+      cli.require_obs = true;
+    } else {
+      cli.passthrough.push_back(argv[i]);
+    }
+  }
+  return cli;
+}
+
+// For harnesses whose only mode is --json: returns 0 when the parse
+// produced exactly a JSON path, 1 (with a usage message) otherwise.
+inline int require_json_only(const JsonCli& cli, const char* argv0) {
+  if (cli.error) return 1;
+  if (cli.json_path.empty() || cli.passthrough.size() > 1 ||
+      !cli.trace_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --json PATH [--smoke]\n"
+                 "(this harness has no table mode; see EXPERIMENTS.md)\n",
+                 argv0);
+    return 1;
+  }
+  return 0;
+}
+
+// The write-validate-report epilogue every JSON harness ends with:
+// writes `records` as an rpb-bench-v1 document, re-reads it through the
+// schema validator, optionally insists on the obs stats block, and
+// prints the one-line receipt. Returns the harness exit code.
+inline int emit_bench_json(const std::string& path, const std::string& suite,
+                           const std::vector<BenchRecord>& records,
+                           bool require_obs = false) {
+  if (!write_bench_json(path, suite, records)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::string error;
+  if (!validate_bench_json(path, &error)) {
+    std::fprintf(stderr, "error: %s fails schema validation: %s\n",
+                 path.c_str(), error.c_str());
+    return 1;
+  }
+  if (require_obs && !bench_json_has_obs_block(path)) {
+    std::fprintf(stderr,
+                 "error: %s has no obs stats block (run with "
+                 "RPB_OBS=counters)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records, schema ok)\n", path.c_str(),
+              records.size());
+  return 0;
 }
 
 }  // namespace rpb::bench

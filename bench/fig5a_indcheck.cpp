@@ -157,18 +157,7 @@ int run_json_harness(const std::string& path, bool smoke) {
   }
   par::set_check_mode(par::CheckMode::kFused);
 
-  if (!bench::write_bench_json(path, "indcheck", records)) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    return 1;
-  }
-  std::string error;
-  if (!bench::validate_bench_json(path, &error)) {
-    std::fprintf(stderr, "error: %s fails schema validation: %s\n",
-                 path.c_str(), error.c_str());
-    return 1;
-  }
-  std::printf("wrote %s (%zu records, schema ok)\n", path.c_str(),
-              records.size());
+  if (int rc = bench::emit_bench_json(path, "indcheck", records)) return rc;
   double fused_floor_small = std::max(small_fused_hw, 1e-9);
   double fused_floor_large = std::max(large_fused_hw, 1e-9);
   std::printf(
@@ -215,29 +204,9 @@ int run_suite_table(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
-  bool smoke = false;
-  std::vector<char*> passthrough{argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
-        std::fprintf(stderr, "error: --json requires an output path\n");
-        return 1;
-      }
-      json_path = argv[++i];
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-      if (json_path.empty()) {
-        std::fprintf(stderr, "error: --json requires an output path\n");
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      passthrough.push_back(argv[i]);
-    }
-  }
-  if (!json_path.empty()) return run_json_harness(json_path, smoke);
-  return run_suite_table(static_cast<int>(passthrough.size()),
-                         passthrough.data());
+  bench::JsonCli cli = bench::parse_json_cli(argc, argv);
+  if (cli.error) return 1;
+  if (!cli.json_path.empty()) return run_json_harness(cli.json_path, cli.smoke);
+  return run_suite_table(static_cast<int>(cli.passthrough.size()),
+                         cli.passthrough.data());
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench_util/harness.h"
+#include "common.h"
 #include "core/primitives.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
@@ -400,25 +401,9 @@ int run_json_harness(const std::string& path, bool smoke, bool require_obs) {
     records.push_back(make_record("pack_index", threads, n, pk));
   }
 
-  if (!bench::write_bench_json(path, "sched", records)) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    return 1;
+  if (int rc = bench::emit_bench_json(path, "sched", records, require_obs)) {
+    return rc;
   }
-  std::string error;
-  if (!bench::validate_bench_json(path, &error)) {
-    std::fprintf(stderr, "error: %s fails schema validation: %s\n",
-                 path.c_str(), error.c_str());
-    return 1;
-  }
-  if (require_obs && !bench::bench_json_has_obs_block(path)) {
-    std::fprintf(stderr,
-                 "error: %s has no obs stats block (run with "
-                 "RPB_OBS=counters)\n",
-                 path.c_str());
-    return 1;
-  }
-  std::printf("wrote %s (%zu records, schema ok)\n", path.c_str(),
-              records.size());
   // Floor at 10ns so a fully-inlined lazy region (overhead below timer
   // resolution) yields a finite, conservative ratio.
   double lazy_floor = std::max(overhead_lazy_hw, 1e-8);
@@ -491,49 +476,16 @@ int run_trace_harness(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
-  std::string trace_path;
-  bool smoke = false;
-  bool require_obs = false;
-  std::vector<char*> passthrough{argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --json requires an output path\n");
-        return 1;
-      }
-      json_path = argv[++i];
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-      if (json_path.empty()) {
-        std::fprintf(stderr, "error: --json requires an output path\n");
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--trace") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --trace requires an output path\n");
-        return 1;
-      }
-      trace_path = argv[++i];
-    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      trace_path = argv[i] + 8;
-      if (trace_path.empty()) {
-        std::fprintf(stderr, "error: --trace requires an output path\n");
-        return 1;
-      }
-    } else if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--require-obs") == 0) {
-      require_obs = true;
-    } else {
-      passthrough.push_back(argv[i]);
-    }
+  bench::JsonCli cli = bench::parse_json_cli(argc, argv);
+  if (cli.error) return 1;
+  if (!cli.trace_path.empty()) return run_trace_harness(cli.trace_path);
+  if (!cli.json_path.empty()) {
+    return run_json_harness(cli.json_path, cli.smoke, cli.require_obs);
   }
-  if (!trace_path.empty()) return run_trace_harness(trace_path);
-  if (!json_path.empty()) return run_json_harness(json_path, smoke, require_obs);
-  int pass_argc = static_cast<int>(passthrough.size());
-  benchmark::Initialize(&pass_argc, passthrough.data());
-  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+  int pass_argc = static_cast<int>(cli.passthrough.size());
+  benchmark::Initialize(&pass_argc, cli.passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                             cli.passthrough.data())) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();

@@ -10,6 +10,7 @@ subdirs("sched")
 subdirs("core")
 subdirs("seq")
 subdirs("graph")
+subdirs("sparse")
 subdirs("text")
 subdirs("geom")
 subdirs("bench_util")

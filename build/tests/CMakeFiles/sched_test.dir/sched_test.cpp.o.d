@@ -317,7 +317,10 @@ tests/CMakeFiles/sched_test.dir/sched_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable /root/repo/tests/test_guards.h \
- /root/repo/src/support/simd.h \
+ /root/repo/src/sparse/spmv.h /usr/include/c++/12/span \
+ /root/repo/src/core/access_mode.h /root/repo/src/core/checks.h \
+ /root/repo/src/core/atomics.h /root/repo/src/core/mark_table.h \
+ /root/repo/src/support/error.h /root/repo/src/support/simd.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
@@ -403,4 +406,7 @@ tests/CMakeFiles/sched_test.dir/sched_test.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/amxint8intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/amxbf16intrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/prfchwintrin.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/keylockerintrin.h \
+ /root/repo/src/core/uninit_buf.h /root/repo/src/support/arena.h \
+ /root/repo/src/sparse/csr_matrix.h /root/repo/src/graph/csr.h \
+ /root/repo/src/core/census.h

@@ -324,4 +324,28 @@ void check_monotonic_offsets(std::span<const Index> offsets,
   obs::bump(obs::Counter::kCheckedPassed);
 }
 
+// Verifies every indices[i] < bound — the gather-safety check of the
+// sparse kernels' checked tier (column ids against the dense-operand
+// length). Unlike check_unique_offsets, duplicates are fine: a CSR row
+// may reference a column twice. write_min keeps the lowest violating
+// index (a property of the input alone), so the message is stable
+// across runs and thread schedules.
+template <class Index>
+void check_indices_in_bounds(std::span<const Index> indices,
+                             std::size_t bound) {
+  u64 first_bad = detail::kNoBadIndex;
+  sched::parallel_for(0, indices.size(), [&](std::size_t i) {
+    if (static_cast<std::size_t>(indices[i]) >= bound) {
+      write_min(&first_bad, static_cast<u64>(i));
+    }
+  });
+  u64 bad = relaxed_load(&first_bad);
+  if (bad != detail::kNoBadIndex) {
+    obs::bump(obs::Counter::kCheckedFailed);
+    throw CheckFailure("sparse: column index out of bounds at nonzero " +
+                       std::to_string(bad));
+  }
+  obs::bump(obs::Counter::kCheckedPassed);
+}
+
 }  // namespace rpb::par

@@ -1,5 +1,6 @@
 #include "graph/csr.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "core/primitives.h"
@@ -98,6 +99,20 @@ std::vector<Edge> Graph::undirected_edges() const {
     }
   });
   return out;
+}
+
+std::size_t Graph::max_degree() const {
+  const std::size_t n = num_vertices();
+  return static_cast<std::size_t>(sched::parallel_reduce_range(
+      std::size_t{0}, n, u64{0},
+      [&](std::size_t lo, std::size_t hi) {
+        u64 best = 0;
+        for (std::size_t v = lo; v < hi; ++v) {
+          best = std::max(best, offsets_[v + 1] - offsets_[v]);
+        }
+        return best;
+      },
+      [](u64 a, u64 b) { return std::max(a, b); }));
 }
 
 }  // namespace rpb::graph

@@ -64,6 +64,10 @@ class Graph {
     return n == 0 ? 0.0 : static_cast<double>(num_edges()) / static_cast<double>(n);
   }
 
+  // Largest out-degree — the generators' skew diagnostic (a power-law
+  // tail shows up here long before it shows up in the average).
+  std::size_t max_degree() const;
+
  private:
   std::vector<u64> offsets_;  // size n+1
   std::vector<VertexId> targets_;

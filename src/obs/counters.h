@@ -40,6 +40,9 @@ enum class Counter : u32 {
   kCheckedPassed,       // checked-tier validations that passed
   kCheckedFailed,       // checked-tier validations that threw
   kTraceDropsObserved,  // trace scopes not recorded (overflow slot)
+  kSparseMergeTasks,    // spmv: merge-path tasks launched
+  kSparseCarryFixups,   // spmv: partial-row carries applied in fix-up
+  kSparseAccumRows,     // spgemm: rows built through the sparse accumulator
   kCount
 };
 
@@ -55,7 +58,9 @@ inline constexpr const char* kCounterNames[kNumCounters] = {
     "mq_pops",            "arena_chunk_allocs",
     "arena_lease_reuses", "arena_lease_creates",
     "mark_table_leases",  "checked_passed",
-    "checked_failed",     "trace_drops_observed"};
+    "checked_failed",     "trace_drops_observed",
+    "sparse_merge_tasks", "sparse_carry_fixups",
+    "sparse_accum_rows"};
 
 inline constexpr const char* counter_name(Counter c) {
   return kCounterNames[static_cast<std::size_t>(c)];

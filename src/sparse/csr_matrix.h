@@ -1,0 +1,122 @@
+// Value-carrying CSR matrices layered on the graph substrate. The
+// sparse kernel suite (spmv.h, spmm.h, spgemm.h) works in the paper's
+// pattern vocabulary over exactly the arrays graph::Graph already
+// builds in parallel: a CsrView<V> is spans over offsets / column ids
+// plus a value array, and CsrMatrix<V>::from_graph adopts a graph's
+// raw_offsets()/raw_targets() zero-copy — only the u32 edge weights
+// are materialized (in parallel) as f32/f64 values. Matrices built
+// from scratch (tests, SpGEMM outputs) own all three arrays.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+#include "sched/parallel.h"
+#include "support/defs.h"
+
+namespace rpb::sparse {
+
+// Non-owning view of a CSR matrix with explicit column-space bound
+// (columns index a dense vector of that length in SpMV/SpMM, and the
+// rows of the right operand in SpGEMM). offsets has num_rows()+1
+// entries (empty means zero rows); cols/vals are parallel arrays of
+// nnz() entries. The kernels' unchecked tier trusts these invariants;
+// the checked tier validates them at run time (spmv.h).
+template <class V>
+struct CsrView {
+  std::span<const u64> offsets;
+  std::span<const u32> cols;
+  std::span<const V> vals;
+  std::size_t num_cols = 0;
+
+  std::size_t num_rows() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t nnz() const { return cols.size(); }
+
+  std::size_t row_degree(std::size_t r) const {
+    return static_cast<std::size_t>(offsets[r + 1] - offsets[r]);
+  }
+};
+
+// Owning CSR matrix. Storage is either adopted raw arrays (from_csr)
+// or — for graph inputs — borrowed spans over the graph's own CSR
+// arrays plus an owned value array (from_graph, zero-copy for the
+// topology; the graph must outlive the matrix). view() assembles the
+// right spans either way, so kernels only ever see CsrView<V>.
+template <class V>
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  // Adopt raw CSR arrays. offsets must have n+1 entries with
+  // offsets[n] == cols.size() and vals parallel to cols.
+  static CsrMatrix from_csr(std::vector<u64> offsets, std::vector<u32> cols,
+                            std::vector<V> vals, std::size_t num_cols) {
+    if (offsets.empty() || offsets.back() != cols.size() ||
+        vals.size() != cols.size()) {
+      throw std::invalid_argument("CsrMatrix::from_csr: inconsistent arrays");
+    }
+    CsrMatrix m;
+    m.own_offsets_ = std::move(offsets);
+    m.own_cols_ = std::move(cols);
+    m.vals_ = std::move(vals);
+    m.num_cols_ = num_cols;
+    return m;
+  }
+
+  // Zero-copy adoption of a graph's CSR topology: offsets and targets
+  // are borrowed (no copy — the raw_offsets()/raw_targets() spans point
+  // into the live graph), and only the value array is built, converting
+  // the u32 edge weights in parallel (1 for unweighted graphs). Square
+  // by construction: columns index the same vertex space as rows.
+  static CsrMatrix from_graph(const graph::Graph& g) {
+    CsrMatrix m;
+    m.borrowed_offsets_ = g.raw_offsets();
+    m.borrowed_cols_ = g.raw_targets();
+    m.num_cols_ = g.num_vertices();
+    m.vals_.resize(g.num_edges());
+    std::span<const u32> w = g.raw_weights();
+    V* vals = m.vals_.data();
+    sched::parallel_for(0, m.vals_.size(), [&](std::size_t i) {
+      vals[i] = w.empty() ? V(1) : static_cast<V>(w[i]);
+    });
+    return m;
+  }
+
+  CsrView<V> view() const {
+    CsrView<V> v;
+    v.offsets = borrowed_offsets_.empty()
+                    ? std::span<const u64>(own_offsets_)
+                    : borrowed_offsets_;
+    v.cols = borrowed_offsets_.empty() ? std::span<const u32>(own_cols_)
+                                       : borrowed_cols_;
+    v.vals = std::span<const V>(vals_);
+    v.num_cols = num_cols_;
+    return v;
+  }
+  operator CsrView<V>() const { return view(); }
+
+  std::size_t num_rows() const { return view().num_rows(); }
+  std::size_t num_cols() const { return num_cols_; }
+  std::size_t nnz() const { return vals_.size(); }
+
+  // True when the topology spans borrow a graph's arrays (the zero-copy
+  // contract from_graph promises; tests pin it by pointer identity).
+  bool borrows_topology() const { return !borrowed_offsets_.empty(); }
+
+ private:
+  std::vector<u64> own_offsets_;
+  std::vector<u32> own_cols_;
+  std::vector<V> vals_;
+  std::span<const u64> borrowed_offsets_;
+  std::span<const u32> borrowed_cols_;
+  std::size_t num_cols_ = 0;
+};
+
+}  // namespace rpb::sparse

@@ -1,0 +1,13 @@
+#include "sparse/sparse.h"
+
+#include <stdexcept>
+
+namespace rpb::sparse {
+
+SpmvPolicy parse_spmv_policy(const std::string& name) {
+  if (name == "rowpar") return SpmvPolicy::kRowPar;
+  if (name == "mergepath") return SpmvPolicy::kMergePath;
+  throw std::invalid_argument("unknown spmv policy: " + name);
+}
+
+}  // namespace rpb::sparse

@@ -1,0 +1,19 @@
+// Umbrella header for the sparse kernel suite: value-carrying CSR
+// views over the graph substrate plus the three kernels (SpMV with
+// row-parallel and merge-path policies, SpMM-lite over a dense panel,
+// SpGEMM-lite via row-wise Gustavson).
+#pragma once
+
+#include <string>
+
+#include "sparse/csr_matrix.h"
+#include "sparse/spgemm.h"
+#include "sparse/spmm.h"
+#include "sparse/spmv.h"
+
+namespace rpb::sparse {
+
+// Parses "rowpar" / "mergepath" (CLI flag form of the RPB_SPMV knob).
+SpmvPolicy parse_spmv_policy(const std::string& name);
+
+}  // namespace rpb::sparse

@@ -1,0 +1,184 @@
+// Sparse-times-sparse product C = A·B ("SpGEMM-lite"): row-wise
+// Gustavson over CSR, two-phase so C comes out exactly sized:
+//
+//   symbolic  Each row of C counts its distinct columns by streaming
+//             row r of A and, per nonzero (c, _), row c of B through an
+//             epoch-stamped mark table (core/mark_table.h) — the same
+//             amortized-O(1)-setup machinery the checked tier's
+//             uniqueness check runs on, here doing double duty as the
+//             sparse accumulator's occupancy set. A scan over the
+//             counts (core/primitives.h) yields C's offsets.
+//   numeric   The same traversal accumulates values into a dense
+//             arena-leased accumulator (first touch assigns, so no
+//             O(num_cols) reset between rows) and records the touched
+//             columns; sorting the touched list makes every output row
+//             a valid ascending CSR row regardless of input order.
+//
+// Leases are taken per leaf task (one MarkTableLease + ArenaLease per
+// parallel_for_range chunk), so concurrent leaves never share an
+// accumulator and steady-state runs allocation-free under RPB_ARENA=on.
+//
+// Determinism: rows are independent and each row's accumulation order
+// is the input-pure traversal order (A's row left to right, B's rows
+// left to right), identical in the serial reference — so parallel and
+// serial results are byte-equal, any thread count, any schedule.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "core/access_mode.h"
+#include "core/mark_table.h"
+#include "core/primitives.h"
+#include "core/uninit_buf.h"
+#include "obs/counters.h"
+#include "sched/parallel.h"
+#include "sparse/spmv.h"
+#include "support/arena.h"
+
+namespace rpb::sparse {
+
+namespace detail {
+
+// Distinct columns of C's row r (symbolic phase body).
+template <class V>
+std::size_t spgemm_row_count(const CsrView<V>& a, const CsrView<V>& b,
+                             std::size_t r, par::MarkTable& table) {
+  const u32 stamp = table.begin_check(b.num_cols);
+  u32* slots = table.slots();
+  std::size_t count = 0;
+  const auto lo = static_cast<std::size_t>(a.offsets[r]);
+  const auto hi = static_cast<std::size_t>(a.offsets[r + 1]);
+  for (std::size_t z = lo; z < hi; ++z) {
+    const auto c = static_cast<std::size_t>(a.cols[z]);
+    const auto blo = static_cast<std::size_t>(b.offsets[c]);
+    const auto bhi = static_cast<std::size_t>(b.offsets[c + 1]);
+    for (std::size_t w = blo; w < bhi; ++w) {
+      const auto cc = static_cast<std::size_t>(b.cols[w]);
+      if (slots[cc] != stamp) {
+        slots[cc] = stamp;
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+// Numeric phase body for one row: accumulate into acc (first touch
+// assigns — stale acc contents are never read), gather + sort the
+// touched columns, and emit the ascending CSR row at out_cols/out_vals.
+// Shared verbatim by the parallel kernel and the serial reference.
+template <class V>
+void spgemm_row_fill(const CsrView<V>& a, const CsrView<V>& b, std::size_t r,
+                     par::MarkTable& table, V* acc, u32* touched,
+                     u32* out_cols, V* out_vals) {
+  const u32 stamp = table.begin_check(b.num_cols);
+  u32* slots = table.slots();
+  std::size_t count = 0;
+  const auto lo = static_cast<std::size_t>(a.offsets[r]);
+  const auto hi = static_cast<std::size_t>(a.offsets[r + 1]);
+  for (std::size_t z = lo; z < hi; ++z) {
+    const auto c = static_cast<std::size_t>(a.cols[z]);
+    const V av = a.vals[z];
+    const auto blo = static_cast<std::size_t>(b.offsets[c]);
+    const auto bhi = static_cast<std::size_t>(b.offsets[c + 1]);
+    for (std::size_t w = blo; w < bhi; ++w) {
+      const auto cc = static_cast<std::size_t>(b.cols[w]);
+      const V prod = av * b.vals[w];
+      if (slots[cc] != stamp) {
+        slots[cc] = stamp;
+        touched[count++] = b.cols[w];
+        acc[cc] = prod;
+      } else {
+        acc[cc] += prod;
+      }
+    }
+  }
+  std::sort(touched, touched + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out_cols[i] = touched[i];
+    out_vals[i] = acc[touched[i]];
+  }
+}
+
+}  // namespace detail
+
+// Serial reference (tests/sparse_test.cpp byte-compares against it).
+template <class V>
+CsrMatrix<V> spgemm_serial(const CsrView<V>& a, const CsrView<V>& b) {
+  if (a.num_cols != b.num_rows()) {
+    throw std::invalid_argument("spgemm: inner dimensions disagree");
+  }
+  const std::size_t num_rows = a.num_rows();
+  par::MarkTableLease table;
+  std::vector<u64> offsets(num_rows + 1, 0);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    offsets[r + 1] =
+        offsets[r] + detail::spgemm_row_count(a, b, r, *table);
+  }
+  const auto total = static_cast<std::size_t>(offsets[num_rows]);
+  std::vector<u32> cols(total);
+  std::vector<V> vals(total);
+  std::vector<V> acc(b.num_cols);
+  std::vector<u32> touched(b.num_cols);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    detail::spgemm_row_fill(a, b, r, *table, acc.data(), touched.data(),
+                            cols.data() + offsets[r],
+                            vals.data() + offsets[r]);
+  }
+  return CsrMatrix<V>::from_csr(std::move(offsets), std::move(cols),
+                                std::move(vals), b.num_cols);
+}
+
+// C = A·B. kChecked validates both operands' CSR invariants up front
+// (A's columns index B's rows, so A's bounds check is the load-safety
+// check for the whole traversal); kUnchecked trusts them.
+template <class V>
+CsrMatrix<V> spgemm(const CsrView<V>& a, const CsrView<V>& b,
+                    AccessMode mode = AccessMode::kChecked) {
+  if (a.num_cols != b.num_rows()) {
+    throw std::invalid_argument("spgemm: inner dimensions disagree");
+  }
+  if (mode == AccessMode::kChecked) {
+    detail::check_csr(a);
+    detail::check_csr(b);
+  }
+  const std::size_t num_rows = a.num_rows();
+  std::vector<u64> row_nnz(num_rows, 0);
+  sched::parallel_for_range(0, num_rows, [&](std::size_t lo, std::size_t hi) {
+    par::MarkTableLease table;
+    for (std::size_t r = lo; r < hi; ++r) {
+      row_nnz[r] = detail::spgemm_row_count(a, b, r, *table);
+    }
+  });
+
+  std::vector<u64> offsets(num_rows + 1, 0);
+  const u64 total = par::scan_exclusive_sum_into(
+      std::span<const u64>(row_nnz),
+      std::span<u64>(offsets.data(), num_rows));
+  offsets[num_rows] = total;
+
+  std::vector<u32> cols(static_cast<std::size_t>(total));
+  std::vector<V> vals(static_cast<std::size_t>(total));
+  sched::parallel_for_range(0, num_rows, [&](std::size_t lo, std::size_t hi) {
+    par::MarkTableLease table;
+    support::ArenaLease arena;
+    // First touch assigns into acc, so uninitialized scratch is safe:
+    // every slot read was written under the current row's stamp.
+    auto acc = uninit_buf<V>(arena, b.num_cols);
+    auto touched = uninit_buf<u32>(arena, b.num_cols);
+    obs::bump(obs::Counter::kSparseAccumRows, hi - lo);
+    for (std::size_t r = lo; r < hi; ++r) {
+      const auto base = static_cast<std::size_t>(offsets[r]);
+      detail::spgemm_row_fill(a, b, r, *table, acc.data(), touched.data(),
+                              cols.data() + base, vals.data() + base);
+    }
+  });
+  return CsrMatrix<V>::from_csr(std::move(offsets), std::move(cols),
+                                std::move(vals), b.num_cols);
+}
+
+}  // namespace rpb::sparse

@@ -1,0 +1,72 @@
+// Sparse-times-dense panel product Y = A·X ("SpMM-lite"): X is a dense
+// num_cols×k row-major panel, Y a num_rows×k panel. The kernel is SpMV
+// with a k-wide register-blocked inner loop — each nonzero scales a
+// whole row of X into the output row via simd::axpy (the PR 6 dispatch
+// layer), so one CSR traversal amortizes across all k right-hand
+// sides. Rows are independent writes into disjoint k-slices of Y, so
+// row-parallel at the scheduler's default grain is the right shape
+// (load balance matters less than in SpMV: every row costs degree×k,
+// and the axpy keeps even light rows busy).
+//
+// Determinism: nonzeros apply in CSR order within a row and axpy is
+// bit-identical across simd tiers (no FMA — see support/simd.h), so
+// results are bitwise reproducible across thread counts and RPB_SIMD
+// settings, and spmm_serial is a byte-exact reference.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <span>
+
+#include "core/access_mode.h"
+#include "sched/parallel.h"
+#include "sparse/spmv.h"
+#include "support/simd.h"
+
+namespace rpb::sparse {
+
+namespace detail {
+
+// One output row: zero its k-slice, then accumulate the row's
+// nonzeros — shared verbatim by the parallel kernel and the serial
+// reference so they agree byte-for-byte.
+template <class V>
+void spmm_row(const CsrView<V>& a, const V* x, V* y, std::size_t k,
+              std::size_t r) {
+  V* out = y + r * k;
+  std::memset(out, 0, k * sizeof(V));
+  const auto lo = static_cast<std::size_t>(a.offsets[r]);
+  const auto hi = static_cast<std::size_t>(a.offsets[r + 1]);
+  for (std::size_t z = lo; z < hi; ++z) {
+    simd::axpy(out, x + static_cast<std::size_t>(a.cols[z]) * k, a.vals[z], k);
+  }
+}
+
+}  // namespace detail
+
+// Serial reference (tests/sparse_test.cpp byte-compares against it).
+template <class V>
+void spmm_serial(const CsrView<V>& a, std::span<const V> x, std::span<V> y,
+                 std::size_t k) {
+  assert(x.size() >= a.num_cols * k && y.size() >= a.num_rows() * k);
+  for (std::size_t r = 0; r < a.num_rows(); ++r) {
+    detail::spmm_row(a, x.data(), y.data(), k, r);
+  }
+}
+
+// Y = A·X over k dense columns. kChecked validates the CSR invariants
+// (same contract as spmv). k == 0 is a no-op.
+template <class V>
+void spmm(const CsrView<V>& a, std::span<const V> x, std::span<V> y,
+          std::size_t k, AccessMode mode = AccessMode::kChecked) {
+  assert(x.size() >= a.num_cols * k && y.size() >= a.num_rows() * k);
+  if (mode == AccessMode::kChecked) detail::check_csr(a);
+  if (k == 0) return;
+  const V* xp = x.data();
+  V* yp = y.data();
+  sched::parallel_for(0, a.num_rows(), [&](std::size_t r) {
+    detail::spmm_row(a, xp, yp, k, r);
+  });
+}
+
+}  // namespace rpb::sparse

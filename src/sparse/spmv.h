@@ -1,0 +1,283 @@
+// Sparse matrix-vector product over CsrView, in the paper's pattern
+// vocabulary, with two load-balancing policies behind the RPB_SPMV
+// knob:
+//
+//   rowpar     The naive RngInd expression: one task per row, exactly
+//              the shape par_ind_chunks_mut defaults to (grain=1) —
+//              task r reads vals/cols[offsets[r]..offsets[r+1]) and
+//              writes y[r]. Simple and byte-identical to the serial
+//              reference (each row sums left to right), but skewed
+//              degree distributions serialize on heavy rows (a row is
+//              the smallest stealable unit) and pay per-row scheduling
+//              overhead on the torrent of tiny rows.
+//   mergepath  Merrill & Garland's merge-path decomposition: the 2D
+//              merge of row-end markers and nonzero indices is cut
+//              into equal (rows + nnz) shares by binary-searching the
+//              cut diagonals, so every task gets the same amount of
+//              work no matter how the nonzeros distribute over rows.
+//              Tasks own row *segments*; a row crossing a task
+//              boundary yields a per-task carry (its partial sum) that
+//              a serial ascending fix-up pass adds to y afterwards.
+//
+// Determinism: the decomposition depends only on (rows, nnz, grain) —
+// never on the thread count or schedule — and the fix-up applies
+// carries in ascending task order, so mergepath results are bitwise
+// reproducible run to run and across RPB_THREADS (DESIGN.md §6).
+// Split rows sum in segment order rather than strictly left to right,
+// so mergepath agrees with the serial reference exactly for
+// integer-valued data and to rounding (ULP) for general floats;
+// rowpar agrees bitwise always.
+//
+// The checked tier validates the CSR invariants the kernels otherwise
+// trust: offsets monotone with offsets[0]=0 and offsets[n]=nnz
+// (par::check_monotonic_offsets, the cheap RngInd check) and every
+// column id inside the gather bound (par::check_indices_in_bounds).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+
+#include "core/access_mode.h"
+#include "core/checks.h"
+#include "core/uninit_buf.h"
+#include "obs/counters.h"
+#include "sched/parallel.h"
+#include "sparse/csr_matrix.h"
+#include "support/arena.h"
+#include "support/error.h"
+
+namespace rpb::sparse {
+
+// Row-distribution policy for spmv (see file header).
+enum class SpmvPolicy : int { kRowPar = 0, kMergePath = 1 };
+
+inline const char* spmv_policy_name(SpmvPolicy policy) {
+  switch (policy) {
+    case SpmvPolicy::kRowPar: return "rowpar";
+    case SpmvPolicy::kMergePath: return "mergepath";
+  }
+  return "?";
+}
+
+namespace detail {
+
+inline std::atomic<int> g_spmv_policy{-1};  // -1: not yet resolved
+
+// RPB_SPMV: "rowpar" selects the naive baseline; "mergepath" (or
+// unset) the balanced decomposition.
+inline SpmvPolicy resolve_spmv_policy() {
+  if (const char* env = std::getenv("RPB_SPMV")) {
+    if (std::strcmp(env, "rowpar") == 0) return SpmvPolicy::kRowPar;
+  }
+  return SpmvPolicy::kMergePath;
+}
+
+}  // namespace detail
+
+inline SpmvPolicy spmv_policy() {
+  int policy = detail::g_spmv_policy.load(std::memory_order_relaxed);
+  if (policy < 0) {
+    policy = static_cast<int>(detail::resolve_spmv_policy());
+    detail::g_spmv_policy.store(policy, std::memory_order_relaxed);
+  }
+  return static_cast<SpmvPolicy>(policy);
+}
+
+// Benchmark/test knob; safe to flip between (not during) kernels —
+// mirrors set_arena_mode / set_check_mode / set_simd_level.
+inline void set_spmv_policy(SpmvPolicy policy) {
+  detail::g_spmv_policy.store(static_cast<int>(policy),
+                              std::memory_order_relaxed);
+}
+
+// Work items a merge-path task is sized to (rows + nonzeros). Input-
+// pure on purpose: task boundaries must not depend on the thread
+// count, or split-row summation order — and thus f32/f64 bits — would
+// change with RPB_THREADS.
+inline constexpr std::size_t kMergePathGrain = 4096;
+
+// A point on the merge path: `row` rows fully consumed (their sums
+// already flushed), `nz` nonzeros consumed — nz >= offsets[row], with
+// nz > offsets[row] meaning the point sits mid-row.
+struct MergeCoord {
+  std::size_t row = 0;
+  std::size_t nz = 0;
+
+  bool operator==(const MergeCoord&) const = default;
+};
+
+// Binary-search the crossing of diagonal `diag` (row + nz == diag)
+// with the merge path of the row-end-marker list offsets[1..n] and
+// the nonzero index list 0..nnz-1. Ties consume the row end first, so
+// empty rows are flushed as early as possible. Pure in (offsets,
+// diag): the partition of work among tasks is a function of the input
+// alone. O(log rows).
+inline MergeCoord merge_path_search(std::span<const u64> offsets,
+                                    std::size_t diag) {
+  const std::size_t num_rows = offsets.empty() ? 0 : offsets.size() - 1;
+  const std::size_t nnz =
+      offsets.empty() ? 0 : static_cast<std::size_t>(offsets.back());
+  std::size_t lo = diag > nnz ? diag - nnz : 0;
+  std::size_t hi = std::min(diag, num_rows);
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    // Row `mid` ends no later than the B-side item on this diagonal:
+    // the path consumes its end marker, so the crossing lies further
+    // down the row list.
+    if (static_cast<std::size_t>(offsets[mid + 1]) <= diag - 1 - mid) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return MergeCoord{lo, diag - lo};
+}
+
+// Number of merge-path tasks a (rows, nnz) matrix decomposes into at
+// the given grain. Exposed so harnesses/tests can reason about the
+// partition (rows-per-task percentiles) without re-deriving it.
+inline std::size_t merge_path_tasks(std::size_t num_rows, std::size_t nnz,
+                                    std::size_t grain = kMergePathGrain) {
+  const std::size_t items = num_rows + nnz;
+  return items == 0 ? 0 : (items + grain - 1) / grain;
+}
+
+namespace detail {
+
+// CSR invariant validation shared by the checked tiers of every
+// sparse kernel: monotone offsets bracketed by [0, nnz], and every
+// column id inside the gather bound.
+template <class V>
+void check_csr(const CsrView<V>& a) {
+  if (!a.offsets.empty() &&
+      (a.offsets.front() != 0 ||
+       static_cast<std::size_t>(a.offsets.back()) != a.nnz())) {
+    obs::bump(obs::Counter::kCheckedFailed);
+    throw CheckFailure("sparse: offsets not bracketed by [0, nnz]");
+  }
+  par::check_monotonic_offsets(a.offsets, a.nnz());
+  par::check_indices_in_bounds(a.cols, a.num_cols);
+}
+
+// One row, summed strictly left to right — the reduction order every
+// policy and the serial reference share for unsplit rows.
+template <class V>
+V row_dot(const CsrView<V>& a, const V* x, std::size_t lo, std::size_t hi) {
+  V acc = V(0);
+  for (std::size_t z = lo; z < hi; ++z) {
+    acc += a.vals[z] * x[a.cols[z]];
+  }
+  return acc;
+}
+
+}  // namespace detail
+
+// Serial reference: the semantic definition both policies are tested
+// against (tests/sparse_test.cpp).
+template <class V>
+void spmv_serial(const CsrView<V>& a, std::span<const V> x, std::span<V> y) {
+  assert(x.size() >= a.num_cols && y.size() >= a.num_rows());
+  const V* xp = x.data();
+  for (std::size_t r = 0; r < a.num_rows(); ++r) {
+    y[r] = detail::row_dot(a, xp, static_cast<std::size_t>(a.offsets[r]),
+                           static_cast<std::size_t>(a.offsets[r + 1]));
+  }
+}
+
+// Naive RngInd baseline: one task per row at the default grain=1
+// (par_ind_chunks_mut's convention); grain > 1 batches that many
+// consecutive rows per task, grain == 0 asks the scheduler for its
+// amortized default.
+template <class V>
+void spmv_row_par(const CsrView<V>& a, std::span<const V> x, std::span<V> y,
+                  std::size_t grain = 1) {
+  assert(x.size() >= a.num_cols && y.size() >= a.num_rows());
+  const V* xp = x.data();
+  sched::parallel_for_range(
+      0, a.num_rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          y[r] = detail::row_dot(a, xp, static_cast<std::size_t>(a.offsets[r]),
+                                 static_cast<std::size_t>(a.offsets[r + 1]));
+        }
+      },
+      grain);
+}
+
+// Merge-path spmv (see file header). Each task walks its equal share
+// of the merge path: rows that end inside the segment are flushed to y
+// directly (the first such flush is the tail of a row begun upstream);
+// a segment ending mid-row leaves its partial sum as the task's carry.
+// The carries are applied serially in ascending task order — at most
+// one per task, so the fix-up is O(tasks).
+template <class V>
+void spmv_merge_path(const CsrView<V>& a, std::span<const V> x,
+                     std::span<V> y, std::size_t grain = kMergePathGrain) {
+  assert(x.size() >= a.num_cols && y.size() >= a.num_rows());
+  const std::size_t num_rows = a.num_rows();
+  const std::size_t nnz = a.nnz();
+  if (num_rows == 0) return;
+  if (grain == 0) grain = kMergePathGrain;
+  const std::size_t ntasks = merge_path_tasks(num_rows, nnz, grain);
+  const std::size_t items = num_rows + nnz;
+  obs::bump(obs::Counter::kSparseMergeTasks, ntasks);
+
+  constexpr u64 kNoCarry = ~u64{0};
+  support::ArenaLease arena;
+  auto carry_row = uninit_buf<u64>(arena, ntasks);
+  auto carry_val = uninit_buf<V>(arena, ntasks);
+  const V* xp = x.data();
+
+  sched::parallel_for(0, ntasks, [&](std::size_t t) {
+    const MergeCoord begin =
+        merge_path_search(a.offsets, std::min(t * grain, items));
+    const MergeCoord end =
+        merge_path_search(a.offsets, std::min((t + 1) * grain, items));
+    std::size_t z = begin.nz;
+    for (std::size_t r = begin.row; r < end.row; ++r) {
+      // For the segment's first row this flushes only the tail portion
+      // [begin.nz, row end) — upstream tasks carried the head.
+      const auto row_end = static_cast<std::size_t>(a.offsets[r + 1]);
+      y[r] = detail::row_dot(a, xp, z, row_end);
+      z = row_end;
+    }
+    if (z < end.nz) {
+      // Segment stops mid-row end.row: its share of that row becomes
+      // this task's carry.
+      carry_row[t] = static_cast<u64>(end.row);
+      carry_val[t] = detail::row_dot(a, xp, z, end.nz);
+    } else {
+      carry_row[t] = kNoCarry;
+    }
+  });
+
+  // Serial ascending fix-up: carries join their row's sum in task
+  // order. Determinism under work stealing comes from this pass plus
+  // the input-pure partition — stealing only permutes which worker ran
+  // a task, never what any task computed (DESIGN.md §6).
+  for (std::size_t t = 0; t < ntasks; ++t) {
+    if (carry_row[t] == kNoCarry) continue;
+    obs::bump(obs::Counter::kSparseCarryFixups);
+    y[static_cast<std::size_t>(carry_row[t])] += carry_val[t];
+  }
+}
+
+// y = A·x under the active (or an explicitly pinned) policy. kChecked
+// validates the CSR invariants first; kUnchecked trusts them (the
+// paper's "scary" tier). grain == 0 selects each policy's default.
+template <class V>
+void spmv(const CsrView<V>& a, std::span<const V> x, std::span<V> y,
+          AccessMode mode = AccessMode::kChecked,
+          SpmvPolicy policy = spmv_policy(), std::size_t grain = 0) {
+  if (mode == AccessMode::kChecked) detail::check_csr(a);
+  if (policy == SpmvPolicy::kRowPar) {
+    spmv_row_par(a, x, y, grain == 0 ? 1 : grain);
+  } else {
+    spmv_merge_path(a, x, y, grain);
+  }
+}
+
+}  // namespace rpb::sparse

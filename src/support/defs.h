@@ -11,6 +11,9 @@ using u32 = std::uint32_t;
 using u64 = std::uint64_t;
 using i32 = std::int32_t;
 using i64 = std::int64_t;
+// Value types of the sparse kernel suite (src/sparse): IEEE binary32/64.
+using f32 = float;
+using f64 = double;
 
 // Destructive false sharing shows up at cache-line granularity; pad
 // per-thread mutable state to this.

@@ -30,7 +30,7 @@
 // core/primitives.h (scan upsweep/downsweep, popcount), seq/histogram
 // (binning), seq/integer_sort.h (digit extraction + counting),
 // text/suffix_array.cpp (rank-boundary flagging), core/checks.h
-// (epoch-compare candidate scan).
+// (epoch-compare candidate scan), sparse/spmm.h (dense-panel axpy).
 #pragma once
 
 #include <algorithm>
@@ -706,6 +706,71 @@ __attribute__((target("avx2"))) inline u64 flag_neq_u64_avx2(
 
 #endif  // RPB_SIMD_X86
 
+// ---- dense axpy: out[j] += a * x[j] (SpMM's k-wide inner loop) ----
+//
+// Deliberately mul-then-add, never FMA: each lane is an independent
+// two-op chain, so the vector bodies are bit-identical to the scalar
+// definition under IEEE semantics. An FMA would skip the intermediate
+// rounding and break the differential suite's byte-compare (the plain
+// build targets baseline x86-64 and cannot auto-emit FMA either, so
+// scalar and vector agree everywhere).
+
+inline void axpy_f32_scalar(f32* out, const f32* x, f32 a, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] += a * x[j];
+}
+
+inline void axpy_f64_scalar(f64* out, const f64* x, f64 a, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) out[j] += a * x[j];
+}
+
+#if RPB_SIMD_X86
+
+inline void axpy_f32_sse2(f32* out, const f32* x, f32 a, std::size_t n) {
+  const __m128 va = _mm_set1_ps(a);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m128 prod = _mm_mul_ps(va, _mm_loadu_ps(x + j));
+    _mm_storeu_ps(out + j, _mm_add_ps(_mm_loadu_ps(out + j), prod));
+  }
+  for (; j < n; ++j) out[j] += a * x[j];
+}
+
+inline void axpy_f64_sse2(f64* out, const f64* x, f64 a, std::size_t n) {
+  const __m128d va = _mm_set1_pd(a);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    __m128d prod = _mm_mul_pd(va, _mm_loadu_pd(x + j));
+    _mm_storeu_pd(out + j, _mm_add_pd(_mm_loadu_pd(out + j), prod));
+  }
+  for (; j < n; ++j) out[j] += a * x[j];
+}
+
+__attribute__((target("avx2"))) inline void axpy_f32_avx2(f32* out,
+                                                          const f32* x, f32 a,
+                                                          std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + j));
+    _mm256_storeu_ps(out + j, _mm256_add_ps(_mm256_loadu_ps(out + j), prod));
+  }
+  for (; j < n; ++j) out[j] += a * x[j];
+}
+
+__attribute__((target("avx2"))) inline void axpy_f64_avx2(f64* out,
+                                                          const f64* x, f64 a,
+                                                          std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + j));
+    _mm256_storeu_pd(out + j, _mm256_add_pd(_mm256_loadu_pd(out + j), prod));
+  }
+  for (; j < n; ++j) out[j] += a * x[j];
+}
+
+#endif  // RPB_SIMD_X86
+
 // ---- epoch-compare unique-offset engine (checked tier, sequential
 // fallback only) ----
 //
@@ -932,6 +997,41 @@ inline u64 flag_adjacent_neq_u64(const u64* base, std::size_t stride_words,
   }
 #endif
   return detail::flag_neq_u64_scalar(base, stride_words, lo, hi, flags);
+}
+
+// out[j] += a * x[j] for j in [0, n) — SpMM's register-blocked inner
+// loop over a dense row panel. Bit-identical across tiers (no FMA; see
+// the detail comment).
+inline void axpy(f32* out, const f32* x, f32 a, std::size_t n) {
+#if RPB_SIMD_X86
+  switch (support::simd_level()) {
+    case SimdLevel::kAvx2:
+      detail::axpy_f32_avx2(out, x, a, n);
+      return;
+    case SimdLevel::kSse2:
+      detail::axpy_f32_sse2(out, x, a, n);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  detail::axpy_f32_scalar(out, x, a, n);
+}
+
+inline void axpy(f64* out, const f64* x, f64 a, std::size_t n) {
+#if RPB_SIMD_X86
+  switch (support::simd_level()) {
+    case SimdLevel::kAvx2:
+      detail::axpy_f64_avx2(out, x, a, n);
+      return;
+    case SimdLevel::kSse2:
+      detail::axpy_f64_sse2(out, x, a, n);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  detail::axpy_f64_scalar(out, x, a, n);
 }
 
 }  // namespace rpb::simd

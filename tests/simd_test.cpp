@@ -152,6 +152,52 @@ TEST(SimdDiff, PrefixSumsMatchScalar) {
   }
 }
 
+// The sparse layer's dense-panel axpy (spmm.h) promises bit-identical
+// results across dispatch levels: every lane is an independent
+// mul-then-add chain (no FMA), so vector and scalar disagree nowhere.
+TEST(SimdDiff, AxpyMatchesScalarBitForBit) {
+  Rng rng(0x51DD);
+  for (std::size_t n : kSizes) {
+    if (n > 10000) continue;
+    support::ArenaLease arena;
+    // Odd element offsets so vector loads/stores never see 16/32-byte
+    // alignment (the arena contract the other kernels pin too).
+    auto f32buf = uninit_buf<f32>(arena, 2 * (n + 9));
+    auto f64buf = uninit_buf<f64>(arena, 2 * (n + 5));
+    f32* x32 = f32buf.data() + 3;
+    f32* out32 = f32buf.data() + n + 9 + 3;
+    f64* x64 = f64buf.data() + 3;
+    f64* out64 = f64buf.data() + n + 5 + 3;
+    std::vector<f32> want32(n), base32(n);
+    std::vector<f64> want64(n), base64(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x32[i] = static_cast<f32>(rng.uniform(i) * 2.0 - 1.0);
+      x64[i] = rng.uniform(i + 1000000) * 2.0 - 1.0;
+      base32[i] = static_cast<f32>(rng.uniform(i + 2000000));
+      base64[i] = rng.uniform(i + 3000000);
+    }
+    const f32 a32 = 1.75f;
+    const f64 a64 = -2.625;
+    std::copy(base32.begin(), base32.end(), want32.begin());
+    std::copy(base64.begin(), base64.end(), want64.begin());
+    simd::detail::axpy_f32_scalar(want32.data(), x32, a32, n);
+    simd::detail::axpy_f64_scalar(want64.data(), x64, a64, n);
+    for (support::SimdLevel level : vector_levels()) {
+      SimdModeGuard guard(level);
+      std::copy(base32.begin(), base32.end(), out32);
+      std::copy(base64.begin(), base64.end(), out64);
+      simd::axpy(out32, x32, a32, n);
+      simd::axpy(out64, x64, a64, n);
+      EXPECT_TRUE(n == 0 || std::memcmp(out32, want32.data(),
+                                        n * sizeof(f32)) == 0)
+          << "f32 n=" << n << " level=" << support::simd_level_name(level);
+      EXPECT_TRUE(n == 0 || std::memcmp(out64, want64.data(),
+                                        n * sizeof(f64)) == 0)
+          << "f64 n=" << n << " level=" << support::simd_level_name(level);
+    }
+  }
+}
+
 TEST(SimdDiff, PopcountWordsMatchesScalar) {
   Rng rng(0x51D2);
   for (std::size_t nw : {std::size_t{0}, std::size_t{1}, std::size_t{2},

@@ -6,6 +6,7 @@
 
 #include "obs/obs.h"
 #include "sched/parallel.h"
+#include "sparse/spmv.h"
 #include "support/simd.h"
 
 namespace rpb {
@@ -51,6 +52,22 @@ class SimdModeGuard {
 
  private:
   support::SimdLevel prev_;
+};
+
+// Pins the SpMV load-balancing policy and restores the prior one —
+// not a hardcoded default, so tests nest inside RPB_SPMV=rowpar runs.
+class SpmvPolicyGuard {
+ public:
+  explicit SpmvPolicyGuard(sparse::SpmvPolicy policy)
+      : prev_(sparse::spmv_policy()) {
+    sparse::set_spmv_policy(policy);
+  }
+  ~SpmvPolicyGuard() { sparse::set_spmv_policy(prev_); }
+  SpmvPolicyGuard(const SpmvPolicyGuard&) = delete;
+  SpmvPolicyGuard& operator=(const SpmvPolicyGuard&) = delete;
+
+ private:
+  sparse::SpmvPolicy prev_;
 };
 
 }  // namespace rpb

@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE CURRENT [--tolerance PCT] [--allow-unmatched]
+    bench_compare.py --check
 
 Records are keyed by (name, threads, n). A record regresses when its
 current median exceeds the baseline median by more than --tolerance
@@ -17,70 +18,80 @@ files' "env" blocks (detected CPU features + active RPB_SIMD mode) are
 compared and a mismatch prints a warning, never a failure: different
 vector dispatch explains a timing delta but does not excuse schema rot.
 
+--check runs the comparator against generated fixture files (match,
+regression, vanished record, missing/garbage input) and verifies each
+exit path — the ctest self-test.
+
 Exit codes: 0 ok, 1 regression or unmatched records, 2 bad input.
-Stdlib only, so the ctest step needs nothing beyond a Python 3
-interpreter.
+Bad input is always a single actionable line on stderr, never a
+traceback. Stdlib only, so the ctest step needs nothing beyond a
+Python 3 interpreter.
 """
 
 import argparse
 import json
 import math
+import os
 import sys
+import tempfile
 
 SCHEMA = "rpb-bench-v1"
+
+
+def die(msg):
+    """Bad input: one actionable line on stderr, exit 2 (per docstring)."""
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
 
 
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
+    except FileNotFoundError:
+        die(f"{path} does not exist — regenerate it by running the "
+            f"harness with --json (committed baselines live in "
+            f"bench/baselines/; see EXPERIMENTS.md)")
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"error: cannot read {path}: {e}")
+        die(f"cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        die(f"{path}: top-level JSON is {type(doc).__name__}, expected an "
+            f"object with 'schema' and 'records'")
     if doc.get("schema") != SCHEMA:
-        sys.exit(f"error: {path}: schema is {doc.get('schema')!r}, "
-                 f"expected {SCHEMA!r}")
+        die(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
     records = doc.get("records")
     if not isinstance(records, list) or not records:
-        sys.exit(f"error: {path}: no records")
+        die(f"{path}: no records")
     table = {}
     for r in records:
+        if not isinstance(r, dict):
+            die(f"{path}: record is {type(r).__name__}, expected an object")
         try:
             key = (r["name"], int(r["threads"]), int(r["n"]))
         except (KeyError, TypeError, ValueError) as e:
-            sys.exit(f"error: {path}: malformed record {r!r}: {e}")
+            die(f"{path}: malformed record {r!r}: {e}")
         for field in ("repeats", "median_s", "p10_s", "p90_s", "mean_s"):
             try:
                 v = float(r[field])
             except (KeyError, TypeError, ValueError) as e:
-                sys.exit(f"error: {path}: record {key} missing/invalid "
-                         f"field {field!r}: {e}")
+                die(f"{path}: record {key} missing/invalid field "
+                    f"{field!r}: {e}")
             if not math.isfinite(v) or v < 0:
-                sys.exit(f"error: {path}: record {key} has bad {field}: {v!r}")
+                die(f"{path}: record {key} has bad {field}: {v!r}")
         if key in table:
-            sys.exit(f"error: {path}: duplicate record key {key}")
+            die(f"{path}: duplicate record key {key}")
         table[key] = float(r["median_s"])
     env = doc.get("env")
     if env is not None and not isinstance(env, dict):
-        sys.exit(f"error: {path}: env block is not an object")
+        die(f"{path}: env block is not an object")
     return doc.get("suite", "?"), table, env
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--tolerance", type=float, default=40.0,
-                    help="allowed median slowdown in percent (default 40)")
-    ap.add_argument("--allow-unmatched", action="store_true",
-                    help="ignore records present in only one file")
-    args = ap.parse_args()
-    if args.tolerance < 0:
-        sys.exit("error: --tolerance must be >= 0")
-
-    base_suite, base, base_env = load(args.baseline)
-    cur_suite, cur, cur_env = load(args.current)
+def compare(baseline, current, tolerance, allow_unmatched):
+    base_suite, base, base_env = load(baseline)
+    cur_suite, cur, cur_env = load(current)
     if base_suite != cur_suite:
-        sys.exit(f"error: suite mismatch: {base_suite!r} vs {cur_suite!r}")
+        die(f"suite mismatch: {base_suite!r} vs {cur_suite!r}")
 
     # Feature drift is informative, not fatal: a baseline recorded on an
     # AVX2 box compared on an SSE2-only box (or under RPB_SIMD=off) will
@@ -105,7 +116,7 @@ def main():
         b, c = base[key], cur[key]
         ratio = c / b if b > 0 else math.inf if c > 0 else 1.0
         ratios.append(ratio)
-        limit = 1.0 + args.tolerance / 100.0
+        limit = 1.0 + tolerance / 100.0
         name = "{} t={} n={}".format(*key)
         if ratio > limit:
             failures.append(f"REGRESSION {name}: {b:.3e}s -> {c:.3e}s "
@@ -113,13 +124,13 @@ def main():
 
     for key in sorted(base.keys() - cur.keys()):
         msg = "MISSING {} t={} n={} (in baseline only)".format(*key)
-        if args.allow_unmatched:
+        if allow_unmatched:
             print(f"note: {msg}")
         else:
             failures.append(msg)
     for key in sorted(cur.keys() - base.keys()):
         msg = "NEW {} t={} n={} (in current only)".format(*key)
-        if args.allow_unmatched:
+        if allow_unmatched:
             print(f"note: {msg}")
         else:
             failures.append(msg)
@@ -129,7 +140,7 @@ def main():
     if finite:
         g = math.exp(sum(math.log(r) for r in finite) / len(finite))
         print(f"{matched} matched records, gmean current/baseline = {g:.3f}x "
-              f"(tolerance {args.tolerance:.0f}%)")
+              f"(tolerance {tolerance:.0f}%)")
     for f in failures:
         print(f)
     if failures:
@@ -137,6 +148,91 @@ def main():
         return 1
     print("OK")
     return 0
+
+
+def _record(name, median, threads=1, n=1024):
+    return {"name": name, "threads": threads, "n": n, "repeats": 3,
+            "median_s": median, "p10_s": median, "p90_s": median,
+            "mean_s": median}
+
+
+def _doc(records):
+    return {"schema": SCHEMA, "suite": "selftest", "records": records}
+
+
+def run_check():
+    """Exercise every exit path against generated fixtures (ctest)."""
+    failures = []
+
+    def expect(label, got, want):
+        if got != want:
+            failures.append(f"{label}: exit {got}, expected {want}")
+
+    def run(base_doc, cur_doc, label, want, tolerance=50.0, raw=None):
+        with tempfile.TemporaryDirectory() as d:
+            bp = os.path.join(d, "base.json")
+            cp = os.path.join(d, "cur.json")
+            with open(bp, "w", encoding="utf-8") as f:
+                if raw is not None:
+                    f.write(raw)
+                else:
+                    json.dump(base_doc, f)
+            with open(cp, "w", encoding="utf-8") as f:
+                json.dump(cur_doc, f)
+            try:
+                rc = compare(bp, cp, tolerance, False)
+            except SystemExit as e:
+                rc = e.code if isinstance(e.code, int) else 1
+            expect(label, rc, want)
+
+    ok = _doc([_record("alpha", 1e-3), _record("beta", 2e-3)])
+    slow = _doc([_record("alpha", 1e-3), _record("beta", 8e-3)])
+    vanished = _doc([_record("alpha", 1e-3)])
+
+    run(ok, ok, "identical files pass", 0)
+    run(ok, slow, "4x median regresses past 50%", 1)
+    run(slow, ok, "getting faster never fails", 0)
+    run(ok, vanished, "vanished record fails", 1)
+    run(vanished, ok, "new record fails", 1)
+    run(ok, ok, "non-dict top level is bad input", 2, raw="[1, 2, 3]")
+    run(ok, ok, "garbage JSON is bad input", 2, raw="not json{")
+    run(_doc([{"name": "x", "threads": 1, "n": 1}]), ok,
+        "record missing fields is bad input", 2)
+
+    with tempfile.TemporaryDirectory() as d:
+        cp = os.path.join(d, "cur.json")
+        with open(cp, "w", encoding="utf-8") as f:
+            json.dump(ok, f)
+        try:
+            rc = compare(os.path.join(d, "no_such_baseline.json"), cp,
+                         50.0, False)
+        except SystemExit as e:
+            rc = e.code if isinstance(e.code, int) else 1
+        expect("missing baseline is bad input", rc, 2)
+
+    if failures:
+        for f in failures:
+            print(f"check FAILED: {f}", file=sys.stderr)
+        return 1
+    print("check ok")
+    return 0
+
+
+def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--check":
+        return run_check()
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=40.0,
+                    help="allowed median slowdown in percent (default 40)")
+    ap.add_argument("--allow-unmatched", action="store_true",
+                    help="ignore records present in only one file")
+    args = ap.parse_args()
+    if args.tolerance < 0:
+        die("--tolerance must be >= 0")
+    return compare(args.baseline, args.current, args.tolerance,
+                   args.allow_unmatched)
 
 
 if __name__ == "__main__":
