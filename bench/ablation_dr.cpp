@@ -1,0 +1,218 @@
+// Construction ablation for the Delaunay substrate (src/geom): the
+// serial incremental Bowyer-Watson build against the grid-decomposed
+// parallel build (geom/build.h), on a uniform point cloud and a
+// clustered (Gaussian-mixture) one, in both access tiers. The
+// incremental arm inserts in hash-shuffled order, so every locate walks
+// ~O(sqrt(n)) triangles from a cold hint; the decomposed arm buckets
+// points into grid cells, walks each cell from its own hot hint (O(1)
+// locality), retriangulates cell interiors with no synchronization at
+// all (territory containment, DESIGN.md section 6), and stitches the
+// leftovers through the spec_for reservation engine. Both arms produce
+// the bitwise-identical triangulation — the summary hard-fails if the
+// structure hashes diverge across policies, tiers, or thread counts.
+//
+// Box caveat (EXPERIMENTS.md "Delaunay construction"): on a single
+// hardware core the parallel wave phase timeshares, so the decomposed
+// win measured here is the serialization-surviving component — locate
+// locality from per-cell hints plus the allocation-free cavity ring
+// linking — not idle-core wall-clock.
+//
+// Usage:
+//   --json PATH [--smoke]  emit rpb-bench-v1 records (BENCH_dr),
+//                          self-validated. Threads come from
+//                          RPB_THREADS (the smoke gate pins 4).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common.h"
+#include "geom/build.h"
+#include "geom/delaunay.h"
+#include "geom/points.h"
+#include "obs/counters.h"
+#include "obs/obs.h"
+#include "sched/thread_pool.h"
+#include "support/env.h"
+
+using namespace rpb;
+
+namespace {
+
+volatile u64 g_sink;  // defeats dead-code elimination of timed results
+void keep(u64 v) { g_sink = v; }
+
+bench::BenchRecord make_record(std::string name, std::size_t threads,
+                               std::size_t n, bench::Measurement m) {
+  bench::BenchRecord r;
+  r.name = std::move(name);
+  r.threads = threads;
+  r.n = n;
+  r.repeats = m.repeats;
+  r.median_s = m.median_seconds;
+  r.p10_s = m.p10_seconds;
+  r.p90_s = m.p90_seconds;
+  r.mean_s = m.mean_seconds;
+  return r;
+}
+
+struct Input {
+  const char* label;
+  std::vector<geom::Point> pts;
+};
+
+int run_json_harness(const std::string& path, bool smoke) {
+  const std::size_t repeats = smoke ? 3 : 5;
+  const std::size_t n = smoke ? (std::size_t{1} << 14) : 120000;
+
+  const std::size_t threads = default_threads();
+  sched::ThreadPool::reset_global(threads);
+  std::printf("# threads=%zu repeats=%zu n=%zu\n", threads, repeats, n);
+
+  // Uniform fills every grid cell evenly — the decomposition's best
+  // case. Clustered (64 Gaussian blobs) skews cell occupancy the way
+  // the power-law R-MAT skews row degree in ablation_spmv: crowded
+  // cells defer more boundary points into the stitch.
+  std::vector<Input> inputs;
+  inputs.push_back({"uniform", geom::uniform_points(n, 23)});
+  inputs.push_back({"clustered", geom::clustered_points(n, 23)});
+
+  std::vector<bench::BenchRecord> records;
+  // (input, policy) -> unchecked median, for the printed summary
+  std::vector<std::pair<std::string, double>> medians;
+  // every (input, policy, tier) fingerprint must agree per input
+  struct HashRow {
+    std::string arm;
+    const char* input;
+    u64 hash;
+  };
+  std::vector<HashRow> hashes;
+
+  struct Arm {
+    const char* name;
+    geom::DrPolicy policy;
+  };
+  const Arm arms[] = {
+      {"incremental", geom::DrPolicy::kIncremental},
+      {"decomposed", geom::DrPolicy::kDecomposed},
+  };
+
+  for (const Input& in : inputs) {
+    for (const Arm& arm : arms) {
+      for (AccessMode mode : {AccessMode::kUnchecked, AccessMode::kChecked}) {
+        const char* tier =
+            mode == AccessMode::kChecked ? "checked" : "unchecked";
+        u64 hash = 0;
+        // The Mesh constructor (arena allocation) is inside the timed
+        // region for both arms: building the arena is part of building
+        // the triangulation.
+        auto m = bench::measure(
+            [&] {
+              geom::Mesh mesh(in.pts);
+              geom::build_delaunay(mesh, arm.policy, mode);
+              hash = mesh.structure_hash();
+              keep(hash);
+            },
+            repeats);
+        std::string name =
+            std::string("dr_build/") + in.label + "/" + arm.name + "/" + tier;
+        records.push_back(make_record(name, threads, n, m));
+        hashes.push_back({std::string(arm.name) + "/" + tier, in.label, hash});
+        if (mode == AccessMode::kUnchecked) {
+          medians.emplace_back(std::string(in.label) + "/" + arm.name,
+                               records.back().median_s);
+        }
+      }
+    }
+  }
+
+  if (int rc = bench::emit_bench_json(path, "dr", records)) return rc;
+
+  // Determinism gate: within each input, every arm x tier must produce
+  // the same structure hash — and so must a single-threaded decomposed
+  // rebuild (schedule independence, the PR's headline claim).
+  bool hashes_ok = true;
+  for (const Input& in : inputs) {
+    u64 expect = 0;
+    bool first = true;
+    for (const HashRow& row : hashes) {
+      if (std::string(row.input) != in.label) continue;
+      if (first) {
+        expect = row.hash;
+        first = false;
+      } else if (row.hash != expect) {
+        std::fprintf(stderr, "FAIL: %s %s hash %016llx != %016llx\n",
+                     in.label, row.arm.c_str(),
+                     static_cast<unsigned long long>(row.hash),
+                     static_cast<unsigned long long>(expect));
+        hashes_ok = false;
+      }
+    }
+    sched::ThreadPool::reset_global(1);
+    geom::Mesh mesh(in.pts);
+    geom::build_delaunay(mesh, geom::DrPolicy::kDecomposed);
+    sched::ThreadPool::reset_global(threads);
+    if (mesh.structure_hash() != expect) {
+      std::fprintf(stderr, "FAIL: %s decomposed@1thread hash diverged\n",
+                   in.label);
+      hashes_ok = false;
+    }
+  }
+  std::printf("structure hashes: %s\n",
+              hashes_ok ? "identical across policies, tiers, and threads"
+                        : "DIVERGED");
+
+  // Phase breakdown + obs counters for one instrumented decomposed
+  // build per input (untimed; counters need RPB_OBS=counters).
+  for (const Input& in : inputs) {
+    const obs::ObsMode saved_obs = obs::mode();
+    obs::set_mode(obs::ObsMode::kCounters);
+    obs::reset_counters();
+    geom::Mesh mesh(in.pts);
+    const geom::BuildStats s =
+        geom::build_delaunay(mesh, geom::DrPolicy::kDecomposed);
+    auto snap = obs::snapshot_counters();
+    obs::set_mode(saved_obs);
+    std::printf(
+        "%-10s grid=%zux%zu rounds=%zu bootstrap=%zu interior=%zu "
+        "deferred=%zu stitch=%zu waves=%zu | cavity_tris=%llu "
+        "conflicts=%llu retries=%llu\n",
+        in.label, s.grid, s.grid, s.rounds, s.seed_inserts,
+        s.interior_inserts, s.deferred, s.stitch_inserts, s.waves,
+        static_cast<unsigned long long>(
+            snap.total(obs::Counter::kDrCavityTris)),
+        static_cast<unsigned long long>(
+            snap.total(obs::Counter::kDrReserveConflicts)),
+        static_cast<unsigned long long>(
+            snap.total(obs::Counter::kDrStitchRetries)));
+    std::printf(
+        "%-10s phases: seed=%.3fs interior=%.3fs (bucket=%.3fs) "
+        "stitch=%.3fs over %zu stitch rounds\n",
+        in.label, s.seed_s, s.interior_s, s.bucket_s, s.stitch_s,
+        s.stitch_rounds);
+  }
+
+  for (const char* label : {"uniform", "clustered"}) {
+    double inc = 0, dec = 0;
+    for (const auto& [name, median] : medians) {
+      if (name == std::string(label) + "/incremental") inc = median;
+      if (name == std::string(label) + "/decomposed") dec = median;
+    }
+    if (inc > 0 && dec > 0) {
+      std::printf("%-10s incremental %s vs decomposed %s: %.2fx\n", label,
+                  bench::fmt_seconds(inc).c_str(),
+                  bench::fmt_seconds(dec).c_str(),
+                  inc / std::max(dec, 1e-12));
+    }
+  }
+  return hashes_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonCli cli = bench::parse_json_cli(argc, argv);
+  if (int rc = bench::require_json_only(cli, argv[0])) return rc;
+  return run_json_harness(cli.json_path, cli.smoke);
+}

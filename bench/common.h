@@ -8,10 +8,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench_util/harness.h"
+#include "geom/build.h"
 #include "sched/parallel.h"
 #include "sched/thread_pool.h"
 #include "support/cli.h"
@@ -24,6 +26,7 @@ struct Options {
   std::size_t repeats = 3;
   int scale = 0;
   sched::SplitMode split = sched::SplitMode::kLazy;
+  geom::DrPolicy dr = geom::DrPolicy::kDecomposed;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -45,13 +48,29 @@ inline Options parse_options(int argc, char** argv) {
     opt.split = sched::SplitMode::kLazy;
   }
   sched::set_split_mode(opt.split);
+  // --dr overrides RPB_DR, so figure runs can exercise both Delaunay
+  // construction arms without touching the environment.
+  std::string dr = cli.get("dr", "");
+  if (dr.empty()) {
+    opt.dr = geom::dr_policy();  // RPB_DR or decomposed
+  } else {
+    try {
+      opt.dr = geom::parse_dr_policy(dr);
+    } catch (const std::invalid_argument&) {
+      std::fprintf(stderr, "# warning: unknown --dr '%s', using decomposed\n",
+                   dr.c_str());
+      opt.dr = geom::DrPolicy::kDecomposed;
+    }
+    geom::set_dr_policy(opt.dr);
+  }
   // Propagate to everything that reads the default (MQ executors spawn
   // their own workers and consult RPB_THREADS at run time).
   setenv("RPB_THREADS", std::to_string(opt.threads).c_str(), 1);
   sched::ThreadPool::reset_global(opt.threads);
-  std::printf("# threads=%zu repeats=%zu scale=%d split=%s\n", opt.threads,
-              opt.repeats, opt.scale,
-              opt.split == sched::SplitMode::kLazy ? "lazy" : "eager");
+  std::printf("# threads=%zu repeats=%zu scale=%d split=%s dr=%s\n",
+              opt.threads, opt.repeats, opt.scale,
+              opt.split == sched::SplitMode::kLazy ? "lazy" : "eager",
+              geom::dr_policy_name(opt.dr));
   return opt;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "geom/build.h"
 #include "geom/points.h"
 #include "geom/refine.h"
 #include "graph/bfs.h"
@@ -73,6 +74,8 @@ struct Suite::Inputs {
   std::vector<u8> corpus_sa, corpus_bw_encoded;
   // geometry
   std::vector<geom::Point> kuzmin;
+  std::unique_ptr<geom::Mesh> dr_mesh;  // refreshed by dr's setup
+  u64 dr_hash = 0;                      // first-run fingerprint (verify)
   // graphs
   graph::Graph link, road, rmat;
   std::vector<graph::Edge> link_edges, road_edges, rmat_edges;
@@ -140,16 +143,44 @@ Suite::Suite(int scale) : inputs_(std::make_unique<Inputs>()) {
       true, true});
 
   // ---- geometry -------------------------------------------------------
+  // Construction policy comes from RPB_DR (geom::dr_policy()), so
+  // figure runs exercise whichever arm the environment selects; the
+  // checked variant turns on the bucketing validation tier. The mesh
+  // arena is allocated untimed in setup; run builds, refines, and
+  // verifies (Euler identity + a stable structure fingerprint across
+  // repetitions and variants — the build is deterministic per policy).
   cases_.push_back(BenchCase{
-      "dr", "dr", &geom::dr_census(), [] {},
-      [&in](Variant) {
-        geom::Mesh mesh(in.kuzmin, in.kuzmin.size() * 4);
-        mesh.build();
+      "dr", "dr", &geom::dr_census(),
+      [&in] {
+        in.dr_mesh =
+            std::make_unique<geom::Mesh>(in.kuzmin, in.kuzmin.size() * 4);
+      },
+      [&in](Variant v) {
+        if (!in.dr_mesh) {  // defensive: run without a prior setup
+          in.dr_mesh =
+              std::make_unique<geom::Mesh>(in.kuzmin, in.kuzmin.size() * 4);
+        }
+        geom::Mesh& mesh = *in.dr_mesh;
+        const AccessMode mode = v == Variant::kChecked
+                                    ? AccessMode::kChecked
+                                    : AccessMode::kUnchecked;
+        const geom::BuildStats built =
+            geom::build_delaunay(mesh, geom::dr_policy(), mode);
         geom::RefineConfig config;
         config.max_insertions = in.kuzmin.size() * 3;
-        geom::refine(mesh, config);
+        const geom::RefineStats refined = geom::refine(mesh, config);
+        const std::size_t expect =
+            2 * (built.inserted + refined.inserted) + 1;
+        if (mesh.num_live_triangles() != expect) {
+          throw std::logic_error("dr: Euler identity violated");
+        }
+        const u64 hash = mesh.structure_hash();
+        if (in.dr_hash == 0) in.dr_hash = hash;
+        if (hash != in.dr_hash) {
+          throw std::logic_error("dr: structure hash drifted across runs");
+        }
       },
-      false, false});
+      /*sync_is_distinct=*/false, /*check_is_distinct=*/true});
 
   // ---- graph benchmarks ----------------------------------------------
   auto add_mis = [&](const std::string& which, const graph::Graph& g) {

@@ -192,19 +192,42 @@ bench/CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/bench/common.h /root/repo/src/sched/parallel.h \
- /root/repo/src/obs/counters.h /root/repo/src/obs/obs.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/bench/common.h /root/repo/src/geom/build.h \
+ /root/repo/src/core/access_mode.h /root/repo/src/geom/delaunay.h \
+ /usr/include/c++/12/span /root/repo/src/geom/predicates.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/support/defs.h \
+ /root/repo/src/sched/parallel.h /root/repo/src/obs/counters.h \
+ /root/repo/src/obs/obs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
- /root/repo/src/support/defs.h /root/repo/src/obs/trace.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/ios \
- /usr/include/c++/12/bits/ios_base.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/bits/locale_classes.h \
  /usr/include/c++/12/bits/locale_classes.tcc \
  /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
@@ -241,9 +264,8 @@ bench/CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/thread \
  /root/repo/src/sched/chase_lev_deque.h /root/repo/src/sched/job.h \
  /root/repo/src/support/cli.h /root/repo/src/support/env.h \
- /root/repo/src/core/primitives.h /usr/include/c++/12/span \
- /root/repo/src/core/uninit_buf.h /root/repo/src/support/arena.h \
- /root/repo/src/support/simd.h \
+ /root/repo/src/core/primitives.h /root/repo/src/core/uninit_buf.h \
+ /root/repo/src/support/arena.h /root/repo/src/support/simd.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \
@@ -337,29 +359,8 @@ bench/CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o: \
  /root/repo/src/core/reservation.h /root/repo/src/sched/multiqueue.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/seq/generators.h /root/repo/src/seq/hash_table.h \
- /root/repo/src/core/access_mode.h /root/repo/src/seq/integer_sort.h \
- /root/repo/src/core/census.h /root/repo/src/core/patterns.h \
- /root/repo/src/core/checks.h /root/repo/src/core/mark_table.h \
- /root/repo/src/support/error.h /root/repo/src/seq/sample_sort.h \
- /root/repo/src/support/prng.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
- /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
- /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
- /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
- /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
- /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
- /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
- /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
- /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
- /usr/include/c++/12/tr1/special_function_util.h \
- /usr/include/c++/12/tr1/bessel_function.tcc \
- /usr/include/c++/12/tr1/beta_function.tcc \
- /usr/include/c++/12/tr1/ell_integral.tcc \
- /usr/include/c++/12/tr1/exp_integral.tcc \
- /usr/include/c++/12/tr1/hypergeometric.tcc \
- /usr/include/c++/12/tr1/legendre_function.tcc \
- /usr/include/c++/12/tr1/modified_bessel_func.tcc \
- /usr/include/c++/12/tr1/poly_hermite.tcc \
- /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/support/timer.h
+ /root/repo/src/seq/integer_sort.h /root/repo/src/core/census.h \
+ /root/repo/src/core/patterns.h /root/repo/src/core/checks.h \
+ /root/repo/src/core/mark_table.h /root/repo/src/support/error.h \
+ /root/repo/src/seq/sample_sort.h /root/repo/src/support/prng.h \
+ /root/repo/src/support/timer.h

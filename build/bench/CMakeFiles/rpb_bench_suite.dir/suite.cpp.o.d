@@ -212,7 +212,10 @@ bench/CMakeFiles/rpb_bench_suite.dir/suite.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/geom/points.h /root/repo/src/geom/predicates.h \
+ /root/repo/src/geom/build.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/core/access_mode.h /root/repo/src/geom/delaunay.h \
+ /usr/include/c++/12/span /root/repo/src/geom/predicates.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -236,20 +239,17 @@ bench/CMakeFiles/rpb_bench_suite.dir/suite.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/support/defs.h \
- /root/repo/src/geom/refine.h /root/repo/src/geom/delaunay.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/span \
- /root/repo/src/graph/bfs.h /root/repo/src/core/access_mode.h \
- /root/repo/src/graph/csr.h /root/repo/src/graph/forest.h \
- /root/repo/src/graph/generators.h /root/repo/src/graph/matching.h \
- /root/repo/src/graph/mis.h /root/repo/src/graph/sssp.h \
- /root/repo/src/seq/dedup.h /root/repo/src/seq/generators.h \
- /root/repo/src/seq/histogram.h /root/repo/src/seq/integer_sort.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/core/atomics.h /root/repo/src/core/patterns.h \
- /root/repo/src/core/checks.h /root/repo/src/core/mark_table.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/geom/points.h /root/repo/src/geom/refine.h \
+ /root/repo/src/graph/bfs.h /root/repo/src/graph/csr.h \
+ /root/repo/src/graph/forest.h /root/repo/src/graph/generators.h \
+ /root/repo/src/graph/matching.h /root/repo/src/graph/mis.h \
+ /root/repo/src/graph/sssp.h /root/repo/src/seq/dedup.h \
+ /root/repo/src/seq/generators.h /root/repo/src/seq/histogram.h \
+ /root/repo/src/seq/integer_sort.h /root/repo/src/core/atomics.h \
+ /root/repo/src/core/patterns.h /root/repo/src/core/checks.h \
+ /root/repo/src/core/mark_table.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/counters.h \
  /root/repo/src/obs/obs.h /root/repo/src/sched/parallel.h \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/build.cpp" "src/geom/CMakeFiles/rpb_geom.dir/build.cpp.o" "gcc" "src/geom/CMakeFiles/rpb_geom.dir/build.cpp.o.d"
   "/root/repo/src/geom/delaunay.cpp" "src/geom/CMakeFiles/rpb_geom.dir/delaunay.cpp.o" "gcc" "src/geom/CMakeFiles/rpb_geom.dir/delaunay.cpp.o.d"
   "/root/repo/src/geom/points.cpp" "src/geom/CMakeFiles/rpb_geom.dir/points.cpp.o" "gcc" "src/geom/CMakeFiles/rpb_geom.dir/points.cpp.o.d"
   "/root/repo/src/geom/refine.cpp" "src/geom/CMakeFiles/rpb_geom.dir/refine.cpp.o" "gcc" "src/geom/CMakeFiles/rpb_geom.dir/refine.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/rpb_geom.dir/build.cpp.o"
+  "CMakeFiles/rpb_geom.dir/build.cpp.o.d"
   "CMakeFiles/rpb_geom.dir/delaunay.cpp.o"
   "CMakeFiles/rpb_geom.dir/delaunay.cpp.o.d"
   "CMakeFiles/rpb_geom.dir/points.cpp.o"

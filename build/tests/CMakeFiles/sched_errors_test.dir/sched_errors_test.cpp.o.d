@@ -315,8 +315,31 @@ tests/CMakeFiles/sched_errors_test.dir/sched_errors_test.cpp.o: \
  /root/repo/src/sched/thread_pool.h \
  /usr/include/c++/12/condition_variable \
  /root/repo/src/sched/chase_lev_deque.h /root/repo/src/sched/job.h \
- /root/repo/tests/test_guards.h /root/repo/src/sparse/spmv.h \
- /usr/include/c++/12/span /root/repo/src/core/access_mode.h \
+ /root/repo/tests/test_guards.h /root/repo/src/geom/build.h \
+ /root/repo/src/core/access_mode.h /root/repo/src/geom/delaunay.h \
+ /usr/include/c++/12/span /root/repo/src/geom/predicates.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/sparse/spmv.h \
  /root/repo/src/core/checks.h /root/repo/src/core/atomics.h \
  /root/repo/src/core/mark_table.h /root/repo/src/support/error.h \
  /root/repo/src/support/simd.h \

@@ -18,6 +18,7 @@ include("/root/repo/build/tests/sparse_test[1]_include.cmake")
 include("/root/repo/build/tests/graph_test[1]_include.cmake")
 include("/root/repo/build/tests/text_test[1]_include.cmake")
 include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_build_test[1]_include.cmake")
 include("/root/repo/build/tests/extensions_test[1]_include.cmake")
 include("/root/repo/build/tests/stencil_test[1]_include.cmake")
 include("/root/repo/build/tests/geom_failure_test[1]_include.cmake")

@@ -1,0 +1,593 @@
+#include "geom/build.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/atomics.h"
+#include "core/checks.h"
+#include "core/primitives.h"
+#include "core/reservation.h"
+#include "core/spec_for.h"
+#include "core/uninit_buf.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "sched/parallel.h"
+#include "support/arena.h"
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/timer.h"
+
+namespace rpb::geom {
+
+DrPolicy parse_dr_policy(const std::string& name) {
+  if (name == "incremental") return DrPolicy::kIncremental;
+  if (name == "decomposed") return DrPolicy::kDecomposed;
+  throw std::invalid_argument("unknown dr policy: " + name);
+}
+
+namespace {
+
+constexpr u64 kNoMember = ~u64{0};
+
+// Uniform g x g grid over the input bounding box. A zero-extent axis
+// (all points collinear) gets an infinite cell width: every point maps
+// to column 0 and the territory test is vacuous along that axis, which
+// is exactly right — cells only ever subdivide the other axis.
+struct Grid {
+  double x0 = 0, y0 = 0;
+  double w = 0, h = 0;          // cell extent
+  double inv_w = 0, inv_h = 0;  // 0 on a degenerate axis
+  std::size_t g = 1;
+
+  std::size_t cells() const { return g * g; }
+
+  std::size_t cell_of(const Point& p) const {
+    auto clamp = [this](double v) {
+      if (!(v > 0)) return std::size_t{0};
+      std::size_t c = static_cast<std::size_t>(v);
+      return std::min(c, g - 1);
+    };
+    return clamp((p.y - y0) * inv_h) * g + clamp((p.x - x0) * inv_w);
+  }
+
+  Point center(std::size_t c) const {
+    const double cx = static_cast<double>(c % g);
+    const double cy = static_cast<double>(c / g);
+    return Point{inv_w > 0 ? x0 + (cx + 0.5) * w : x0,
+                 inv_h > 0 ? y0 + (cy + 0.5) * h : y0};
+  }
+
+  // The private territory of cell (cx, cy): the cell box grown by one
+  // full cell on each side. Same-color cells (3x3 coloring) sit three
+  // cells apart, so their territories have disjoint interiors — they
+  // meet in at most a boundary line. DESIGN.md §6 turns that into the
+  // no-reservations-needed argument for wave inserts.
+  void territory(std::size_t c, double* tx0, double* tx1, double* ty0,
+                 double* ty1) const {
+    const double cx = static_cast<double>(c % g);
+    const double cy = static_cast<double>(c / g);
+    const double inf = std::numeric_limits<double>::infinity();
+    *tx0 = inv_w > 0 ? x0 + (cx - 1.0) * w : -inf;
+    *tx1 = inv_w > 0 ? x0 + (cx + 2.0) * w : inf;
+    *ty0 = inv_h > 0 ? y0 + (cy - 1.0) * h : -inf;
+    *ty1 = inv_h > 0 ? y0 + (cy + 2.0) * h : inf;
+  }
+};
+
+// Every cavity triangle's circumdisk inside the cell's territory box?
+// NaN circumcenters (degenerate triangles) and super-vertex triangles
+// (enormous disks) fail the comparisons and defer to the stitch, which
+// is the safe direction.
+bool cavity_in_territory(const Mesh& mesh, const Mesh::Cavity& cavity,
+                         const Grid& grid, std::size_t c) {
+  double tx0, tx1, ty0, ty1;
+  grid.territory(c, &tx0, &tx1, &ty0, &ty1);
+  for (i64 t : cavity.tris) {
+    const Triangle& tri = mesh.triangle(t);
+    const Point cc = circumcenter(mesh.point(tri.v[0]), mesh.point(tri.v[1]),
+                                  mesh.point(tri.v[2]));
+    const double r = std::sqrt(squared_distance(cc, mesh.point(tri.v[0])));
+    if (!(cc.x - r >= tx0 && cc.x + r <= tx1 && cc.y - r >= ty0 &&
+          cc.y + r <= ty1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Nearest live slot to a (possibly dead) hint. Slot ids are allocation
+// order, so neighbors of a recently-killed hint are usually recent
+// triangles from the same neighborhood; this keeps locate off its
+// O(slots) linear-rescue path. The result is schedule-dependent but
+// locate's answer (the containing triangle) is not.
+i64 find_live_near(const Mesh& mesh, i64 hint) {
+  const i64 total = static_cast<i64>(mesh.num_triangle_slots());
+  if (hint < 0 || hint >= total) hint = 0;
+  if (mesh.alive(hint)) return hint;
+  for (i64 d = 1; ; ++d) {
+    const bool lo_ok = hint - d >= 0;
+    const bool hi_ok = hint + d < total;
+    if (!lo_ok && !hi_ok) return -1;
+    if (hi_ok && mesh.alive(hint + d)) return hint + d;
+    if (lo_ok && mesh.alive(hint - d)) return hint - d;
+  }
+}
+
+[[noreturn]] void throw_cavity_overflow(AccessMode mode, u32 vid) {
+  if (mode == AccessMode::kChecked) {
+    obs::bump(obs::Counter::kCheckedFailed);
+    throw CheckFailure("dr: cavity overflow inserting vertex " +
+                       std::to_string(vid));
+  }
+  throw std::logic_error("degenerate cavity during decomposed build");
+}
+
+// One stitch member: insert deferred point ids[i], reserving the whole
+// cavity plus its boundary ring — RefineStep's discipline with the
+// member's deferral-order index as priority, so the stitched mesh is
+// independent of the thread schedule.
+struct StitchStep {
+  Mesh& mesh;
+  const BuildConfig& config;
+  const Grid& grid;
+  std::span<const u32> ids;
+  std::span<const i64> hints;  // per cell, read-only during the stitch
+  std::vector<par::Reservation>& reservations;
+  std::vector<Mesh::Cavity>& cavities;
+  u64* first_overflow;  // write_min over member index (checked report)
+  std::atomic<std::size_t>& inserted;
+  std::atomic<std::size_t>& skipped;
+
+  bool reserve(std::size_t i) {
+    const u32 vid = ids[i];
+    const Point& p = mesh.point(vid);
+    const i64 start = find_live_near(mesh, hints[grid.cell_of(p)]);
+    const i64 t = mesh.locate(p, start);
+    if (t < 0) {
+      write_min(first_overflow, static_cast<u64>(i));
+      return false;
+    }
+    if (mesh.coincides_with_vertex(t, p)) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (!mesh.collect_cavity(p, t, cavities[i], config.stitch_max_cavity)) {
+      write_min(first_overflow, static_cast<u64>(i));
+      return false;
+    }
+    obs::bump(obs::Counter::kDrCavityTris, cavities[i].tris.size());
+    for (i64 c : cavities[i].tris) {
+      reservations[static_cast<std::size_t>(c)].reserve(static_cast<i64>(i));
+    }
+    for (const auto& edge : cavities[i].boundary) {
+      if (edge.outside >= 0) {
+        reservations[static_cast<std::size_t>(edge.outside)].reserve(
+            static_cast<i64>(i));
+      }
+    }
+    return true;
+  }
+
+  bool commit(std::size_t i) {
+    const Mesh::Cavity& cavity = cavities[i];
+    bool holds_all = true;
+    for (i64 c : cavity.tris) {
+      if (!reservations[static_cast<std::size_t>(c)].check(
+              static_cast<i64>(i))) {
+        holds_all = false;
+        obs::bump(obs::Counter::kDrReserveConflicts);
+      }
+    }
+    for (const auto& edge : cavity.boundary) {
+      if (edge.outside >= 0 &&
+          !reservations[static_cast<std::size_t>(edge.outside)].check(
+              static_cast<i64>(i))) {
+        holds_all = false;
+        obs::bump(obs::Counter::kDrReserveConflicts);
+      }
+    }
+    if (holds_all) {
+      mesh.apply_insert(ids[i], cavity);
+      inserted.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Release whatever we still hold (success or not), PBBS-style.
+    for (i64 c : cavity.tris) {
+      auto& cell = reservations[static_cast<std::size_t>(c)];
+      if (cell.check(static_cast<i64>(i))) cell.reset();
+    }
+    for (const auto& edge : cavity.boundary) {
+      if (edge.outside < 0) continue;
+      auto& cell = reservations[static_cast<std::size_t>(edge.outside)];
+      if (cell.check(static_cast<i64>(i))) cell.reset();
+    }
+    return holds_all;
+  }
+};
+
+}  // namespace
+
+BuildStats build_delaunay(Mesh& mesh, DrPolicy policy, AccessMode mode,
+                          const BuildConfig& config) {
+  BuildStats stats;
+  const std::size_t n_ids = mesh.num_points();
+  const std::size_t n = n_ids - Mesh::kSuperVertices;
+  if (policy == DrPolicy::kIncremental) {
+    stats.inserted = mesh.build();
+    stats.skipped = n - stats.inserted;
+    return stats;
+  }
+  if (n == 0) return stats;
+
+  support::ArenaLease arena;
+
+  // Bounding box of the input, computed once; every round's grid
+  // subdivides the same box so cell ids stay cheap to derive.
+  struct Box {
+    double x0 = std::numeric_limits<double>::infinity();
+    double y0 = std::numeric_limits<double>::infinity();
+    double x1 = -std::numeric_limits<double>::infinity();
+    double y1 = -std::numeric_limits<double>::infinity();
+  };
+  const Box box = sched::parallel_reduce_range(
+      std::size_t{Mesh::kSuperVertices}, n_ids, Box{},
+      [&](std::size_t lo, std::size_t hi) {
+        Box b;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Point& p = mesh.point(static_cast<u32>(i));
+          b.x0 = std::min(b.x0, p.x);
+          b.y0 = std::min(b.y0, p.y);
+          b.x1 = std::max(b.x1, p.x);
+          b.y1 = std::max(b.y1, p.y);
+        }
+        return b;
+      },
+      [](Box a, Box b) {
+        a.x0 = std::min(a.x0, b.x0);
+        a.y0 = std::min(a.y0, b.y0);
+        a.x1 = std::max(a.x1, b.x1);
+        a.y1 = std::max(a.y1, b.y1);
+        return a;
+      });
+  auto make_grid = [&](std::size_t g) {
+    Grid grid;
+    grid.g = g;
+    grid.x0 = box.x0;
+    grid.y0 = box.y0;
+    if (box.x1 > box.x0) {
+      grid.w = (box.x1 - box.x0) / static_cast<double>(g);
+      grid.inv_w = 1.0 / grid.w;
+    }
+    if (box.y1 > box.y0) {
+      grid.h = (box.y1 - box.y0) / static_cast<double>(g);
+      grid.inv_h = 1.0 / grid.h;
+    }
+    return grid;
+  };
+
+  // ---- bootstrap: serial prefix insert, input order ------------------
+  // The wave containment test only starts passing once the mesh near a
+  // cell is about as dense as the cell grid is fine — so the build
+  // grows density in doubling rounds, and this serial prefix plants
+  // the first round's density floor. Input order, not shuffled: the
+  // prefix is a fixed function of the input, and chained hints keep
+  // the serial walks short.
+  const std::size_t bootstrap_n =
+      config.bootstrap > 0
+          ? std::min(n, config.bootstrap)
+          : std::min(n, std::max<std::size_t>(256, n / 64));
+  i64 last_hint = 0;
+  Timer phase_timer;
+  {
+    OBS_SCOPE("dr.seed");
+    Mesh::Cavity cavity;
+    for (std::size_t i = 0; i < bootstrap_n; ++i) {
+      const u32 vid = static_cast<u32>(Mesh::kSuperVertices + i);
+      const Point& p = mesh.point(vid);
+      const i64 t = mesh.locate(p, find_live_near(mesh, last_hint));
+      if (t < 0) throw_cavity_overflow(mode, vid);
+      if (mesh.coincides_with_vertex(t, p)) {
+        ++stats.skipped;
+        last_hint = t;
+        continue;
+      }
+      // Default cavity guard, not config.stitch_max_cavity: the
+      // bootstrap runs at the sparsest density the build ever sees, so
+      // a stitch-tuned cap would misfire here on healthy inputs.
+      if (!mesh.collect_cavity(p, t, cavity)) {
+        throw_cavity_overflow(mode, vid);
+      }
+      obs::bump(obs::Counter::kDrCavityTris, cavity.tris.size());
+      last_hint = mesh.apply_insert(vid, cavity);
+      ++stats.seed_inserts;
+    }
+  }
+  stats.seed_s = phase_timer.elapsed();
+
+  // ---- waves: one point per same-color cell, two BSP phases ----------
+  // Phase A is read-only (locate, collect, containment test); phase B
+  // commits the passers. Containment makes concurrent cavities — and
+  // their boundary rings — provably disjoint (DESIGN.md §6), so phase B
+  // needs no reservations; the phase split keeps every locate walk off
+  // triangles being mutated, which is what makes the waves TSAN-clean.
+  enum : u8 { kNone = 0, kInsert, kSkip, kDefer };
+  std::vector<Mesh::Cavity> cavities;
+  std::vector<u8> verdicts;
+  std::vector<u32> active;
+  std::vector<u32> cursor;
+
+  auto run_waves = [&](const Grid& grid, std::vector<i64>& hints,
+                       std::span<const u32> ids,
+                       std::span<const u64> starts_in) {
+    const std::size_t cells = grid.cells();
+    std::vector<u32> deferred;
+    cursor.assign(cells, 0);
+    const auto len = [&](std::size_t c) {
+      return static_cast<u32>(starts_in[c + 1] - starts_in[c]);
+    };
+    for (int color = 0; color < 9; ++color) {
+      // Fused pack: the same-color cells with any points at all.
+      auto color_cells =
+          par::pack_index_if<u32>(arena, cells, [&](std::size_t c) {
+            return ((c % grid.g) % 3 == static_cast<std::size_t>(color % 3)) &&
+                   ((c / grid.g) % 3 == static_cast<std::size_t>(color / 3)) &&
+                   len(c) > 0;
+          });
+      for (;;) {
+        active.clear();
+        for (u32 c : color_cells.cspan()) {
+          if (cursor[c] < len(c)) active.push_back(c);
+        }
+        if (active.empty()) break;
+        if (active.size() < config.min_wave_cells) {
+          // Straggler tail: a parallel region per point is not worth
+          // it; the stitch engine handles these with reservations.
+          for (u32 c : color_cells.cspan()) {
+            for (; cursor[c] < len(c); ++cursor[c]) {
+              deferred.push_back(ids[starts_in[c] + cursor[c]]);
+            }
+          }
+          break;
+        }
+        const std::size_t m = active.size();
+        if (cavities.size() < m) cavities.resize(m);
+        verdicts.assign(m, kNone);
+        ++stats.waves;
+        sched::parallel_for(0, m, [&](std::size_t i) {
+          const std::size_t c = active[i];
+          const u32 vid = ids[starts_in[c] + cursor[c]];
+          const Point& p = mesh.point(vid);
+          const i64 t = mesh.locate(p, find_live_near(mesh, hints[c]));
+          if (t < 0) {
+            verdicts[i] = kDefer;
+            return;
+          }
+          if (mesh.coincides_with_vertex(t, p)) {
+            verdicts[i] = kSkip;
+            return;
+          }
+          if (!mesh.collect_cavity(p, t, cavities[i],
+                                   config.wave_max_cavity)) {
+            verdicts[i] = kDefer;
+            return;
+          }
+          obs::bump(obs::Counter::kDrCavityTris, cavities[i].tris.size());
+          verdicts[i] =
+              cavity_in_territory(mesh, cavities[i], grid, c) ? kInsert
+                                                              : kDefer;
+        });
+        sched::parallel_for(0, m, [&](std::size_t i) {
+          if (verdicts[i] != kInsert) return;
+          const std::size_t c = active[i];
+          const u32 vid = ids[starts_in[c] + cursor[c]];
+          hints[c] = mesh.apply_insert(vid, cavities[i]);
+        });
+        for (std::size_t i = 0; i < m; ++i) {
+          const std::size_t c = active[i];
+          const u32 vid = ids[starts_in[c] + cursor[c]];
+          ++cursor[c];
+          switch (verdicts[i]) {
+            case kInsert:
+              ++stats.interior_inserts;
+              break;
+            case kSkip:
+              ++stats.skipped;
+              break;
+            default:
+              deferred.push_back(vid);
+              break;
+          }
+        }
+      }
+    }
+    return deferred;
+  };
+
+  // ---- rounds: doubling prefixes, grid matched to current density ----
+  // Round r inserts points [lo, 2*lo) on a grid with ~target_per_cell
+  // already-inserted points per cell: cavity circumdisks at that
+  // density span a fraction of a cell, so the one-cell territory
+  // margin accepts the bulk of the round and each round doubles the
+  // density floor for the next. The round partition and every grid are
+  // functions of n alone — nothing about the schedule leaks in.
+  Grid grid = make_grid(1);
+  std::vector<i64> hints(1, last_hint);
+  std::vector<u32> deferred;
+  {
+    OBS_SCOPE("dr.interior");
+    phase_timer.reset();
+    std::size_t lo = bootstrap_n;
+    while (lo < n) {
+      const std::size_t hi = std::min(n, 2 * lo);
+      const std::size_t nr = hi - lo;
+      ++stats.rounds;
+      const double target = static_cast<double>(
+          std::max<std::size_t>(1, config.target_per_cell));
+      const double ideal =
+          std::sqrt(static_cast<double>(lo) / target);
+      const Grid prev = grid;
+      grid = make_grid(std::clamp<std::size_t>(
+          static_cast<std::size_t>(std::lround(ideal)), 1, 2048));
+      stats.grid = grid.g;
+      const std::size_t cells = grid.cells();
+
+      // -- bucket: stable counting sort of the round's ids by cell ----
+      // Per-block count matrix + one fused exclusive scan + a per-block
+      // scatter. Stable by construction (block-major within a cell), so
+      // the within-cell order — the order the waves consume — is the
+      // input order no matter how many blocks or threads.
+      UninitBuf<u32> order;    // round's point ids, grouped by cell
+      UninitBuf<u32> cell_of;  // cell id per round point (index i - lo)
+      UninitBuf<u64> starts;   // cells + 1 bracketing offsets
+      {
+        OBS_SCOPE("dr.bucket");
+        const Timer bucket_timer;
+        cell_of = uninit_buf<u32>(arena, nr);
+        sched::parallel_for(0, nr, [&](std::size_t i) {
+          cell_of[i] = static_cast<u32>(grid.cell_of(
+              mesh.point(static_cast<u32>(Mesh::kSuperVertices + lo + i))));
+        });
+
+        // Input-pure block count (not thread-derived): the count matrix
+        // is identical at every RPB_THREADS, which keeps even
+        // intermediate state reproducible, not just the sort output.
+        const std::size_t blocks = std::clamp<std::size_t>(nr / 16384, 1, 64);
+        const std::size_t block_len = (nr + blocks - 1) / blocks;
+        auto counts = uninit_buf<u64>(arena, cells * blocks);
+        sched::parallel_for(0, blocks, [&](std::size_t b) {
+          const std::size_t b_lo = b * block_len;
+          const std::size_t b_hi = std::min(nr, b_lo + block_len);
+          for (std::size_t c = 0; c < cells; ++c) counts[c * blocks + b] = 0;
+          for (std::size_t i = b_lo; i < b_hi; ++i) {
+            ++counts[static_cast<std::size_t>(cell_of[i]) * blocks + b];
+          }
+        });
+        par::scan_exclusive_sum(counts.span());
+
+        starts = uninit_buf<u64>(arena, cells + 1);
+        sched::parallel_for(0, cells, [&](std::size_t c) {
+          starts[c] = counts[c * blocks];
+        });
+        starts[cells] = nr;
+
+        order = uninit_buf<u32>(arena, nr);
+        sched::parallel_for(0, blocks, [&](std::size_t b) {
+          const std::size_t b_lo = b * block_len;
+          const std::size_t b_hi = std::min(nr, b_lo + block_len);
+          for (std::size_t i = b_lo; i < b_hi; ++i) {
+            u64& slot =
+                counts[static_cast<std::size_t>(cell_of[i]) * blocks + b];
+            order[slot++] = static_cast<u32>(Mesh::kSuperVertices + lo + i);
+          }
+        });
+
+        if (mode == AccessMode::kChecked) {
+          // The invariants the waves trust: bracketing offsets monotone
+          // (the RngInd check) and the scatter wrote a permutation of
+          // the round's ids (the SngInd uniqueness check).
+          par::check_monotonic_offsets(
+              std::span<const u64>(starts.data(), cells + 1), nr);
+          par::check_unique_offsets(std::span<const u32>(order.data(), nr),
+                                    n_ids);
+        }
+        stats.bucket_s += bucket_timer.elapsed();
+      }
+
+      // Hints refine with the grid: a new cell inherits the hint of the
+      // previous (coarser) cell containing its center, so the first
+      // locate per cell starts a short walk away. Hints only seed
+      // walks — locate's answer never depends on them.
+      std::vector<i64> round_hints(cells);
+      for (std::size_t c = 0; c < cells; ++c) {
+        round_hints[c] = hints[prev.cell_of(grid.center(c))];
+      }
+      hints = std::move(round_hints);
+
+      std::vector<u32> retry = run_waves(
+          grid, hints, std::span<const u32>(order.data(), nr),
+          std::span<const u64>(starts.data(), cells + 1));
+      if (!retry.empty()) {
+        // One retry pass: most first-pass failures were cavities that
+        // clipped a still-sparse neighborhood and succeed once the
+        // round's other cells fill in. Regroup by cell (stable,
+        // serial) so the wave engine sees the same shape of input.
+        std::vector<u64> rcounts(cells + 1, 0);
+        for (u32 vid : retry) {
+          ++rcounts[cell_of[vid - Mesh::kSuperVertices - lo] + 1];
+        }
+        for (std::size_t c = 0; c < cells; ++c) rcounts[c + 1] += rcounts[c];
+        std::vector<u32> regrouped(retry.size());
+        {
+          std::vector<u64> fill(rcounts.begin(), rcounts.end() - 1);
+          for (u32 vid : retry) {
+            regrouped[fill[cell_of[vid - Mesh::kSuperVertices - lo]]++] = vid;
+          }
+        }
+        obs::bump(obs::Counter::kDrDeferredInserts, retry.size());
+        retry = run_waves(grid, hints, std::span<const u32>(regrouped),
+                          std::span<const u64>(rcounts));
+        deferred.insert(deferred.end(), retry.begin(), retry.end());
+      }
+      lo = hi;
+    }
+    stats.interior_s = phase_timer.elapsed();
+  }
+
+  // ---- stitch: deferred cavities through deterministic reservations --
+  if (!deferred.empty()) {
+    OBS_SCOPE("dr.stitch");
+    phase_timer.reset();
+    stats.deferred = deferred.size();
+    obs::bump(obs::Counter::kDrDeferredInserts, deferred.size());
+    // Deferral order is spatially clustered (territory borders, hull
+    // cells) — adjacent members conflict, and priority chains would
+    // serialize spec_for round by round (tens of retried
+    // locate+collect rounds per member). Scatter the order with an
+    // input-pure hash permutation instead: each round then attempts
+    // spatially spread members and commits almost all of them. Still
+    // deterministic — the permutation is a function of the vertex ids
+    // alone, never of the schedule.
+    std::sort(deferred.begin(), deferred.end(), [](u32 a, u32 b) {
+      const u64 ha = hash64(a), hb = hash64(b);
+      return ha != hb ? ha < hb : a < b;
+    });
+    std::vector<par::Reservation> reservations(mesh.arena_capacity());
+    std::vector<Mesh::Cavity> stitch_cavities(deferred.size());
+    u64 first_overflow = kNoMember;
+    std::atomic<std::size_t> inserted{0}, skipped{0};
+    StitchStep step{mesh,
+                    config,
+                    grid,
+                    std::span<const u32>(deferred),
+                    std::span<const i64>(hints),
+                    reservations,
+                    stitch_cavities,
+                    &first_overflow,
+                    inserted,
+                    skipped};
+    const par::SpecForStats sp = par::speculative_for(
+        step, 0, deferred.size(),
+        std::min(deferred.size(), config.stitch_round));
+    stats.stitch_inserts = inserted.load();
+    stats.skipped += skipped.load();
+    stats.stitch_rounds = sp.rounds;
+    stats.stitch_retries = sp.retries;
+    obs::bump(obs::Counter::kDrStitchRetries, sp.retries);
+    stats.stitch_s = phase_timer.elapsed();
+    const u64 overflow = relaxed_load(&first_overflow);
+    if (overflow != kNoMember) {
+      // write_min picked the lowest deferral-order member, a property
+      // of the input alone — the PR 2 deterministic-first-failure
+      // convention.
+      throw_cavity_overflow(mode, deferred[overflow]);
+    }
+  }
+
+  stats.inserted =
+      stats.seed_inserts + stats.interior_inserts + stats.stitch_inserts;
+  return stats;
+}
+
+}  // namespace rpb::geom

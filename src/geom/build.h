@@ -1,0 +1,163 @@
+// Grid-decomposed parallel Delaunay construction (the dr build phase).
+//
+// Mesh::build() is serial incremental Bowyer-Watson; this file adds a
+// decomposed path behind the RPB_DR knob that puts the whole runtime
+// under construction, not just refinement:
+//
+//   bootstrap  A short serial prefix (max(256, n/64) points, input
+//            order) plants the density floor the first round's
+//            containment test needs. The honest serial fraction the
+//            ablation reports.
+//   rounds   Doubling prefixes of the remaining points, BRIO-style:
+//            round r inserts points [lo, 2*lo) on a grid sized so the
+//            ~lo already-inserted points average target_per_cell per
+//            cell — cavity circumdisks at that density span a fraction
+//            of a cell, which is what lets the territory test pass.
+//            Each round counting-sorts its points into cells (fused
+//            scan primitives, arena-leased scratch; stable, so the
+//            within-cell order is independent of RPB_THREADS), then:
+//   waves    Cells are 3x3-colored; each wave inserts at most one
+//            point per same-color cell, in two BSP phases: a read-only
+//            phase (locate from the cell hint, collect the cavity,
+//            test that every cavity triangle's circumdisk fits the
+//            cell's private territory — the cell box grown by one full
+//            cell each side) and a mutation phase that commits only
+//            the passers. Containment makes concurrent cavities
+//            provably disjoint — no reservations, no atomics on the
+//            mesh besides slot allocation (DESIGN.md §6 has the
+//            argument). Failures retry once within the round, then
+//            carry to the stitch set.
+//   stitch   Deferred points — cavities that crossed territory
+//            borders — go through the deterministic-reservation engine
+//            (core/spec_for.h), reserving cavity plus boundary ring
+//            exactly like refinement. Priorities are positions in the
+//            (deterministic) deferral order.
+//
+// Every phase is deterministic given the input and the policy, so
+// structure_hash is bitwise-identical across RPB_THREADS and RPB_ARENA
+// modes; for inputs without duplicate points it also matches the
+// incremental build exactly (both produce the unique Delaunay
+// triangulation of the same vertex ids).
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/access_mode.h"
+#include "geom/delaunay.h"
+#include "support/defs.h"
+
+namespace rpb::geom {
+
+// Construction policy for the dr benchmark (see file header).
+enum class DrPolicy : int { kIncremental = 0, kDecomposed = 1 };
+
+inline const char* dr_policy_name(DrPolicy policy) {
+  switch (policy) {
+    case DrPolicy::kIncremental: return "incremental";
+    case DrPolicy::kDecomposed: return "decomposed";
+  }
+  return "?";
+}
+
+namespace detail {
+
+inline std::atomic<int> g_dr_policy{-1};  // -1: not yet resolved
+
+// RPB_DR: "incremental" selects the serial baseline; "decomposed" (or
+// unset) the grid-decomposed parallel build.
+inline DrPolicy resolve_dr_policy() {
+  if (const char* env = std::getenv("RPB_DR")) {
+    if (std::strcmp(env, "incremental") == 0) return DrPolicy::kIncremental;
+  }
+  return DrPolicy::kDecomposed;
+}
+
+}  // namespace detail
+
+inline DrPolicy dr_policy() {
+  int policy = detail::g_dr_policy.load(std::memory_order_relaxed);
+  if (policy < 0) {
+    policy = static_cast<int>(detail::resolve_dr_policy());
+    detail::g_dr_policy.store(policy, std::memory_order_relaxed);
+  }
+  return static_cast<DrPolicy>(policy);
+}
+
+// Benchmark/test knob; safe to flip between (not during) builds —
+// mirrors set_spmv_policy / set_arena_mode / set_simd_level.
+inline void set_dr_policy(DrPolicy policy) {
+  detail::g_dr_policy.store(static_cast<int>(policy),
+                            std::memory_order_relaxed);
+}
+
+// CLI parsing ("incremental"/"decomposed"); throws std::invalid_argument.
+DrPolicy parse_dr_policy(const std::string& name);
+
+struct BuildConfig {
+  // Round grid sizing: cells ~= already-inserted / target_per_cell, so
+  // a cell holds ~this many existing points when its round runs.
+  // Larger targets mean coarser cells (containment passes easily, less
+  // wave parallelism); smaller targets the reverse.
+  std::size_t target_per_cell = 8;
+  // Serial bootstrap prefix; 0 = auto (max(256, n/64)).
+  std::size_t bootstrap = 0;
+  // Wave-phase cavity cap: a cavity that exceeds this (or fails the
+  // territory containment test) defers to the stitch. Small caps force
+  // more traffic through the reservation engine (tests use 1).
+  std::size_t wave_max_cavity = 512;
+  // Stitch cavity cap: exceeding THIS is a degenerate-input error
+  // (the bootstrap keeps Mesh::collect_cavity's default guard).
+  std::size_t stitch_max_cavity = 4096;
+  // spec_for round size for the stitch phase. Deliberately small: a
+  // failed commit redoes its locate+collect next round, and stitch
+  // conflicts are dense (deferred points crowd territory borders and
+  // hull wedges), so wasted attempts scale with the window, not with
+  // the per-round independent set. 256 hash-scattered members keep the
+  // window mostly conflict-free; 2048 measured ~20 retries per member.
+  std::size_t stitch_round = 256;
+  // Stop waving a color when fewer cells than this still have work;
+  // the short tail stitches instead of paying a parallel region per
+  // straggler point. Also gates whole early rounds (few cells) into
+  // the stitch.
+  std::size_t min_wave_cells = 8;
+};
+
+struct BuildStats {
+  std::size_t inserted = 0;        // total points inserted (all phases)
+  std::size_t skipped = 0;         // duplicate/coincident points dropped
+  std::size_t grid = 0;            // final round's g (the grid is g x g)
+  std::size_t rounds = 0;          // doubling insertion rounds executed
+  std::size_t seed_inserts = 0;    // serial bootstrap inserts
+  std::size_t interior_inserts = 0;  // reservation-free wave inserts
+  std::size_t deferred = 0;        // wave members handed to the stitch
+  std::size_t stitch_inserts = 0;  // inserts through spec_for
+  std::size_t stitch_rounds = 0;
+  std::size_t stitch_retries = 0;  // commit failures (lost reservations)
+  std::size_t waves = 0;           // BSP waves executed (all colors)
+  // Wall-clock per phase (seconds), for the ablation's breakdown; the
+  // timer reads are four steady_clock calls per build plus one pair
+  // per round — noise next to a single locate.
+  double seed_s = 0;      // serial bootstrap
+  double interior_s = 0;  // all rounds (includes bucket_s)
+  double bucket_s = 0;    // counting-sort share of interior_s
+  double stitch_s = 0;    // spec_for stitch
+};
+
+// Triangulate every input point of `mesh` (which must be freshly
+// constructed). kIncremental dispatches to Mesh::build(); kDecomposed
+// runs the grid-decomposed path above. AccessMode::kChecked validates
+// the bucketing invariants (monotone cell offsets, scatter writes a
+// permutation) and reports cavity overflow as a deterministic
+// first-failure CheckFailure instead of a plain logic_error.
+BuildStats build_delaunay(Mesh& mesh, DrPolicy policy,
+                          AccessMode mode = AccessMode::kUnchecked,
+                          const BuildConfig& config = BuildConfig());
+
+inline BuildStats build_delaunay(Mesh& mesh) {
+  return build_delaunay(mesh, dr_policy());
+}
+
+}  // namespace rpb::geom

@@ -105,11 +105,19 @@ bool Mesh::collect_cavity(const Point& p, i64 start, Cavity& out,
   std::unordered_set<i64> in_cavity;
   std::vector<i64> stack{start};
   in_cavity.insert(start);
+  // Failure paths must hand back an EMPTY cavity (header contract):
+  // refine's reserve() and the decomposed build's wave/stitch phases
+  // treat `out` as committable whenever it is non-empty.
+  const auto fail = [&out] {
+    out.tris.clear();
+    out.boundary.clear();
+    return false;
+  };
   while (!stack.empty()) {
     i64 t = stack.back();
     stack.pop_back();
     out.tris.push_back(t);
-    if (out.tris.size() > max_cavity) return false;
+    if (out.tris.size() > max_cavity) return fail();
     const Triangle& tri = tris_[t];
     for (int k = 0; k < 3; ++k) {
       i64 n = tri.nbr[k];
@@ -129,7 +137,8 @@ bool Mesh::collect_cavity(const Point& p, i64 start, Cavity& out,
   std::erase_if(out.boundary, [&](const BoundaryEdge& e) {
     return e.outside >= 0 && in_cavity.count(e.outside) > 0;
   });
-  return !out.boundary.empty();
+  if (out.boundary.empty()) return fail();
+  return true;
 }
 
 u32 Mesh::push_point(const Point& p) {
@@ -181,25 +190,41 @@ i64 Mesh::allocate_triangles(std::size_t count) {
   return static_cast<i64>(base);
 }
 
-void Mesh::apply_insert(u32 vid, const Cavity& cavity) {
+i64 Mesh::apply_insert(u32 vid, const Cavity& cavity) {
   const std::size_t k = cavity.boundary.size();
   i64 base = allocate_triangles(k);
 
   // One new triangle per boundary edge; ring adjacency via the edge
-  // cycle (edge (a, b) is followed by the edge starting at b).
-  std::unordered_map<u32, i64> tri_starting_at;
-  tri_starting_at.reserve(k * 2);
-  for (std::size_t e = 0; e < k; ++e) {
-    tri_starting_at[cavity.boundary[e].a] = base + static_cast<i64>(e);
+  // cycle (edge (a, b) is followed by the edge starting at b). Typical
+  // rings are 4-6 edges, so an allocation-free linear probe beats the
+  // hash map the old code built per call; only degenerate giant
+  // cavities take the map path.
+  constexpr std::size_t kLinearRingLimit = 96;
+  std::unordered_map<u32, i64> ring_start;
+  if (k > kLinearRingLimit) {
+    ring_start.reserve(k * 2);
+    for (std::size_t e = 0; e < k; ++e) {
+      ring_start[cavity.boundary[e].a] = base + static_cast<i64>(e);
+    }
   }
+  const auto succ_of = [&](u32 b) -> i64 {
+    if (k > kLinearRingLimit) {
+      auto it = ring_start.find(b);
+      return it == ring_start.end() ? -1 : it->second;
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      if (cavity.boundary[j].a == b) return base + static_cast<i64>(j);
+    }
+    return -1;  // broken ring: surfaces in check_consistency
+  };
   for (std::size_t e = 0; e < k; ++e) {
     const BoundaryEdge& edge = cavity.boundary[e];
     Triangle& tri = tris_[base + static_cast<i64>(e)];
     tri.v[0] = edge.a;
     tri.v[1] = edge.b;
     tri.v[2] = vid;
-    tri.nbr[2] = edge.outside;                  // across (a, b)
-    tri.nbr[0] = tri_starting_at.at(edge.b);    // across (b, vid)
+    tri.nbr[2] = edge.outside;         // across (a, b)
+    tri.nbr[0] = succ_of(edge.b);      // across (b, vid)
     // across (vid, a): the edge ending at a, i.e. the one whose b == a.
     tri.nbr[1] = -1;  // fixed in the second pass below
     tri.alive = true;
@@ -215,14 +240,14 @@ void Mesh::apply_insert(u32 vid, const Cavity& cavity) {
   }
   // Second pass: predecessor links (triangle before us in the ring).
   for (std::size_t e = 0; e < k; ++e) {
-    const BoundaryEdge& edge = cavity.boundary[e];
-    i64 succ = tri_starting_at.at(edge.b);
-    tris_[succ].nbr[1] = base + static_cast<i64>(e);
+    i64 succ = succ_of(cavity.boundary[e].b);
+    if (succ >= 0) tris_[succ].nbr[1] = base + static_cast<i64>(e);
   }
   for (i64 t : cavity.tris) tris_[t].alive = false;
+  return base;
 }
 
-void Mesh::build() {
+std::size_t Mesh::build() {
   const std::size_t n = num_points_.load(std::memory_order_relaxed);
   // Pseudo-random insertion order (deterministic).
   std::vector<u32> order(n - kSuperVertices);
@@ -235,6 +260,7 @@ void Mesh::build() {
 
   Cavity cavity;
   i64 hint = 0;
+  std::size_t inserted = 0;
   for (u32 vid : order) {
     const Point& p = points_[vid];
     i64 t = locate(p, hint);
@@ -243,9 +269,10 @@ void Mesh::build() {
     if (!collect_cavity(p, t, cavity, tris_.size())) {
       throw std::logic_error("degenerate cavity during build");
     }
-    apply_insert(vid, cavity);
-    hint = num_tris_.load(std::memory_order_relaxed) - 1;
+    hint = apply_insert(vid, cavity);
+    ++inserted;
   }
+  return inserted;
 }
 
 bool Mesh::check_consistency() const {

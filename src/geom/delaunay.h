@@ -33,7 +33,10 @@ class Mesh {
   Mesh(std::span<const Point> points, std::size_t extra_points = 0);
 
   // Serial Bowyer-Watson over all input points (pseudo-random order).
-  void build();
+  // Returns the number of points actually inserted (duplicates skip).
+  // The grid-decomposed parallel alternative lives in geom/build.h
+  // behind the RPB_DR knob.
+  std::size_t build();
 
   // --- queries (safe while no commit is mutating) ---------------------
   const Point& point(u32 id) const { return points_[id]; }
@@ -75,7 +78,9 @@ class Mesh {
   // Collect the conflict cavity of p (read-only). `start` must be a
   // live triangle whose conflict region includes it (e.g. the
   // containing triangle). Returns false if the cavity exceeds
-  // max_cavity (degenerate input guard).
+  // max_cavity (degenerate input guard), the start is dead, or the
+  // boundary comes up empty; `out` is left EMPTY on every failure
+  // path, so callers can never commit a partially collected cavity.
   bool collect_cavity(const Point& p, i64 start, Cavity& out,
                       std::size_t max_cavity = 4096) const;
 
@@ -93,8 +98,10 @@ class Mesh {
 
   // Retriangulate the cavity around new vertex vid. The caller must
   // hold exclusive rights to every cavity and outside triangle (serial
-  // build, or reservation-commit in parallel refinement).
-  void apply_insert(u32 vid, const Cavity& cavity);
+  // build, reservation-commit in parallel refinement, or a contained
+  // territory in the decomposed build). Returns the base slot of the
+  // new ring (base .. base+boundary.size()-1), a good locate hint.
+  i64 apply_insert(u32 vid, const Cavity& cavity);
 
   // True if there is arena room for at least one more typical insert.
   bool arena_has_room(std::size_t new_tris) const {

@@ -1,5 +1,6 @@
 #include "geom/points.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -29,6 +30,35 @@ std::vector<Point> uniform_points(std::size_t n, u64 seed) {
   std::vector<Point> pts(n);
   sched::parallel_for(0, n, [&](std::size_t i) {
     pts[i] = Point{rng.uniform(2 * i), rng.uniform(2 * i + 1)};
+  });
+  return pts;
+}
+
+std::vector<Point> clustered_points(std::size_t n, u64 seed,
+                                    std::size_t clusters, double sigma) {
+  clusters = std::max<std::size_t>(1, clusters);
+  Rng center_rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<Point> centers(clusters);
+  // Centers stay >= 5 sigma from the square's edge (at the default
+  // sigma), so the clamp below almost never fires — clamping would pile
+  // points onto exactly-collinear boundary lines.
+  for (std::size_t c = 0; c < clusters; ++c) {
+    centers[c] = Point{0.1 + 0.8 * center_rng.uniform(2 * c),
+                       0.1 + 0.8 * center_rng.uniform(2 * c + 1)};
+  }
+  Rng rng(seed);
+  std::vector<Point> pts(n);
+  sched::parallel_for(0, n, [&](std::size_t i) {
+    const Point& c = centers[rng.next(3 * i, clusters)];
+    // Box-Muller from two counter-based uniforms; 1-u keeps log's
+    // argument in (0, 1].
+    const double u1 = 1.0 - rng.uniform(3 * i + 1);
+    const double u2 = rng.uniform(3 * i + 2);
+    const double mag = sigma * std::sqrt(-2.0 * std::log(u1));
+    const double z0 = mag * std::cos(2.0 * std::numbers::pi * u2);
+    const double z1 = mag * std::sin(2.0 * std::numbers::pi * u2);
+    pts[i] = Point{std::clamp(c.x + z0, 0.0, 1.0),
+                   std::clamp(c.y + z1, 0.0, 1.0)};
   });
   return pts;
 }

@@ -17,4 +17,13 @@ std::vector<Point> kuzmin_points(std::size_t n, u64 seed);
 // Uniform points in the unit square.
 std::vector<Point> uniform_points(std::size_t n, u64 seed);
 
+// Gaussian-mixture clusters: `clusters` centers drawn uniformly in
+// [0.1, 0.9]^2, each point normally distributed (std `sigma`) around a
+// hash-chosen center and clamped to the unit square. The skewed grid-
+// occupancy arm of bench/ablation_dr — the geometric analogue of
+// ablation_spmv's power-law R-MAT arm.
+std::vector<Point> clustered_points(std::size_t n, u64 seed,
+                                    std::size_t clusters = 64,
+                                    double sigma = 0.02);
+
 }  // namespace rpb::geom

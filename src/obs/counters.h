@@ -43,6 +43,10 @@ enum class Counter : u32 {
   kSparseMergeTasks,    // spmv: merge-path tasks launched
   kSparseCarryFixups,   // spmv: partial-row carries applied in fix-up
   kSparseAccumRows,     // spgemm: rows built through the sparse accumulator
+  kDrCavityTris,        // dr build: cavity triangles collected (sizes sum)
+  kDrDeferredInserts,   // dr build: wave inserts deferred to the stitch
+  kDrReserveConflicts,  // dr stitch: reservation cells lost at commit
+  kDrStitchRetries,     // dr stitch: members retried in a later round
   kCount
 };
 
@@ -60,7 +64,9 @@ inline constexpr const char* kCounterNames[kNumCounters] = {
     "mark_table_leases",  "checked_passed",
     "checked_failed",     "trace_drops_observed",
     "sparse_merge_tasks", "sparse_carry_fixups",
-    "sparse_accum_rows"};
+    "sparse_accum_rows",  "dr_cavity_tris",
+    "dr_deferred_inserts", "dr_reserve_conflicts",
+    "dr_stitch_retries"};
 
 inline constexpr const char* counter_name(Counter c) {
   return kCounterNames[static_cast<std::size_t>(c)];

@@ -63,7 +63,31 @@ TEST(MeshFailure, CollectCavityRejectsDeadStart) {
   Mesh mesh(pts);
   mesh.build();
   Mesh::Cavity cavity;
+  cavity.tris.push_back(-7);  // stale garbage from a previous collection
   EXPECT_FALSE(mesh.collect_cavity(Point{0.5, 0.5}, 0, cavity));
+  // Failure must leave the cavity EMPTY, not partially filled — a
+  // caller retrying with the same Cavity would otherwise commit junk.
+  EXPECT_TRUE(cavity.tris.empty());
+  EXPECT_TRUE(cavity.boundary.empty());
+}
+
+TEST(MeshFailure, CollectCavityClearsOutputOnOverflow) {
+  auto pts = uniform_points(300, 19);
+  Mesh mesh(pts);
+  mesh.build();
+  const Point p{0.5, 0.5};
+  i64 t = mesh.locate(p, 3);
+  ASSERT_GE(t, 0);
+  Mesh::Cavity cavity;
+  // An interior point's cavity has >= 1 triangle and >= 3 boundary
+  // edges; max_cavity=0 must fail and leave nothing behind.
+  EXPECT_FALSE(mesh.collect_cavity(p, t, cavity, /*max_cavity=*/0));
+  EXPECT_TRUE(cavity.tris.empty());
+  EXPECT_TRUE(cavity.boundary.empty());
+  // The same Cavity object then works for a real collection.
+  EXPECT_TRUE(mesh.collect_cavity(p, t, cavity));
+  EXPECT_FALSE(cavity.tris.empty());
+  EXPECT_GE(cavity.boundary.size(), 3u);
 }
 
 TEST(MeshDegenerate, GridWithCollinearRowsStillBuilds) {

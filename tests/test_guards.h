@@ -4,6 +4,7 @@
 // namespace via enclosing-namespace lookup.
 #pragma once
 
+#include "geom/build.h"
 #include "obs/obs.h"
 #include "sched/parallel.h"
 #include "sparse/spmv.h"
@@ -68,6 +69,21 @@ class SpmvPolicyGuard {
 
  private:
   sparse::SpmvPolicy prev_;
+};
+
+// Pins the Delaunay construction policy and restores the prior one —
+// not a hardcoded default, so tests nest inside RPB_DR=incremental runs.
+class DrPolicyGuard {
+ public:
+  explicit DrPolicyGuard(geom::DrPolicy policy) : prev_(geom::dr_policy()) {
+    geom::set_dr_policy(policy);
+  }
+  ~DrPolicyGuard() { geom::set_dr_policy(prev_); }
+  DrPolicyGuard(const DrPolicyGuard&) = delete;
+  DrPolicyGuard& operator=(const DrPolicyGuard&) = delete;
+
+ private:
+  geom::DrPolicy prev_;
 };
 
 }  // namespace rpb
