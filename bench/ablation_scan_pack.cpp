@@ -60,7 +60,7 @@ void keep(T v) {
 u64 naive_scan_exclusive_sum(std::span<u64> data) {
   const std::size_t n = data.size();
   if (n == 0) return 0;
-  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t threads = sched::current_pool().num_threads();
   const std::size_t block = sched::detail::default_block(n, threads);
   const std::size_t num_blocks = (n + block - 1) / block;
   std::vector<u64> sums(num_blocks);  // heap + zero-init, per call

@@ -13,4 +13,5 @@ subdirs("graph")
 subdirs("sparse")
 subdirs("text")
 subdirs("geom")
+subdirs("serve")
 subdirs("bench_util")

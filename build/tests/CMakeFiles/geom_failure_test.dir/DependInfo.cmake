@@ -14,11 +14,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/bench_util/CMakeFiles/rpb_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rpb_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/rpb_serve.dir/DependInfo.cmake"
   "/root/repo/build/src/sparse/CMakeFiles/rpb_sparse.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/rpb_graph.dir/DependInfo.cmake"
   "/root/repo/build/src/text/CMakeFiles/rpb_text.dir/DependInfo.cmake"
   "/root/repo/build/src/seq/CMakeFiles/rpb_seq.dir/DependInfo.cmake"
-  "/root/repo/build/src/geom/CMakeFiles/rpb_geom.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/rpb_core.dir/DependInfo.cmake"
   "/root/repo/build/src/sched/CMakeFiles/rpb_sched.dir/DependInfo.cmake"
   "/root/repo/build/src/obs/CMakeFiles/rpb_obs.dir/DependInfo.cmake"

@@ -339,10 +339,10 @@ tests/CMakeFiles/sched_errors_test.dir/sched_errors_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/sparse/spmv.h \
- /root/repo/src/core/checks.h /root/repo/src/core/atomics.h \
- /root/repo/src/core/mark_table.h /root/repo/src/support/error.h \
- /root/repo/src/support/simd.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/serve/knobs.h \
+ /root/repo/src/sparse/spmv.h /root/repo/src/core/checks.h \
+ /root/repo/src/core/atomics.h /root/repo/src/core/mark_table.h \
+ /root/repo/src/support/error.h /root/repo/src/support/simd.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/immintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/x86gprintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/ia32intrin.h \

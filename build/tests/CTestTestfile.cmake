@@ -15,6 +15,7 @@ include("/root/repo/build/tests/arena_test[1]_include.cmake")
 include("/root/repo/build/tests/seq_test[1]_include.cmake")
 include("/root/repo/build/tests/simd_test[1]_include.cmake")
 include("/root/repo/build/tests/sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/serve_test[1]_include.cmake")
 include("/root/repo/build/tests/graph_test[1]_include.cmake")
 include("/root/repo/build/tests/text_test[1]_include.cmake")
 include("/root/repo/build/tests/geom_test[1]_include.cmake")

@@ -186,10 +186,13 @@ bool write_bench_json(const std::string& path, const std::string& suite,
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"threads\": %zu, \"n\": %zu, "
                  "\"repeats\": %zu, \"median_s\": %.9e, \"p10_s\": %.9e, "
-                 "\"p90_s\": %.9e, \"mean_s\": %.9e}%s\n",
+                 "\"p90_s\": %.9e, \"mean_s\": %.9e",
                  json_escape(r.name).c_str(), r.threads, r.n, r.repeats,
-                 r.median_s, r.p10_s, r.p90_s, r.mean_s,
-                 i + 1 < records.size() ? "," : "");
+                 r.median_s, r.p10_s, r.p90_s, r.mean_s);
+    if (r.has_latency) {
+      std::fprintf(f, ", \"p50_s\": %.9e, \"p99_s\": %.9e", r.p50_s, r.p99_s);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   bool ok = std::fclose(f) == 0;
@@ -280,6 +283,21 @@ bool validate_bench_json(const std::string& path, std::string* error) {
       double v = 0;
       if (!read_number_field(record, key, &v) || v < 0) {
         return fail(error, std::string("record missing/invalid field ") + key);
+      }
+    }
+    // Latency percentiles are optional, but when a record carries one
+    // it must carry both and both must parse as non-negative numbers.
+    const bool has_p50 = record.find("\"p50_s\":") != std::string::npos;
+    const bool has_p99 = record.find("\"p99_s\":") != std::string::npos;
+    if (has_p50 != has_p99) {
+      return fail(error, "record has only one of p50_s/p99_s");
+    }
+    if (has_p50) {
+      for (const char* key : {"p50_s", "p99_s"}) {
+        double v = 0;
+        if (!read_number_field(record, key, &v) || v < 0) {
+          return fail(error, std::string("record invalid latency field ") + key);
+        }
       }
     }
     ++record_count;

@@ -59,6 +59,13 @@ struct BenchRecord {
   double p10_s = 0;
   double p90_s = 0;
   double mean_s = 0;
+  // Optional latency percentiles (serve-style request-latency records,
+  // where the sample is per-request latencies rather than run repeats).
+  // Emitted only when has_latency is set; validators treat them as
+  // optional but type-check them when present.
+  bool has_latency = false;
+  double p50_s = 0;
+  double p99_s = 0;
 };
 
 // Writes {"schema":"rpb-bench-v1","suite":...,"records":[...]} to path.

@@ -49,7 +49,7 @@ struct BlockGeom {
 };
 
 inline BlockGeom block_geom(std::size_t n) {
-  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t threads = sched::current_pool().num_threads();
   const std::size_t block = sched::detail::default_block(n, threads);
   return BlockGeom{block, (n + block - 1) / block};
 }
@@ -589,7 +589,7 @@ UninitBuf<Index> pack_index_bits(support::ArenaLease& lease,
     return w + 1 == nw ? bits & tail_mask : bits;
   };
 
-  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t threads = sched::current_pool().num_threads();
   // Word-granular blocks: the same leaves-per-worker target as
   // default_block, but the floor is in words (64 flags each).
   const std::size_t block =

@@ -47,6 +47,12 @@ enum class Counter : u32 {
   kDrDeferredInserts,   // dr build: wave inserts deferred to the stitch
   kDrReserveConflicts,  // dr stitch: reservation cells lost at commit
   kDrStitchRetries,     // dr stitch: members retried in a later round
+  kServeAdmitted,       // serve: requests admitted past admission control
+  kServeRejectedQueue,  // serve: requests bounced off a full tenant queue
+  kServeRejectedShare,  // serve: requests bounced for exceeding the share
+  kServeShedDeadline,   // serve: admitted requests shed at dispatch (EDF)
+  kServeBatches,        // serve: parallel regions dispatched (batch count)
+  kServeBatchedJobs,    // serve: jobs coalesced into those regions
   kCount
 };
 
@@ -66,7 +72,10 @@ inline constexpr const char* kCounterNames[kNumCounters] = {
     "sparse_merge_tasks", "sparse_carry_fixups",
     "sparse_accum_rows",  "dr_cavity_tris",
     "dr_deferred_inserts", "dr_reserve_conflicts",
-    "dr_stitch_retries"};
+    "dr_stitch_retries",  "serve_admitted",
+    "serve_rejected_queue", "serve_rejected_share",
+    "serve_shed_deadline", "serve_batches",
+    "serve_batched_jobs"};
 
 inline constexpr const char* counter_name(Counter c) {
   return kCounterNames[static_cast<std::size_t>(c)];

@@ -18,9 +18,11 @@
 //              trace-event JSON (obs::write_trace) with work/span
 //              accounting (obs::work_span).
 //
-// Slot identity: pool workers bind slot = worker index (stable across
-// ThreadPool::reset_global generations, since the old workers are
-// joined before the new ones start); every other thread leases a
+// Slot identity: the *global* pool's workers bind slot = worker index
+// (stable across ThreadPool::reset_global generations, since the old
+// workers are joined before the new ones start); every other thread —
+// including workers of instance pools (src/serve servers, tests),
+// whose indices would collide with the global pool's — leases a
 // dynamic slot from a free list and returns it at thread exit. When the
 // dynamic range is exhausted, threads share the overflow slot, which
 // accepts counter bumps (atomics tolerate sharing) but records no trace

@@ -25,10 +25,11 @@
 
 namespace rpb::sched {
 
-// Fork-join on the global pool.
+// Fork-join on the current pool (worker's own instance, PoolBinding
+// target, or the global default — see sched::current_pool).
 template <class A, class B>
 void join(A&& a, B&& b) {
-  ThreadPool::global().join(std::forward<A>(a), std::forward<B>(b));
+  current_pool().join(std::forward<A>(a), std::forward<B>(b));
 }
 
 // Range-splitting strategy for parallel_for_range / parallel_reduce_range.
@@ -81,7 +82,7 @@ template <class F>
 void parallel_for_range(std::size_t begin, std::size_t end, const F& body,
                         std::size_t grain = 0) {
   if (begin >= end) return;
-  ThreadPool& pool = ThreadPool::global();
+  ThreadPool& pool = current_pool();
   std::size_t n = end - begin;
   if (grain == 0) grain = detail::default_grain(n, pool.num_threads());
   if (n <= grain) {
@@ -159,7 +160,7 @@ T parallel_reduce_range(std::size_t begin, std::size_t end, T identity,
                         const Leaf& leaf, const Combine& combine,
                         std::size_t grain = 0) {
   if (begin >= end) return identity;
-  ThreadPool& pool = ThreadPool::global();
+  ThreadPool& pool = current_pool();
   std::size_t n = end - begin;
   if (grain == 0) grain = detail::default_grain(n, pool.num_threads());
   if (n <= grain) return leaf(begin, end);

@@ -13,6 +13,12 @@ namespace {
 thread_local ThreadPool* tl_pool = nullptr;
 thread_local std::size_t tl_worker_index = 0;
 
+// Pool bound to this (non-worker) thread by a live PoolBinding, and the
+// GlobalPoolBan flag with its stray-touch counter (see thread_pool.h).
+thread_local ThreadPool* tl_bound_pool = nullptr;
+thread_local bool tl_global_banned = false;
+std::atomic<std::uint64_t> g_banned_global_touches{0};
+
 // Bounded exponential backoff between failed steal sweeps: a few
 // doubling busy-spin rounds keep steal latency in the sub-microsecond
 // range while work is flowing, then a handful of sched yields, then the
@@ -44,7 +50,8 @@ inline void idle_backoff(int round) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, bool bind_worker_obs_slots)
+    : bind_obs_slots_(bind_worker_obs_slots) {
   num_threads = std::max<std::size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
@@ -205,7 +212,10 @@ void ThreadPool::wake_workers(std::size_t count) {
 void ThreadPool::worker_loop(std::size_t index) {
   tl_pool = this;
   tl_worker_index = index;
-  obs::bind_worker_slot(index);
+  // Only the global pool pins the stable per-index slots (the trace
+  // rings are single-producer; a second pool's worker 0 must not share
+  // ring 0). Instance-pool workers lease dynamic slots on first use.
+  if (bind_obs_slots_) obs::bind_worker_slot(index);
   std::uint64_t rng_state = hash64(index + 0x1234);
   int idle_rounds = 0;
   for (;;) {
@@ -264,12 +274,16 @@ ThreadPool::Stats ThreadPool::stats() const {
 }
 
 ThreadPool& ThreadPool::global() {
+  if (tl_global_banned) {
+    g_banned_global_touches.fetch_add(1, std::memory_order_relaxed);
+  }
   if (ThreadPool* pool = g_pool_ptr.load(std::memory_order_acquire)) {
     return *pool;
   }
   std::lock_guard<std::mutex> guard(g_pool_mutex);
   if (!g_pool) {
-    g_pool = std::make_unique<ThreadPool>(default_threads());
+    g_pool = std::make_unique<ThreadPool>(default_threads(),
+                                        /*bind_worker_obs_slots=*/true);
     g_pool_ptr.store(g_pool.get(), std::memory_order_release);
   }
   return *g_pool;
@@ -282,8 +296,31 @@ void ThreadPool::reset_global(std::size_t num_threads) {
   // touching a dying pool.
   g_pool_ptr.store(nullptr, std::memory_order_release);
   g_pool.reset();  // join old workers before building the new pool
-  g_pool = std::make_unique<ThreadPool>(num_threads);
+  g_pool = std::make_unique<ThreadPool>(num_threads,
+                                        /*bind_worker_obs_slots=*/true);
   g_pool_ptr.store(g_pool.get(), std::memory_order_release);
 }
+
+std::uint64_t ThreadPool::global_touches_while_banned() {
+  return g_banned_global_touches.load(std::memory_order_relaxed);
+}
+
+ThreadPool& current_pool() {
+  if (tl_pool != nullptr) return *tl_pool;
+  if (tl_bound_pool != nullptr) return *tl_bound_pool;
+  return ThreadPool::global();
+}
+
+PoolBinding::PoolBinding(ThreadPool& pool) : prev_(tl_bound_pool) {
+  tl_bound_pool = &pool;
+}
+
+PoolBinding::~PoolBinding() { tl_bound_pool = prev_; }
+
+GlobalPoolBan::GlobalPoolBan() : prev_(tl_global_banned) {
+  tl_global_banned = true;
+}
+
+GlobalPoolBan::~GlobalPoolBan() { tl_global_banned = prev_; }
 
 }  // namespace rpb::sched

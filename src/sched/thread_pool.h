@@ -21,7 +21,13 @@ namespace rpb::sched {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t num_threads);
+  // bind_worker_obs_slots: pin workers to the stable per-index obs
+  // slots (obs/obs.h). Only one pool may do this — the process-wide
+  // global() instance does — because the per-slot trace rings are
+  // single-producer; instance pools (serve, tests) default to leasing
+  // dynamic slots on first obs use instead.
+  explicit ThreadPool(std::size_t num_threads,
+                      bool bind_worker_obs_slots = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -101,8 +107,9 @@ class ThreadPool {
   };
   Stats stats() const;
 
-  // The process-wide pool used by the parallel algorithms. Lazily built
-  // with rpb::default_threads() workers. Steady-state calls are a single
+  // The process-wide pool used by the parallel algorithms when no
+  // instance is bound (see current_pool below). Lazily built with
+  // rpb::default_threads() workers. Steady-state calls are a single
   // atomic acquire-load; the construction mutex is only taken on first
   // use and inside reset_global.
   static ThreadPool& global();
@@ -110,6 +117,12 @@ class ThreadPool {
   // Rebuild the global pool with a new worker count (benchmark harness
   // thread sweeps). Must not be called while parallel work is in flight.
   static void reset_global(std::size_t num_threads);
+
+  // Tripwire observability for instance-scoped execution (src/serve):
+  // global() calls made while a GlobalPoolBan was active on the calling
+  // thread. Serve request bodies must schedule on their server's pool
+  // instance only; a nonzero count is a leak through the singleton seam.
+  static std::uint64_t global_touches_while_banned();
 
  private:
   struct Worker {
@@ -130,6 +143,7 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+  bool bind_obs_slots_ = false;
 
   std::mutex injector_mutex_;
   std::deque<Job*> injector_;
@@ -142,6 +156,45 @@ class ThreadPool {
   std::condition_variable sleep_cv_;
   std::atomic<std::size_t> sleepers_{0};
   bool stopping_ = false;
+};
+
+// The single seam through which the parallel primitives (and every
+// kernel asking for num_threads) resolve their pool. Resolution order:
+//   1. the pool whose worker thread is calling — nested parallelism
+//      inside an instance stays on that instance;
+//   2. the pool bound to this thread by a live PoolBinding — how a
+//      server dispatch thread routes kernels onto its own instance;
+//   3. ThreadPool::global(), the process-wide default, which keeps
+//      every existing batch entry point working unchanged.
+ThreadPool& current_pool();
+
+// RAII: binds `pool` as the calling thread's scheduling target for the
+// lifetime of the binding (nests; the previous binding is restored).
+// Worker threads never need this — resolution rule 1 precedes it.
+class PoolBinding {
+ public:
+  explicit PoolBinding(ThreadPool& pool);
+  ~PoolBinding();
+  PoolBinding(const PoolBinding&) = delete;
+  PoolBinding& operator=(const PoolBinding&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
+
+// RAII: while alive on this thread, any ThreadPool::global() call is
+// counted as a stray singleton touch (global_touches_while_banned).
+// The serve executor arms this around request bodies; tests assert the
+// counter stays flat across served traffic.
+class GlobalPoolBan {
+ public:
+  GlobalPoolBan();
+  ~GlobalPoolBan();
+  GlobalPoolBan(const GlobalPoolBan&) = delete;
+  GlobalPoolBan& operator=(const GlobalPoolBan&) = delete;
+
+ private:
+  bool prev_;
 };
 
 }  // namespace rpb::sched

@@ -41,7 +41,7 @@ std::vector<Acc> histogram_private(std::span<const u64> keys,
                                    std::size_t num_buckets, AddFn add,
                                    MergeFn merge) {
   OBS_SCOPE("histogram");
-  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t threads = sched::current_pool().num_threads();
   const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
   const std::size_t block =
       (keys.size() + num_blocks - 1) / std::max<std::size_t>(1, num_blocks);
@@ -75,7 +75,7 @@ std::vector<Acc> histogram_private(std::span<const u64> keys,
 std::vector<u64> histogram_binned(std::span<const u64> keys,
                                   std::size_t num_buckets) {
   OBS_SCOPE("histogram");
-  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t threads = sched::current_pool().num_threads();
   const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
   const std::size_t block =
       (keys.size() + num_blocks - 1) / std::max<std::size_t>(1, num_blocks);
@@ -119,7 +119,7 @@ std::vector<u64> histogram_binned(std::span<const u64> keys,
 std::vector<u64> histogram_checked_scatter(std::span<const u64> keys,
                                            std::size_t num_buckets) {
   const std::size_t n = keys.size();
-  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t threads = sched::current_pool().num_threads();
   const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
   const std::size_t block = (n + num_blocks - 1) / std::max<std::size_t>(
                                                        1, num_blocks);

@@ -75,7 +75,7 @@ template <class T, class KeyFn>
 void radix_pass(std::span<const T> in, std::span<T> out, int shift, KeyFn key,
                 AccessMode mode, support::ArenaLease& arena) {
   const std::size_t n = in.size();
-  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t threads = sched::current_pool().num_threads();
   const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
   const std::size_t block = (n + num_blocks - 1) / num_blocks;
 

@@ -84,7 +84,7 @@ void sample_sort(std::vector<T>& items, Less less = Less(),
   };
 
   // Classify per block.
-  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t threads = sched::current_pool().num_threads();
   const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
   const std::size_t block = (n + num_blocks - 1) / num_blocks;
   auto counts = zeroed_buf<u64>(arena, total_buckets * num_blocks);

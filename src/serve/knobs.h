@@ -1,0 +1,114 @@
+// The RPB_SERVE knob family for the multi-tenant job server
+// (src/serve/server.h), following the RPB_SPLIT / RPB_ARENA / RPB_OBS
+// convention: env var resolved once, mirrored by a setter that tests
+// and harnesses flip between (not during) served traffic.
+//
+//   RPB_SERVE=fair|fifo      cross-tenant dispatch policy. "fair"
+//                            (default) is per-tenant deficit round
+//                            robin — each scheduling round tops every
+//                            backlogged tenant's deficit up by a
+//                            weight-proportional quantum and dispatches
+//                            only what the deficit covers, so one hog
+//                            tenant cannot starve the others. "fifo"
+//                            is global arrival order, the ablation
+//                            baseline bench/serve contrasts against.
+//   RPB_SERVE_QUEUE=N        per-tenant admission queue bound (default
+//                            64): a submit against a full queue is
+//                            rejected with Verdict::kRejectedQueueFull.
+//   RPB_SERVE_BATCH=N        batch window (default 8): up to N small
+//                            same-kernel jobs of one tenant are
+//                            coalesced into a single parallel region.
+//                            1 disables coalescing (and makes the
+//                            per-request obs windows exact).
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace rpb::serve {
+
+// Cross-tenant dispatch policy (see file header).
+enum class ServePolicy : int { kFifo = 0, kFairShare = 1 };
+
+inline const char* serve_policy_name(ServePolicy policy) {
+  switch (policy) {
+    case ServePolicy::kFifo: return "fifo";
+    case ServePolicy::kFairShare: return "fair";
+  }
+  return "?";
+}
+
+namespace detail {
+
+inline std::atomic<int> g_serve_policy{-1};     // -1: not yet resolved
+inline std::atomic<long> g_serve_queue{-1};     // -1: not yet resolved
+inline std::atomic<long> g_serve_batch{-1};     // -1: not yet resolved
+
+inline constexpr std::size_t kDefaultQueueBound = 64;
+inline constexpr std::size_t kDefaultBatchWindow = 8;
+
+inline ServePolicy resolve_serve_policy() {
+  if (const char* env = std::getenv("RPB_SERVE")) {
+    if (std::strcmp(env, "fifo") == 0) return ServePolicy::kFifo;
+  }
+  return ServePolicy::kFairShare;
+}
+
+inline long resolve_positive(const char* name, long fallback) {
+  if (const char* env = std::getenv(name)) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace detail
+
+inline ServePolicy serve_policy() {
+  int policy = detail::g_serve_policy.load(std::memory_order_relaxed);
+  if (policy < 0) {
+    policy = static_cast<int>(detail::resolve_serve_policy());
+    detail::g_serve_policy.store(policy, std::memory_order_relaxed);
+  }
+  return static_cast<ServePolicy>(policy);
+}
+
+// Benchmark/test knob; safe to flip between (not during) served
+// traffic — a JobServer captures all three knobs at construction.
+inline void set_serve_policy(ServePolicy policy) {
+  detail::g_serve_policy.store(static_cast<int>(policy),
+                               std::memory_order_relaxed);
+}
+
+inline std::size_t serve_queue_bound() {
+  long bound = detail::g_serve_queue.load(std::memory_order_relaxed);
+  if (bound < 0) {
+    bound = detail::resolve_positive(
+        "RPB_SERVE_QUEUE", static_cast<long>(detail::kDefaultQueueBound));
+    detail::g_serve_queue.store(bound, std::memory_order_relaxed);
+  }
+  return static_cast<std::size_t>(bound);
+}
+
+inline void set_serve_queue_bound(std::size_t bound) {
+  detail::g_serve_queue.store(bound > 0 ? static_cast<long>(bound) : 1,
+                              std::memory_order_relaxed);
+}
+
+inline std::size_t serve_batch_window() {
+  long window = detail::g_serve_batch.load(std::memory_order_relaxed);
+  if (window < 0) {
+    window = detail::resolve_positive(
+        "RPB_SERVE_BATCH", static_cast<long>(detail::kDefaultBatchWindow));
+    detail::g_serve_batch.store(window, std::memory_order_relaxed);
+  }
+  return static_cast<std::size_t>(window);
+}
+
+inline void set_serve_batch_window(std::size_t window) {
+  detail::g_serve_batch.store(window > 0 ? static_cast<long>(window) : 1,
+                              std::memory_order_relaxed);
+}
+
+}  // namespace rpb::serve

@@ -1,0 +1,103 @@
+// Request/response vocabulary of the multi-tenant job server. A
+// JobRequest names a kernel, a deterministic input derivation (seed,
+// n) against the server's shared Workload, and the tenant/priority/
+// deadline metadata admission control and the fair-share scheduler
+// act on. Responses carry a typed Verdict — admission is an explicit
+// decision, never a silent drop — plus the structure-level output
+// digest and the request's own latency/work window.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "support/defs.h"
+
+namespace rpb::serve {
+
+// The kernels the server fronts (each mapped onto the corresponding
+// batch substrate by serve/workload.h).
+enum class Kernel : u32 {
+  kSort = 0,
+  kHistogram,
+  kBfs,
+  kSssp,
+  kSuffixArray,
+  kDedup,
+  kSpmv,
+  kCount
+};
+
+inline constexpr std::size_t kNumKernels =
+    static_cast<std::size_t>(Kernel::kCount);
+
+inline constexpr const char* kKernelNames[kNumKernels] = {
+    "sort", "histogram", "bfs", "sssp", "sa", "dedup", "spmv"};
+
+inline constexpr const char* kernel_name(Kernel k) {
+  return kKernelNames[static_cast<std::size_t>(k)];
+}
+
+// Admission/dispatch outcome. kAdmitted means the job entered a tenant
+// queue; the two kRejected verdicts are admission-time backpressure;
+// kShedDeadline is decided at dispatch, when the server's virtual
+// clock has already passed the job's deadline (the work is never run).
+enum class Verdict : u32 {
+  kAdmitted = 0,
+  kRejectedQueueFull,
+  kRejectedShare,
+  kShedDeadline,
+};
+
+inline constexpr const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kAdmitted: return "admitted";
+    case Verdict::kRejectedQueueFull: return "rejected_queue_full";
+    case Verdict::kRejectedShare: return "rejected_share";
+    case Verdict::kShedDeadline: return "shed_deadline";
+  }
+  return "?";
+}
+
+struct JobRequest {
+  u32 tenant = 0;
+  // Tie-break within equal deadlines: higher dispatches first.
+  u32 priority = 0;
+  // Deadline on the server's *virtual* clock, which advances by the
+  // cost (see job_cost) of each dispatched job — deterministic under a
+  // deterministic dispatch order, unlike wall time. 0 = no deadline.
+  u64 deadline = 0;
+  Kernel kernel = Kernel::kSort;
+  u64 seed = 0;        // deterministic input derivation (workload.h)
+  std::size_t n = 0;   // problem size (elements / vertices / rows)
+};
+
+// Admission-control and deficit-accounting cost estimate: one unit per
+// input element, floored so zero-size probes still consume budget.
+inline u64 job_cost(const JobRequest& req) {
+  return req.n > 0 ? static_cast<u64>(req.n) : 1;
+}
+
+// The per-request observability window (PR 5 counters diffed around
+// this request's batch) plus its latency split. Counter deltas are
+// attributed per *batch*: every job coalesced into one region reports
+// the region's window and how many jobs shared it (batch_jobs); with a
+// batch window of 1 the attribution is exact per request.
+struct JobStats {
+  double queue_s = 0;       // submit -> dispatch
+  double exec_s = 0;        // dispatch -> completion (whole batch)
+  u64 jobs_executed = 0;    // pool jobs run inside the batch window
+  u64 spawns = 0;           // forks inside the batch window
+  u64 steals = 0;           // successful steals inside the batch window
+  u64 injected = 0;         // region roots injected (1 per batch)
+  u64 arena_leases = 0;     // arena leases opened inside the window
+  u64 batch_jobs = 1;       // jobs sharing this window
+  u64 batch_seq = 0;        // which dispatched region this job rode in
+};
+
+struct JobResult {
+  Verdict verdict = Verdict::kAdmitted;
+  u64 digest = 0;  // structure-level output hash (0 when shed/rejected)
+  JobStats stats;
+};
+
+}  // namespace rpb::serve

@@ -1,0 +1,359 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "obs/counters.h"
+#include "sched/parallel.h"
+#include "support/arena.h"
+#include "support/env.h"
+
+namespace rpb::serve {
+namespace {
+
+constexpr u64 kNoDeadline = std::numeric_limits<u64>::max();
+
+inline u64 effective_deadline(const JobRequest& req) {
+  return req.deadline == 0 ? kNoDeadline : req.deadline;
+}
+
+inline double seconds_between(std::chrono::steady_clock::time_point a,
+                              std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+bool JobServer::dispatches_later(const QueuedJob& a, const QueuedJob& b) {
+  const u64 da = effective_deadline(a.req);
+  const u64 db = effective_deadline(b.req);
+  if (da != db) return da > db;
+  if (a.req.priority != b.req.priority) return a.req.priority < b.req.priority;
+  return a.arrival > b.arrival;
+}
+
+JobServer::JobServer(const Workload& workload, ServerConfig config)
+    : workload_(workload),
+      policy_(config.policy),
+      queue_bound_(config.queue_bound > 0 ? config.queue_bound
+                                          : serve_queue_bound()),
+      batch_window_(config.batch_window > 0 ? config.batch_window
+                                            : serve_batch_window()),
+      small_job_n_(std::max<std::size_t>(config.small_job_n, 1)),
+      deficit_quantum_(std::max<u64>(config.deficit_quantum, 1)),
+      share_capacity_(config.share_capacity),
+      total_weight_([&] {
+        u64 total = 0;
+        for (const TenantConfig& t : config.tenants) {
+          total += std::max<u32>(t.weight, 1);
+        }
+        return std::max<u64>(total, 1);
+      }()),
+      pool_(config.num_threads > 0 ? config.num_threads : default_threads()) {
+  assert(!config.tenants.empty() && "JobServer needs at least one tenant");
+  tenants_.resize(config.tenants.size());
+  for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+    tenants_[i].config = config.tenants[i];
+    tenants_[i].config.weight = std::max<u32>(tenants_[i].config.weight, 1);
+  }
+  paused_ = config.start_paused;
+  const std::size_t lanes = std::max<std::size_t>(config.lanes, 1);
+  lane_threads_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lane_threads_.emplace_back([this] { lane_loop(); });
+  }
+}
+
+JobServer::~JobServer() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    stopping_ = true;
+    paused_ = false;  // teardown overrides pause: admitted work must finish
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : lane_threads_) t.join();
+}
+
+SubmitOutcome JobServer::submit(const JobRequest& request) {
+  assert(request.tenant < tenants_.size() && "unknown tenant id");
+  const u64 cost = job_cost(request);
+  SubmitOutcome outcome;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    TenantState& tenant = tenants_[request.tenant];
+    tenant.totals.submitted += 1;
+    if (tenant.heap.size() >= queue_bound_) {
+      tenant.totals.rejected_queue += 1;
+      obs::bump(obs::Counter::kServeRejectedQueue);
+      outcome.verdict = Verdict::kRejectedQueueFull;
+      return outcome;
+    }
+    // Share rule: a tenant's outstanding queued cost may not exceed its
+    // weight-proportional slice of the configured capacity. Comparison
+    // is cross-multiplied to stay in integers.
+    if (share_capacity_ > 0 &&
+        (tenant.queued_cost + cost) * total_weight_ >
+            share_capacity_ * static_cast<u64>(tenant.config.weight)) {
+      tenant.totals.rejected_share += 1;
+      obs::bump(obs::Counter::kServeRejectedShare);
+      outcome.verdict = Verdict::kRejectedShare;
+      return outcome;
+    }
+    QueuedJob job;
+    job.req = request;
+    job.arrival = arrival_seq_++;
+    job.submit_time = Clock::now();
+    job.ticket = std::make_shared<Ticket>();
+    outcome.ticket = job.ticket;
+    tenant.heap.push_back(std::move(job));
+    std::push_heap(tenant.heap.begin(), tenant.heap.end(), dispatches_later);
+    tenant.queued_cost += cost;
+    tenant.totals.admitted += 1;
+    obs::bump(obs::Counter::kServeAdmitted);
+  }
+  work_cv_.notify_one();
+  return outcome;
+}
+
+void JobServer::resume() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void JobServer::pause() {
+  std::lock_guard<std::mutex> guard(mu_);
+  paused_ = true;
+}
+
+void JobServer::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return !has_queued_locked() && in_flight_batches_ == 0;
+  });
+}
+
+TenantTotals JobServer::tenant_totals(u32 tenant) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  assert(tenant < tenants_.size());
+  return tenants_[tenant].totals;
+}
+
+bool JobServer::has_queued_locked() const {
+  for (const TenantState& t : tenants_) {
+    if (!t.heap.empty()) return true;
+  }
+  return false;
+}
+
+void JobServer::shed_expired_locked(TenantState& tenant) {
+  const u64 now = virtual_now_.load(std::memory_order_relaxed);
+  while (!tenant.heap.empty()) {
+    const QueuedJob& head = tenant.heap.front();
+    const u64 deadline = effective_deadline(head.req);
+    if (deadline == kNoDeadline || now <= deadline) return;
+    std::pop_heap(tenant.heap.begin(), tenant.heap.end(), dispatches_later);
+    QueuedJob shed = std::move(tenant.heap.back());
+    tenant.heap.pop_back();
+    tenant.queued_cost -= job_cost(shed.req);
+    tenant.totals.shed_deadline += 1;
+    obs::bump(obs::Counter::kServeShedDeadline);
+    JobResult result;
+    result.verdict = Verdict::kShedDeadline;
+    result.stats.queue_s = seconds_between(shed.submit_time, Clock::now());
+    shed.ticket->complete(std::move(result));
+  }
+}
+
+std::vector<JobServer::QueuedJob> JobServer::batch_from_locked(
+    TenantState& tenant, u64* batch_id) {
+  std::vector<QueuedJob> batch;
+  const bool fair = policy_ == ServePolicy::kFairShare;
+  while (!tenant.heap.empty() &&
+         batch.size() < std::max<std::size_t>(batch_window_, 1)) {
+    shed_expired_locked(tenant);
+    if (tenant.heap.empty()) break;
+    const QueuedJob& head = tenant.heap.front();
+    const u64 cost = job_cost(head.req);
+    if (!batch.empty()) {
+      // Coalescing beyond the first job: same kernel, both sides small
+      // enough that one parallel region amortizes the dispatch.
+      if (head.req.kernel != batch.front().req.kernel ||
+          head.req.n > small_job_n_ || batch.front().req.n > small_job_n_) {
+        break;
+      }
+    }
+    if (fair && cost > tenant.deficit) break;
+    std::pop_heap(tenant.heap.begin(), tenant.heap.end(), dispatches_later);
+    batch.push_back(std::move(tenant.heap.back()));
+    tenant.heap.pop_back();
+    tenant.queued_cost -= cost;
+    if (fair) tenant.deficit -= cost;
+    virtual_now_.fetch_add(cost, std::memory_order_relaxed);
+  }
+  if (!batch.empty()) *batch_id = batch_seq_++;
+  return batch;
+}
+
+std::vector<JobServer::QueuedJob> JobServer::next_batch_locked(u64* batch_id) {
+  const std::size_t n = tenants_.size();
+  if (policy_ == ServePolicy::kFifo) {
+    // Pick the tenant whose head job dispatches earliest (EDF order,
+    // which collapses to global arrival order when no deadlines are
+    // set) — the no-isolation baseline.
+    for (TenantState& t : tenants_) shed_expired_locked(t);
+    TenantState* best = nullptr;
+    for (TenantState& t : tenants_) {
+      if (t.heap.empty()) continue;
+      if (best == nullptr ||
+          dispatches_later(best->heap.front(), t.heap.front())) {
+        best = &t;
+      }
+    }
+    if (best == nullptr) return {};
+    return batch_from_locked(*best, batch_id);
+  }
+  // Deficit round robin: visit tenants from the cursor; each backlogged
+  // tenant visited earns a weight-proportional quantum, and the first
+  // whose head fits its deficit dispatches. Deficits persist across
+  // rounds, so every backlogged tenant's turn arrives in bounded
+  // rounds regardless of job cost.
+  for (;;) {
+    bool any_backlog = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = (rr_index_ + i) % n;
+      TenantState& tenant = tenants_[idx];
+      shed_expired_locked(tenant);
+      if (tenant.heap.empty()) {
+        tenant.deficit = 0;  // classic DRR: no credit while idle
+        continue;
+      }
+      any_backlog = true;
+      tenant.deficit +=
+          deficit_quantum_ * static_cast<u64>(tenant.config.weight);
+      if (job_cost(tenant.heap.front().req) <= tenant.deficit) {
+        auto batch = batch_from_locked(tenant, batch_id);
+        rr_index_ = (idx + 1) % n;
+        if (!batch.empty()) return batch;
+        // Everything dispatchable was shed; keep scanning.
+        any_backlog = false;
+        continue;
+      }
+    }
+    if (!any_backlog && !has_queued_locked()) return {};
+  }
+}
+
+void JobServer::lane_loop() {
+  for (;;) {
+    std::vector<QueuedJob> batch;
+    u64 batch_id = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && has_queued_locked());
+      });
+      if (!stopping_ || has_queued_locked()) {
+        if (paused_ && !stopping_) continue;
+        batch = next_batch_locked(&batch_id);
+      }
+      if (batch.empty()) {
+        if (stopping_ && !has_queued_locked()) return;
+        // Shedding may have emptied the queues entirely.
+        if (!has_queued_locked()) idle_cv_.notify_all();
+        continue;
+      }
+      in_flight_batches_ += 1;
+    }
+    execute_batch(std::move(batch), batch_id);
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      in_flight_batches_ -= 1;
+      if (in_flight_batches_ == 0 && !has_queued_locked()) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void JobServer::execute_batch(std::vector<QueuedJob> batch, u64 batch_id) {
+  const auto dispatch_time = Clock::now();
+  obs::bump(obs::Counter::kServeBatches);
+  obs::bump(obs::Counter::kServeBatchedJobs, batch.size());
+
+  // Per-request obs window: counter totals diffed around this batch's
+  // parallel region. Exact attribution when one lane dispatches one
+  // job at a time; overlapping lanes make the window an upper bound.
+  const bool obs_on = obs::counters_enabled();
+  obs::StatsSnapshot before;
+  if (obs_on) before = obs::snapshot_counters();
+
+  std::vector<u64> digests(batch.size(), 0);
+  {
+    // Route every kernel inside onto this server's pool instance, and
+    // trip the counter if anything reaches for the global singleton.
+    sched::PoolBinding binding(pool_);
+    pool_.run([&] {
+      sched::GlobalPoolBan ban;
+      if (batch.size() == 1) {
+        const JobRequest& req = batch.front().req;
+        support::ArenaLease lease;  // the request's private scratch
+        digests[0] = workload_.run(req.kernel, req.seed, req.n, lease);
+      } else {
+        // Coalesced small jobs: one region, one unit of work per job,
+        // each with its own arena lease (leases are pool-recycled, so
+        // per-job leasing stays cheap — see DESIGN.md §6).
+        sched::parallel_for(std::size_t{0}, batch.size(),
+                           [&](std::size_t i) {
+                             sched::GlobalPoolBan nested_ban;
+                             const JobRequest& req = batch[i].req;
+                             support::ArenaLease lease;
+                             digests[i] =
+                                 workload_.run(req.kernel, req.seed, req.n,
+                                               lease);
+                           },
+                           /*grain=*/1);
+      }
+    });
+  }
+
+  const auto done_time = Clock::now();
+  JobStats window;
+  if (obs_on) {
+    obs::StatsSnapshot after = obs::snapshot_counters();
+    auto delta = [&](obs::Counter c) {
+      return after.total(c) - before.total(c);
+    };
+    window.jobs_executed = delta(obs::Counter::kJobsExecuted);
+    window.spawns = delta(obs::Counter::kSpawns);
+    window.steals = delta(obs::Counter::kStealsSucceeded);
+    window.injected = delta(obs::Counter::kInjectedJobs);
+    window.arena_leases = delta(obs::Counter::kArenaLeaseReuses) +
+                          delta(obs::Counter::kArenaLeaseCreates);
+  }
+  window.exec_s = seconds_between(dispatch_time, done_time);
+  window.batch_jobs = batch.size();
+  window.batch_seq = batch_id;
+
+  std::vector<u32> completed_per_tenant(tenants_.size(), 0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    JobResult result;
+    result.verdict = Verdict::kAdmitted;
+    result.digest = digests[i];
+    result.stats = window;
+    result.stats.queue_s = seconds_between(batch[i].submit_time, dispatch_time);
+    completed_per_tenant[batch[i].req.tenant] += 1;
+    batch[i].ticket->complete(std::move(result));
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      tenants_[t].totals.completed += completed_per_tenant[t];
+    }
+  }
+}
+
+}  // namespace rpb::serve

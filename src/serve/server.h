@@ -1,0 +1,206 @@
+// Multi-tenant job server: the admission-controlled service layer in
+// front of the kernel substrates (the ROADMAP's "millions of users"
+// refactor). Concurrent external submitters enqueue kernel requests
+// tagged with tenant/priority/deadline; the server answers each submit
+// with a typed Verdict (bounded per-tenant queues and a share cap are
+// the backpressure), schedules admitted work across tenants with
+// per-tenant deficit round robin over a *constructible* ThreadPool
+// instance (never the process-wide singleton — sched::current_pool is
+// the seam, sched::GlobalPoolBan the tripwire), coalesces small
+// same-kernel jobs into one parallel region, and scopes an arena lease
+// plus an obs counter window around every dispatched batch so each
+// response carries its own work/steal/latency stats.
+//
+// Scheduling model. Within a tenant, jobs dispatch in EDF order
+// (deadline, then priority desc, then arrival). Across tenants:
+//   fifo  the tenant whose head job arrived first — global arrival
+//         order when no deadlines are set; the baseline bench/serve
+//         contrasts against.
+//   fair  deficit round robin (Shreedhar & Varghese): each visited
+//         backlogged tenant's deficit grows by a weight-proportional
+//         quantum, and it may dispatch only jobs whose cost (job_cost:
+//         ~input size) fits its deficit. A hog paying for every byte
+//         it serves cannot starve a light tenant; this is the
+//         composable-scheduler-instance architecture Kvik argues for
+//         (PAPERS.md), with the policy in one pluggable decision.
+//
+// Deadlines are virtual-time: the server's clock advances by the cost
+// of each dispatched job, so shed verdicts are a deterministic
+// function of dispatch order, not of wall time (tests replay them
+// exactly). Dispatch lanes (config.lanes) bound how many batches
+// execute concurrently on the pool; with lanes=1 and batch_window=1
+// the per-request obs windows are exact and sum to the pool totals.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/thread_pool.h"
+#include "serve/knobs.h"
+#include "serve/request.h"
+#include "serve/workload.h"
+#include "support/defs.h"
+
+namespace rpb::serve {
+
+// Completion handle for one admitted request. wait() blocks until the
+// job has executed (or been shed at dispatch) and returns the result;
+// handles outlive the server (shared ownership).
+class Ticket {
+ public:
+  const JobResult& wait() {
+    done_.wait(0, std::memory_order_acquire);
+    return result_;
+  }
+
+  bool done() const { return done_.load(std::memory_order_acquire) != 0; }
+
+ private:
+  friend class JobServer;
+  void complete(JobResult result) {
+    result_ = std::move(result);
+    done_.store(1, std::memory_order_release);
+    done_.notify_all();
+  }
+
+  JobResult result_;
+  std::atomic<u32> done_{0};
+};
+
+struct SubmitOutcome {
+  Verdict verdict = Verdict::kAdmitted;
+  std::shared_ptr<Ticket> ticket;  // null iff rejected at admission
+};
+
+struct TenantConfig {
+  u32 weight = 1;  // fair-share weight (deficit quantum multiplier)
+};
+
+struct ServerConfig {
+  std::vector<TenantConfig> tenants;  // at least one
+  std::size_t num_threads = 0;        // pool workers; 0 = default_threads()
+  std::size_t lanes = 1;              // concurrent dispatch lanes
+  // Captured from the RPB_SERVE knob family when left at the sentinel.
+  ServePolicy policy = serve_policy();
+  std::size_t queue_bound = 0;    // 0 = serve_queue_bound()
+  std::size_t batch_window = 0;   // 0 = serve_batch_window()
+  // Jobs with n <= small_job_n are coalescing candidates.
+  std::size_t small_job_n = std::size_t{1} << 13;
+  // DRR quantum added per visited tenant per round (x weight).
+  u64 deficit_quantum = std::size_t{1} << 13;
+  // Total outstanding-cost capacity split between tenants by weight; a
+  // tenant queueing beyond its share is rejected. 0 = share cap off.
+  u64 share_capacity = 0;
+  // Construct with dispatch parked (tests build a deterministic queue
+  // state, then resume()).
+  bool start_paused = false;
+};
+
+// Per-tenant verdict/completion accounting (relaxed counters; exact
+// once traffic is drained).
+struct TenantTotals {
+  u64 submitted = 0;
+  u64 admitted = 0;
+  u64 completed = 0;
+  u64 shed_deadline = 0;
+  u64 rejected_queue = 0;
+  u64 rejected_share = 0;
+};
+
+class JobServer {
+ public:
+  // The workload must outlive the server. The server owns its pool
+  // instance: kernels dispatched here never touch ThreadPool::global().
+  JobServer(const Workload& workload, ServerConfig config);
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  // Thread-safe admission: O(log queue) under the scheduler mutex.
+  SubmitOutcome submit(const JobRequest& request);
+
+  // Unpark dispatch (no-op unless start_paused / pause() happened).
+  void resume();
+  // Park dispatch after the in-flight batches finish.
+  void pause();
+
+  // Block until every admitted job has completed (queues empty, no
+  // batch in flight). Submissions racing with drain may extend it.
+  void drain();
+
+  TenantTotals tenant_totals(u32 tenant) const;
+  std::size_t num_tenants() const { return tenants_.size(); }
+  sched::ThreadPool& pool() { return pool_; }
+  u64 virtual_now() const {
+    return virtual_now_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct QueuedJob {
+    JobRequest req;
+    u64 arrival = 0;  // global arrival sequence number
+    Clock::time_point submit_time;
+    std::shared_ptr<Ticket> ticket;
+  };
+
+  // Min-heap order: earliest deadline first (none = +inf), then higher
+  // priority, then arrival. Returns true when a should dispatch later
+  // than b (max-heap comparator inversion).
+  static bool dispatches_later(const QueuedJob& a, const QueuedJob& b);
+
+  struct TenantState {
+    TenantConfig config;
+    std::vector<QueuedJob> heap;  // std::push_heap w/ dispatches_later
+    u64 queued_cost = 0;
+    u64 deficit = 0;
+    TenantTotals totals;
+  };
+
+  void lane_loop();
+  // Forms the next batch; caller holds mu_ and has checked work exists.
+  // Sheds expired heads as a side effect; may return empty (everything
+  // pending was shed). Writes the dispatched region's sequence number.
+  std::vector<QueuedJob> next_batch_locked(u64* batch_id);
+  std::vector<QueuedJob> batch_from_locked(TenantState& tenant, u64* batch_id);
+  // Drops expired jobs off the tenant's heap head (kShedDeadline).
+  void shed_expired_locked(TenantState& tenant);
+  void execute_batch(std::vector<QueuedJob> batch, u64 batch_id);
+  bool has_queued_locked() const;
+
+  const Workload& workload_;
+  const ServePolicy policy_;
+  const std::size_t queue_bound_;
+  const std::size_t batch_window_;
+  const std::size_t small_job_n_;
+  const u64 deficit_quantum_;
+  const u64 share_capacity_;
+  const u64 total_weight_;
+
+  sched::ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<TenantState> tenants_;
+  std::size_t rr_index_ = 0;        // DRR round-robin cursor
+  u64 arrival_seq_ = 0;
+  u64 batch_seq_ = 0;
+  std::size_t in_flight_batches_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::atomic<u64> virtual_now_{0};
+
+  std::vector<std::thread> lane_threads_;
+};
+
+}  // namespace rpb::serve

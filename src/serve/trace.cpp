@@ -1,0 +1,109 @@
+#include "serve/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "serve/server.h"
+#include "support/prng.h"
+
+namespace rpb::serve {
+
+std::vector<TimedRequest> build_trace(const TraceSpec& spec) {
+  std::vector<TimedRequest> trace;
+  Rng root(spec.seed);
+  for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
+    const TenantTraffic& traffic = spec.tenants[t];
+    if (traffic.count == 0 || traffic.kernels.empty()) continue;
+    Rng gaps = root.fork(2 * t);
+    Rng sizes = root.fork(2 * t + 1);
+    double at = 0;
+    u64 cost_so_far = 0;
+    for (std::size_t i = 0; i < traffic.count; ++i) {
+      at += gaps.exponential(i, traffic.rate_hz);
+      TimedRequest timed;
+      timed.at_s = at;
+      JobRequest& req = timed.req;
+      req.tenant = traffic.tenant;
+      req.priority = traffic.priority;
+      req.kernel = traffic.kernels[i % traffic.kernels.size()];
+      req.seed = sizes.bits(2 * i);
+      const std::size_t lo = std::max<std::size_t>(traffic.min_n, 1);
+      const std::size_t hi = std::max(traffic.max_n, lo);
+      req.n = lo + static_cast<std::size_t>(
+                       sizes.next(2 * i + 1, static_cast<u64>(hi - lo + 1)));
+      if (traffic.deadline_slack > 0) {
+        // Deadline in virtual time: the cost this tenant has pushed so
+        // far plus slack. A server keeping up with the tenant meets
+        // it; one running behind (hogged) sheds.
+        req.deadline = cost_so_far + traffic.deadline_slack;
+      }
+      cost_so_far += job_cost(req);
+      trace.push_back(timed);
+    }
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const TimedRequest& a, const TimedRequest& b) {
+                     if (a.at_s != b.at_s) return a.at_s < b.at_s;
+                     return a.req.tenant < b.req.tenant;
+                   });
+  return trace;
+}
+
+ReplayResult replay(JobServer& server, const std::vector<TimedRequest>& trace,
+                    double time_scale) {
+  using Clock = std::chrono::steady_clock;
+  ReplayResult result;
+  result.requests.resize(trace.size());
+  std::vector<std::shared_ptr<Ticket>> tickets(trace.size());
+
+  // Pre-split the trace per tenant so each submitter thread walks its
+  // own stream in order (indices into the merged trace).
+  u32 max_tenant = 0;
+  for (const TimedRequest& r : trace) {
+    max_tenant = std::max(max_tenant, r.req.tenant);
+  }
+  std::vector<std::vector<std::size_t>> per_tenant(max_tenant + 1);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    per_tenant[trace[i].req.tenant].push_back(i);
+  }
+
+  const auto start = Clock::now();
+  std::vector<std::thread> submitters;
+  submitters.reserve(per_tenant.size());
+  for (const std::vector<std::size_t>& stream : per_tenant) {
+    if (stream.empty()) continue;
+    submitters.emplace_back([&, stream] {
+      for (std::size_t idx : stream) {
+        if (time_scale > 0) {
+          const auto due =
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(trace[idx].at_s *
+                                                        time_scale));
+          std::this_thread::sleep_until(due);
+        }
+        SubmitOutcome outcome = server.submit(trace[idx].req);
+        result.requests[idx].verdict = outcome.verdict;
+        tickets[idx] = std::move(outcome.ticket);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ReplayedRequest& out = result.requests[i];
+    out.tenant = trace[i].req.tenant;
+    out.kernel = trace[i].req.kernel;
+    if (!tickets[i]) continue;  // rejected at admission
+    const JobResult& job = tickets[i]->wait();
+    out.verdict = job.verdict;
+    out.digest = job.digest;
+    out.stats = job.stats;
+    out.latency_s = job.stats.queue_s + job.stats.exec_s;
+  }
+  result.wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace rpb::serve

@@ -1,0 +1,78 @@
+// Deterministic trace generation and open-loop replay for the job
+// server. A TraceSpec describes each tenant's traffic as a seeded
+// arrival process (exponential inter-arrivals from the counter-based
+// Rng — the schedule is a pure function of the spec, never of wall
+// clock); build_trace expands it into a timed request list, and
+// replay() drives a JobServer open-loop (submitters do not wait for
+// completions before sending the next request — the load an overloaded
+// server actually faces, which is what makes admission control and
+// fair share measurable). bench/serve is a thin CLI over this module.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/request.h"
+#include "support/defs.h"
+
+namespace rpb::serve {
+
+class JobServer;
+
+// One tenant's traffic pattern within a trace.
+struct TenantTraffic {
+  u32 tenant = 0;
+  std::vector<Kernel> kernels = {Kernel::kSort};  // cycled per request
+  std::size_t min_n = 1 << 10;
+  std::size_t max_n = 1 << 12;
+  double rate_hz = 1000.0;  // mean open-loop arrival rate
+  u32 priority = 0;
+  // When nonzero, each request carries deadline = virtual-clock value
+  // at build time + slack (in job-cost units accumulated across the
+  // whole trace so far — see build_trace).
+  u64 deadline_slack = 0;
+  std::size_t count = 0;  // requests this tenant sends
+};
+
+struct TraceSpec {
+  u64 seed = 1;
+  std::vector<TenantTraffic> tenants;
+};
+
+struct TimedRequest {
+  double at_s = 0;  // offset from replay start
+  JobRequest req;
+};
+
+// Expands the spec into per-tenant request streams merged by arrival
+// time (ties broken by tenant id, then per-tenant index: total order
+// is deterministic). Request seeds, sizes, and inter-arrival gaps all
+// derive from spec.seed via independent Rng streams.
+std::vector<TimedRequest> build_trace(const TraceSpec& spec);
+
+// Outcome of one replayed request (indexed like the input trace).
+struct ReplayedRequest {
+  u32 tenant = 0;
+  Kernel kernel = Kernel::kSort;
+  Verdict verdict = Verdict::kAdmitted;
+  u64 digest = 0;
+  // Server-side latency: queue wait + batch execution. Zero for
+  // requests rejected at admission.
+  double latency_s = 0;
+  JobStats stats;
+};
+
+struct ReplayResult {
+  std::vector<ReplayedRequest> requests;
+  double wall_s = 0;  // first submit -> last completion
+};
+
+// Replays the trace against the server: one submitter thread per
+// tenant sends its requests at their scheduled offsets (scaled by
+// time_scale; <1 compresses, 0 = as fast as possible) without waiting
+// for completions, then all tickets are awaited. The *schedule* is
+// deterministic; wall-clock latencies are measurements, not inputs.
+ReplayResult replay(JobServer& server, const std::vector<TimedRequest>& trace,
+                    double time_scale = 1.0);
+
+}  // namespace rpb::serve

@@ -1,0 +1,160 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "core/access_mode.h"
+#include "core/uninit_buf.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "graph/sssp.h"
+#include "seq/dedup.h"
+#include "seq/histogram.h"
+#include "seq/sample_sort.h"
+#include "sparse/spmv.h"
+#include "support/hash.h"
+#include "support/prng.h"
+#include "text/corpus.h"
+#include "text/suffix_array.h"
+
+namespace rpb::serve {
+namespace {
+
+u64 digest_u64s(std::span<const u64> values) {
+  u64 h = digest_init();
+  for (u64 v : values) h = digest_step(h, v);
+  return h;
+}
+
+u64 digest_u32s(std::span<const u32> values) {
+  u64 h = digest_init();
+  for (u32 v : values) h = digest_step(h, v);
+  return h;
+}
+
+// A request's window into the shared pool: n items starting at a
+// seed-derived offset (always in bounds; the pool is at least n).
+std::size_t slice_offset(u64 seed, std::size_t pool, std::size_t n) {
+  if (pool <= n) return 0;
+  return static_cast<std::size_t>(hash64(seed) % (pool - n));
+}
+
+}  // namespace
+
+Workload::Workload(const WorkloadConfig& config)
+    : graph_(graph::make_rmat(config.graph_scale, config.seed)) {
+  Rng rng(config.seed);
+  keys_.resize(std::max<std::size_t>(config.num_keys, 2));
+  for (std::size_t i = 0; i < keys_.size(); ++i) keys_[i] = rng.bits(i);
+  text_ = text::make_corpus(std::max<std::size_t>(config.text_bytes, 64),
+                            config.seed ^ 0x7e57, /*planted_repeat_len=*/0);
+  matrix_ = sparse::CsrMatrix<f64>::from_graph(graph_);
+}
+
+std::size_t Workload::max_n(Kernel kernel) const {
+  switch (kernel) {
+    case Kernel::kSort:
+    case Kernel::kHistogram:
+    case Kernel::kDedup:
+      return keys_.size();
+    case Kernel::kBfs:
+    case Kernel::kSssp:
+      return graph_.num_vertices();
+    case Kernel::kSuffixArray:
+      return text_.size();
+    case Kernel::kSpmv:
+      return matrix_.view().num_rows();
+    case Kernel::kCount:
+      break;
+  }
+  return 1;
+}
+
+u64 Workload::run(Kernel kernel, u64 seed, std::size_t n,
+                  support::ArenaLease& lease) const {
+  support::ArenaScope scope(lease);
+  n = std::min(std::max<std::size_t>(n, 1), max_n(kernel));
+  switch (kernel) {
+    case Kernel::kSort: {
+      // sample_sort's interface wants an owning vector; the copy is the
+      // request's private working set.
+      std::size_t off = slice_offset(seed, keys_.size(), n);
+      std::vector<u64> items(keys_.begin() + off, keys_.begin() + off + n);
+      seq::sample_sort(items, std::less<u64>(), AccessMode::kUnchecked);
+      return digest_u64s(items);
+    }
+    case Kernel::kHistogram: {
+      constexpr std::size_t kBuckets = 256;
+      std::size_t off = slice_offset(seed, keys_.size(), n);
+      ArenaVec<u64> staged(lease, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        staged[i] = keys_[off + i] % kBuckets;
+      }
+      auto counts =
+          seq::histogram(staged.cspan(), kBuckets, AccessMode::kUnchecked);
+      return digest_u64s(counts);
+    }
+    case Kernel::kBfs: {
+      auto source =
+          static_cast<graph::VertexId>(hash64(seed) % graph_.num_vertices());
+      auto depths = graph::bfs_level_sync(graph_, source);
+      return digest_u32s(depths);
+    }
+    case Kernel::kSssp: {
+      auto source = static_cast<graph::VertexId>(hash64(seed ^ 1) %
+                                                 graph_.num_vertices());
+      auto dist = graph::sssp_delta_stepping(graph_, source);
+      return digest_u64s(dist);
+    }
+    case Kernel::kSuffixArray: {
+      std::size_t off = slice_offset(seed, text_.size(), n);
+      auto sa = text::suffix_array(
+          std::span<const u8>(text_.data() + off, n), AccessMode::kUnchecked);
+      return digest_u32s(sa);
+    }
+    case Kernel::kDedup: {
+      // Fold the slice onto a smaller key range so duplicates exist and
+      // the concurrent hash-set insertion has real collisions.
+      std::size_t off = slice_offset(seed, keys_.size(), n);
+      ArenaVec<u64> staged(lease, n);
+      const u64 range = static_cast<u64>(n / 2 + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        staged[i] = keys_[off + i] % range;
+      }
+      auto distinct = seq::dedup(staged.cspan(), AccessMode::kAtomic);
+      // First-inserter order is schedule-dependent; the *set* is not.
+      // Canonicalize before hashing (structure-level identity).
+      std::sort(distinct.begin(), distinct.end());
+      return digest_u64s(distinct);
+    }
+    case Kernel::kSpmv: {
+      const sparse::CsrView<f64> a = matrix_.view();
+      ArenaVec<f64> x(lease, a.num_cols);
+      for (std::size_t i = 0; i < a.num_cols; ++i) {
+        x[i] = static_cast<f64>(hash64(seed ^ i) & 0xff) * (1.0 / 256.0);
+      }
+      ArenaVec<f64> y(lease, a.num_rows());
+      sparse::spmv(a, x.cspan(), y.span(), AccessMode::kUnchecked,
+                   sparse::SpmvPolicy::kMergePath);
+      u64 h = digest_init();
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        u64 bits;
+        static_assert(sizeof(bits) == sizeof(f64));
+        std::memcpy(&bits, &y[i], sizeof(bits));
+        h = digest_step(h, bits);
+      }
+      return h;
+    }
+    case Kernel::kCount:
+      break;
+  }
+  return 0;
+}
+
+u64 Workload::run(Kernel kernel, u64 seed, std::size_t n) const {
+  support::ArenaLease lease;
+  return run(kernel, seed, n, lease);
+}
+
+}  // namespace rpb::serve

@@ -1,0 +1,67 @@
+// The immutable datasets a JobServer serves queries against, plus the
+// kernel dispatch that turns a (kernel, seed, n) request into a
+// structure-level output digest. The server holds one Workload and
+// every tenant's requests read it concurrently — requests derive their
+// inputs (key slices, sources, probe vectors) deterministically from
+// their seed, so a served result is byte-identical to the direct batch
+// call `Workload::run` makes: that equivalence is the serve suite's
+// correctness gate (tests/serve_test.cpp).
+//
+// Every kernel's output digest is deterministic: sorts/histograms/
+// depths/distances are schedule-independent values, spmv uses the
+// bitwise-reproducible merge-path policy, and dedup's first-inserter
+// order (the one schedule-dependent output) is canonicalized by
+// sorting before hashing — "structure-level" identity, per DESIGN.md's
+// determinism policy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.h"
+#include "serve/request.h"
+#include "sparse/csr_matrix.h"
+#include "support/arena.h"
+#include "support/defs.h"
+#include "support/hash.h"
+
+namespace rpb::serve {
+
+// Chained order-sensitive hash of a value sequence (the digest all
+// kernels reduce their output to).
+inline u64 digest_init() { return 0x9e3779b97f4a7c15ull; }
+inline u64 digest_step(u64 h, u64 v) { return hash64(h ^ v); }
+
+struct WorkloadConfig {
+  std::size_t num_keys = std::size_t{1} << 18;  // shared key pool (u64)
+  int graph_scale = 12;                         // rmat, weighted
+  std::size_t text_bytes = std::size_t{1} << 15;
+  u64 seed = 42;
+};
+
+class Workload {
+ public:
+  explicit Workload(const WorkloadConfig& config = WorkloadConfig{});
+
+  // Execute `kernel` on inputs derived from (seed, n) and return the
+  // output digest. Scratch and staging buffers come from `lease` (the
+  // per-request arena the server opens around each job); the two-arg
+  // overload opens its own lease — the direct batch call.
+  u64 run(Kernel kernel, u64 seed, std::size_t n,
+          support::ArenaLease& lease) const;
+  u64 run(Kernel kernel, u64 seed, std::size_t n) const;
+
+  // Largest meaningful n per kernel (requests are clamped to it).
+  std::size_t max_n(Kernel kernel) const;
+
+  const graph::Graph& graph() const { return graph_; }
+  std::size_t num_keys() const { return keys_.size(); }
+
+ private:
+  std::vector<u64> keys_;
+  graph::Graph graph_;
+  std::vector<u8> text_;
+  sparse::CsrMatrix<f64> matrix_;
+};
+
+}  // namespace rpb::serve

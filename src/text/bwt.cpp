@@ -77,7 +77,7 @@ std::vector<u8> bwt_decode_parallel_chase(std::span<const u8> bwt,
   support::ArenaLease arena;
   DecodeTables tables = build_decode_tables(bwt, mode, arena);
   if (num_segments == 0) {
-    num_segments = 4 * sched::ThreadPool::global().num_threads();
+    num_segments = 4 * sched::current_pool().num_threads();
   }
   num_segments = std::max<std::size_t>(1, std::min(num_segments, out_len));
   const std::size_t seg_len = (out_len + num_segments - 1) / num_segments;
@@ -132,7 +132,7 @@ DecodeTables build_decode_tables(std::span<const u8> bwt, AccessMode mode,
 
   // Per-block character counts (Block), then a transpose scan giving
   // both the global C array and each block's per-char occ offsets.
-  const std::size_t threads = sched::ThreadPool::global().num_threads();
+  const std::size_t threads = sched::current_pool().num_threads();
   const std::size_t num_blocks = std::max<std::size_t>(1, 4 * threads);
   const std::size_t block = (n + num_blocks - 1) / num_blocks;
   auto counts = zeroed_buf<u64>(arena, kAlphabet * num_blocks);

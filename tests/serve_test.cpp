@@ -1,0 +1,458 @@
+// Serve-layer tests: digest parity between served and direct batch
+// calls, deterministic fair-share/EDF/shed behavior (paused start +
+// one lane + batch window 1 makes dispatch a pure function of the
+// queue state), typed admission verdicts, per-request obs windows
+// summing to pool totals, and the concurrent-submitter path that the
+// sanitize (TSAN) preset exercises.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "sched/thread_pool.h"
+#include "serve/knobs.h"
+#include "serve/server.h"
+#include "serve/trace.h"
+#include "serve/workload.h"
+#include "test_guards.h"
+
+namespace rpb::serve {
+namespace {
+
+// One shared (immutable, concurrently read) workload for the suite;
+// sized small so construction is cheap.
+const Workload& test_workload() {
+  static const Workload* w = [] {
+    WorkloadConfig config;
+    config.num_keys = std::size_t{1} << 14;
+    config.graph_scale = 8;
+    config.text_bytes = std::size_t{1} << 12;
+    return new Workload(config);
+  }();
+  return *w;
+}
+
+ServerConfig base_config(std::size_t tenants, std::size_t lanes = 1) {
+  ServerConfig config;
+  config.tenants.assign(tenants, TenantConfig{});
+  config.num_threads = 4;
+  config.lanes = lanes;
+  config.policy = ServePolicy::kFairShare;
+  config.queue_bound = 1 << 12;
+  config.batch_window = 1;
+  return config;
+}
+
+JobRequest make_request(u32 tenant, Kernel kernel, u64 seed, std::size_t n,
+                        u64 deadline = 0, u32 priority = 0) {
+  JobRequest req;
+  req.tenant = tenant;
+  req.priority = priority;
+  req.deadline = deadline;
+  req.kernel = kernel;
+  req.seed = seed;
+  req.n = n;
+  return req;
+}
+
+TEST(ServeWorkload, ServedDigestMatchesDirectBatchCall) {
+  const Workload& workload = test_workload();
+  JobServer server(workload, base_config(1));
+  for (std::size_t k = 0; k < kNumKernels; ++k) {
+    const Kernel kernel = static_cast<Kernel>(k);
+    for (std::size_t n : {std::size_t{64}, std::size_t{1000}}) {
+      const u64 seed = 0xabcd00 + k;
+      SubmitOutcome outcome =
+          server.submit(make_request(0, kernel, seed, n));
+      ASSERT_EQ(outcome.verdict, Verdict::kAdmitted);
+      const JobResult& result = outcome.ticket->wait();
+      EXPECT_EQ(result.verdict, Verdict::kAdmitted);
+      // The direct batch call: same function, caller's own arena lease,
+      // no server in sight. Structure-level outputs must be identical.
+      EXPECT_EQ(result.digest, workload.run(kernel, seed, n))
+          << "kernel=" << kernel_name(kernel) << " n=" << n;
+    }
+  }
+}
+
+TEST(ServeScheduler, FairShareInterleavesPastHogBacklog) {
+  // Paused start + 1 lane + batch window 1: dispatch order is a pure
+  // function of the queue state. The hog floods 20 equal-cost jobs
+  // before the light tenant queues 4; DRR must alternate rather than
+  // drain the hog first.
+  ServerConfig config = base_config(2);
+  config.start_paused = true;
+  config.deficit_quantum = 1024;
+  JobServer server(test_workload(), config);
+  std::vector<std::shared_ptr<Ticket>> hog, light;
+  for (int i = 0; i < 20; ++i) {
+    hog.push_back(
+        server.submit(make_request(1, Kernel::kSort, 100 + i, 1000)).ticket);
+  }
+  for (int i = 0; i < 4; ++i) {
+    light.push_back(
+        server.submit(make_request(0, Kernel::kSort, 200 + i, 1000)).ticket);
+  }
+  server.resume();
+  server.drain();
+  std::vector<u64> light_seq, hog_seq;
+  for (auto& t : light) light_seq.push_back(t->wait().stats.batch_seq);
+  for (auto& t : hog) hog_seq.push_back(t->wait().stats.batch_seq);
+  // Tenant 0 (cursor start) dispatches on the even turns until it
+  // drains; the hog takes the odd ones and then the rest.
+  EXPECT_EQ(light_seq, (std::vector<u64>{0, 2, 4, 6}));
+  EXPECT_EQ(*std::max_element(light_seq.begin(), light_seq.end()), 6u);
+  EXPECT_EQ(*std::min_element(hog_seq.begin(), hog_seq.end()), 1u);
+}
+
+TEST(ServeScheduler, FifoDrainsHogBeforeLateArrivals) {
+  ServerConfig config = base_config(2);
+  config.policy = ServePolicy::kFifo;
+  config.start_paused = true;
+  JobServer server(test_workload(), config);
+  std::vector<std::shared_ptr<Ticket>> hog, light;
+  for (int i = 0; i < 20; ++i) {
+    hog.push_back(
+        server.submit(make_request(1, Kernel::kSort, 100 + i, 1000)).ticket);
+  }
+  for (int i = 0; i < 4; ++i) {
+    light.push_back(
+        server.submit(make_request(0, Kernel::kSort, 200 + i, 1000)).ticket);
+  }
+  server.resume();
+  server.drain();
+  // Arrival order: every hog job dispatched before any light one.
+  for (auto& t : light) {
+    EXPECT_GE(t->wait().stats.batch_seq, 20u);
+  }
+  for (auto& t : hog) {
+    EXPECT_LT(t->wait().stats.batch_seq, 20u);
+  }
+}
+
+TEST(ServeScheduler, DeadlineOrderedDispatchWithinTenant) {
+  ServerConfig config = base_config(1);
+  config.start_paused = true;
+  JobServer server(test_workload(), config);
+  // Arrival order deliberately scrambles the deadlines; costs are tiny
+  // (10 units each) so nothing sheds. 0 = no deadline = dispatches
+  // last; ties broken by priority then arrival.
+  auto none = server.submit(make_request(0, Kernel::kSort, 1, 10, 0)).ticket;
+  auto d500 = server.submit(make_request(0, Kernel::kSort, 2, 10, 500)).ticket;
+  auto d100 = server.submit(make_request(0, Kernel::kSort, 3, 10, 100)).ticket;
+  auto d300 = server.submit(make_request(0, Kernel::kSort, 4, 10, 300)).ticket;
+  auto d300hi =
+      server.submit(make_request(0, Kernel::kSort, 5, 10, 300, /*priority=*/9))
+          .ticket;
+  server.resume();
+  server.drain();
+  EXPECT_EQ(d100->wait().stats.batch_seq, 0u);
+  EXPECT_EQ(d300hi->wait().stats.batch_seq, 1u);  // beats d300 on priority
+  EXPECT_EQ(d300->wait().stats.batch_seq, 2u);
+  EXPECT_EQ(d500->wait().stats.batch_seq, 3u);
+  EXPECT_EQ(none->wait().stats.batch_seq, 4u);
+}
+
+TEST(ServeScheduler, ShedVerdictsAreDeterministic) {
+  // Virtual clock: each dispatched job advances it by its cost (100).
+  // With every deadline at 250, exactly the first three jobs dispatch
+  // (clock 0/100/200 at their pops) and the rest shed — on every rerun.
+  std::vector<Verdict> first_run;
+  for (int rep = 0; rep < 3; ++rep) {
+    ServerConfig config = base_config(1);
+    config.start_paused = true;
+    JobServer server(test_workload(), config);
+    std::vector<std::shared_ptr<Ticket>> tickets;
+    for (int i = 0; i < 10; ++i) {
+      tickets.push_back(
+          server.submit(make_request(0, Kernel::kHistogram, i, 100, 250))
+              .ticket);
+    }
+    server.resume();
+    server.drain();
+    std::vector<Verdict> verdicts;
+    for (auto& t : tickets) verdicts.push_back(t->wait().verdict);
+    if (rep == 0) {
+      first_run = verdicts;
+      std::vector<Verdict> expected(10, Verdict::kShedDeadline);
+      expected[0] = expected[1] = expected[2] = Verdict::kAdmitted;
+      EXPECT_EQ(verdicts, expected);
+      TenantTotals totals = server.tenant_totals(0);
+      EXPECT_EQ(totals.admitted, 10u);
+      EXPECT_EQ(totals.completed, 3u);
+      EXPECT_EQ(totals.shed_deadline, 7u);
+    } else {
+      EXPECT_EQ(verdicts, first_run) << "rerun " << rep;
+    }
+  }
+}
+
+TEST(ServeAdmission, QueueBoundRejectsWithTypedVerdict) {
+  ServerConfig config = base_config(1);
+  config.start_paused = true;  // nothing drains: the queue really fills
+  config.queue_bound = 4;
+  JobServer server(test_workload(), config);
+  std::vector<Verdict> verdicts;
+  for (int i = 0; i < 6; ++i) {
+    SubmitOutcome outcome =
+        server.submit(make_request(0, Kernel::kSort, i, 256));
+    verdicts.push_back(outcome.verdict);
+    EXPECT_EQ(outcome.ticket != nullptr,
+              outcome.verdict == Verdict::kAdmitted);
+  }
+  std::vector<Verdict> expected(6, Verdict::kAdmitted);
+  expected[4] = expected[5] = Verdict::kRejectedQueueFull;
+  EXPECT_EQ(verdicts, expected);
+  TenantTotals totals = server.tenant_totals(0);
+  EXPECT_EQ(totals.submitted, 6u);
+  EXPECT_EQ(totals.admitted, 4u);
+  EXPECT_EQ(totals.rejected_queue, 2u);
+  server.resume();
+  server.drain();
+}
+
+TEST(ServeAdmission, ShareRuleCapsQueuedCostPerTenant) {
+  ServerConfig config = base_config(2);
+  config.start_paused = true;
+  config.share_capacity = 1000;  // equal weights: 500 per tenant
+  JobServer server(test_workload(), config);
+  EXPECT_EQ(server.submit(make_request(0, Kernel::kSort, 1, 300)).verdict,
+            Verdict::kAdmitted);
+  EXPECT_EQ(server.submit(make_request(0, Kernel::kSort, 2, 300)).verdict,
+            Verdict::kRejectedShare);
+  // The other tenant's slice is untouched by tenant 0's usage.
+  EXPECT_EQ(server.submit(make_request(1, Kernel::kSort, 3, 300)).verdict,
+            Verdict::kAdmitted);
+  TenantTotals totals = server.tenant_totals(0);
+  EXPECT_EQ(totals.rejected_share, 1u);
+  server.resume();
+  server.drain();
+  // Dispatch releases queued cost: the rejected size is admissible now.
+  EXPECT_EQ(server.submit(make_request(0, Kernel::kSort, 4, 300)).verdict,
+            Verdict::kAdmitted);
+}
+
+TEST(ServeObs, PerRequestWindowsSumToPoolTotals) {
+  ObsModeGuard obs_guard(obs::ObsMode::kCounters);
+  // One lane, batch window 1: windows tile the serving interval, so
+  // the per-request deltas of the happens-before-safe counters must
+  // sum exactly to the pool-level delta.
+  ServerConfig config = base_config(1);
+  config.start_paused = true;
+  JobServer server(test_workload(), config);
+  std::vector<std::shared_ptr<Ticket>> tickets;
+  const Kernel kernels[] = {Kernel::kSort, Kernel::kHistogram, Kernel::kSpmv,
+                            Kernel::kDedup};
+  for (int i = 0; i < 8; ++i) {
+    tickets.push_back(
+        server.submit(make_request(0, kernels[i % 4], 50 + i, 800)).ticket);
+  }
+  obs::StatsSnapshot before = obs::snapshot_counters();
+  server.resume();
+  server.drain();
+  for (auto& t : tickets) t->wait();
+  obs::StatsSnapshot after = obs::snapshot_counters();
+
+  JobStats sum;
+  for (auto& t : tickets) {
+    const JobStats& s = t->wait().stats;
+    EXPECT_EQ(s.batch_jobs, 1u);
+    sum.jobs_executed += s.jobs_executed;
+    sum.spawns += s.spawns;
+    sum.steals += s.steals;
+    sum.injected += s.injected;
+    sum.arena_leases += s.arena_leases;
+  }
+  auto delta = [&](obs::Counter c) { return after.total(c) - before.total(c); };
+  EXPECT_EQ(sum.jobs_executed, delta(obs::Counter::kJobsExecuted));
+  EXPECT_EQ(sum.spawns, delta(obs::Counter::kSpawns));
+  EXPECT_EQ(sum.steals, delta(obs::Counter::kStealsSucceeded));
+  EXPECT_EQ(sum.injected, delta(obs::Counter::kInjectedJobs));
+  EXPECT_EQ(sum.arena_leases, delta(obs::Counter::kArenaLeaseReuses) +
+                                  delta(obs::Counter::kArenaLeaseCreates));
+  EXPECT_EQ(sum.injected, 8u);          // one root region per request
+  EXPECT_GE(sum.jobs_executed, 8u);     // at least the roots ran
+  EXPECT_GE(sum.arena_leases, 8u);      // each request leased its own
+}
+
+TEST(ServeBatching, SmallSameKernelJobsCoalesce) {
+  ServerConfig config = base_config(1);
+  config.start_paused = true;
+  config.batch_window = 4;
+  config.small_job_n = 1 << 13;
+  JobServer server(test_workload(), config);
+  std::vector<std::shared_ptr<Ticket>> tickets;
+  for (int i = 0; i < 6; ++i) {
+    tickets.push_back(
+        server.submit(make_request(0, Kernel::kSort, i, 512)).ticket);
+  }
+  server.resume();
+  server.drain();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tickets[i]->wait().stats.batch_seq, 0u);
+    EXPECT_EQ(tickets[i]->wait().stats.batch_jobs, 4u);
+  }
+  for (int i = 4; i < 6; ++i) {
+    EXPECT_EQ(tickets[i]->wait().stats.batch_seq, 1u);
+    EXPECT_EQ(tickets[i]->wait().stats.batch_jobs, 2u);
+  }
+  // Coalesced digests still match the direct batch call per request.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(tickets[i]->wait().digest,
+              test_workload().run(Kernel::kSort, i, 512));
+  }
+}
+
+TEST(ServeBatching, KernelChangeBreaksTheBatch) {
+  ServerConfig config = base_config(1);
+  config.start_paused = true;
+  config.batch_window = 8;
+  JobServer server(test_workload(), config);
+  auto a = server.submit(make_request(0, Kernel::kSort, 1, 512)).ticket;
+  auto b = server.submit(make_request(0, Kernel::kHistogram, 2, 512)).ticket;
+  auto c = server.submit(make_request(0, Kernel::kSort, 3, 512)).ticket;
+  server.resume();
+  server.drain();
+  // EDF order here is arrival order; a batch never spans two kernels.
+  EXPECT_EQ(a->wait().stats.batch_seq, 0u);
+  EXPECT_EQ(b->wait().stats.batch_seq, 1u);
+  EXPECT_EQ(c->wait().stats.batch_seq, 2u);
+}
+
+TEST(ServePool, NoStraySingletonTouchFromServedRequests) {
+  const u64 before = sched::ThreadPool::global_touches_while_banned();
+  JobServer server(test_workload(), base_config(1, /*lanes=*/2));
+  std::vector<std::shared_ptr<Ticket>> tickets;
+  for (std::size_t k = 0; k < kNumKernels; ++k) {
+    tickets.push_back(
+        server
+            .submit(make_request(0, static_cast<Kernel>(k), 7 * k + 1, 900))
+            .ticket);
+  }
+  for (auto& t : tickets) {
+    EXPECT_EQ(t->wait().verdict, Verdict::kAdmitted);
+  }
+  server.drain();
+  // Every kernel resolved its pool through the current_pool() seam;
+  // nothing inside a served request reached for the global singleton.
+  EXPECT_EQ(sched::ThreadPool::global_touches_while_banned(), before);
+}
+
+TEST(ServeConcurrency, ConcurrentSubmittersAcrossTenants) {
+  // The TSAN target: 4 submitter threads race against 2 dispatch lanes
+  // on one server; results must still match direct batch calls.
+  const Workload& workload = test_workload();
+  ServerConfig config = base_config(2, /*lanes=*/2);
+  config.batch_window = 4;
+  JobServer server(workload, config);
+  constexpr int kPerThread = 12;
+  std::vector<std::vector<std::shared_ptr<Ticket>>> tickets(4);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Kernel kernel = static_cast<Kernel>(i % kNumKernels);
+        auto outcome = server.submit(make_request(
+            static_cast<u32>(s % 2), kernel, 1000 + s * 100 + i, 700));
+        ASSERT_EQ(outcome.verdict, Verdict::kAdmitted);
+        tickets[s].push_back(std::move(outcome.ticket));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int s = 0; s < 4; ++s) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const Kernel kernel = static_cast<Kernel>(i % kNumKernels);
+      EXPECT_EQ(tickets[s][i]->wait().digest,
+                workload.run(kernel, 1000 + s * 100 + i, 700));
+    }
+  }
+  server.drain();
+  TenantTotals t0 = server.tenant_totals(0);
+  TenantTotals t1 = server.tenant_totals(1);
+  EXPECT_EQ(t0.completed + t1.completed, 4u * kPerThread);
+}
+
+TEST(ServeLifecycle, DestructorDrainsAdmittedJobs) {
+  std::vector<std::shared_ptr<Ticket>> tickets;
+  {
+    ServerConfig config = base_config(1);
+    config.start_paused = true;  // nothing dispatched before teardown
+    JobServer server(test_workload(), config);
+    for (int i = 0; i < 3; ++i) {
+      tickets.push_back(
+          server.submit(make_request(0, Kernel::kSort, i, 512)).ticket);
+    }
+  }  // destructor overrides pause and drains
+  for (auto& t : tickets) {
+    EXPECT_TRUE(t->done());
+    EXPECT_EQ(t->wait().verdict, Verdict::kAdmitted);
+  }
+}
+
+TEST(ServeTrace, BuildTraceIsDeterministic) {
+  TraceSpec spec;
+  spec.seed = 99;
+  TenantTraffic a;
+  a.tenant = 0;
+  a.kernels = {Kernel::kSort, Kernel::kSpmv};
+  a.count = 25;
+  a.deadline_slack = 5000;
+  TenantTraffic b;
+  b.tenant = 1;
+  b.count = 40;
+  b.rate_hz = 5000;
+  spec.tenants = {a, b};
+  auto t1 = build_trace(spec);
+  auto t2 = build_trace(spec);
+  ASSERT_EQ(t1.size(), 65u);
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].at_s, t2[i].at_s);
+    EXPECT_EQ(t1[i].req.tenant, t2[i].req.tenant);
+    EXPECT_EQ(t1[i].req.seed, t2[i].req.seed);
+    EXPECT_EQ(t1[i].req.n, t2[i].req.n);
+    EXPECT_EQ(t1[i].req.deadline, t2[i].req.deadline);
+  }
+  // Deadlines only where requested.
+  for (const TimedRequest& r : t1) {
+    if (r.req.tenant == 0) {
+      EXPECT_GT(r.req.deadline, 0u);
+    } else {
+      EXPECT_EQ(r.req.deadline, 0u);
+    }
+  }
+}
+
+TEST(ServeKnobs, GuardPinsAndRestoresTheFamily) {
+  const ServePolicy prev_policy = serve_policy();
+  const std::size_t prev_queue = serve_queue_bound();
+  const std::size_t prev_batch = serve_batch_window();
+  {
+    ServeKnobGuard guard(ServePolicy::kFifo, 7, 3);
+    EXPECT_EQ(serve_policy(), ServePolicy::kFifo);
+    EXPECT_EQ(serve_queue_bound(), 7u);
+    EXPECT_EQ(serve_batch_window(), 3u);
+    // A server constructed now captures the pinned knobs (queue bound
+    // 7: the 8th outstanding submit bounces).
+    ServerConfig config;
+    config.tenants = {TenantConfig{}};
+    config.num_threads = 2;
+    config.start_paused = true;
+    JobServer server(test_workload(), config);
+    for (int i = 0; i < 7; ++i) {
+      EXPECT_EQ(server.submit(make_request(0, Kernel::kSort, i, 64)).verdict,
+                Verdict::kAdmitted);
+    }
+    EXPECT_EQ(server.submit(make_request(0, Kernel::kSort, 9, 64)).verdict,
+              Verdict::kRejectedQueueFull);
+    server.resume();
+    server.drain();
+  }
+  EXPECT_EQ(serve_policy(), prev_policy);
+  EXPECT_EQ(serve_queue_bound(), prev_queue);
+  EXPECT_EQ(serve_batch_window(), prev_batch);
+}
+
+}  // namespace
+}  // namespace rpb::serve

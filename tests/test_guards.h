@@ -7,6 +7,7 @@
 #include "geom/build.h"
 #include "obs/obs.h"
 #include "sched/parallel.h"
+#include "serve/knobs.h"
 #include "sparse/spmv.h"
 #include "support/simd.h"
 
@@ -69,6 +70,34 @@ class SpmvPolicyGuard {
 
  private:
   sparse::SpmvPolicy prev_;
+};
+
+// Pins the whole RPB_SERVE knob family (scheduling policy, per-tenant
+// queue bound, batch window) and restores the prior values — not
+// hardcoded defaults, so tests nest inside RPB_SERVE=fifo runs.
+class ServeKnobGuard {
+ public:
+  ServeKnobGuard(serve::ServePolicy policy, std::size_t queue_bound,
+                 std::size_t batch_window)
+      : prev_policy_(serve::serve_policy()),
+        prev_queue_(serve::serve_queue_bound()),
+        prev_batch_(serve::serve_batch_window()) {
+    serve::set_serve_policy(policy);
+    serve::set_serve_queue_bound(queue_bound);
+    serve::set_serve_batch_window(batch_window);
+  }
+  ~ServeKnobGuard() {
+    serve::set_serve_policy(prev_policy_);
+    serve::set_serve_queue_bound(prev_queue_);
+    serve::set_serve_batch_window(prev_batch_);
+  }
+  ServeKnobGuard(const ServeKnobGuard&) = delete;
+  ServeKnobGuard& operator=(const ServeKnobGuard&) = delete;
+
+ private:
+  serve::ServePolicy prev_policy_;
+  std::size_t prev_queue_;
+  std::size_t prev_batch_;
 };
 
 // Pins the Delaunay construction policy and restores the prior one —

@@ -13,7 +13,12 @@ a silently vanished record is how coverage rots.
 
 Every record must carry the full rpb-bench-v1 field set (repeats,
 median_s, p10_s, p90_s, mean_s) with finite non-negative values — a
-record that drops a field is a writer bug, not a benchmark result. The
+record that drops a field is a writer bug, not a benchmark result.
+Latency-percentile records (the serve harness) may additionally carry
+p50_s/p99_s; the pair is optional per record but must arrive together
+and parse as finite non-negative numbers, and a record whose baseline
+counterpart has the pair must keep it (a latency record silently
+downgrading to a plain timing record is schema rot). The
 files' "env" blocks (detected CPU features + active RPB_SIMD mode) are
 compared and a mismatch prints a warning, never a failure: different
 vector dispatch explains a timing delta but does not excuse schema rot.
@@ -78,9 +83,21 @@ def load(path):
                     f"{field!r}: {e}")
             if not math.isfinite(v) or v < 0:
                 die(f"{path}: record {key} has bad {field}: {v!r}")
+        has_latency = "p50_s" in r or "p99_s" in r
+        if has_latency:
+            if ("p50_s" in r) != ("p99_s" in r):
+                die(f"{path}: record {key} has only one of p50_s/p99_s")
+            for field in ("p50_s", "p99_s"):
+                try:
+                    v = float(r[field])
+                except (TypeError, ValueError) as e:
+                    die(f"{path}: record {key} invalid latency field "
+                        f"{field!r}: {e}")
+                if not math.isfinite(v) or v < 0:
+                    die(f"{path}: record {key} has bad {field}: {v!r}")
         if key in table:
             die(f"{path}: duplicate record key {key}")
-        table[key] = float(r["median_s"])
+        table[key] = (float(r["median_s"]), has_latency)
     env = doc.get("env")
     if env is not None and not isinstance(env, dict):
         die(f"{path}: env block is not an object")
@@ -113,7 +130,7 @@ def compare(baseline, current, tolerance, allow_unmatched):
     failures = []
     ratios = []
     for key in sorted(base.keys() & cur.keys()):
-        b, c = base[key], cur[key]
+        (b, b_lat), (c, c_lat) = base[key], cur[key]
         ratio = c / b if b > 0 else math.inf if c > 0 else 1.0
         ratios.append(ratio)
         limit = 1.0 + tolerance / 100.0
@@ -121,6 +138,9 @@ def compare(baseline, current, tolerance, allow_unmatched):
         if ratio > limit:
             failures.append(f"REGRESSION {name}: {b:.3e}s -> {c:.3e}s "
                             f"({ratio:.2f}x > {limit:.2f}x)")
+        if b_lat and not c_lat:
+            failures.append(f"SCHEMA {name}: baseline record carries "
+                            f"p50_s/p99_s but current dropped them")
 
     for key in sorted(base.keys() - cur.keys()):
         msg = "MISSING {} t={} n={} (in baseline only)".format(*key)
@@ -150,10 +170,15 @@ def compare(baseline, current, tolerance, allow_unmatched):
     return 0
 
 
-def _record(name, median, threads=1, n=1024):
-    return {"name": name, "threads": threads, "n": n, "repeats": 3,
-            "median_s": median, "p10_s": median, "p90_s": median,
-            "mean_s": median}
+def _record(name, median, threads=1, n=1024, p50=None, p99=None):
+    r = {"name": name, "threads": threads, "n": n, "repeats": 3,
+         "median_s": median, "p10_s": median, "p90_s": median,
+         "mean_s": median}
+    if p50 is not None:
+        r["p50_s"] = p50
+    if p99 is not None:
+        r["p99_s"] = p99
+    return r
 
 
 def _doc(records):
@@ -188,6 +213,11 @@ def run_check():
     ok = _doc([_record("alpha", 1e-3), _record("beta", 2e-3)])
     slow = _doc([_record("alpha", 1e-3), _record("beta", 8e-3)])
     vanished = _doc([_record("alpha", 1e-3)])
+    lat = _doc([_record("serve/p", 1e-3, p50=1e-3, p99=4e-3)])
+    lat_slow = _doc([_record("serve/p", 8e-3, p50=8e-3, p99=3e-2)])
+    lat_dropped = _doc([_record("serve/p", 1e-3)])
+    lat_half = _doc([_record("serve/p", 1e-3, p50=1e-3)])
+    lat_bad = _doc([_record("serve/p", 1e-3, p50=-1.0, p99=4e-3)])
 
     run(ok, ok, "identical files pass", 0)
     run(ok, slow, "4x median regresses past 50%", 1)
@@ -198,6 +228,12 @@ def run_check():
     run(ok, ok, "garbage JSON is bad input", 2, raw="not json{")
     run(_doc([{"name": "x", "threads": 1, "n": 1}]), ok,
         "record missing fields is bad input", 2)
+    run(lat, lat, "latency records pass", 0)
+    run(lat, lat_slow, "latency median regression fails", 1)
+    run(lat, lat_dropped, "dropping p50/p99 vs baseline fails", 1)
+    run(lat_dropped, lat, "gaining p50/p99 is fine", 0)
+    run(lat, lat_half, "only one of p50/p99 is bad input", 2)
+    run(lat, lat_bad, "negative p50 is bad input", 2)
 
     with tempfile.TemporaryDirectory() as d:
         cp = os.path.join(d, "cur.json")
